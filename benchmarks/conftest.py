@@ -1,0 +1,95 @@
+"""Shared infrastructure for the figure-reproduction benchmarks.
+
+Scaling
+-------
+The paper's testbed ran 5-minute wall-clock experiments against a 2000-book
+document.  By default the benchmarks run a scaled configuration (10% sized
+bib, 60 simulated seconds) so the whole suite finishes in minutes; set
+
+* ``TAMIX_SCALE=full``      -- the paper's document (2000 books) and
+  5-minute simulated runs, or
+* ``TAMIX_SCALE=<float>``   -- a custom document scale, with
+* ``TAMIX_DURATION_MS=<ms>`` -- a custom simulated run duration.
+
+Results are printed as figure-shaped tables and appended to
+``benchmarks/results/``.
+
+CLUSTER1 runs are cached per (protocol, depth, isolation) for the whole
+benchmark session, because Figure 9 and Figure 10 are two views of the
+same parameter sweep.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.tamix import RunResult, run_cluster1
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def _scale_settings() -> Tuple[float, float]:
+    raw = os.environ.get("TAMIX_SCALE", "0.1")
+    if raw.lower() == "full":
+        scale, duration = 1.0, 300_000.0
+    else:
+        scale = float(raw)
+        duration = float(os.environ.get("TAMIX_DURATION_MS", "60000"))
+    return scale, duration
+
+
+SCALE, DURATION_MS = _scale_settings()
+
+#: The paper's lock-depth grid.
+DEPTHS = tuple(range(8))
+
+#: Depth-aware protocols in the paper's figure order.
+DEPTH_PROTOCOLS = (
+    "Node2PLa", "IRX", "IRIX", "URIX",
+    "taDOM2", "taDOM2+", "taDOM3", "taDOM3+",
+)
+
+
+class Cluster1Cache:
+    """Memoized CLUSTER1 runs shared by the figure benchmarks."""
+
+    def __init__(self):
+        self._runs: Dict[Tuple[str, int, str], RunResult] = {}
+
+    def get(
+        self, protocol: str, lock_depth: int, isolation: str = "repeatable"
+    ) -> RunResult:
+        key = (protocol, lock_depth, isolation)
+        if key not in self._runs:
+            self._runs[key] = run_cluster1(
+                protocol,
+                lock_depth=lock_depth,
+                isolation=isolation,
+                scale=SCALE,
+                run_duration_ms=DURATION_MS,
+            )
+        return self._runs[key]
+
+
+@pytest.fixture(scope="session")
+def cluster1() -> Cluster1Cache:
+    return Cluster1Cache()
+
+
+def write_result(name: str, text: str) -> None:
+    """Print a figure table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+    print(f"\n{text}")
+
+
+def figure_header(title: str) -> str:
+    return (
+        f"{title}\n"
+        f"(bib scale={SCALE}, simulated duration={DURATION_MS / 1000:.0f}s; "
+        f"counts are committed transactions per run)\n"
+    )

@@ -1,0 +1,63 @@
+"""Figure 7: CLUSTER1 under taDOM3+ -- influence of the isolation level.
+
+Left chart: transaction throughput vs. lock depth (0-7) for isolation
+levels none / uncommitted / committed / repeatable.  Right chart: deadlock
+counts for the same grid.
+
+Expected shape (checked by assertions):
+
+* throughput rises with lock depth and saturates (depth 0 corresponds to
+  document locks);
+* stronger isolation never helps throughput: none >= uncommitted >=
+  committed >= repeatable (up to noise, compared at the depth extremes);
+* deadlocks concentrate at low lock depths and strongly decrease from the
+  depth at which the transaction types operate in diverse subtrees.
+"""
+
+import pytest
+
+from conftest import DEPTHS, figure_header, write_result
+
+ISOLATION_LEVELS = ("none", "uncommitted", "committed", "repeatable")
+PROTOCOL = "taDOM3+"
+
+
+@pytest.mark.benchmark(group="figure7")
+def test_figure7_isolation_levels(benchmark, cluster1):
+    def sweep():
+        return {
+            isolation: [cluster1.get(PROTOCOL, depth, isolation) for depth in DEPTHS]
+            for isolation in ISOLATION_LEVELS
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = [figure_header(
+        "Figure 7 -- CLUSTER1 under taDOM3+: influence of isolation level"
+    )]
+    lines.append("throughput (committed transactions):")
+    lines.append("isolation    " + "".join(f"d{d:<7}" for d in DEPTHS))
+    for isolation in ISOLATION_LEVELS:
+        row = "".join(f"{r.committed:<8}" for r in results[isolation])
+        lines.append(f"{isolation:<13}{row}")
+    lines.append("")
+    lines.append("deadlocks:")
+    lines.append("isolation    " + "".join(f"d{d:<7}" for d in DEPTHS))
+    for isolation in ISOLATION_LEVELS:
+        row = "".join(f"{r.deadlocks:<8}" for r in results[isolation])
+        lines.append(f"{isolation:<13}{row}")
+    write_result("figure07_isolation", "\n".join(lines))
+
+    repeatable = results["repeatable"]
+    none = results["none"]
+    # Depth 0 = document locks: far below the saturated throughput.
+    assert repeatable[0].committed < repeatable[-1].committed * 0.5
+    # Weaker isolation is never slower at the extremes.
+    assert none[0].committed >= repeatable[0].committed
+    assert none[-1].committed >= repeatable[-1].committed * 0.95
+    # Deadlocks concentrate at low depths under repeatable read.
+    low = sum(r.deadlocks for r in repeatable[:2])
+    high = sum(r.deadlocks for r in repeatable[-2:])
+    assert low > high
+    # Isolation level none never deadlocks (it takes no locks).
+    assert all(r.deadlocks == 0 for r in none)

@@ -1,0 +1,60 @@
+"""Figure 8: running CLUSTER1 under the *-2PL group.
+
+Left chart: throughput (total and per transaction type) for Node2PL,
+NO2PL, OO2PL.  Right chart: the corresponding aborts/deadlocks.
+
+Expected shape: OO2PL >= NO2PL >= Node2PL in total throughput (finer
+granularity wins even though it acquires more locks), TArenameTopic is
+close to zero for the whole group, and the group produces substantially
+more aborted transactions per commit than the intention-lock protocols.
+"""
+
+import pytest
+
+from conftest import figure_header, write_result
+
+PROTOCOLS = ("Node2PL", "NO2PL", "OO2PL")
+TXN_TYPES = ("TAqueryBook", "TAchapter", "TAlendAndReturn", "TArenameTopic")
+
+
+@pytest.mark.benchmark(group="figure8")
+def test_figure8_star_2pl_group(benchmark, cluster1):
+    def sweep():
+        # The *-2PL group has no lock-depth parameter; depth is ignored.
+        return {name: cluster1.get(name, 0) for name in PROTOCOLS}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = [figure_header("Figure 8 -- CLUSTER1 under the *-2PL group")]
+    lines.append(f"{'':<18}" + "".join(f"{p:>10}" for p in PROTOCOLS))
+    lines.append(
+        f"{'CLUSTER1 total':<18}"
+        + "".join(f"{results[p].committed:>10}" for p in PROTOCOLS)
+    )
+    for txn_type in TXN_TYPES:
+        lines.append(
+            f"{txn_type:<18}"
+            + "".join(f"{results[p].committed_of(txn_type):>10}" for p in PROTOCOLS)
+        )
+    lines.append("")
+    lines.append(
+        f"{'aborted':<18}"
+        + "".join(f"{results[p].aborted:>10}" for p in PROTOCOLS)
+    )
+    lines.append(
+        f"{'deadlocks':<18}"
+        + "".join(f"{results[p].deadlocks:>10}" for p in PROTOCOLS)
+    )
+    write_result("figure08_star2pl", "\n".join(lines))
+
+    node2pl, no2pl, oo2pl = (results[p] for p in PROTOCOLS)
+    # Finer granularity does not lose: OO2PL and NO2PL at or above Node2PL.
+    assert oo2pl.committed >= node2pl.committed
+    assert no2pl.committed >= node2pl.committed * 0.9
+    # TArenameTopic collapses for the whole group (parent-level blocking).
+    for result in results.values():
+        assert result.committed_of("TArenameTopic") <= max(
+            5, result.committed * 0.05
+        )
+    # The group aborts transactions continuously.
+    assert all(r.aborted > 0 for r in results.values())

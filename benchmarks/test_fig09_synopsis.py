@@ -1,0 +1,91 @@
+"""Figure 9: synopsis of all protocols on CLUSTER1.
+
+Throughput (left) and deadlocks (right) over lock depth 0-7 for the
+depth-aware protocols, grouped as in the paper: Node2PLa (the optimized
+*-2PL representative), the MGL* group, and the taDOM* group.
+
+Expected shape:
+
+* low throughput at depths 0-1 (document locks, abort storms), steep rise
+  once locks fall into diverse subtrees, then saturation;
+* clear group gaps at saturation: taDOM* > MGL* > Node2PLa, with the
+  taDOM* advantage over Node2PLa on the order of the paper's ~100 % and
+  MGL* in between;
+* fewer deadlocks for the finer groups, particularly at low depths.
+"""
+
+import pytest
+
+from conftest import DEPTH_PROTOCOLS, DEPTHS, figure_header, write_result
+
+GROUPS = {
+    "*-2PL(a)": ("Node2PLa",),
+    "MGL*": ("IRX", "IRIX", "URIX"),
+    "taDOM*": ("taDOM2", "taDOM2+", "taDOM3", "taDOM3+"),
+}
+
+
+def _group_mean(results, members, depth_index, metric):
+    values = [metric(results[name][depth_index]) for name in members]
+    return sum(values) / len(values)
+
+
+@pytest.mark.benchmark(group="figure9")
+def test_figure9_synopsis(benchmark, cluster1):
+    def sweep():
+        return {
+            name: [cluster1.get(name, depth) for depth in DEPTHS]
+            for name in DEPTH_PROTOCOLS
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = [figure_header(
+        "Figure 9 -- synopsis of all protocols on CLUSTER1 (isolation repeatable)"
+    )]
+    lines.append("throughput (committed transactions):")
+    lines.append("protocol   " + "".join(f"d{d:<7}" for d in DEPTHS))
+    for name in DEPTH_PROTOCOLS:
+        row = "".join(f"{r.committed:<8}" for r in results[name])
+        lines.append(f"{name:<11}{row}")
+    lines.append("")
+    lines.append("deadlocks (incl. lock-wait timeouts counted as aborts separately):")
+    lines.append("protocol   " + "".join(f"d{d:<7}" for d in DEPTHS))
+    for name in DEPTH_PROTOCOLS:
+        row = "".join(f"{r.deadlocks:<8}" for r in results[name])
+        lines.append(f"{name:<11}{row}")
+    from repro.tamix.report import line_chart
+
+    lines.append("")
+    lines.append(line_chart(
+        {
+            "taDOM3+": [r.committed for r in results["taDOM3+"]],
+            "URIX": [r.committed for r in results["URIX"]],
+            "Node2PLa": [r.committed for r in results["Node2PLa"]],
+        },
+        x_labels=list(DEPTHS),
+        title="throughput over lock depth (cf. the paper's Figure 9, left):",
+        y_label="lock depth",
+    ))
+    lines.append("")
+    lines.append("group means at saturation (depth 6/7):")
+    for group, members in GROUPS.items():
+        mean = (
+            _group_mean(results, members, -1, lambda r: r.committed)
+            + _group_mean(results, members, -2, lambda r: r.committed)
+        ) / 2
+        lines.append(f"  {group:<9} {mean:8.1f}")
+    write_result("figure09_synopsis", "\n".join(lines))
+
+    # Shape assertions.
+    for name in DEPTH_PROTOCOLS:
+        runs = results[name]
+        # Rise from document locks to saturation.
+        assert runs[-1].committed > runs[0].committed
+    star = _group_mean(results, GROUPS["*-2PL(a)"], -1, lambda r: r.committed)
+    mgl = _group_mean(results, GROUPS["MGL*"], -1, lambda r: r.committed)
+    tadom = _group_mean(results, GROUPS["taDOM*"], -1, lambda r: r.committed)
+    # The paper's group ordering with clear gaps.
+    assert star < mgl < tadom
+    # taDOM* gains on the order of the paper's ~100 % over Node2PLa.
+    assert tadom / star > 1.5

@@ -1,0 +1,81 @@
+"""Figure 10: CLUSTER1 throughput separated by transaction type.
+
+Four panels over lock depth 0-7: (a) TAqueryBook, (b) TAchapter,
+(c) TAlendAndReturn, (d) TArenameTopic.
+
+Expected shape:
+
+* (a) the readers contribute almost all throughput at depths 0-1 and
+  produce no aborts at all;
+* (b)/(c) the writers only start committing once fine-grained locking
+  kicks in; Node2PLa "reacts one level deeper" than the rest;
+* (d) TArenameTopic: Node2PLa fails almost completely (X on the whole
+  topics level); the taDOM3/taDOM3+ node-rename modes beat the MGL* group
+  by a factor of 2 or more.
+"""
+
+import pytest
+
+from conftest import DEPTH_PROTOCOLS, DEPTHS, figure_header, write_result
+
+PANELS = (
+    ("a", "TAqueryBook"),
+    ("b", "TAchapter"),
+    ("c", "TAlendAndReturn"),
+    ("d", "TArenameTopic"),
+)
+
+
+@pytest.mark.benchmark(group="figure10")
+def test_figure10_transaction_types(benchmark, cluster1):
+    def sweep():
+        return {
+            name: [cluster1.get(name, depth) for depth in DEPTHS]
+            for name in DEPTH_PROTOCOLS
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = [figure_header(
+        "Figure 10 -- CLUSTER1 throughput separated by transaction type"
+    )]
+    for panel, txn_type in PANELS:
+        lines.append(f"({panel}) {txn_type}:")
+        lines.append("protocol   " + "".join(f"d{d:<7}" for d in DEPTHS))
+        for name in DEPTH_PROTOCOLS:
+            row = "".join(
+                f"{r.committed_of(txn_type):<8}" for r in results[name]
+            )
+            lines.append(f"{name:<11}{row}")
+        lines.append("")
+    write_result("figure10_txn_types", "\n".join(lines))
+
+    # (a) readers essentially never become deadlock victims: across the
+    # whole sweep their share of deadlock aborts stays marginal (they may
+    # time out behind document-level write locks at depth 0/1, which
+    # counts as an abort but not as a deadlock).
+    reader_deadlocks = 0
+    writer_deadlocks = 0
+    for name in DEPTH_PROTOCOLS:
+        for run in results[name]:
+            reader_deadlocks += run.by_type["TAqueryBook"].deadlock_aborts
+            writer_deadlocks += sum(
+                run.by_type[t].deadlock_aborts for t in
+                ("TAchapter", "TAlendAndReturn", "TArenameTopic")
+            )
+    assert reader_deadlocks <= max(2, 0.02 * (reader_deadlocks + writer_deadlocks))
+
+    # At depth 0/1 the readers dominate total throughput and the writers
+    # produce (virtually) all the deadlocks.
+    for name in ("taDOM3+", "URIX"):
+        depth0 = results[name][0]
+        assert depth0.committed_of("TAqueryBook") >= depth0.committed * 0.5
+        assert depth0.by_type["TAqueryBook"].deadlock_aborts == 0
+
+    # (d) Node2PLa fails on renames; taDOM3+ clearly beats the MGL* group.
+    sat = -1
+    node2pla_renames = results["Node2PLa"][sat].committed_of("TArenameTopic")
+    urix_renames = results["URIX"][sat].committed_of("TArenameTopic")
+    tadom3p_renames = results["taDOM3+"][sat].committed_of("TArenameTopic")
+    assert node2pla_renames <= max(2, tadom3p_renames * 0.05)
+    assert tadom3p_renames >= urix_renames * 2

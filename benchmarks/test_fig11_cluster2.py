@@ -1,0 +1,63 @@
+"""Figure 11: transaction execution times for all protocols on CLUSTER2.
+
+A single TAdelBook in single-user mode under isolation level repeatable;
+the metric is the transaction's execution time, which measures pure
+locking overhead.
+
+Expected shape: the *-2PL protocols (Node2PL, NO2PL, OO2PL) need roughly
+twice the time of every intention-lock protocol, because they must search
+the doomed subtree for ID-owning elements and IDX-lock them before the
+delete; all protocols using intention locks handle the deletion with a
+single subtree lock.
+"""
+
+import pytest
+
+from conftest import SCALE, figure_header, write_result
+from repro.tamix import generate_bib, run_cluster2
+
+#: All 11 protocols in the paper's Figure 11 order.
+PROTOCOLS = (
+    "Node2PL", "NO2PL", "OO2PL",
+    "IRX", "IRIX", "URIX", "Node2PLa",
+    "taDOM2+", "taDOM2", "taDOM3", "taDOM3+",
+)
+
+STAR_2PL = ("Node2PL", "NO2PL", "OO2PL")
+
+
+@pytest.mark.benchmark(group="figure11")
+def test_figure11_cluster2_delete_times(benchmark):
+    def sweep():
+        times = {}
+        for seed in (7, 11, 13):
+            info = None
+            for name in PROTOCOLS:
+                # A fresh document per protocol (deletes mutate it).
+                elapsed = run_cluster2(name, scale=SCALE, seed=seed)
+                times.setdefault(name, []).append(elapsed)
+        return {
+            name: sum(values) / len(values) for name, values in times.items()
+        }
+
+    times = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    from repro.tamix.report import bar_chart
+
+    lines = [figure_header(
+        "Figure 11 -- CLUSTER2: single TAdelBook execution time [simulated ms]"
+    )]
+    lines.append(bar_chart(
+        {name: times[name] for name in PROTOCOLS}, unit="ms",
+    ))
+    star = sum(times[p] for p in STAR_2PL) / len(STAR_2PL)
+    rest = [times[p] for p in PROTOCOLS if p not in STAR_2PL]
+    mean_rest = sum(rest) / len(rest)
+    lines.append("")
+    lines.append(f"  *-2PL mean / intention-lock mean = {star / mean_rest:4.2f}x")
+    write_result("figure11_cluster2", "\n".join(lines))
+
+    # The paper's headline: *-2PL needs roughly twice the time.
+    assert star / mean_rest > 1.5
+    # Every *-2PL protocol is slower than every intention-lock protocol.
+    assert min(times[p] for p in STAR_2PL) > max(rest)

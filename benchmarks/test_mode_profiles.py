@@ -1,0 +1,63 @@
+"""Lock-mode usage profiles per protocol (beyond the paper's figures).
+
+Runs a fixed CLUSTER1 slice under one representative of each group and
+reports which lock modes actually carried the workload -- a view the
+paper discusses qualitatively ("up to 20 lock modes in taDOM3+") but
+never tabulates.  The assertions pin the qualitative claims:
+
+* taDOM3+ really *uses* its specialized modes (NX renames, SR subtrees,
+  level locks, combination modes where conversions demand them);
+* URIX leans on IR/IX/R/X only;
+* Node2PL's traffic is all T/M parent locks + content locks.
+"""
+
+import pytest
+
+from conftest import SCALE, figure_header, write_result
+from repro.tamix import TaMixConfig, TaMixCoordinator, generate_bib, make_database
+from repro.tamix.report import mode_profile_table
+
+PROTOCOLS = ("Node2PL", "Node2PLa", "URIX", "taDOM3+")
+
+
+def profile_of(protocol):
+    database, info = make_database(protocol, 6, "repeatable", scale=SCALE)
+    config = TaMixConfig(protocol=protocol, lock_depth=6,
+                         run_duration_ms=20_000.0)
+    TaMixCoordinator(database, info, config).run()
+    return database.locks.mode_profile(), database.locks.wait_statistics()
+
+
+@pytest.mark.benchmark(group="mode-profiles")
+def test_lock_mode_profiles(benchmark):
+    def sweep():
+        return {name: profile_of(name) for name in PROTOCOLS}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    profiles = {name: data[0] for name, data in results.items()}
+    lines = [figure_header("Lock-mode usage per protocol (CLUSTER1 slice)")]
+    lines.append(mode_profile_table(profiles, top=10))
+    lines.append("")
+    lines.append("lock-wait statistics (simulated ms):")
+    for name, (_profile, waits) in results.items():
+        lines.append(
+            f"  {name:<10} waits={waits['count']:6.0f}  "
+            f"mean={waits['mean_ms']:8.1f}  max={waits['max_ms']:9.1f}"
+        )
+    write_result("mode_profiles", "\n".join(lines))
+
+    tadom = profiles["taDOM3+"]
+    assert tadom.get("node:NX", 0) > 0          # dedicated renames
+    assert tadom.get("node:SR", 0) > 0          # subtree reads
+    assert tadom.get("node:SX", 0) > 0          # subtree writes
+    assert tadom.get("edge:EX", 0) > 0          # edge isolation
+
+    urix = profiles["URIX"]
+    assert set(mode.split(":")[1] for mode in urix
+               if mode.startswith("node:")) <= {"IR", "IX", "R", "RIX", "U", "X"}
+
+    node2pl = profiles["Node2PL"]
+    assert node2pl.get("struct:T", 0) > 0
+    assert node2pl.get("struct:M", 0) > 0
+    assert all(not key.startswith("node:") for key in node2pl)

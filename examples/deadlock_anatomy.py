@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Anatomy of a conversion deadlock -- the paper's dominant abort cause.
+
+Reconstructs the situation Section 5.1 blames for the low throughput at
+small lock depths: two transactions read the same subtree (shared locks),
+then both try to upgrade for an update.  Neither conversion can be granted
+while the other transaction's read lock remains -- a cycle the deadlock
+detector resolves by aborting one victim.
+
+The script then shows the contrast at a deeper lock depth, where the two
+transactions operate in diverse subtrees and never conflict.
+
+Run:  python examples/deadlock_anatomy.py
+"""
+
+from repro import Database, DeadlockAbort
+from repro.sched import Delay, Simulator
+
+LIBRARY = (
+    "topics",
+    [
+        ("topic", {"id": "t0"}, [
+            ("book", {"id": "b0"}, [
+                ("title", ["Concurrency Control Theory"]),
+                ("history", [("lend", {"person": "p1"}, [])]),
+            ]),
+            ("book", {"id": "b1"}, [
+                ("title", ["The Benchmark Handbook"]),
+                ("history", [("lend", {"person": "p2"}, [])]),
+            ]),
+        ]),
+    ],
+)
+
+
+def updater(db, sim, book_id, log):
+    """Read a book subtree, pause, then delete its first lend entry."""
+    txn = db.begin(f"updater-{book_id}")
+    book = db.document.element_by_id(book_id)
+    try:
+        yield from db.nodes.read_subtree(txn, book)
+        log.append(f"{txn.name}: read the subtree at t={sim.now:.0f} ms")
+        yield Delay(50.0)
+        history = [
+            splid for splid in db.document.store.children(book)
+            if db.document.name_of(splid) == "history"
+        ][0]
+        lend = next(db.document.store.children(history))
+        yield from db.nodes.delete_subtree(txn, lend)
+        db.commit(txn)
+        log.append(f"{txn.name}: COMMITTED at t={sim.now:.0f} ms")
+    except DeadlockAbort as exc:
+        db.abort(txn)
+        cycle = " -> ".join(str(t) for t in exc.cycle)
+        log.append(f"{txn.name}: DEADLOCK VICTIM (cycle: {cycle})")
+
+
+def run(lock_depth, book_ids):
+    db = Database(protocol="taDOM2", lock_depth=lock_depth, root_element="bib")
+    db.load(LIBRARY)
+    sim = Simulator()
+    db.set_clock(lambda: sim.now)
+    log = []
+    for book_id in book_ids:
+        sim.spawn(updater(db, sim, book_id, log))
+    sim.run()
+    detector = db.locks.detector
+    log.append(
+        f"deadlocks detected: {detector.count()} "
+        f"({detector.counts_by_kind()})"
+    )
+    return log
+
+
+def main() -> None:
+    print("=== lock depth 0 (document locks): same-document collision ===")
+    for line in run(lock_depth=0, book_ids=("b0", "b1")):
+        print(" ", line)
+
+    print("\n=== lock depth 0: even the SAME book, conversions collide ===")
+    for line in run(lock_depth=0, book_ids=("b0", "b0")):
+        print(" ", line)
+
+    print("\n=== lock depth 7: diverse subtrees, no conflict at all ===")
+    for line in run(lock_depth=7, book_ids=("b0", "b1")):
+        print(" ", line)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Isolation levels in action: what each level does and what it costs.
+
+Reproduces footnote 5 of the paper in executable form:
+
+* ``none``         -- no locks at all (anomalies possible),
+* ``uncommitted``  -- long write locks, no read locks (dirty reads),
+* ``committed``    -- short read locks, long write locks,
+* ``repeatable``   -- long read and write locks (the contest's level).
+
+Two scenes per level:
+
+* *dirty read*: a writer changes a book title, holds it for a while, and
+  finally **aborts** -- does the reader ever see the doomed value?
+* *repeatable read*: a writer changes the title and **commits** between
+  two reads of the same transaction -- do the two reads agree?
+
+Run:  python examples/isolation_levels.py
+"""
+
+from repro import Database
+from repro.sched import Delay, Simulator
+
+LIBRARY = (
+    "topics",
+    [("topic", {"id": "t0"}, [
+        ("book", {"id": "b0"}, [("title", ["Original Title"])]),
+    ])],
+)
+
+
+def observe_committing_writer(isolation: str):
+    """Scene 2: the writer commits between the reader's two reads."""
+    db = Database(protocol="taDOM3+", lock_depth=7, root_element="bib",
+                  isolation=isolation)
+    db.load(LIBRARY)
+    sim = Simulator()
+    db.set_clock(lambda: sim.now)
+    title_text = db.document.store.first_child(
+        db.document.elements_by_name("title")[0]
+    )
+    observations = []
+
+    def reader():
+        txn = db.begin("reader", isolation)
+        first = yield from db.nodes.read_content(txn, title_text)
+        observations.append(("first read", first))
+        yield Delay(100.0)
+        second = yield from db.nodes.read_content(txn, title_text)
+        observations.append(("second read", second))
+        db.commit(txn)
+
+    def writer():
+        txn = db.begin("writer", isolation)
+        yield Delay(20.0)
+        yield from db.nodes.update_content(txn, title_text, "Second Edition")
+        db.commit(txn)
+
+    sim.spawn(reader())
+    sim.spawn(writer())
+    sim.run()
+    return observations
+
+
+def observe(isolation: str):
+    db = Database(protocol="taDOM3+", lock_depth=7, root_element="bib",
+                  isolation=isolation)
+    db.load(LIBRARY)
+    sim = Simulator()
+    db.set_clock(lambda: sim.now)
+    title_text = db.document.store.first_child(
+        db.document.elements_by_name("title")[0]
+    )
+    observations = []
+
+    def reader():
+        txn = db.begin("reader", isolation)
+        first = yield from db.nodes.read_content(txn, title_text)
+        observations.append(("first read", first))
+        yield Delay(100.0)  # writer acts in this window
+        second = yield from db.nodes.read_content(txn, title_text)
+        observations.append(("second read", second))
+        db.commit(txn)
+
+    def writer():
+        txn = db.begin("writer", isolation)
+        yield Delay(20.0)
+        yield from db.nodes.update_content(txn, title_text, "DIRTY VALUE")
+        yield Delay(200.0)  # hold the dirty value, then undo it
+        db.abort(txn)
+
+    sim.spawn(reader())
+    sim.spawn(writer())
+    sim.run()
+    waits = db.locks.table.waits
+    return observations, waits
+
+
+def main() -> None:
+    for isolation in ("none", "uncommitted", "committed", "repeatable"):
+        observations, waits = observe(isolation)
+        print(f"--- isolation level: {isolation} (lock waits: {waits}) ---")
+        print("  scene 1: writer holds a dirty value, then aborts")
+        for label, value in observations:
+            print(f"    {label:<12} -> {value!r}")
+        reads = [value for _label, value in observations]
+        if "DIRTY VALUE" in reads:
+            print("    => dirty read: saw an uncommitted value")
+        else:
+            print("    => protected against dirty reads")
+
+        print("  scene 2: writer commits between the two reads")
+        observations = observe_committing_writer(isolation)
+        for label, value in observations:
+            print(f"    {label:<12} -> {value!r}")
+        reads = [value for _label, value in observations]
+        if len(set(reads)) > 1:
+            print("    => non-repeatable read: value changed inside the txn")
+        else:
+            print("    => repeatable: both reads agree")
+        print()
+
+
+if __name__ == "__main__":
+    main()

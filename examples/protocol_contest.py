@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""The contest in miniature: all 11 protocols on a TaMix workload.
+
+Runs a scaled-down CLUSTER1 (the paper's 72-transaction library mix) under
+every lock protocol and prints the resulting throughput table, grouped as
+in the paper's Figure 9 -- plus the CLUSTER2 single-delete times of
+Figure 11.
+
+Run:  python examples/protocol_contest.py [--scale 0.05] [--seconds 30]
+"""
+
+import argparse
+
+from repro.core import ALL_PROTOCOLS, group_of
+from repro.tamix import run_cluster1, run_cluster2
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="bib document scale (1.0 = the paper's 2000 books)")
+    parser.add_argument("--seconds", type=float, default=30.0,
+                        help="simulated run duration per protocol")
+    parser.add_argument("--lock-depth", type=int, default=6)
+    args = parser.parse_args()
+
+    print(f"CLUSTER1: {args.seconds:.0f} simulated seconds, "
+          f"bib scale {args.scale}, lock depth {args.lock_depth}, "
+          "isolation repeatable\n")
+    print(f"{'protocol':<10} {'group':<8} {'committed':>9} {'aborted':>8} "
+          f"{'deadlocks':>9}   per-type (committed)")
+    for name in ALL_PROTOCOLS:
+        result = run_cluster1(
+            name,
+            lock_depth=args.lock_depth,
+            scale=args.scale,
+            run_duration_ms=args.seconds * 1000.0,
+        )
+        per_type = " ".join(
+            f"{t.split('TA')[1]}={m.committed}"
+            for t, m in sorted(result.by_type.items())
+        )
+        print(f"{name:<10} {group_of(name):<8} {result.committed:>9} "
+              f"{result.aborted:>8} {result.deadlocks:>9}   {per_type}")
+
+    print("\nCLUSTER2: single TAdelBook execution time (locking overhead)")
+    for name in ALL_PROTOCOLS:
+        elapsed = run_cluster2(name, scale=args.scale)
+        bar = "#" * int(elapsed * 4)
+        print(f"{name:<10} {elapsed:7.2f} ms  {bar}")
+
+
+if __name__ == "__main__":
+    main()

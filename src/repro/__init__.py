@@ -1,0 +1,68 @@
+"""repro -- full reproduction of *Contest of XML Lock Protocols* (VLDB 2006).
+
+The package rebuilds the paper's complete experimental system:
+
+* an XTC-style native XML DBMS substrate -- SPLID labels, a B*-tree
+  document store with element indexes, the taDOM storage model, and a
+  lock-guarded DOM node manager (:mod:`repro.splid`, :mod:`repro.storage`,
+  :mod:`repro.dom`);
+* the 11 XML lock protocols behind a meta-synchronization interface
+  (:mod:`repro.core`, :mod:`repro.locking`);
+* transactions with the four isolation levels used in the paper
+  (:mod:`repro.txn`);
+* a deterministic discrete-event concurrency substrate plus a real-thread
+  runtime (:mod:`repro.sched`);
+* the TaMix benchmark framework with the bib document generator, the five
+  transaction types, and the CLUSTER1/CLUSTER2 workloads
+  (:mod:`repro.tamix`).
+
+Quickstart::
+
+    from repro import Database
+
+    db = Database(protocol="taDOM3+", lock_depth=4)
+    doc = db.create_document("bib")
+    ...
+
+See ``examples/quickstart.py`` for a complete runnable tour.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core.registry import ALL_PROTOCOLS, get_protocol, protocol_names
+from repro.database import Database
+from repro.errors import (
+    DeadlockAbort,
+    DocumentError,
+    LockError,
+    ReproError,
+    SplidError,
+    StorageError,
+    TransactionAborted,
+    TransactionError,
+)
+from repro.locking.lock_manager import IsolationLevel
+from repro.query import QueryProcessor, evaluate_raw, parse_path
+from repro.splid import Splid, SplidAllocator
+
+__all__ = [
+    "QueryProcessor",
+    "evaluate_raw",
+    "parse_path",
+    "ALL_PROTOCOLS",
+    "Database",
+    "DeadlockAbort",
+    "IsolationLevel",
+    "get_protocol",
+    "protocol_names",
+    "DocumentError",
+    "LockError",
+    "ReproError",
+    "Splid",
+    "SplidAllocator",
+    "SplidError",
+    "StorageError",
+    "TransactionAborted",
+    "TransactionError",
+    "__version__",
+]

@@ -1,0 +1,261 @@
+"""Command-line interface: run the paper's experiments from the shell.
+
+::
+
+    python -m repro info
+    python -m repro cluster1 --protocol taDOM3+ --lock-depth 4
+    python -m repro cluster2
+    python -m repro sweep --figure 9 --depths 0 2 4 6
+    python -m repro query document.xml "//book[@year='1993']/title/text()"
+    python -m repro stats document.xml
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import __version__
+from repro.core import ALL_PROTOCOLS, GROUPS, group_of
+from repro.dom import parse_document, serialize_subtree
+from repro.query import evaluate_raw
+from repro.splid import Splid
+from repro.tamix import run_cluster1, run_cluster2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Contest of XML Lock Protocols (VLDB 2006) - reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="version and protocol inventory")
+
+    c1 = sub.add_parser("cluster1", help="one CLUSTER1 benchmark run")
+    c1.add_argument("--protocol", default="taDOM3+", choices=ALL_PROTOCOLS)
+    c1.add_argument("--lock-depth", type=int, default=4)
+    c1.add_argument("--isolation", default="repeatable",
+                    choices=["none", "uncommitted", "committed",
+                             "repeatable", "serializable"])
+    c1.add_argument("--scale", type=float, default=0.1)
+    c1.add_argument("--seconds", type=float, default=60.0)
+    c1.add_argument("--seed", type=int, default=42)
+
+    c2 = sub.add_parser("cluster2", help="CLUSTER2 delete times, all protocols")
+    c2.add_argument("--scale", type=float, default=0.1)
+    c2.add_argument("--seed", type=int, default=7)
+
+    sweep = sub.add_parser("sweep", help="lock-depth sweep (figure 9/10 style)")
+    sweep.add_argument("--protocols", nargs="*", default=None,
+                       help="default: all depth-aware protocols")
+    sweep.add_argument("--depths", nargs="*", type=int,
+                       default=[0, 1, 2, 3, 4, 5, 6, 7])
+    sweep.add_argument("--isolation", default="repeatable")
+    sweep.add_argument("--scale", type=float, default=0.1)
+    sweep.add_argument("--seconds", type=float, default=60.0)
+
+    modes = sub.add_parser(
+        "modes", help="print a protocol's lock matrices (the paper's figures)"
+    )
+    modes.add_argument("protocol", choices=ALL_PROTOCOLS)
+    modes.add_argument("--space", default=None,
+                       help="lock space (default: all spaces)")
+
+    xmark = sub.add_parser(
+        "xmark", help="the unsuitable benchmark: read-only XMark-style mix"
+    )
+    xmark.add_argument("--scale", type=float, default=0.1)
+    xmark.add_argument("--seconds", type=float, default=20.0)
+
+    query = sub.add_parser("query", help="evaluate a path expression on an XML file")
+    query.add_argument("file")
+    query.add_argument("path")
+
+    stats = sub.add_parser("stats", help="storage statistics for an XML file")
+    stats.add_argument("file")
+
+    report = sub.add_parser(
+        "report",
+        help="collate benchmarks/results/ into one evaluation report",
+    )
+    report.add_argument("--results-dir", default="benchmarks/results")
+    report.add_argument("--output", default=None,
+                        help="write to a file instead of stdout")
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "info": _cmd_info,
+        "cluster1": _cmd_cluster1,
+        "cluster2": _cmd_cluster2,
+        "sweep": _cmd_sweep,
+        "modes": _cmd_modes,
+        "xmark": _cmd_xmark,
+        "query": _cmd_query,
+        "stats": _cmd_stats,
+        "report": _cmd_report,
+    }[args.command]
+    return handler(args)
+
+
+# -- commands -----------------------------------------------------------------
+
+
+def _cmd_info(_args) -> int:
+    print(f"repro {__version__} -- Contest of XML Lock Protocols (VLDB 2006)")
+    for group, members in GROUPS.items():
+        print(f"  {group:<8} {', '.join(members)}")
+    return 0
+
+
+def _cmd_cluster1(args) -> int:
+    result = run_cluster1(
+        args.protocol,
+        lock_depth=args.lock_depth,
+        isolation=args.isolation,
+        scale=args.scale,
+        run_duration_ms=args.seconds * 1000.0,
+        seed=args.seed,
+    )
+    print(result.summary())
+    print(f"  deadlock kinds : {result.deadlocks_by_kind}")
+    print(f"  lock stats     : {result.lock_stats}")
+    for name, metrics in sorted(result.by_type.items()):
+        if metrics.durations:
+            print(
+                f"  {name:<17} avg={metrics.avg_duration:8.1f} ms  "
+                f"min={metrics.min_duration:8.1f}  max={metrics.max_duration:8.1f}"
+            )
+    return 0
+
+
+def _cmd_cluster2(args) -> int:
+    print("CLUSTER2: single TAdelBook execution time [simulated ms]")
+    for name in ALL_PROTOCOLS:
+        elapsed = run_cluster2(name, scale=args.scale, seed=args.seed)
+        print(f"  {name:<9} ({group_of(name):<7}) {elapsed:9.2f}")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.core.registry import depth_aware_protocols
+
+    protocols = args.protocols or depth_aware_protocols()
+    print("protocol   " + "".join(f"d{d:<7}" for d in args.depths))
+    for name in protocols:
+        cells = []
+        for depth in args.depths:
+            result = run_cluster1(
+                name,
+                lock_depth=depth,
+                isolation=args.isolation,
+                scale=args.scale,
+                run_duration_ms=args.seconds * 1000.0,
+            )
+            cells.append(f"{result.committed:<8}")
+        print(f"{name:<11}" + "".join(cells))
+    return 0
+
+
+def _cmd_modes(args) -> int:
+    from repro.core import get_protocol
+
+    protocol = get_protocol(args.protocol)
+    for space, table in protocol.tables().items():
+        if args.space is not None and space != args.space:
+            continue
+        print(f"=== lock space: {space} ===")
+        print(table.format_compatibility())
+        print()
+        print(table.format_conversions())
+        print()
+    return 0
+
+
+def _cmd_xmark(args) -> int:
+    from repro.tamix.xmark import generate_auction, run_xmark
+
+    print("read-only XMark-style mix (Section 4.1: cannot stress the "
+          "lock manager)")
+    for name in ("Node2PLa", "URIX", "taDOM3+"):
+        info = generate_auction(scale=args.scale)
+        result = run_xmark(name, info=info,
+                           run_duration_ms=args.seconds * 1000.0)
+        print(f"  {name:<9} queries={result.completed_queries:<6} "
+              f"waits={result.lock_waits:<4} deadlocks={result.deadlocks}")
+    return 0
+
+
+def _cmd_query(args) -> int:
+    with open(args.file, encoding="utf-8") as handle:
+        document = parse_document(handle.read())
+    result = evaluate_raw(document, args.path)
+    for item in result:
+        if isinstance(item, Splid):
+            print(serialize_subtree(document, item))
+        else:
+            print(item)
+    return 0 if result else 1
+
+
+def _cmd_stats(args) -> int:
+    with open(args.file, encoding="utf-8") as handle:
+        document = parse_document(handle.read())
+    for key, value in sorted(document.statistics().items()):
+        print(f"{key:<22} {value:,.2f}")
+    return 0
+
+
+#: Order in which result files appear in the collated report.
+_REPORT_ORDER = (
+    "figure07_isolation", "figure08_star2pl", "figure09_synopsis",
+    "figure10_txn_types", "figure11_cluster2", "benchmark_choice",
+    "serializable_cost", "mode_profiles", "ablation_splid",
+    "ablation_level_locks", "ablation_combination_modes",
+    "ablation_buffer_pool",
+)
+
+
+def _cmd_report(args) -> int:
+    from pathlib import Path
+
+    results_dir = Path(args.results_dir)
+    if not results_dir.is_dir():
+        print(f"no results directory at {results_dir}; run "
+              "`pytest benchmarks/ --benchmark-only` first",
+              file=sys.stderr)
+        return 1
+    sections = []
+    seen = set()
+    for stem in _REPORT_ORDER:
+        path = results_dir / f"{stem}.txt"
+        if path.exists():
+            sections.append(path.read_text().rstrip())
+            seen.add(path.name)
+    for path in sorted(results_dir.glob("*.txt")):
+        if path.name not in seen:
+            sections.append(path.read_text().rstrip())
+    if not sections:
+        print(f"no result files in {results_dir}", file=sys.stderr)
+        return 1
+    divider = "\n\n" + "=" * 72 + "\n\n"
+    body = (
+        f"Contest of XML Lock Protocols (VLDB 2006) -- evaluation report\n"
+        f"(repro {__version__}; {len(sections)} experiments)"
+        + divider + divider.join(sections) + "\n"
+    )
+    if args.output:
+        Path(args.output).write_text(body)
+        print(f"wrote {args.output} ({len(body)} bytes)")
+    else:
+        print(body)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,172 @@
+"""The MGL* protocol group (Section 2.2): IRX, IRIX, URIX.
+
+Classical multi-granularity locking adapted to XML trees.  Two adaptations
+from the paper: intention locks play a *double role* (they announce
+operations deeper in the tree **and** lock the node itself, without its
+subtree), and a lock-depth parameter escalates accesses below level *n*
+into R/U/X subtree locks at the level-*n* ancestor.
+
+Variant differences:
+
+* **IRX** has a single general intention mode ``I``.  Transactions that
+  read first and write later never convert their path locks (``I``
+  already announces both), which removes a whole class of conversion
+  blocking -- at the price of ``I`` conflicting with subtree ``R``.
+* **IRIX** separates IR/IX but has neither RIX nor U: a held ``R`` +
+  requested ``IX`` on the same node must convert straight to ``X``.
+* **URIX** adds RIX and U (Figure 2 matrices, verbatim) and is the only
+  MGL variant with the special edge locks of [12].
+
+Because MGL has no *level* locks, ``getChildNodes`` either locks every
+child individually (fan-out, at levels within lock depth) or takes an R
+subtree lock on the context node (over-locking) -- the very contrast to
+taDOM's LR that the paper highlights.
+"""
+
+from __future__ import annotations
+
+from repro.core.modes import ModeTable
+from repro.core.protocol import (
+    EDGE_SPACE,
+    LockPlan,
+    LockProtocol,
+    MetaOp,
+    MetaRequest,
+    NODE_SPACE,
+)
+from repro.core.tables import EDGE_TABLE, IRIX_TABLE, IRX_TABLE, URIX_TABLE
+from repro.splid import Splid
+
+
+class MglProtocol(LockProtocol):
+    """Planner shared by IRX, IRIX, and URIX."""
+
+    group = "MGL*"
+    supports_lock_depth = True
+
+    def __init__(
+        self,
+        name: str,
+        table: ModeTable,
+        *,
+        intent_read: str,
+        intent_write: str,
+        update_mode: str,
+        edge_locks: bool,
+    ):
+        self.name = name
+        self.node_table = table
+        self.intent_read = intent_read
+        self.intent_write = intent_write
+        self.update_mode = update_mode
+        self.edge_locks = edge_locks
+
+    def tables(self) -> dict:
+        tables = {NODE_SPACE: self.node_table}
+        if self.edge_locks:
+            tables[EDGE_SPACE] = EDGE_TABLE
+        return tables
+
+    # -- planning ------------------------------------------------------------
+
+    def plan(self, request: MetaRequest, lock_depth: int) -> LockPlan:
+        op = request.op
+        target = request.target
+        plan = LockPlan()
+
+        if op is MetaOp.READ_EDGE:
+            if self.edge_locks:
+                plan.add(EDGE_SPACE, (target, request.role), "ER")
+            return plan
+        if op is MetaOp.WRITE_EDGE:
+            if self.edge_locks:
+                plan.add(EDGE_SPACE, (target, request.role), "EX")
+            return plan
+
+        anchor, escalated = self.anchored_target(target, lock_depth)
+
+        if op in (MetaOp.READ_NODE, MetaOp.READ_CONTENT):
+            self._path(plan, anchor, self.intent_read)
+            # Double role: the intention lock is also the node-read lock.
+            plan.add(NODE_SPACE, anchor, "R" if escalated else self.intent_read)
+            return plan
+
+        if op is MetaOp.READ_LEVEL:
+            self._path(plan, anchor, self.intent_read)
+            if escalated or target.level + 1 > lock_depth:
+                # Children lie below the depth cap: R subtree on the anchor.
+                plan.add(NODE_SPACE, anchor, "R")
+            else:
+                # No level locks in MGL: one lock per child (the fan-out).
+                plan.add(NODE_SPACE, anchor, self.intent_read)
+                for child in request.children:
+                    plan.add(NODE_SPACE, child, self.intent_read)
+                if self.edge_locks:
+                    # The edge locks complementing URIX ([12]): protect
+                    # the traversed child chain against phantom inserts
+                    # (the per-child IR locks cover nodes, not the list).
+                    from repro.core.protocol import EdgeRole
+
+                    plan.add(EDGE_SPACE, (anchor, EdgeRole.FIRST_CHILD), "ER")
+                    for child in request.children:
+                        plan.add(
+                            EDGE_SPACE, (child, EdgeRole.NEXT_SIBLING), "ER"
+                        )
+            return plan
+
+        if op is MetaOp.READ_SUBTREE:
+            self._path(plan, anchor, self.intent_read)
+            plan.add(NODE_SPACE, anchor, "R")
+            return plan
+
+        if op is MetaOp.UPDATE_NODE:
+            self._path(plan, anchor, self.intent_read)
+            plan.add(NODE_SPACE, anchor, self.update_mode)
+            return plan
+
+        if op in (
+            MetaOp.WRITE_CONTENT,
+            MetaOp.RENAME_NODE,
+            MetaOp.INSERT_CHILD,
+            MetaOp.DELETE_SUBTREE,
+        ):
+            # MGL cannot separate a node's name or content from its
+            # subtree: every write is an X subtree lock on the target
+            # (renames of wide inner nodes are therefore disastrous).
+            self._path(plan, anchor, self.intent_write)
+            plan.add(NODE_SPACE, anchor, "X")
+            return plan
+
+        raise AssertionError(f"unhandled meta op {op}")
+
+    @staticmethod
+    def _path(plan: LockPlan, context: Splid, mode: str) -> None:
+        for ancestor in context.ancestors_top_down():
+            plan.add(NODE_SPACE, ancestor, mode)
+
+
+def irx() -> MglProtocol:
+    # Edge locks come with the meta-synchronization interface (Section
+    # 3.3 lists them among the meta-lock requests): without them a
+    # protocol cannot "isolate the edges traversed to guarantee identical
+    # navigation paths" (Section 2), so IRX and IRIX use the same edge
+    # table as URIX; URIX's "special edge locks" remain the paper's
+    # attribution of their origin ([12]).
+    return MglProtocol(
+        "IRX", IRX_TABLE,
+        intent_read="I", intent_write="I", update_mode="R", edge_locks=True,
+    )
+
+
+def irix() -> MglProtocol:
+    return MglProtocol(
+        "IRIX", IRIX_TABLE,
+        intent_read="IR", intent_write="IX", update_mode="R", edge_locks=True,
+    )
+
+
+def urix() -> MglProtocol:
+    return MglProtocol(
+        "URIX", URIX_TABLE,
+        intent_read="IR", intent_write="IX", update_mode="U", edge_locks=True,
+    )

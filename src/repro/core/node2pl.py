@@ -1,0 +1,289 @@
+"""The *-2PL protocol group (Section 2.1): Node2PL, NO2PL, OO2PL.
+
+The group from the Natix work [13].  Common traits -- and the traits that
+cost the group the contest:
+
+* **no intention locks**: a direct jump is protected only by an IDR/IDX
+  lock on the target, so the node manager must otherwise reach nodes by
+  navigating from the document root, leaving locks on the path as it goes
+  (Figure 1: read navigation "leaves T locks on its path from the root");
+* **no subtree locks, no lock-depth parameter**: subtree reads visit every
+  node (``traverses_subtrees``), locking step by step;
+* **expensive subtree deletes**: nodes reached by jumps carry no path
+  locks, so a deleter must scan the doomed subtree for every element
+  owning an ID attribute and IDX-lock each one (``LockPlan.scan_ids``) --
+  the behaviour that roughly doubles *-2PL execution time in CLUSTER2.
+
+Variant granularities:
+
+* **Node2PL** locks the *parent* of the context node (T to traverse, M to
+  modify), blocking the entire level of the context node; T->M conversions
+  on shared inner nodes are its dominant deadlock source.
+* **NO2PL** refines the structure locks to plain node read/write locks
+  (R2/W2) on the context node and, for updates, only the adjacent nodes.
+* **OO2PL** locks only the traversed navigation edges (shared) and the
+  affected edges (exclusive) -- the finest and best of the group, at the
+  price of many more lock requests.
+"""
+
+from __future__ import annotations
+
+from repro.core.protocol import (
+    Access,
+    CONTENT_SPACE,
+    EDGE_SPACE,
+    EdgeRole,
+    ID_SPACE,
+    LockPlan,
+    LockProtocol,
+    MetaOp,
+    MetaRequest,
+    NODE_SPACE,
+    STRUCT_SPACE,
+)
+from repro.core.tables import (
+    CONTENT2PL_TABLE,
+    EDGE_TABLE,
+    ID2PL_TABLE,
+    NODE2PL_TABLE,
+    STRUCT2PL_TABLE,
+)
+from repro.splid import Splid
+
+
+class _Star2PL(LockProtocol):
+    """Shared behaviour of the *-2PL group."""
+
+    group = "*-2PL"
+    supports_lock_depth = False
+    requires_root_navigation = True
+    traverses_subtrees = True
+
+    def _jump_lock(self, plan: LockPlan, request: MetaRequest, exclusive: bool) -> None:
+        """IDR/IDX protection for direct jumps (Figure 1, right).
+
+        Locks are keyed by the *ID value*: a transaction jumping to an id
+        must conflict with a deleter that IDX-scanned the doomed subtree
+        even after the index entry is gone (the node manager issues the
+        value-keyed IDR before resolving the index; this plan-side lock
+        covers jumps whose target is already resolved).
+        """
+        if request.access is Access.JUMP and request.id_value is not None:
+            plan.add(ID_SPACE, request.id_value, "IDX" if exclusive else "IDR")
+
+    @staticmethod
+    def _parent_of(target: Splid) -> Splid:
+        parent = target.parent
+        return parent if parent is not None else target
+
+
+class Node2PL(_Star2PL):
+    """Structure locks T/M on the parent of the context node."""
+
+    name = "Node2PL"
+
+    def tables(self) -> dict:
+        return {
+            STRUCT_SPACE: STRUCT2PL_TABLE,
+            CONTENT_SPACE: CONTENT2PL_TABLE,
+            ID_SPACE: ID2PL_TABLE,
+        }
+
+    def plan(self, request: MetaRequest, lock_depth: int) -> LockPlan:
+        op = request.op
+        target = request.target
+        plan = LockPlan()
+
+        if op in (MetaOp.READ_EDGE, MetaOp.WRITE_EDGE):
+            # Edges are implicitly covered by the parent-level T/M locks.
+            mode = "M" if op is MetaOp.WRITE_EDGE else "T"
+            plan.add(STRUCT_SPACE, self._parent_of(target), mode)
+            return plan
+
+        if op is MetaOp.READ_NODE:
+            self._jump_lock(plan, request, exclusive=False)
+            plan.add(STRUCT_SPACE, self._parent_of(target), "T")
+            return plan
+
+        if op is MetaOp.READ_CONTENT:
+            plan.add(CONTENT_SPACE, target, "S")
+            return plan
+
+        if op is MetaOp.READ_LEVEL:
+            # T on the context node covers its entire child level.
+            plan.add(STRUCT_SPACE, target, "T")
+            return plan
+
+        if op is MetaOp.READ_SUBTREE:
+            plan.traverse_individually = True
+            plan.add(STRUCT_SPACE, target, "T")
+            return plan
+
+        if op is MetaOp.UPDATE_NODE:
+            plan.add(STRUCT_SPACE, self._parent_of(target), "T")
+            return plan
+
+        if op is MetaOp.WRITE_CONTENT:
+            plan.add(STRUCT_SPACE, self._parent_of(target), "T")
+            plan.add(CONTENT_SPACE, target, "X")
+            return plan
+
+        if op in (MetaOp.RENAME_NODE, MetaOp.INSERT_CHILD):
+            # Modify lock on the parent: blocks the whole level.
+            plan.add(STRUCT_SPACE, self._parent_of(target), "M")
+            return plan
+
+        if op is MetaOp.DELETE_SUBTREE:
+            self._jump_lock(plan, request, exclusive=True)
+            plan.add(STRUCT_SPACE, self._parent_of(target), "M")
+            plan.scan_ids = target
+            return plan
+
+        raise AssertionError(f"unhandled meta op {op}")
+
+
+class NO2PL(_Star2PL):
+    """Node read/write locks on the context node and its neighbourhood."""
+
+    name = "NO2PL"
+
+    def tables(self) -> dict:
+        return {
+            NODE_SPACE: NODE2PL_TABLE,
+            CONTENT_SPACE: CONTENT2PL_TABLE,
+            ID_SPACE: ID2PL_TABLE,
+        }
+
+    def plan(self, request: MetaRequest, lock_depth: int) -> LockPlan:
+        op = request.op
+        target = request.target
+        plan = LockPlan()
+
+        if op in (MetaOp.READ_EDGE, MetaOp.WRITE_EDGE):
+            mode = "W2" if op is MetaOp.WRITE_EDGE else "R2"
+            plan.add(NODE_SPACE, target, mode)
+            return plan
+
+        if op is MetaOp.READ_NODE:
+            self._jump_lock(plan, request, exclusive=False)
+            plan.add(NODE_SPACE, target, "R2")
+            return plan
+
+        if op is MetaOp.READ_CONTENT:
+            plan.add(NODE_SPACE, target, "R2")
+            plan.add(CONTENT_SPACE, target, "S")
+            return plan
+
+        if op is MetaOp.READ_LEVEL:
+            plan.add(NODE_SPACE, target, "R2")
+            for child in request.children:
+                plan.add(NODE_SPACE, child, "R2")
+            return plan
+
+        if op is MetaOp.READ_SUBTREE:
+            plan.traverse_individually = True
+            plan.add(NODE_SPACE, target, "R2")
+            return plan
+
+        if op is MetaOp.UPDATE_NODE:
+            plan.add(NODE_SPACE, target, "R2")
+            return plan
+
+        if op is MetaOp.WRITE_CONTENT:
+            plan.add(NODE_SPACE, target, "R2")
+            plan.add(CONTENT_SPACE, target, "X")
+            return plan
+
+        if op is MetaOp.RENAME_NODE:
+            plan.add(NODE_SPACE, target, "W2")
+            return plan
+
+        if op in (MetaOp.INSERT_CHILD, MetaOp.DELETE_SUBTREE):
+            if op is MetaOp.DELETE_SUBTREE:
+                self._jump_lock(plan, request, exclusive=True)
+                plan.scan_ids = target
+            plan.add(NODE_SPACE, target, "W2")
+            for neighbour in request.affected:
+                plan.add(NODE_SPACE, neighbour, "W2")
+            return plan
+
+        raise AssertionError(f"unhandled meta op {op}")
+
+
+class OO2PL(_Star2PL):
+    """Edge locks on traversed / affected navigation edges only."""
+
+    name = "OO2PL"
+
+    def tables(self) -> dict:
+        return {
+            EDGE_SPACE: EDGE_TABLE,
+            CONTENT_SPACE: CONTENT2PL_TABLE,
+            ID_SPACE: ID2PL_TABLE,
+        }
+
+    def plan(self, request: MetaRequest, lock_depth: int) -> LockPlan:
+        op = request.op
+        target = request.target
+        plan = LockPlan()
+
+        if op is MetaOp.READ_EDGE:
+            plan.add(EDGE_SPACE, (target, request.role), "ER")
+            return plan
+        if op is MetaOp.WRITE_EDGE:
+            plan.add(EDGE_SPACE, (target, request.role), "EX")
+            return plan
+
+        if op is MetaOp.READ_NODE:
+            # Structure is protected by the traversed edges (requested per
+            # navigation step); visiting the node itself reads its record,
+            # which OO2PL can only protect with a shared content lock.
+            self._jump_lock(plan, request, exclusive=False)
+            plan.add(CONTENT_SPACE, target, "S")
+            return plan
+
+        if op is MetaOp.READ_CONTENT:
+            plan.add(CONTENT_SPACE, target, "S")
+            return plan
+
+        if op is MetaOp.READ_LEVEL:
+            plan.add(EDGE_SPACE, (target, EdgeRole.FIRST_CHILD), "ER")
+            for child in request.children:
+                plan.add(EDGE_SPACE, (child, EdgeRole.NEXT_SIBLING), "ER")
+            return plan
+
+        if op is MetaOp.READ_SUBTREE:
+            plan.traverse_individually = True
+            return plan
+
+        if op is MetaOp.UPDATE_NODE:
+            plan.add(CONTENT_SPACE, target, "S")
+            return plan
+
+        if op in (MetaOp.WRITE_CONTENT, MetaOp.RENAME_NODE):
+            plan.add(CONTENT_SPACE, target, "X")
+            return plan
+
+        if op is MetaOp.INSERT_CHILD:
+            plan.add(CONTENT_SPACE, target, "X")
+            return plan
+
+        if op is MetaOp.DELETE_SUBTREE:
+            self._jump_lock(plan, request, exclusive=True)
+            plan.add(CONTENT_SPACE, target, "X")
+            plan.scan_ids = target
+            return plan
+
+        raise AssertionError(f"unhandled meta op {op}")
+
+
+def node2pl() -> Node2PL:
+    return Node2PL()
+
+
+def no2pl() -> NO2PL:
+    return NO2PL()
+
+
+def oo2pl() -> OO2PL:
+    return OO2PL()

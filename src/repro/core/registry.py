@@ -1,0 +1,66 @@
+"""Protocol registry: name -> protocol factory for all 11 contestants."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.errors import UnknownProtocolError
+from repro.core.mgl import irix, irx, urix
+from repro.core.node2pl import no2pl, node2pl, oo2pl
+from repro.core.node2pla import node2pla
+from repro.core.protocol import LockProtocol
+from repro.core.tadom import tadom2, tadom2_plus, tadom3, tadom3_plus
+
+_FACTORIES: Dict[str, Callable[[], LockProtocol]] = {
+    # *-2PL group
+    "Node2PL": node2pl,
+    "NO2PL": no2pl,
+    "OO2PL": oo2pl,
+    "Node2PLa": node2pla,
+    # MGL* group
+    "IRX": irx,
+    "IRIX": irix,
+    "URIX": urix,
+    # taDOM* group
+    "taDOM2": tadom2,
+    "taDOM2+": tadom2_plus,
+    "taDOM3": tadom3,
+    "taDOM3+": tadom3_plus,
+}
+
+#: The paper's canonical protocol order (Figures 8, 9, 11).
+ALL_PROTOCOLS: Tuple[str, ...] = tuple(_FACTORIES)
+
+#: Protocols grouped as in the paper's synopsis (Figure 9).
+GROUPS: Dict[str, Tuple[str, ...]] = {
+    "*-2PL": ("Node2PL", "NO2PL", "OO2PL", "Node2PLa"),
+    "MGL*": ("IRX", "IRIX", "URIX"),
+    "taDOM*": ("taDOM2", "taDOM2+", "taDOM3", "taDOM3+"),
+}
+
+def get_protocol(name: str) -> LockProtocol:
+    """Instantiate a protocol by its paper name (e.g. ``"taDOM3+"``)."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        known = ", ".join(_FACTORIES)
+        raise UnknownProtocolError(
+            f"unknown protocol {name!r}; known protocols: {known}"
+        ) from None
+    return factory()
+
+
+def protocol_names() -> List[str]:
+    return list(_FACTORIES)
+
+
+def depth_aware_protocols() -> List[str]:
+    """Protocols with a lock-depth parameter (all but Node2PL/NO2PL/OO2PL)."""
+    return [name for name in _FACTORIES if get_protocol(name).supports_lock_depth]
+
+
+def group_of(name: str) -> str:
+    for group, members in GROUPS.items():
+        if name in members:
+            return group
+    raise UnknownProtocolError(f"unknown protocol {name!r}")

@@ -1,0 +1,398 @@
+"""The concrete mode tables of all 11 protocols.
+
+* ``TADOM2_TABLE`` -- exactly Figures 3a (compatibility) and 4 (conversion)
+  of the paper, including the subscripted child-action rules.
+* ``URIX_TABLE`` -- exactly Figure 2 (note the paper's asymmetric U row).
+* ``IRIX_TABLE`` / ``IRX_TABLE`` -- the simpler MGL variants described in
+  Section 2.2 (IRIX without RIX/U must convert R+IX straight to X; IRX
+  collapses both intention modes into one general I).
+* ``TADOM2P_TABLE`` / ``TADOM3_TABLE`` / ``TADOM3P_TABLE`` -- reconstructed
+  per Section 2.3: taDOM2+ adds the four combination modes LRIX/LRCX/
+  SRIX/SRCX; taDOM3 adds the DOM3 node-rename modes NU/NX and splits the
+  IR/NR compatibilities (footnote 3); taDOM3+ has 20 node modes.
+* ``*-2PL`` tables -- the structure (T/M), content (S/X) and direct-jump
+  (IDR/IDX) lock types of Figure 1, plus node (R2/W2) and edge locks for
+  NO2PL/OO2PL.
+* ``EDGE_TABLE`` -- the three edge modes (shared/update/exclusive) used by
+  URIX and the taDOM* group.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet
+
+from repro.core.modes import (
+    Conversion,
+    ModeTable,
+    compat_from_rows,
+    conversions_from_rows,
+    derive_conversions,
+    extend_with_combinations,
+)
+
+# ---------------------------------------------------------------------------
+# taDOM2: Figures 3a and 4, verbatim.
+# ---------------------------------------------------------------------------
+
+TADOM2_MODES = ("IR", "NR", "LR", "SR", "IX", "CX", "SU", "SX")
+
+#: Figure 3a.  Row = held, column = requested.
+_TADOM2_COMPAT_ROWS = {
+    #       IR NR LR SR IX CX SU SX
+    "IR": "+  +  +  +  +  +  -  -",
+    "NR": "+  +  +  +  +  +  -  -",
+    "LR": "+  +  +  +  +  -  -  -",
+    "SR": "+  +  +  +  -  -  -  -",
+    "IX": "+  +  +  -  +  +  -  -",
+    "CX": "+  +  -  -  +  +  -  -",
+    "SU": "+  +  +  +  -  -  -  -",
+    "SX": "-  -  -  -  -  -  -  -",
+}
+
+#: Figure 4.  RESULT[CHILD] encodes the subscripted child-action cells.
+_TADOM2_CONVERT_ROWS = {
+    #       IR  NR  LR  SR  IX      CX      SU  SX
+    "IR": "IR  NR  LR  SR  IX      CX      SU  SX",
+    "NR": "NR  NR  LR  SR  IX      CX      SU  SX",
+    "LR": "LR  LR  LR  SR  IX[NR]  CX[NR]  SU  SX",
+    "SR": "SR  SR  SR  SR  IX[SR]  CX[SR]  SR  SX",
+    "IX": "IX  IX  IX[NR]  IX[SR]  IX  CX  SX  SX",
+    "CX": "CX  CX  CX[NR]  CX[SR]  CX  CX  SX  SX",
+    "SU": "SU  SU  SU  SU  SX      SX      SU  SX",
+    "SX": "SX  SX  SX  SX  SX      SX      SX  SX",
+}
+
+#: Coverage sets used to *derive* conversion matrices.  The derived taDOM2
+#: matrix is asserted equal to Figure 4 in the tests (sole exception:
+#: the paper's (SR, SU) -> SR cell, which the derivation reads as SU).
+TADOM2_COVERAGE: Dict[str, FrozenSet[str]] = {
+    "IR": frozenset({"intent_read"}),
+    "NR": frozenset({"intent_read", "node_read"}),
+    "LR": frozenset({"intent_read", "node_read", "level_read"}),
+    "SR": frozenset({"intent_read", "node_read", "level_read", "subtree_read"}),
+    "IX": frozenset({"intent_read", "node_read", "intent_write"}),
+    "CX": frozenset({"intent_read", "node_read", "intent_write",
+                     "child_exclusive"}),
+    "SU": frozenset({"intent_read", "node_read", "level_read", "subtree_read",
+                     "subtree_update"}),
+    "SX": frozenset({"intent_read", "node_read", "level_read", "subtree_read",
+                     "intent_write", "child_exclusive", "subtree_update",
+                     "subtree_write", "node_update", "node_write"}),
+}
+
+TADOM2_TABLE = ModeTable(
+    "taDOM2",
+    TADOM2_MODES,
+    compat_from_rows(TADOM2_MODES, _TADOM2_COMPAT_ROWS),
+    conversions_from_rows(TADOM2_MODES, _TADOM2_CONVERT_ROWS),
+    TADOM2_COVERAGE,
+)
+
+# ---------------------------------------------------------------------------
+# taDOM2+: the four combination modes avoiding conversion fan-out.
+# ---------------------------------------------------------------------------
+
+_TADOM2_BASE_COMPAT = compat_from_rows(TADOM2_MODES, _TADOM2_COMPAT_ROWS)
+
+TADOM2P_TABLE = extend_with_combinations(
+    "taDOM2+",
+    TADOM2_MODES,
+    _TADOM2_BASE_COMPAT,
+    TADOM2_COVERAGE,
+    {
+        "LRIX": ("LR", "IX"),
+        "LRCX": ("LR", "CX"),
+        "SRIX": ("SR", "IX"),
+        "SRCX": ("SR", "CX"),
+    },
+)
+
+# ---------------------------------------------------------------------------
+# taDOM3: DOM3 rename support (NU/NX) and the IR/NR split of footnote 3.
+# ---------------------------------------------------------------------------
+
+TADOM3_MODES = ("IR", "NR", "NU", "NX", "LR", "SR", "IX", "CX", "SU", "SX")
+
+#: Reconstructed compatibility matrix.  It restricts to Figure 3a on the
+#: eight taDOM2 modes except for the footnote-3 refinement: IR is now a
+#: *pure* intention (does not read the node), so IR/NX are compatible while
+#: NR/NX are not.  IX and CX keep their double role (they read the node
+#: they sit on), hence they too conflict with NX.  NU follows the
+#: update-mode pattern (compatible with all readers, incompatible with
+#: other updaters/writers).
+_TADOM3_COMPAT_ROWS = {
+    #       IR NR NU NX LR SR IX CX SU SX
+    "IR": "+  +  +  +  +  +  +  +  -  -",
+    "NR": "+  +  +  -  +  +  +  +  -  -",
+    "NU": "+  +  -  -  +  +  +  +  -  -",
+    "NX": "+  -  -  -  -  -  -  -  -  -",
+    "LR": "+  +  +  -  +  +  +  -  -  -",
+    "SR": "+  +  +  -  +  +  -  -  -  -",
+    "IX": "+  +  +  -  +  -  +  +  -  -",
+    "CX": "+  +  +  -  -  -  +  +  -  -",
+    "SU": "+  +  -  -  +  +  -  -  -  -",
+    "SX": "-  -  -  -  -  -  -  -  -  -",
+}
+
+TADOM3_COVERAGE: Dict[str, FrozenSet[str]] = {
+    **TADOM2_COVERAGE,
+    "NU": frozenset({"intent_read", "node_read", "node_update"}),
+    "NX": frozenset({"intent_read", "node_read", "node_update", "node_write"}),
+}
+
+TADOM3_TABLE = ModeTable(
+    "taDOM3",
+    TADOM3_MODES,
+    compat_from_rows(TADOM3_MODES, _TADOM3_COMPAT_ROWS),
+    derive_conversions(TADOM3_MODES, TADOM3_COVERAGE),
+    TADOM3_COVERAGE,
+)
+
+# ---------------------------------------------------------------------------
+# taDOM3+: 20 node modes (taDOM3 + ten combination modes).
+# ---------------------------------------------------------------------------
+
+TADOM3P_TABLE = extend_with_combinations(
+    "taDOM3+",
+    TADOM3_MODES,
+    compat_from_rows(TADOM3_MODES, _TADOM3_COMPAT_ROWS),
+    TADOM3_COVERAGE,
+    {
+        "LRIX": ("LR", "IX"),
+        "LRCX": ("LR", "CX"),
+        "SRIX": ("SR", "IX"),
+        "SRCX": ("SR", "CX"),
+        "LRNU": ("LR", "NU"),
+        "SRNU": ("SR", "NU"),
+        "LRNX": ("LR", "NX"),
+        "SRNX": ("SR", "NX"),
+        "NUIX": ("NU", "IX"),
+        "NXCX": ("NX", "CX"),
+    },
+)
+
+# ---------------------------------------------------------------------------
+# MGL* group.
+# ---------------------------------------------------------------------------
+
+#: URIX -- Figure 2 of the paper, verbatim (including the asymmetric U).
+URIX_MODES = ("IR", "IX", "R", "RIX", "U", "X")
+
+_URIX_COMPAT_ROWS = {
+    #        IR IX R  RIX U  X
+    "IR":  "+  +  +  +  -  -",
+    "IX":  "+  +  -  -  -  -",
+    "R":   "+  -  +  -  -  -",
+    "RIX": "+  -  -  -  -  -",
+    "U":   "+  -  +  -  -  -",
+    "X":   "-  -  -  -  -  -",
+}
+
+_URIX_CONVERT_ROWS = {
+    #        IR   IX   R    RIX  U  X
+    "IR":  "IR   IX   R    RIX  U  X",
+    "IX":  "IX   IX   RIX  RIX  X  X",
+    "R":   "R    RIX  R    RIX  R  X",
+    "RIX": "RIX  RIX  RIX  RIX  X  X",
+    "U":   "U    X    U    X    U  X",
+    "X":   "X    X    X    X    X  X",
+}
+
+#: MGL coverage: R and X are *subtree* locks; the intention modes double as
+#: node locks ("the double role of intention locks", Section 2.2).
+URIX_COVERAGE: Dict[str, FrozenSet[str]] = {
+    "IR": frozenset({"intent_read", "node_read"}),
+    "IX": frozenset({"intent_read", "node_read", "intent_write"}),
+    "R": frozenset({"intent_read", "node_read", "level_read", "subtree_read"}),
+    "RIX": frozenset({"intent_read", "node_read", "level_read", "subtree_read",
+                      "intent_write"}),
+    "U": frozenset({"intent_read", "node_read", "level_read", "subtree_read",
+                    "subtree_update"}),
+    "X": frozenset({"intent_read", "node_read", "level_read", "subtree_read",
+                    "intent_write", "child_exclusive", "subtree_update",
+                    "subtree_write", "node_update", "node_write"}),
+}
+
+URIX_TABLE = ModeTable(
+    "URIX",
+    URIX_MODES,
+    compat_from_rows(URIX_MODES, _URIX_COMPAT_ROWS),
+    conversions_from_rows(URIX_MODES, _URIX_CONVERT_ROWS),
+    URIX_COVERAGE,
+)
+
+#: IRIX -- separate read/write intentions but no RIX and no U: the held-R +
+#: requested-IX conversion has nowhere to go but X (its key weakness).
+IRIX_MODES = ("IR", "IX", "R", "X")
+
+_IRIX_COMPAT_ROWS = {
+    #        IR IX R  X
+    "IR":  "+  +  +  -",
+    "IX":  "+  +  -  -",
+    "R":   "+  -  +  -",
+    "X":   "-  -  -  -",
+}
+
+_IRIX_CONVERT_ROWS = {
+    #        IR  IX  R  X
+    "IR":  "IR  IX  R  X",
+    "IX":  "IX  IX  X  X",
+    "R":   "R   X   R  X",
+    "X":   "X   X   X  X",
+}
+
+IRIX_COVERAGE = {mode: URIX_COVERAGE[mode] for mode in IRIX_MODES}
+
+IRIX_TABLE = ModeTable(
+    "IRIX",
+    IRIX_MODES,
+    compat_from_rows(IRIX_MODES, _IRIX_COMPAT_ROWS),
+    conversions_from_rows(IRIX_MODES, _IRIX_CONVERT_ROWS),
+    IRIX_COVERAGE,
+)
+
+#: IRX -- one general intention mode I.  Because I announces *any* deeper
+#: operation it must conflict with subtree reads, but transactions that
+#: read first and write later need no path conversions at all.
+IRX_MODES = ("I", "R", "X")
+
+_IRX_COMPAT_ROWS = {
+    #       I  R  X
+    "I":  "+  -  -",
+    "R":  "-  +  -",
+    "X":  "-  -  -",
+}
+
+#: The general intention I may hide *write* intent, so a held I combined
+#: with a subtree-read request (or vice versa) must escalate to X: there is
+#: no RIX-like mode to remember "reads the subtree, writes below".  This is
+#: the IRX counterpart of IRIX's R+IX -> X weakness.
+_IRX_CONVERT_ROWS = {
+    #       I  R  X
+    "I":  "I  X  X",
+    "R":  "X  R  X",
+    "X":  "X  X  X",
+}
+
+IRX_COVERAGE: Dict[str, FrozenSet[str]] = {
+    "I": frozenset({"intent_read", "node_read", "intent_write"}),
+    "R": URIX_COVERAGE["R"],
+    "X": URIX_COVERAGE["X"],
+}
+
+IRX_TABLE = ModeTable(
+    "IRX",
+    IRX_MODES,
+    compat_from_rows(IRX_MODES, _IRX_COMPAT_ROWS),
+    conversions_from_rows(IRX_MODES, _IRX_CONVERT_ROWS),
+    IRX_COVERAGE,
+)
+
+# ---------------------------------------------------------------------------
+# *-2PL group (Figure 1): three independent lock types.
+# ---------------------------------------------------------------------------
+
+#: Structure locks on nodes: T (traverse) / M (modify).
+STRUCT2PL_MODES = ("T", "M")
+
+STRUCT2PL_TABLE = ModeTable(
+    "2PL-structure",
+    STRUCT2PL_MODES,
+    compat_from_rows(STRUCT2PL_MODES, {"T": "+  -", "M": "-  -"}),
+    conversions_from_rows(STRUCT2PL_MODES, {"T": "T  M", "M": "M  M"}),
+    {
+        "T": frozenset({"node_read", "level_read"}),
+        "M": frozenset({"node_read", "level_read", "node_write"}),
+    },
+)
+
+#: Content locks on text/attribute values: S / X.
+CONTENT2PL_MODES = ("S", "X")
+
+CONTENT2PL_TABLE = ModeTable(
+    "2PL-content",
+    CONTENT2PL_MODES,
+    compat_from_rows(CONTENT2PL_MODES, {"S": "+  -", "X": "-  -"}),
+    conversions_from_rows(CONTENT2PL_MODES, {"S": "S  X", "X": "X  X"}),
+    {
+        "S": frozenset({"node_read"}),
+        "X": frozenset({"node_read", "node_write"}),
+    },
+)
+
+#: Locks for direct jumps via ID attributes: IDR / IDX.
+ID2PL_MODES = ("IDR", "IDX")
+
+ID2PL_TABLE = ModeTable(
+    "2PL-id",
+    ID2PL_MODES,
+    compat_from_rows(ID2PL_MODES, {"IDR": "+  -", "IDX": "-  -"}),
+    conversions_from_rows(ID2PL_MODES, {"IDR": "IDR  IDX", "IDX": "IDX  IDX"}),
+    {
+        "IDR": frozenset({"node_read"}),
+        "IDX": frozenset({"node_read", "node_write"}),
+    },
+)
+
+#: Plain node read/write locks (NO2PL's per-node neighbourhood locks).
+NODE2PL_MODES = ("R2", "W2")
+
+NODE2PL_TABLE = ModeTable(
+    "2PL-node",
+    NODE2PL_MODES,
+    compat_from_rows(NODE2PL_MODES, {"R2": "+  -", "W2": "-  -"}),
+    conversions_from_rows(NODE2PL_MODES, {"R2": "R2  W2", "W2": "W2  W2"}),
+    {
+        "R2": frozenset({"node_read"}),
+        "W2": frozenset({"node_read", "node_write"}),
+    },
+)
+
+# ---------------------------------------------------------------------------
+# Edge locks (three modes) -- URIX "special edge locks" and taDOM*.
+# ---------------------------------------------------------------------------
+
+EDGE_MODES = ("ER", "EU", "EX")
+
+_EDGE_COMPAT_ROWS = {
+    #        ER EU EX
+    "ER":  "+  +  -",
+    "EU":  "+  -  -",
+    "EX":  "-  -  -",
+}
+
+_EDGE_CONVERT_ROWS = {
+    #        ER  EU  EX
+    "ER":  "ER  EU  EX",
+    "EU":  "EU  EU  EX",
+    "EX":  "EX  EX  EX",
+}
+
+EDGE_TABLE = ModeTable(
+    "edge",
+    EDGE_MODES,
+    compat_from_rows(EDGE_MODES, _EDGE_COMPAT_ROWS),
+    conversions_from_rows(EDGE_MODES, _EDGE_CONVERT_ROWS),
+    {
+        "ER": frozenset({"node_read"}),
+        "EU": frozenset({"node_read", "node_update"}),
+        "EX": frozenset({"node_read", "node_update", "node_write"}),
+    },
+)
+
+# ---------------------------------------------------------------------------
+# Key-range locks on the ID index (serializable isolation, footnote 1).
+# ---------------------------------------------------------------------------
+
+ID_KEY_MODES = ("S", "X")
+
+ID_KEY_TABLE = ModeTable(
+    "id-key",
+    ID_KEY_MODES,
+    compat_from_rows(ID_KEY_MODES, {"S": "+  -", "X": "-  -"}),
+    conversions_from_rows(ID_KEY_MODES, {"S": "S  X", "X": "X  X"}),
+    {
+        "S": frozenset({"node_read"}),
+        "X": frozenset({"node_read", "node_write"}),
+    },
+)

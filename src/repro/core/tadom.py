@@ -1,0 +1,177 @@
+"""The taDOM* protocol group (Section 2.3).
+
+All four variants share one planner; they differ only in their mode table
+(taDOM2 / taDOM2+ / taDOM3 / taDOM3+) and in rename handling:
+
+* **taDOM2 / taDOM2+** cover the DOM2 operations; ``renameNode`` (a DOM3
+  operation) has no dedicated mode and must fall back to a subtree lock
+  (SX) on the renamed element.
+* **taDOM3 / taDOM3+** provide the dedicated node modes NU/NX, so a rename
+  locks only the node itself plus CX on the parent.
+* The "+" variants add combination modes; their effect is entirely inside
+  the conversion matrix (LR + IX converts to LRIX instead of fanning NR
+  locks out to every child), so no planner change is needed.
+
+Locking discipline (mirroring the paper's Figure 3b example):
+
+* reads place IR on the ancestor path and NR / LR / SR on the context
+  node; the lock-depth parameter replaces context locks below level *n*
+  with an SR subtree lock on the level-*n* ancestor;
+* writes place IX on the path, CX on the parent of the context node, and
+  SX on the context node (or NX for taDOM3 renames);
+* navigation edges are locked ER (reads) / EX (updates).
+"""
+
+from __future__ import annotations
+
+from repro.core.modes import ModeTable
+from repro.core.protocol import (
+    EDGE_SPACE,
+    ID_KEY_SPACE,
+    LockPlan,
+    LockProtocol,
+    MetaOp,
+    MetaRequest,
+    NODE_SPACE,
+)
+from repro.core.tables import (
+    EDGE_TABLE,
+    ID_KEY_TABLE,
+    TADOM2_TABLE,
+    TADOM2P_TABLE,
+    TADOM3_TABLE,
+    TADOM3P_TABLE,
+)
+from repro.splid import Splid
+
+
+class TaDomProtocol(LockProtocol):
+    """Planner shared by taDOM2, taDOM2+, taDOM3, and taDOM3+."""
+
+    group = "taDOM*"
+    supports_lock_depth = True
+    supports_serializable = True
+
+    def __init__(self, name: str, table: ModeTable):
+        self.name = name
+        self.node_table = table
+        self.has_node_rename = "NX" in table
+
+    def tables(self) -> dict:
+        return {
+            NODE_SPACE: self.node_table,
+            EDGE_SPACE: EDGE_TABLE,
+            ID_KEY_SPACE: ID_KEY_TABLE,
+        }
+
+    # -- planning ------------------------------------------------------------
+
+    def plan(self, request: MetaRequest, lock_depth: int) -> LockPlan:
+        op = request.op
+        target = request.target
+        plan = LockPlan()
+
+        if op is MetaOp.READ_EDGE:
+            plan.add(EDGE_SPACE, (target, request.role), "ER")
+            return plan
+        if op is MetaOp.WRITE_EDGE:
+            plan.add(EDGE_SPACE, (target, request.role), "EX")
+            return plan
+
+        anchor, escalated = self.anchored_target(target, lock_depth)
+
+        if op in (MetaOp.READ_NODE, MetaOp.READ_LEVEL, MetaOp.READ_SUBTREE):
+            mode = "SR" if escalated or op is MetaOp.READ_SUBTREE else (
+                "LR" if op is MetaOp.READ_LEVEL else "NR"
+            )
+            self._read_path(plan, anchor)
+            plan.add(NODE_SPACE, anchor, mode)
+            return plan
+
+        if op is MetaOp.READ_CONTENT:
+            # The value lives in the string node of the taDOM model; the
+            # NR must land there to conflict with a writer's SX on it.
+            string_node = target.string_node
+            string_anchor, string_escalated = self.anchored_target(
+                string_node, lock_depth
+            )
+            self._read_path(plan, string_anchor)
+            plan.add(NODE_SPACE, string_anchor,
+                     "SR" if string_escalated else "NR")
+            return plan
+
+        if op is MetaOp.UPDATE_NODE:
+            update_mode = "SU" if escalated or "NU" not in self.node_table else "NU"
+            self._read_path(plan, anchor)
+            plan.add(NODE_SPACE, anchor, update_mode)
+            return plan
+
+        if op is MetaOp.RENAME_NODE:
+            if self.has_node_rename and not escalated:
+                self._write_path(plan, anchor)
+                plan.add(NODE_SPACE, anchor, "NX")
+            else:
+                # DOM2 protocols have no node-exclusive mode: subtree lock.
+                self._write_path(plan, anchor)
+                plan.add(NODE_SPACE, anchor, "SX")
+            return plan
+
+        if op is MetaOp.WRITE_CONTENT:
+            string_node = target.string_node
+            string_anchor, string_escalated = self.anchored_target(
+                string_node, lock_depth
+            )
+            if string_escalated and string_anchor.level <= target.level:
+                # Depth cap reached at or above the owner node: one SX.
+                self._write_path(plan, string_anchor)
+                plan.add(NODE_SPACE, string_anchor, "SX")
+            else:
+                # CX on the owner, SX on its string node -- the taDOM
+                # separation of structure and content.
+                self._write_path(plan, target, parent_mode="IX")
+                plan.add(NODE_SPACE, target, "CX")
+                plan.add(NODE_SPACE, string_node, "SX")
+            return plan
+
+        if op in (MetaOp.INSERT_CHILD, MetaOp.DELETE_SUBTREE):
+            self._write_path(plan, anchor)
+            plan.add(NODE_SPACE, anchor, "SX")
+            return plan
+
+        raise AssertionError(f"unhandled meta op {op}")
+
+    # -- path helpers -----------------------------------------------------------
+
+    @staticmethod
+    def _read_path(plan: LockPlan, context: Splid) -> None:
+        for ancestor in context.ancestors_top_down():
+            plan.add(NODE_SPACE, ancestor, "IR")
+
+    @staticmethod
+    def _write_path(plan: LockPlan, context: Splid, parent_mode: str = "CX") -> None:
+        """IX on the path, CX (by default) on the direct parent.
+
+        This mirrors the paper's T2conv example: SX on the context node
+        propagates CX to the parent and IX to the remaining ancestors.
+        """
+        ancestors = context.ancestors_top_down()
+        for ancestor in ancestors[:-1]:
+            plan.add(NODE_SPACE, ancestor, "IX")
+        if ancestors:
+            plan.add(NODE_SPACE, ancestors[-1], parent_mode)
+
+
+def tadom2() -> TaDomProtocol:
+    return TaDomProtocol("taDOM2", TADOM2_TABLE)
+
+
+def tadom2_plus() -> TaDomProtocol:
+    return TaDomProtocol("taDOM2+", TADOM2P_TABLE)
+
+
+def tadom3() -> TaDomProtocol:
+    return TaDomProtocol("taDOM3", TADOM3_TABLE)
+
+
+def tadom3_plus() -> TaDomProtocol:
+    return TaDomProtocol("taDOM3+", TADOM3P_TABLE)

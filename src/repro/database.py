@@ -1,0 +1,159 @@
+"""The database facade: one document, one protocol, one lock manager.
+
+This is the public entry point a downstream user starts from::
+
+    from repro import Database
+
+    db = Database(protocol="taDOM3+", lock_depth=4, root_element="bib")
+    txn = db.begin("reader")
+    book, _elapsed = db.run(db.nodes.get_element_by_id(txn, "b42"))
+    db.commit(txn)
+
+``Database.run`` drives an operation generator synchronously (single-user
+convenience).  Concurrent workloads hand the generators to a
+:class:`~repro.sched.simulator.Simulator` (see :mod:`repro.tamix`) or to
+the threaded runtime instead.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional, Tuple, Union
+
+from repro.core.protocol import LockProtocol
+from repro.core.registry import get_protocol
+from repro.dom.builder import Spec, build_children
+from repro.dom.document import Document
+from repro.dom.node_manager import NodeManager
+from repro.errors import LockError
+from repro.locking.lock_manager import IsolationLevel, LockManager
+from repro.sched.costs import DEFAULT_COSTS, CostModel
+from repro.sched.simulator import run_sync
+from repro.txn.manager import TransactionManager
+from repro.txn.transaction import Transaction
+
+
+class Database:
+    """An XTC-style single-document XML database."""
+
+    def __init__(
+        self,
+        protocol: Union[str, LockProtocol] = "taDOM3+",
+        *,
+        lock_depth: int = 4,
+        isolation: Union[IsolationLevel, str] = IsolationLevel.REPEATABLE,
+        document: Optional[Document] = None,
+        root_element: str = "root",
+        buffer_pool_pages: int = 4096,
+        costs: CostModel = DEFAULT_COSTS,
+        wait_timeout_ms: Optional[float] = 10_000.0,
+        enable_wal: bool = False,
+    ):
+        if isinstance(protocol, str):
+            protocol = get_protocol(protocol)
+        self.protocol = protocol
+        self.lock_depth = lock_depth
+        self.default_isolation = IsolationLevel.parse(isolation)
+        if document is None:
+            from repro.storage.buffer import make_buffered_store
+
+            document = Document(
+                root_element=root_element,
+                buffer=make_buffered_store(pool_size=buffer_pool_pages),
+            )
+        self.document = document
+        self.locks = LockManager(
+            protocol,
+            lock_depth=lock_depth,
+            wait_timeout_ms=wait_timeout_ms,
+            active_transactions=lambda: self.transactions.active_count,
+        )
+        self.wal = None
+        if enable_wal:
+            from repro.txn.wal import WriteAheadLog
+
+            self.wal = WriteAheadLog()
+        self.transactions = TransactionManager(document, self.locks,
+                                               wal=self.wal)
+        self.nodes = NodeManager(document, self.locks, costs, wal=self.wal)
+
+    # -- content loading -------------------------------------------------------
+
+    def load(self, spec: Spec) -> None:
+        """Bulk-load children below the document root (no locking)."""
+        build_children(self.document, self.document.root, [spec])
+
+    # -- transaction lifecycle ----------------------------------------------------
+
+    def begin(
+        self,
+        name: str = "txn",
+        isolation: Optional[Union[IsolationLevel, str]] = None,
+    ) -> Transaction:
+        level = self.default_isolation if isolation is None else isolation
+        level = IsolationLevel.parse(level)
+        if level is IsolationLevel.SERIALIZABLE and not (
+            self.protocol.supports_serializable
+        ):
+            # Footnote 1 of the paper: only the taDOM* group offers it.
+            raise LockError(
+                f"isolation level serializable is only offered by the "
+                f"taDOM* group, not by {self.protocol.name}"
+            )
+        return self.transactions.begin(name, level)
+
+    def commit(self, txn: Transaction) -> None:
+        self.transactions.commit(txn)
+
+    def abort(self, txn: Transaction) -> None:
+        self.transactions.abort(txn)
+
+    # -- single-user driving ---------------------------------------------------------
+
+    def run(self, operation: Generator) -> Tuple[Any, float]:
+        """Drive one node-manager operation to completion (single-user).
+
+        Returns ``(result, simulated_ms)``.
+        """
+        return run_sync(operation)
+
+    def set_clock(self, clock) -> None:
+        """Bind all clocks (transactions, lock waits) to e.g. a simulator."""
+        self.transactions._clock = clock
+        self.locks.clock = clock
+
+    # -- persistence -------------------------------------------------------------------
+
+    def save(self, path) -> int:
+        """Write the document (a physical checkpoint image) to ``path``.
+
+        Returns the number of bytes written.  Exact SPLIDs, the
+        vocabulary, and all indexes survive the round trip.
+        """
+        from repro.txn.wal import checkpoint_to_bytes, take_checkpoint
+
+        data = checkpoint_to_bytes(take_checkpoint(self.document, self.wal))
+        with open(path, "wb") as handle:
+            handle.write(data)
+        return len(data)
+
+    @classmethod
+    def load_file(cls, path, **kwargs) -> "Database":
+        """Open a database image written by :meth:`save`.
+
+        Keyword arguments (protocol, lock depth, ...) configure the new
+        instance around the restored document.
+        """
+        from repro.txn.wal import checkpoint_from_bytes, restore_checkpoint
+
+        with open(path, "rb") as handle:
+            checkpoint = checkpoint_from_bytes(handle.read())
+        return cls(document=restore_checkpoint(checkpoint), **kwargs)
+
+    # -- statistics ---------------------------------------------------------------------
+
+    def statistics(self) -> dict:
+        stats = dict(self.locks.lock_statistics())
+        stats.update(self.document.statistics())
+        stats["committed"] = self.transactions.committed
+        stats["aborted"] = self.transactions.aborted
+        return stats

@@ -1,0 +1,62 @@
+"""Programmatic document construction from nested Python specs.
+
+TaMix's bib generator and most tests build documents directly rather than
+parsing XML text.  A *spec* is::
+
+    ("tag", {"attr": "value"}, [child_spec, ...])      # element
+    ("tag", {"attr": "value"})                         # leaf element
+    "character data"                                   # text node
+
+The attribute dict and child list are each optional.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence, Tuple, Union
+
+from repro.errors import DocumentError
+from repro.splid import Splid
+from repro.dom.document import Document
+
+Spec = Union[str, Tuple]
+
+
+def _parse_spec(spec: Spec) -> Tuple[str, Mapping[str, str], Sequence[Spec]]:
+    if not isinstance(spec, tuple) or not spec or not isinstance(spec[0], str):
+        raise DocumentError(f"malformed element spec: {spec!r}")
+    name = spec[0]
+    attrs: Mapping[str, str] = {}
+    children: Sequence[Spec] = ()
+    for part in spec[1:]:
+        if isinstance(part, Mapping):
+            attrs = part
+        elif isinstance(part, (list, tuple)):
+            children = part
+        else:
+            raise DocumentError(f"unexpected spec part {part!r} in {name!r}")
+    return name, attrs, children
+
+
+def build_children(document: Document, parent: Splid, specs: Iterable[Spec]) -> None:
+    """Append children described by ``specs`` below ``parent``."""
+    for spec in specs:
+        if isinstance(spec, str):
+            document.add_text(parent, spec)
+            continue
+        name, attrs, children = _parse_spec(spec)
+        element = document.add_element(parent, name)
+        for attr_name, attr_value in attrs.items():
+            document.set_attribute(element, attr_name, attr_value)
+        build_children(document, element, children)
+
+
+def build_document(spec: Spec, *, name: str = "document", **document_kwargs) -> Document:
+    """Create a :class:`Document` whose root matches ``spec``."""
+    if isinstance(spec, str):
+        raise DocumentError("the document root must be an element spec")
+    root_name, attrs, children = _parse_spec(spec)
+    document = Document(name=name, root_element=root_name, **document_kwargs)
+    for attr_name, attr_value in attrs.items():
+        document.set_attribute(document.root, attr_name, attr_value)
+    build_children(document, document.root, children)
+    return document

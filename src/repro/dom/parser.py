@@ -1,0 +1,113 @@
+"""A small, dependency-free XML parser feeding the document builder.
+
+Supports the subset of XML that XDBMS benchmarks use: elements,
+attributes, character data, comments, processing instructions (skipped),
+CDATA sections, and the five predefined entities.  No DTDs, namespaces are
+kept verbatim in names.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple, Union
+
+from repro.errors import DocumentError
+from repro.dom.builder import Spec, build_document
+from repro.dom.document import Document
+
+_TOKEN = re.compile(
+    r"<!--.*?-->"            # comment
+    r"|<!\[CDATA\[.*?\]\]>"  # cdata
+    r"|<\?.*?\?>"            # processing instruction / declaration
+    r"|<!DOCTYPE[^>]*>"      # doctype (no internal subset)
+    r"|</[^>]+>"             # end tag
+    r"|<[^>]+>"              # start / empty tag
+    r"|[^<]+",               # character data
+    re.DOTALL,
+)
+
+_ATTR = re.compile(r"([^\s=]+)\s*=\s*(\"[^\"]*\"|'[^']*')")
+
+_ENTITIES = {
+    "&lt;": "<",
+    "&gt;": ">",
+    "&amp;": "&",
+    "&apos;": "'",
+    "&quot;": '"',
+}
+
+
+def _unescape(text: str) -> str:
+    for entity, char in _ENTITIES.items():
+        text = text.replace(entity, char)
+    return text
+
+
+def _parse_tag(token: str) -> Tuple[str, dict, bool]:
+    body = token[1:-1].strip()
+    self_closing = body.endswith("/")
+    if self_closing:
+        body = body[:-1].rstrip()
+    name_match = re.match(r"[^\s/>]+", body)
+    if name_match is None:
+        raise DocumentError(f"malformed tag {token!r}")
+    name = name_match.group(0)
+    attrs = {
+        key: _unescape(raw[1:-1])
+        for key, raw in _ATTR.findall(body[len(name):])
+    }
+    return name, attrs, self_closing
+
+
+def parse_spec(text: str) -> Spec:
+    """Parse XML text into a builder spec (root element)."""
+    stack: List[Tuple[str, dict, List[Union[str, tuple]]]] = []
+    root: Union[None, tuple] = None
+    for match in _TOKEN.finditer(text):
+        token = match.group(0)
+        if token.startswith("<!--") or token.startswith("<?") or token.startswith("<!DOCTYPE"):
+            continue
+        if token.startswith("<![CDATA["):
+            if not stack:
+                continue
+            stack[-1][2].append(token[9:-3])
+            continue
+        if token.startswith("</"):
+            name = token[2:-1].strip()
+            if not stack or stack[-1][0] != name:
+                raise DocumentError(f"unexpected end tag </{name}>")
+            done_name, done_attrs, done_children = stack.pop()
+            spec = (done_name, done_attrs, done_children)
+            if stack:
+                stack[-1][2].append(spec)
+            else:
+                if root is not None:
+                    raise DocumentError("multiple document roots")
+                root = spec
+            continue
+        if token.startswith("<"):
+            name, attrs, self_closing = _parse_tag(token)
+            if self_closing:
+                spec = (name, attrs, [])
+                if stack:
+                    stack[-1][2].append(spec)
+                elif root is None:
+                    root = spec
+                else:
+                    raise DocumentError("multiple document roots")
+            else:
+                stack.append((name, attrs, []))
+            continue
+        data = _unescape(token)
+        if data.strip() and stack:
+            stack[-1][2].append(data)
+    if stack:
+        raise DocumentError(f"unclosed element <{stack[-1][0]}>")
+    if root is None:
+        raise DocumentError("no document root found")
+    return root
+
+
+def parse_document(text: str, *, name: str = "document", **kwargs) -> Document:
+    """Parse XML text into a stored :class:`Document`."""
+    return build_document(parse_spec(text), name=name, **kwargs)

@@ -1,0 +1,70 @@
+"""Serialization of stored documents back to XML text."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.splid import Splid
+from repro.dom.document import Document
+from repro.storage.record import NodeKind
+
+
+def _escape(text: str, *, attribute: bool = False) -> str:
+    text = text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    if attribute:
+        text = text.replace('"', "&quot;")
+    return text
+
+
+def serialize_subtree(
+    document: Document,
+    root: Optional[Splid] = None,
+    *,
+    indent: Optional[int] = None,
+) -> str:
+    """XML text of the subtree rooted at ``root`` (default: whole document).
+
+    ``indent`` pretty-prints with the given indentation width; ``None``
+    emits compact output.
+    """
+    root = root if root is not None else document.root
+    pieces: List[str] = []
+    _emit(document, root, pieces, indent, 0)
+    return "".join(pieces)
+
+
+def serialize_document(document: Document, *, indent: Optional[int] = None) -> str:
+    header = '<?xml version="1.0"?>'
+    body = serialize_subtree(document, indent=indent)
+    joiner = "\n" if indent is not None else ""
+    return header + joiner + body
+
+
+def _emit(
+    document: Document,
+    splid: Splid,
+    pieces: List[str],
+    indent: Optional[int],
+    depth: int,
+) -> None:
+    record = document.node(splid)
+    pad = "" if indent is None else " " * (indent * depth)
+    newline = "" if indent is None else "\n"
+    if record.kind is NodeKind.TEXT:
+        pieces.append(pad + _escape(document.string_value(splid)) + newline)
+        return
+    if record.kind is not NodeKind.ELEMENT:
+        return
+    name = document.name_of(splid)
+    attrs = "".join(
+        f' {attr_name}="{_escape(attr_value, attribute=True)}"'
+        for attr_name, attr_value in document.attributes_of(splid).items()
+    )
+    children = list(document.store.children(splid))
+    if not children:
+        pieces.append(f"{pad}<{name}{attrs}/>{newline}")
+        return
+    pieces.append(f"{pad}<{name}{attrs}>{newline}")
+    for child in children:
+        _emit(document, child, pieces, indent, depth + 1)
+    pieces.append(f"{pad}</{name}>{newline}")

@@ -1,0 +1,110 @@
+"""SAX-style streaming access (one of the paper's XDP interfaces).
+
+Section 1: "stream-oriented, navigational and declarative language models
+are used to process XML documents ... XDBMSs should be able to run
+concurrent transactions supporting all these interfaces simultaneously".
+The navigational model subsumes streaming: a stream over a fragment is a
+depth-first traversal whose isolation comes from an ordinary subtree read
+lock, so stream readers coexist with navigational and declarative
+transactions under whatever protocol is active.
+
+:class:`StreamReader.events` yields SAX-ish events::
+
+    ("start_element", name, {attr: value})
+    ("characters", text)
+    ("end_element", name)
+
+Like the node-manager operations, ``events`` is an effect generator; the
+events are collected through a callback handler or via
+:func:`collect_events`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.dom.node_manager import NodeManager
+from repro.splid import Splid
+from repro.storage.record import NodeKind
+from repro.txn.transaction import Transaction
+
+Event = Tuple
+
+#: Event names emitted by the stream reader.
+START_ELEMENT = "start_element"
+CHARACTERS = "characters"
+END_ELEMENT = "end_element"
+
+
+class StreamReader:
+    """Streams a document fragment as SAX events under transaction locks."""
+
+    def __init__(self, nodes: NodeManager):
+        self.nodes = nodes
+        self.document = nodes.document
+
+    def events(
+        self,
+        txn: Transaction,
+        root: Optional[Splid] = None,
+        *,
+        handler: Callable[[Event], None],
+    ):
+        """Generator: stream the subtree of ``root`` into ``handler``.
+
+        The fragment is isolated with one subtree read (the same meta
+        request ``getFragment`` uses), then decoded into events; under
+        isolation level *repeatable* the stream is stable until commit.
+        """
+        root = root if root is not None else self.document.root
+        entries = yield from self.nodes.read_subtree(txn, root)
+        open_elements: List[Splid] = []
+
+        def close_until(ancestor_of: Splid) -> None:
+            while open_elements and not (
+                open_elements[-1].is_ancestor_of(ancestor_of)
+            ):
+                closed = open_elements.pop()
+                handler((END_ELEMENT, names[closed]))
+
+        names = {}
+        records = dict(entries)
+        attributes = self._collect_attributes(records)
+        for splid, record in entries:
+            if record.kind is NodeKind.ELEMENT:
+                close_until(splid)
+                name = self.document.vocabulary.name_of(record.name_surrogate)
+                names[splid] = name
+                handler((START_ELEMENT, name, attributes.get(splid, {})))
+                open_elements.append(splid)
+            elif record.kind is NodeKind.TEXT:
+                close_until(splid)
+                string_record = records.get(splid.string_node)
+                if string_record is not None:
+                    handler((CHARACTERS, string_record.text_content or ""))
+        while open_elements:
+            handler((END_ELEMENT, names[open_elements.pop()]))
+        return len(entries)
+
+    def _collect_attributes(self, records) -> dict:
+        """Map each element to its attribute dict (from the fragment)."""
+        attributes: dict = {}
+        for splid, record in records.items():
+            if record.kind is not NodeKind.ATTRIBUTE:
+                continue
+            string_record = records.get(splid.string_node)
+            value = "" if string_record is None else (
+                string_record.text_content or ""
+            )
+            element = splid.parent.parent  # attribute -> root -> element
+            name = self.document.vocabulary.name_of(record.name_surrogate)
+            attributes.setdefault(element, {})[name] = value
+        return attributes
+
+
+def collect_events(database, txn: Transaction, root: Optional[Splid] = None):
+    """Convenience: stream a fragment single-user, returning the events."""
+    events: List[Event] = []
+    reader = StreamReader(database.nodes)
+    database.run(reader.events(txn, root, handler=events.append))
+    return events

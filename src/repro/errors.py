@@ -1,0 +1,80 @@
+"""Exception hierarchy for the repro XDBMS.
+
+Every error raised by the library derives from :class:`ReproError` so that
+applications can catch library failures with a single ``except`` clause.
+Transaction-visible failures (deadlock aborts, explicit rollbacks) derive
+from :class:`TransactionAborted` because they terminate the issuing
+transaction rather than the whole system.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the repro library."""
+
+
+class SplidError(ReproError):
+    """Malformed SPLID label or impossible label operation."""
+
+
+class StorageError(ReproError):
+    """Low-level storage failure (page, B-tree, or container invariant)."""
+
+
+class PageOverflowError(StorageError):
+    """A record does not fit a page even after a split."""
+
+
+class DocumentError(ReproError):
+    """Structural error in a taDOM document (unknown node, bad kind, ...)."""
+
+
+class NodeNotFound(DocumentError):
+    """The addressed node does not exist (anymore) in the document."""
+
+
+class VocabularyError(StorageError):
+    """Unknown vocabulary surrogate or exhausted surrogate space."""
+
+
+class LockError(ReproError):
+    """Lock-manager protocol violation (not a lock conflict)."""
+
+
+class UnknownProtocolError(LockError):
+    """The requested lock protocol name is not registered."""
+
+
+class TransactionError(ReproError):
+    """Misuse of the transaction API (e.g. operating on a finished txn)."""
+
+
+class TransactionAborted(TransactionError):
+    """The transaction has been aborted and must not issue further work."""
+
+
+class DeadlockAbort(TransactionAborted):
+    """The transaction was chosen as a deadlock victim.
+
+    The deadlock detector attaches the cycle it found so that TaMix can
+    classify the deadlock (conversion deadlock vs. distinct-subtree
+    deadlock), mirroring the paper's XTCdeadlockDetector analysis.
+    """
+
+    def __init__(self, message: str = "deadlock victim", cycle: tuple = ()):
+        super().__init__(message)
+        self.cycle = tuple(cycle)
+
+
+class LockTimeout(TransactionAborted):
+    """The transaction waited longer than the lock-wait timeout.
+
+    Long waits behind coarse locks (e.g. Node2PL's parent-level M locks)
+    are aborted rather than stalling the system indefinitely; TaMix counts
+    these among the aborted transactions.
+    """
+
+
+class BenchmarkError(ReproError):
+    """A TaMix benchmark was configured inconsistently."""

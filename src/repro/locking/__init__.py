@@ -1,0 +1,22 @@
+"""Locking substrate: lock table, deadlock detector, meta-sync manager."""
+
+from repro.locking.deadlock import DeadlockDetector, DeadlockEvent
+from repro.locking.lock_manager import (
+    AcquireReport,
+    IsolationLevel,
+    LockManager,
+    WRITE_PRIVILEGES,
+)
+from repro.locking.lock_table import GrantResult, LockTable, WaitTicket
+
+__all__ = [
+    "AcquireReport",
+    "DeadlockDetector",
+    "DeadlockEvent",
+    "GrantResult",
+    "IsolationLevel",
+    "LockManager",
+    "LockTable",
+    "WRITE_PRIVILEGES",
+    "WaitTicket",
+]

@@ -1,0 +1,145 @@
+"""Deadlock detection: wait-for graph cycles, victim choice, classification.
+
+XTC's deadlock detector collects, per event, "the number of active
+transactions, the locks held, the state of the wait-for graph, etc.", so
+that TaMix can tell *conversion* deadlocks (the frequent case) from
+deadlocks between lock requests in separate subtrees (rare).  We do the
+same: detection runs whenever a request blocks, the requester is chosen as
+the victim (it always lies on the detected cycle, so aborting it resolves
+the deadlock deterministically), and every event is recorded with its
+classification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.locking.lock_table import LockTable, WaitTicket
+
+
+@dataclass(frozen=True)
+class DeadlockEvent:
+    """One detected deadlock, as recorded by the detector.
+
+    Mirrors the data the paper's XTCdeadlockDetector collects: "the number
+    of active transactions, the locks held, the state of the wait-for
+    graph, etc.", enabling precise post-mortem analysis of each event.
+    """
+
+    victim: object
+    cycle: Tuple[object, ...]
+    #: True when at least one request on the cycle was a lock conversion.
+    conversion: bool
+    #: Resource the victim was waiting for.
+    resource: Tuple[str, object]
+    active_transactions: int
+    #: Total locks held system-wide at detection time.
+    locks_held: int = 0
+    #: Snapshot of the wait-for graph: (waiter, blocker) edges.
+    wait_edges: Tuple[Tuple[object, object], ...] = ()
+    #: The modes the cycle members were waiting to acquire.
+    waiting_modes: Tuple[str, ...] = ()
+
+    @property
+    def kind(self) -> str:
+        return "conversion" if self.conversion else "distinct-subtree"
+
+    def describe(self) -> str:
+        """One-line analysis string (for TaMix deadlock reports)."""
+        chain = " -> ".join(str(t) for t in self.cycle)
+        return (
+            f"{self.kind} deadlock, victim={self.victim}, cycle=[{chain}], "
+            f"waiting for {self.resource[1]} "
+            f"({self.active_transactions} active txns, "
+            f"{self.locks_held} locks held)"
+        )
+
+
+@dataclass
+class DeadlockDetector:
+    """Cycle search over the lock table's wait-for graph."""
+
+    table: LockTable
+    events: List[DeadlockEvent] = field(default_factory=list)
+
+    def check(self, ticket: WaitTicket, active_transactions: int = 0) -> Optional[DeadlockEvent]:
+        """Run detection for a freshly blocked request.
+
+        Returns the deadlock event (victim = the requester) if the request
+        closed a cycle, else ``None``.
+        """
+        cycle = self._find_cycle(ticket.txn)
+        if cycle is None:
+            return None
+        conversion = self._cycle_has_conversion(cycle)
+        wait_edges = tuple(
+            (waiter, blocker)
+            for waiter, blockers in self.table.wait_edges().items()
+            for blocker in sorted(blockers, key=id)
+        )
+        waiting_modes = []
+        for txn in cycle:  # cycle[0] is the requester; its ticket is live
+            waiting = self.table.waiting_ticket(txn)
+            if waiting is not None:
+                waiting_modes.append(waiting.mode)
+        event = DeadlockEvent(
+            victim=ticket.txn,
+            cycle=tuple(cycle),
+            conversion=conversion,
+            resource=ticket.resource,
+            active_transactions=active_transactions,
+            locks_held=self.table.lock_count(),
+            wait_edges=wait_edges,
+            waiting_modes=tuple(waiting_modes),
+        )
+        self.events.append(event)
+        return event
+
+    # -- statistics -------------------------------------------------------------
+
+    def count(self) -> int:
+        return len(self.events)
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        counts = {"conversion": 0, "distinct-subtree": 0}
+        for event in self.events:
+            counts[event.kind] += 1
+        return counts
+
+    # -- internals -----------------------------------------------------------------
+
+    def _find_cycle(self, start: object) -> Optional[Sequence[object]]:
+        """DFS from ``start`` through the wait-for graph, looking for a
+        path back to ``start``."""
+        path: List[object] = [start]
+        on_path: Set[object] = {start}
+        visited: Set[object] = set()
+
+        def visit(txn: object) -> Optional[Sequence[object]]:
+            ticket = self.table.waiting_ticket(txn)
+            if ticket is None:
+                return None
+            for blocker in sorted(self.table.blockers_of(ticket), key=id):
+                if blocker == start:
+                    return list(path)
+                if blocker in on_path or blocker in visited:
+                    continue
+                path.append(blocker)
+                on_path.add(blocker)
+                found = visit(blocker)
+                if found is not None:
+                    return found
+                on_path.discard(blocker)
+                path.pop()
+            visited.add(txn)
+            return None
+
+        return visit(start)
+
+    def _cycle_has_conversion(self, cycle: Sequence[object]) -> bool:
+        for txn in cycle:
+            ticket = self.table.waiting_ticket(txn)
+            if ticket is not None and ticket.is_conversion:
+                return True
+        return False

@@ -1,0 +1,369 @@
+"""The lock manager: meta-synchronization front end (Section 3.3).
+
+The node manager hands abstract :class:`~repro.core.protocol.MetaRequest`
+objects to :meth:`LockManager.acquire`; the configured protocol maps them
+to concrete lock steps, which are executed against the lock table.
+``acquire`` is a generator: it *yields* :class:`WaitTicket` objects
+whenever a step blocks (the driver -- simulator or threaded runtime --
+parks the transaction until the grant fires) and finally *returns* an
+:class:`AcquireReport`.
+
+Isolation levels (footnote 5 of the paper) are enforced here:
+
+* ``NONE`` acquires no locks at all;
+* ``UNCOMMITTED`` skips read locks, write locks are long;
+* ``COMMITTED`` takes short read locks (released at end of operation via
+  :meth:`LockManager.end_operation`) and long write locks;
+* ``REPEATABLE`` takes long read and write locks.
+
+The manager also keeps a per-transaction *coverage cache*: once a
+transaction holds a subtree or level lock, requests already covered by it
+are answered without touching the lock table -- this is the SPLID-powered
+cheapness of subtree locks that the protocols with lock depth exploit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.core.modes import ModeTable
+from repro.core.protocol import (
+    EDGE_SPACE,
+    LockPlan,
+    LockProtocol,
+    LockStep,
+    MetaRequest,
+    NODE_SPACE,
+)
+from repro.errors import DeadlockAbort, LockError
+from repro.locking.deadlock import DeadlockDetector
+from repro.locking.lock_table import GrantResult, LockTable, WaitTicket
+from repro.splid import Splid
+
+#: Privileges that make a mode a *write* mode (kept long under every
+#: isolation level except NONE).
+WRITE_PRIVILEGES = frozenset(
+    {
+        "intent_write",
+        "child_exclusive",
+        "subtree_update",
+        "subtree_write",
+        "node_update",
+        "node_write",
+    }
+)
+
+
+class IsolationLevel(Enum):
+    """The paper's four experimental isolation levels plus SERIALIZABLE.
+
+    Footnote 1 of the paper: serializable "is offered by the taDOM*
+    group" (and only there); it behaves like repeatable read plus
+    key-range locks on the ID index to prevent phantoms from direct
+    jumps (``getElementById``).
+    """
+
+    NONE = "none"
+    UNCOMMITTED = "uncommitted"
+    COMMITTED = "committed"
+    REPEATABLE = "repeatable"
+    SERIALIZABLE = "serializable"
+
+    @classmethod
+    def parse(cls, value: "IsolationLevel | str") -> "IsolationLevel":
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(value.lower())
+        except ValueError:
+            raise LockError(f"unknown isolation level {value!r}") from None
+
+
+@dataclass
+class AcquireReport:
+    """What one meta request cost and demanded."""
+
+    lock_requests: int = 0
+    skipped_covered: int = 0
+    blocked: int = 0
+    #: Pending conversion fan-outs: (node, child mode) pairs for which the
+    #: caller must enumerate the children and lock each one.
+    fanouts: List[Tuple[Splid, str]] = field(default_factory=list)
+    #: From the plan: subtree must be visited node-by-node (*-2PL).
+    traverse_individually: bool = False
+    #: From the plan: subtree ID scan required before delete (*-2PL).
+    scan_ids: Optional[Splid] = None
+
+
+@dataclass
+class _TxnLockState:
+    subtree_read_anchors: Set[Splid] = field(default_factory=set)
+    subtree_write_anchors: Set[Splid] = field(default_factory=set)
+    level_read_anchors: Set[Splid] = field(default_factory=set)
+
+
+class LockManager:
+    """Meta-lock requests -> protocol plan -> lock table execution."""
+
+    def __init__(
+        self,
+        protocol: LockProtocol,
+        *,
+        lock_depth: int = 4,
+        wait_timeout_ms: Optional[float] = 10_000.0,
+        active_transactions: Optional[Callable[[], int]] = None,
+    ):
+        self.protocol = protocol
+        self.lock_depth = lock_depth
+        self.wait_timeout_ms = wait_timeout_ms
+        self.timeouts = 0
+        self.table = LockTable(protocol.tables())
+        self.detector = DeadlockDetector(self.table)
+        self._states: Dict[object, _TxnLockState] = {}
+        self._active_transactions = active_transactions or (lambda: 0)
+        #: Clock for wait-time accounting (bound by Database.set_clock).
+        self.clock: Callable[[], float] = lambda: 0.0
+        #: Grants per (space, mode) -- the protocol's lock-mode profile.
+        self.mode_usage: Dict[Tuple[str, str], int] = {}
+        #: Aggregate lock-wait time statistics (simulated ms).
+        self.wait_count = 0
+        self.wait_time_total = 0.0
+        self.wait_time_max = 0.0
+
+    # -- the meta-synchronization entry point ----------------------------------
+
+    def acquire(self, txn: object, request: MetaRequest):
+        """Generator: acquire all locks for ``request``.
+
+        Yields :class:`WaitTicket` objects for blocking steps; raises
+        :class:`DeadlockAbort` when the transaction becomes a deadlock
+        victim; returns an :class:`AcquireReport`.
+        """
+        report = AcquireReport()
+        isolation = self._isolation_of(txn)
+        plan = self.protocol.plan(request, self.lock_depth)
+        report.traverse_individually = plan.traverse_individually
+        report.scan_ids = plan.scan_ids
+        if isolation is IsolationLevel.NONE:
+            return report
+        if isolation is IsolationLevel.UNCOMMITTED and request.is_read:
+            return report
+
+        for step in plan.steps:
+            yield from self._acquire_step(txn, step, report)
+        return report
+
+    def acquire_children(
+        self, txn: object, children: Iterable[Splid], child_mode: str
+    ):
+        """Generator: execute a conversion fan-out (CX_NR-style)."""
+        report = AcquireReport()
+        for child in children:
+            step = LockStep(NODE_SPACE, child, child_mode)
+            yield from self._acquire_step(txn, step, report)
+        return report
+
+    def acquire_steps(self, txn: object, steps: Iterable[LockStep]):
+        """Generator: execute explicit lock steps (e.g. the *-2PL group's
+        IDX locks collected by a pre-delete subtree scan)."""
+        report = AcquireReport()
+        for step in steps:
+            yield from self._acquire_step(txn, step, report)
+        return report
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def end_operation(self, txn: object) -> int:
+        """Release short read locks (isolation level COMMITTED).
+
+        Returns the number of locks released.
+        """
+        if self._isolation_of(txn) is not IsolationLevel.COMMITTED:
+            return 0
+        released = 0
+        for resource in list(self.table.held_resources(txn)):
+            space, _key = resource
+            mode = self.table.mode_held(txn, resource)
+            if mode is None:
+                continue
+            table = self.table.table_for(space)
+            if not table.coverage[mode] & WRITE_PRIVILEGES:
+                self.table.release(txn, resource)
+                released += 1
+        if released:
+            state = self._states.get(txn)
+            if state is not None:
+                self._refresh_state(txn, state)
+        return released
+
+    def release_transaction(self, txn: object) -> None:
+        """Release everything at commit/abort."""
+        self.table.release_all(txn)
+        self._states.pop(txn, None)
+
+    # -- statistics ------------------------------------------------------------------
+
+    def lock_statistics(self) -> Dict[str, int]:
+        return {
+            "requests": self.table.requests,
+            "instant_grants": self.table.instant_grants,
+            "waits": self.table.waits,
+            "conversions": self.table.conversions,
+            "deadlocks": self.detector.count(),
+            "timeouts": self.timeouts,
+        }
+
+    def wait_statistics(self) -> Dict[str, float]:
+        """Aggregate lock-wait durations (simulated ms)."""
+        mean = self.wait_time_total / self.wait_count if self.wait_count else 0.0
+        return {
+            "count": float(self.wait_count),
+            "total_ms": self.wait_time_total,
+            "mean_ms": mean,
+            "max_ms": self.wait_time_max,
+        }
+
+    def mode_profile(self, space: Optional[str] = None) -> Dict[str, int]:
+        """Grants per mode (the protocol's lock-mode usage profile).
+
+        With ``space`` the keys are bare mode names; without, they are
+        ``space:mode`` (mode names may repeat across spaces).
+        """
+        if space is not None:
+            return {
+                mode: count
+                for (mode_space, mode), count in sorted(self.mode_usage.items())
+                if mode_space == space
+            }
+        return {
+            f"{mode_space}:{mode}": count
+            for (mode_space, mode), count in sorted(self.mode_usage.items())
+        }
+
+    def _make_cancel(self, txn: object) -> Callable[[], None]:
+        def cancel() -> None:
+            self.timeouts += 1
+            self.table.cancel_wait(txn)
+
+        return cancel
+
+    # -- internals --------------------------------------------------------------------
+
+    @staticmethod
+    def _isolation_of(txn: object) -> IsolationLevel:
+        return getattr(txn, "isolation", IsolationLevel.REPEATABLE)
+
+    def _acquire_step(self, txn: object, step: LockStep, report: AcquireReport):
+        if self._is_covered(txn, step):
+            report.skipped_covered += 1
+            return
+        report.lock_requests += 1
+        result = self.table.request(txn, step.space, step.key, step.mode)
+        if not result.granted:
+            report.blocked += 1
+            ticket = result.ticket
+            event = self.detector.check(ticket, self._active_transactions())
+            if event is not None:
+                self.table.cancel_wait(txn)
+                raise DeadlockAbort(
+                    f"{txn} is a deadlock victim on {step}", cycle=event.cycle
+                )
+            ticket.timeout_ms = self.wait_timeout_ms
+            ticket.cancel = self._make_cancel(txn)
+            waited_from = self.clock()
+            yield ticket
+            waited = self.clock() - waited_from
+            self.wait_count += 1
+            self.wait_time_total += waited
+            self.wait_time_max = max(self.wait_time_max, waited)
+            granted_mode = ticket.mode
+            child_mode = ticket.child_mode
+        else:
+            granted_mode = result.mode
+            child_mode = result.child_mode
+        usage_key = (step.space, granted_mode)
+        self.mode_usage[usage_key] = self.mode_usage.get(usage_key, 0) + 1
+        if child_mode is not None:
+            key = step.key if isinstance(step.key, Splid) else step.key[0]
+            report.fanouts.append((key, child_mode))
+        self._note_grant(txn, step.space, step.key, granted_mode)
+
+    # -- coverage cache ------------------------------------------------------------
+
+    def _note_grant(self, txn: object, space: str, key: object, mode: str) -> None:
+        if space not in (NODE_SPACE, EDGE_SPACE) or not isinstance(key, Splid):
+            return
+        coverage = self.table.table_for(space).coverage[mode]
+        state = self._states.setdefault(txn, _TxnLockState())
+        # Conversions can *lose* coverage (LR -> CX drops the level read,
+        # compensated by the NR child fan-out), so anchors are kept in
+        # exact sync with the currently held mode.
+        if "subtree_write" in coverage:
+            state.subtree_write_anchors.add(key)
+        else:
+            state.subtree_write_anchors.discard(key)
+        if "subtree_read" in coverage:
+            state.subtree_read_anchors.add(key)
+        else:
+            state.subtree_read_anchors.discard(key)
+        if "level_read" in coverage:
+            state.level_read_anchors.add(key)
+        else:
+            state.level_read_anchors.discard(key)
+
+    def _refresh_state(self, txn: object, state: _TxnLockState) -> None:
+        """Rebuild anchors after selective releases (committed isolation)."""
+        state.subtree_read_anchors.clear()
+        state.subtree_write_anchors.clear()
+        state.level_read_anchors.clear()
+        for resource in self.table.held_resources(txn):
+            space, key = resource
+            mode = self.table.mode_held(txn, resource)
+            if mode is not None and isinstance(key, Splid):
+                self._note_grant(txn, space, key, mode)
+
+    def _is_covered(self, txn: object, step: LockStep) -> bool:
+        table = self.table.table_for(step.space)
+        held = self.table.mode_held(txn, (step.space, step.key))
+        if held is not None and table.coverage[step.mode] <= table.coverage[held]:
+            # Transaction-local lock cache: the held mode already grants
+            # everything the request needs -- no lock-table access.
+            return True
+        state = self._states.get(txn)
+        if state is None:
+            return False
+        if step.space == NODE_SPACE and isinstance(step.key, Splid):
+            node: Splid = step.key
+            edge_parent = None
+        elif step.space == EDGE_SPACE:
+            node = step.key[0]
+            edge_parent = node.parent
+        else:
+            return False
+        required = self.table.table_for(step.space).coverage[step.mode]
+        if required & WRITE_PRIVILEGES:
+            return self._anchored(state.subtree_write_anchors, node, edge_parent)
+        if self._anchored(state.subtree_read_anchors, node, edge_parent):
+            return True
+        if required <= frozenset({"intent_read", "node_read"}):
+            parent = node.parent
+            if parent is not None and parent in state.level_read_anchors:
+                return True
+        return False
+
+    @staticmethod
+    def _anchored(
+        anchors: Set[Splid], node: Splid, edge_parent: Optional[Splid]
+    ) -> bool:
+        """Does some anchor cover the node (and, for edges, its parent)?
+
+        Edge locks span two siblings, so the anchor must cover the parent
+        to guarantee both endpoints lie inside the locked subtree.
+        """
+        probe = edge_parent if edge_parent is not None else node
+        for anchor in anchors:
+            if probe == anchor or anchor.is_ancestor_of(probe):
+                return True
+        return False

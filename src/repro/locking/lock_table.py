@@ -1,0 +1,275 @@
+"""The lock table: granted modes, wait queues, conversions.
+
+A pure state machine, deliberately free of threads and clocks so that the
+same table runs under the discrete-event simulator and under the real
+threaded runtime.  The drivers observe blocking through
+:class:`WaitTicket` objects and are notified of grants via callbacks.
+
+Semantics (Section 2.3 / [9]):
+
+* one lock per transaction and resource -- a second request by the same
+  holder is resolved through the protocol's conversion matrix, possibly
+  yielding a *child action* (the CX_NR-style fan-out);
+* conversions wait at the head of the queue (before fresh requests);
+* fresh requests are granted FIFO: a request waits if it is incompatible
+  with any current holder *or* any earlier waiter (no starvation);
+* releasing locks drains the queue in order, stopping at the first
+  request that still cannot be granted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.core.modes import Conversion, ModeTable
+from repro.errors import LockError
+
+ResourceKey = Tuple[str, object]  # (lock space, key)
+
+
+@dataclass
+class WaitTicket:
+    """Handle for a blocked lock request.
+
+    The driver parks the transaction on this ticket; ``on_grant`` fires
+    when the table grants the request (the lock is then already held).
+    """
+
+    txn: object
+    resource: ResourceKey
+    mode: str
+    is_conversion: bool
+    child_mode: Optional[str] = None
+    granted: bool = False
+    cancelled: bool = False
+    on_grant: Optional[Callable[["WaitTicket"], None]] = None
+    #: Lock-wait timeout (simulated ms); None waits forever.
+    timeout_ms: Optional[float] = None
+    #: Withdraws the request from the lock table (set by the lock manager,
+    #: called by the driver when the timeout fires).
+    cancel: Optional[Callable[[], None]] = None
+
+    def _fire(self) -> None:
+        self.granted = True
+        if self.on_grant is not None:
+            self.on_grant(self)
+
+
+@dataclass
+class GrantResult:
+    """Outcome of a lock request."""
+
+    granted: bool
+    #: Mode now held (after conversion) when granted immediately.
+    mode: Optional[str] = None
+    #: Child fan-out demanded by the conversion (e.g. CX_NR).
+    child_mode: Optional[str] = None
+    #: Ticket to wait on when not granted.
+    ticket: Optional[WaitTicket] = None
+    #: True when the request was a no-op (mode already covered).
+    noop: bool = False
+
+
+@dataclass
+class _Entry:
+    granted: Dict[object, str] = field(default_factory=dict)
+    queue: List[WaitTicket] = field(default_factory=list)
+
+
+class LockTable:
+    """All lock spaces of one database instance."""
+
+    def __init__(self, tables: Dict[str, ModeTable]):
+        self._tables = dict(tables)
+        self._entries: Dict[ResourceKey, _Entry] = {}
+        self._held: Dict[object, Set[ResourceKey]] = {}
+        self._waiting: Dict[object, WaitTicket] = {}
+        # statistics
+        self.requests = 0
+        self.instant_grants = 0
+        self.waits = 0
+        self.conversions = 0
+
+    # -- introspection ---------------------------------------------------------
+
+    def has_space(self, space: str) -> bool:
+        return space in self._tables
+
+    def table_for(self, space: str) -> ModeTable:
+        try:
+            return self._tables[space]
+        except KeyError:
+            raise LockError(f"no mode table for lock space {space!r}") from None
+
+    def mode_held(self, txn: object, resource: ResourceKey) -> Optional[str]:
+        entry = self._entries.get(resource)
+        return None if entry is None else entry.granted.get(txn)
+
+    def holders(self, resource: ResourceKey) -> Dict[object, str]:
+        entry = self._entries.get(resource)
+        return {} if entry is None else dict(entry.granted)
+
+    def held_resources(self, txn: object) -> Set[ResourceKey]:
+        return set(self._held.get(txn, ()))
+
+    def waiting_ticket(self, txn: object) -> Optional[WaitTicket]:
+        return self._waiting.get(txn)
+
+    def lock_count(self) -> int:
+        return sum(len(e.granted) for e in self._entries.values())
+
+    # -- wait-for graph (for the deadlock detector) ------------------------------
+
+    def blockers_of(self, ticket: WaitTicket) -> Set[object]:
+        """Transactions this ticket is waiting on."""
+        entry = self._entries.get(ticket.resource)
+        if entry is None:
+            return set()
+        table = self.table_for(ticket.resource[0])
+        blockers: Set[object] = set()
+        for holder, held_mode in entry.granted.items():
+            if holder == ticket.txn:
+                continue
+            if not table.compatible(held_mode, ticket.mode):
+                blockers.add(holder)
+        if not ticket.is_conversion:
+            for ahead in entry.queue:
+                if ahead is ticket:
+                    break
+                if ahead.txn != ticket.txn:
+                    blockers.add(ahead.txn)
+        return blockers
+
+    def wait_edges(self) -> Dict[object, Set[object]]:
+        """Current wait-for graph: waiter -> blocking transactions."""
+        return {
+            txn: self.blockers_of(ticket)
+            for txn, ticket in self._waiting.items()
+        }
+
+    # -- requests ---------------------------------------------------------------
+
+    def request(self, txn: object, space: str, key: object, mode: str) -> GrantResult:
+        """Request ``mode`` on ``(space, key)`` for ``txn``."""
+        if txn in self._waiting:
+            raise LockError(f"{txn} already waiting; cannot issue new request")
+        table = self.table_for(space)
+        if mode not in table:
+            raise LockError(f"mode {mode} not in table {table.name}")
+        resource: ResourceKey = (space, key)
+        entry = self._entries.setdefault(resource, _Entry())
+        self.requests += 1
+
+        held = entry.granted.get(txn)
+        if held is not None:
+            conversion = table.convert(held, mode)
+            if conversion.result == held:
+                # Mode unchanged: no compatibility check needed.  A child
+                # action may still apply (e.g. held CX + requested LR
+                # demands NR on every child even though CX stays).
+                self.instant_grants += 1
+                return GrantResult(
+                    granted=True, mode=held,
+                    child_mode=conversion.child_mode,
+                    noop=conversion.child_mode is None,
+                )
+            self.conversions += 1
+            if self._compatible_with_others(entry, table, txn, conversion.result):
+                entry.granted[txn] = conversion.result
+                self.instant_grants += 1
+                return GrantResult(
+                    granted=True, mode=conversion.result,
+                    child_mode=conversion.child_mode,
+                )
+            ticket = WaitTicket(
+                txn, resource, conversion.result,
+                is_conversion=True, child_mode=conversion.child_mode,
+            )
+            self._enqueue_conversion(entry, ticket)
+            self._waiting[txn] = ticket
+            self.waits += 1
+            return GrantResult(granted=False, ticket=ticket)
+
+        if not entry.queue and self._compatible_with_others(entry, table, txn, mode):
+            entry.granted[txn] = mode
+            self._held.setdefault(txn, set()).add(resource)
+            self.instant_grants += 1
+            return GrantResult(granted=True, mode=mode)
+
+        ticket = WaitTicket(txn, resource, mode, is_conversion=False)
+        entry.queue.append(ticket)
+        self._waiting[txn] = ticket
+        self.waits += 1
+        return GrantResult(granted=False, ticket=ticket)
+
+    def cancel_wait(self, txn: object) -> None:
+        """Withdraw a waiting request (deadlock victim about to abort)."""
+        ticket = self._waiting.pop(txn, None)
+        if ticket is None:
+            return
+        ticket.cancelled = True
+        entry = self._entries.get(ticket.resource)
+        if entry is not None and ticket in entry.queue:
+            entry.queue.remove(ticket)
+            self._drain(ticket.resource)
+
+    # -- releases ----------------------------------------------------------------
+
+    def release(self, txn: object, resource: ResourceKey) -> None:
+        entry = self._entries.get(resource)
+        if entry is None or txn not in entry.granted:
+            return
+        del entry.granted[txn]
+        held = self._held.get(txn)
+        if held is not None:
+            held.discard(resource)
+        self._drain(resource)
+
+    def release_all(self, txn: object) -> None:
+        self.cancel_wait(txn)
+        for resource in sorted(
+            self._held.pop(txn, ()), key=lambda r: (r[0], repr(r[1]))
+        ):
+            entry = self._entries.get(resource)
+            if entry is not None and txn in entry.granted:
+                del entry.granted[txn]
+                self._drain(resource)
+
+    # -- internals -----------------------------------------------------------------
+
+    @staticmethod
+    def _compatible_with_others(
+        entry: _Entry, table: ModeTable, txn: object, mode: str
+    ) -> bool:
+        return all(
+            table.compatible(held_mode, mode)
+            for holder, held_mode in entry.granted.items()
+            if holder != txn
+        )
+
+    @staticmethod
+    def _enqueue_conversion(entry: _Entry, ticket: WaitTicket) -> None:
+        position = 0
+        while position < len(entry.queue) and entry.queue[position].is_conversion:
+            position += 1
+        entry.queue.insert(position, ticket)
+
+    def _drain(self, resource: ResourceKey) -> None:
+        """Grant queued requests that have become compatible (FIFO)."""
+        entry = self._entries.get(resource)
+        if entry is None:
+            return
+        table = self.table_for(resource[0])
+        while entry.queue:
+            ticket = entry.queue[0]
+            if not self._compatible_with_others(entry, table, ticket.txn, ticket.mode):
+                break
+            entry.queue.pop(0)
+            entry.granted[ticket.txn] = ticket.mode
+            if not ticket.is_conversion:
+                self._held.setdefault(ticket.txn, set()).add(resource)
+            self._waiting.pop(ticket.txn, None)
+            ticket._fire()
+        if not entry.granted and not entry.queue:
+            del self._entries[resource]

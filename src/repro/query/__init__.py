@@ -1,0 +1,24 @@
+"""Declarative queries mapped to the navigational access model.
+
+An XPath-1.0 subset evaluated through the node manager, so the active
+lock protocol isolates query results exactly like navigation (Section 1
+of the paper: declarative languages must map to navigation for
+fine-granular concurrency control).
+"""
+
+from repro.query.ast import Axis, NodeTest, Path, Predicate, Step, TestKind
+from repro.query.engine import QueryProcessor, evaluate_raw
+from repro.query.parser import QueryError, parse_path
+
+__all__ = [
+    "Axis",
+    "NodeTest",
+    "Path",
+    "Predicate",
+    "QueryError",
+    "QueryProcessor",
+    "Step",
+    "TestKind",
+    "evaluate_raw",
+    "parse_path",
+]

@@ -1,0 +1,101 @@
+"""AST for the XPath subset (path expressions over stored documents).
+
+Supported grammar (a pragmatic XPath 1.0 slice)::
+
+    path       := ('id(' literal ')')? step*          (absolute otherwise)
+    step       := ('/' | '//') test predicate*
+                | '/@' name                            (final attribute step)
+    test       := name | '*' | 'text()'
+    predicate  := '[' integer ']'
+                | '[' '@' name ('=' literal)? ']'
+                | '[' name ('=' literal)? ']'
+    literal    := "'" chars "'" | '"' chars '"'
+
+Examples::
+
+    /bib/topics/topic/book[@id='b3']/title/text()
+    //book[author='Gray']/@year
+    id('t0')//lend[@person='p7']
+    /bib//book[2]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional, Tuple
+
+
+class Axis(Enum):
+    CHILD = "child"
+    DESCENDANT = "descendant-or-self"
+    ATTRIBUTE = "attribute"
+
+
+class TestKind(Enum):
+    __test__ = False       # not a pytest test class despite the name
+
+    NAME = "name"          # element with a given tag name
+    ANY = "any"            # *
+    TEXT = "text"          # text()
+
+
+@dataclass(frozen=True)
+class NodeTest:
+    kind: TestKind
+    name: Optional[str] = None
+
+    def __str__(self) -> str:
+        if self.kind is TestKind.ANY:
+            return "*"
+        if self.kind is TestKind.TEXT:
+            return "text()"
+        return self.name or "?"
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """One filter: positional, attribute, or child-element comparison."""
+
+    #: 1-based position among the step's matches, if positional.
+    position: Optional[int] = None
+    #: Attribute name (``@name`` forms).
+    attribute: Optional[str] = None
+    #: Child element name (``[title='x']`` forms).
+    child: Optional[str] = None
+    #: Comparison value; None means pure existence test.
+    value: Optional[str] = None
+
+    def __str__(self) -> str:
+        if self.position is not None:
+            return f"[{self.position}]"
+        subject = f"@{self.attribute}" if self.attribute else self.child
+        if self.value is None:
+            return f"[{subject}]"
+        return f"[{subject}='{self.value}']"
+
+
+@dataclass(frozen=True)
+class Step:
+    axis: Axis
+    test: NodeTest
+    predicates: Tuple[Predicate, ...] = ()
+
+    def __str__(self) -> str:
+        prefix = "//" if self.axis is Axis.DESCENDANT else "/"
+        if self.axis is Axis.ATTRIBUTE:
+            return f"/@{self.test.name}"
+        return prefix + str(self.test) + "".join(map(str, self.predicates))
+
+
+@dataclass(frozen=True)
+class Path:
+    """A full path expression."""
+
+    steps: Tuple[Step, ...]
+    #: ``id('...')`` start point; None means the document root.
+    id_start: Optional[str] = None
+
+    def __str__(self) -> str:
+        prefix = f"id('{self.id_start}')" if self.id_start else ""
+        return prefix + "".join(str(step) for step in self.steps)

@@ -1,0 +1,130 @@
+"""Parser for the XPath subset (see :mod:`repro.query.ast` for the grammar)."""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.query.ast import Axis, NodeTest, Path, Predicate, Step, TestKind
+
+
+class QueryError(ReproError):
+    """Malformed path expression."""
+
+
+_NAME = re.compile(r"[A-Za-z_][\w.-]*")
+
+
+class _Cursor:
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    def eof(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def peek(self, probe: str) -> bool:
+        return self.text.startswith(probe, self.pos)
+
+    def take(self, probe: str) -> bool:
+        if self.peek(probe):
+            self.pos += len(probe)
+            return True
+        return False
+
+    def expect(self, probe: str) -> None:
+        if not self.take(probe):
+            raise QueryError(
+                f"expected {probe!r} at position {self.pos} in {self.text!r}"
+            )
+
+    def name(self) -> str:
+        match = _NAME.match(self.text, self.pos)
+        if match is None:
+            raise QueryError(
+                f"expected a name at position {self.pos} in {self.text!r}"
+            )
+        self.pos = match.end()
+        return match.group(0)
+
+    def literal(self) -> str:
+        for quote in ("'", '"'):
+            if self.take(quote):
+                end = self.text.find(quote, self.pos)
+                if end < 0:
+                    raise QueryError(f"unterminated literal in {self.text!r}")
+                value = self.text[self.pos:end]
+                self.pos = end + 1
+                return value
+        raise QueryError(
+            f"expected a quoted literal at position {self.pos} in {self.text!r}"
+        )
+
+    def integer(self) -> Optional[int]:
+        match = re.compile(r"\d+").match(self.text, self.pos)
+        if match is None:
+            return None
+        self.pos = match.end()
+        return int(match.group(0))
+
+
+def parse_path(text: str) -> Path:
+    """Parse a path expression."""
+    cursor = _Cursor(text.strip())
+    id_start = None
+    if cursor.take("id("):
+        id_start = cursor.literal()
+        cursor.expect(")")
+    steps: List[Step] = []
+    while not cursor.eof():
+        steps.append(_parse_step(cursor))
+    if not steps and id_start is None:
+        raise QueryError("empty path expression")
+    return Path(tuple(steps), id_start)
+
+
+def _parse_step(cursor: _Cursor) -> Step:
+    if cursor.take("//"):
+        axis = Axis.DESCENDANT
+    elif cursor.take("/"):
+        axis = Axis.CHILD
+    else:
+        raise QueryError(
+            f"expected '/' or '//' at position {cursor.pos} in {cursor.text!r}"
+        )
+    if cursor.take("@"):
+        if axis is Axis.DESCENDANT:
+            raise QueryError("'//@name' is not supported; use '/@name'")
+        return Step(Axis.ATTRIBUTE, NodeTest(TestKind.NAME, cursor.name()))
+    if cursor.take("*"):
+        test = NodeTest(TestKind.ANY)
+    elif cursor.peek("text()"):
+        cursor.expect("text()")
+        test = NodeTest(TestKind.TEXT)
+    else:
+        test = NodeTest(TestKind.NAME, cursor.name())
+    predicates: List[Predicate] = []
+    while cursor.take("["):
+        predicates.append(_parse_predicate(cursor))
+    return Step(axis, test, tuple(predicates))
+
+
+def _parse_predicate(cursor: _Cursor) -> Predicate:
+    position = cursor.integer()
+    if position is not None:
+        cursor.expect("]")
+        if position < 1:
+            raise QueryError("positions are 1-based")
+        return Predicate(position=position)
+    attribute = None
+    child = None
+    if cursor.take("@"):
+        attribute = cursor.name()
+    else:
+        child = cursor.name()
+    value = None
+    if cursor.take("="):
+        value = cursor.literal()
+    cursor.expect("]")
+    return Predicate(attribute=attribute, child=child, value=value)

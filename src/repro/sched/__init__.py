@@ -1,0 +1,16 @@
+"""Concurrency substrates: discrete-event simulator and threaded runtime."""
+
+from repro.sched.costs import DEFAULT_COSTS, CostModel
+from repro.sched.simulator import Delay, SimulationError, Simulator, run_sync
+from repro.sched.threaded import ThreadedRuntime, run_threaded
+
+__all__ = [
+    "CostModel",
+    "DEFAULT_COSTS",
+    "Delay",
+    "SimulationError",
+    "Simulator",
+    "ThreadedRuntime",
+    "run_sync",
+    "run_threaded",
+]

@@ -1,0 +1,127 @@
+"""Threaded runtime: drive transaction generators with real threads.
+
+The discrete-event simulator is the primary substrate (deterministic,
+GIL-independent -- see DESIGN.md), but the lock table is a pure state
+machine, so the very same transaction generators can also run under real
+`threading` interleavings.  This runtime exists to validate that the
+locking logic is not an artifact of simulated atomicity: the validation
+tests run mixed workloads under both substrates and compare invariants.
+
+Semantics:
+
+* a global mutex serializes lock-table transitions (the "latch");
+* :class:`~repro.sched.simulator.Delay` effects sleep scaled wall-clock
+  time (``time_scale`` compresses simulated ms into real seconds);
+* lock waits block on a per-ticket event, honouring the ticket's timeout
+  by raising :class:`~repro.errors.LockTimeout` into the generator.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from repro.errors import LockTimeout
+from repro.locking.lock_table import WaitTicket
+from repro.sched.simulator import Delay, SimulationError
+
+
+class ThreadedRuntime:
+    """Runs transaction generators on real threads against one database."""
+
+    def __init__(self, *, time_scale: float = 0.001):
+        #: Real seconds per simulated millisecond (default: 1000x faster).
+        self.time_scale = time_scale
+        #: The lock-manager latch: serializes everything between yields.
+        self.latch = threading.RLock()
+        self._threads: List[threading.Thread] = []
+        self._errors: List[BaseException] = []
+
+    # -- public API ----------------------------------------------------------
+
+    def spawn(self, generator: Generator, *, name: str = "txn-thread") -> None:
+        thread = threading.Thread(
+            target=self._drive, args=(generator,), name=name, daemon=True
+        )
+        self._threads.append(thread)
+        thread.start()
+
+    def join(self, timeout: Optional[float] = 60.0) -> None:
+        """Wait for all spawned generators; re-raise the first failure."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for thread in self._threads:
+            remaining = None
+            if deadline is not None:
+                remaining = max(0.0, deadline - time.monotonic())
+            thread.join(remaining)
+        alive = [t.name for t in self._threads if t.is_alive()]
+        if alive:
+            raise SimulationError(f"threads did not finish: {alive}")
+        if self._errors:
+            raise self._errors[0]
+
+    def run(self, generators) -> None:
+        """Spawn all generators and join them."""
+        for i, generator in enumerate(generators):
+            self.spawn(generator, name=f"txn-thread-{i}")
+        self.join()
+
+    # -- internals -----------------------------------------------------------
+
+    def _drive(self, generator: Generator) -> None:
+        try:
+            self._loop(generator)
+        except StopIteration:
+            pass
+        except BaseException as exc:  # surface in join()
+            self._errors.append(exc)
+
+    def _loop(self, generator: Generator) -> None:
+        send_value: Any = None
+        throw_value: Optional[BaseException] = None
+        while True:
+            try:
+                with self.latch:
+                    if throw_value is not None:
+                        error, throw_value = throw_value, None
+                        effect = generator.throw(error)
+                    else:
+                        effect = generator.send(send_value)
+            except StopIteration:
+                return
+            send_value = None
+            if isinstance(effect, Delay):
+                time.sleep(effect.ms * self.time_scale)
+            elif isinstance(effect, WaitTicket):
+                throw_value = self._await_ticket(effect)
+            else:
+                raise SimulationError(f"unexpected effect {effect!r}")
+
+    def _await_ticket(self, ticket: WaitTicket) -> Optional[BaseException]:
+        """Block until the ticket is granted; handle the wait timeout."""
+        event = threading.Event()
+        with self.latch:
+            if ticket.granted:
+                return None
+            ticket.on_grant = lambda _t: event.set()
+        timeout_s = None
+        if ticket.timeout_ms is not None:
+            timeout_s = max(ticket.timeout_ms * self.time_scale, 0.001)
+        granted = event.wait(timeout_s)
+        if granted:
+            return None
+        with self.latch:
+            if ticket.granted:
+                return None
+            if ticket.cancel is not None:
+                ticket.cancel()
+        return LockTimeout(
+            f"lock wait timed out on {ticket.resource} (threaded runtime)"
+        )
+
+
+def run_threaded(generators, *, time_scale: float = 0.0005) -> None:
+    """Convenience: run generators under real threads and join."""
+    runtime = ThreadedRuntime(time_scale=time_scale)
+    runtime.run(list(generators))

@@ -1,0 +1,188 @@
+"""SPLID allocation: initial labeling gaps and insert-between overflow.
+
+Section 3.2 of the paper: upon initial document storage only odd division
+values are assigned, spaced by the ``dist`` parameter (children receive
+``dist+1``, ``2*dist+1``, ...).  A later insertion between two existing
+siblings that leaves no odd value free falls back to the *overflow*
+mechanism -- an even division is appended and the search continues one
+position deeper, e.g. the node inserted between ``1.3.3`` and ``1.3.5``
+receives ``1.3.4.3``.
+
+Existing SPLIDs are immutable: allocation never relabels present nodes.
+The property-based tests assert the invariants the paper relies on:
+
+* the new label sorts strictly between its neighbours,
+* the new label is a child of the requested parent (correct level),
+* repeated insertions at the same position always succeed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.errors import SplidError
+from repro.splid.splid import Splid
+
+#: Default labeling gap; the paper recommends dist=2 for almost static
+#: documents and larger values for update-heavy ones.
+DEFAULT_DIST = 2
+
+
+def _first_odd_above(value: int) -> int:
+    """Smallest odd integer strictly greater than ``value``."""
+    return value + 1 if value % 2 == 0 else value + 2
+
+
+def _suffix_after(lo: Sequence[int], dist: int) -> Tuple[int, ...]:
+    """A sibling suffix strictly greater than ``lo`` (no upper neighbour)."""
+    nxt = lo[0] + dist
+    if nxt % 2 == 0:
+        nxt += 1
+    if nxt <= lo[0]:
+        nxt = _first_odd_above(lo[0])
+    return (nxt,)
+
+
+def _suffix_before(hi: Sequence[int], dist: int) -> Tuple[int, ...]:
+    """A sibling suffix strictly smaller than ``hi`` (no lower neighbour).
+
+    Division values 1 are reserved for attribute roots / string nodes, so
+    the smallest usable odd division is 3 and the smallest usable even
+    (overflow) division is 2.
+    """
+    if hi[0] >= 4:
+        d = hi[0] - 1 if hi[0] % 2 == 0 else hi[0] - 2
+        if d >= 3:
+            return (d,)
+    # hi[0] == 3 (or 2): descend below it via overflow division 2.
+    if hi[0] == 2:
+        return (2,) + _suffix_before(hi[1:], dist)
+    return (2, dist + 1)
+
+
+def _suffix_between(lo: Sequence[int], hi: Sequence[int], dist: int) -> Tuple[int, ...]:
+    """A sibling suffix strictly between ``lo`` and ``hi``.
+
+    Both arguments are sibling suffixes: zero or more even overflow
+    divisions followed by exactly one odd division.  The result has the
+    same shape, which keeps the level of the new node identical to its
+    siblings.
+    """
+    l0, h0 = lo[0], hi[0]
+    if h0 - l0 >= 2:
+        cand = _first_odd_above(l0)
+        if cand < h0:
+            return (cand,)
+        # l0 and h0 are consecutive odd values (h0 == l0 + 2): overflow.
+        return (l0 + 1, dist + 1)
+    if h0 == l0:
+        # Shared (necessarily even) overflow division: recurse deeper.
+        return (l0,) + _suffix_between(lo[1:], hi[1:], dist)
+    # h0 == l0 + 1: one side is even.
+    if l0 % 2 == 1:
+        # lo == (l0,) exactly; slot below hi's first division.
+        return (h0,) + _suffix_before(hi[1:], dist)
+    # l0 even: hi == (h0,) with h0 odd; extend past lo under l0.
+    return (l0,) + _suffix_after(lo[1:], dist)
+
+
+class SplidAllocator:
+    """Allocates child and sibling labels for one document.
+
+    The allocator is a pure label calculator: it keeps no per-document
+    state beyond the ``dist`` parameter, because every decision can be made
+    from the labels of the neighbours alone.  That statelessness is what
+    lets concurrent transactions allocate labels under ordinary node locks.
+    """
+
+    def __init__(self, dist: int = DEFAULT_DIST):
+        if dist < 2 or dist % 2 != 0:
+            raise SplidError(f"dist must be an even value >= 2, got {dist}")
+        self.dist = dist
+
+    # -- initial (bulk) labeling -------------------------------------------
+
+    def initial_children(self, parent: Splid, count: int) -> Tuple[Splid, ...]:
+        """Labels for ``count`` children of a freshly stored node.
+
+        Only odd divisions spaced by ``dist`` are handed out, leaving gaps
+        for later insertions (``dist+1``, ``2*dist+1``, ...).
+        """
+        return tuple(
+            parent.child(index * self.dist + self.dist + 1)
+            for index in range(count)
+        )
+
+    def nth_initial_child(self, parent: Splid, index: int) -> Splid:
+        """Label of the ``index``-th (0-based) initially stored child."""
+        return parent.child(index * self.dist + self.dist + 1)
+
+    # -- dynamic insertion ---------------------------------------------------
+
+    def between(
+        self,
+        parent: Splid,
+        before: Optional[Splid],
+        after: Optional[Splid],
+    ) -> Splid:
+        """Label for a node inserted between two siblings.
+
+        ``before`` / ``after`` are the existing left / right neighbours (or
+        ``None`` at either end of the child list).  Both must be children
+        of ``parent``.
+        """
+        lo = self._check_child_suffix(parent, before, "before")
+        hi = self._check_child_suffix(parent, after, "after")
+        if lo is None and hi is None:
+            suffix: Tuple[int, ...] = (self.dist + 1,)
+        elif hi is None:
+            suffix = _suffix_after(lo, self.dist)  # type: ignore[arg-type]
+        elif lo is None:
+            suffix = _suffix_before(hi, self.dist)
+        else:
+            if tuple(lo) >= tuple(hi):
+                raise SplidError(
+                    f"neighbours out of order: {before} !< {after}"
+                )
+            suffix = _suffix_between(lo, hi, self.dist)
+        return parent.with_suffix(suffix)
+
+    def first_child(self, parent: Splid, existing_first: Optional[Splid]) -> Splid:
+        """Label for a node inserted as the new first child."""
+        return self.between(parent, None, existing_first)
+
+    def last_child(self, parent: Splid, existing_last: Optional[Splid]) -> Splid:
+        """Label for a node appended as the new last child."""
+        return self.between(parent, existing_last, None)
+
+    # -- meta nodes ----------------------------------------------------------
+
+    def attribute_root(self, element: Splid) -> Splid:
+        return element.attribute_root
+
+    def attribute(self, attribute_root: Splid, index: int) -> Splid:
+        """Label for the ``index``-th attribute below an attribute root."""
+        return self.nth_initial_child(attribute_root, index)
+
+    def string_node(self, owner: Splid) -> Splid:
+        return owner.string_node
+
+    # -- internals -----------------------------------------------------------
+
+    @staticmethod
+    def _check_child_suffix(
+        parent: Splid, neighbour: Optional[Splid], role: str
+    ) -> Optional[Tuple[int, ...]]:
+        if neighbour is None:
+            return None
+        if not parent.is_ancestor_of(neighbour):
+            raise SplidError(
+                f"{role} neighbour {neighbour} is not below parent {parent}"
+            )
+        suffix = neighbour.local_suffix(parent)
+        odd_count = sum(1 for d in suffix if d % 2 == 1)
+        if odd_count != 1:
+            raise SplidError(
+                f"{role} neighbour {neighbour} is not a direct child of {parent}"
+            )
+        return suffix

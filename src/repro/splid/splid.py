@@ -1,0 +1,238 @@
+"""Stable path labeling identifiers (SPLIDs).
+
+SPLIDs are the prefix-based (Dewey / ORDPATH-style) node labels described in
+Section 3.2 of the paper.  A SPLID is a sequence of integer *divisions*:
+
+* the label of a node contains the label of its parent as a prefix;
+* **odd** division values indicate a level transition;
+* **even** division values are an overflow mechanism for labels inserted
+  between existing siblings (they do not add a level);
+* division value ``1`` at levels below the root labels the *virtually
+  expanded* nodes of the taDOM storage model: attribute roots and string
+  nodes (where sibling order does not matter).
+
+Examples from the paper: ``1.3.3`` and ``1.3.5`` are consecutive nodes at
+level 3; a node inserted between them receives ``1.3.4.3``.  Levels are
+obtained by counting odd divisions, document order by plain division-wise
+comparison, and the ancestor labels by truncating divisions -- all without
+touching the stored document, which is what makes intention locking along
+the ancestor path cheap.
+
+This module implements the label value type.  Allocation of new labels
+(including the ``dist`` gap parameter) lives in
+:mod:`repro.splid.allocator`; order-preserving byte encoding in
+:mod:`repro.splid.codec`.
+"""
+
+from __future__ import annotations
+
+from functools import total_ordering
+from typing import Iterator, Optional, Sequence, Tuple
+
+from repro.errors import SplidError
+
+#: Division value reserved for attribute roots and string nodes.
+META_DIVISION = 1
+
+
+@total_ordering
+class Splid:
+    """An immutable, order-comparable stable path labeling identifier.
+
+    Instances are hashable and compare in *document order*: ancestors sort
+    before their descendants, and siblings sort by their division values.
+    """
+
+    __slots__ = ("_divisions",)
+
+    def __init__(self, divisions: Sequence[int]):
+        divs = tuple(int(d) for d in divisions)
+        if not divs:
+            raise SplidError("a SPLID needs at least one division")
+        if divs[0] != 1:
+            raise SplidError(f"document root division must be 1, got {divs[0]}")
+        for d in divs[1:]:
+            if d < 1:
+                raise SplidError(f"division values must be >= 1, got {d}")
+        if divs[-1] % 2 == 0:
+            raise SplidError(
+                f"a SPLID must end with an odd division, got {divs!r}"
+            )
+        self._divisions = divs
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def root(cls) -> "Splid":
+        """The label of the document root element, ``1``."""
+        return cls((1,))
+
+    @classmethod
+    def parse(cls, text: str) -> "Splid":
+        """Parse the dotted notation used throughout the paper, e.g.
+        ``"1.3.4.3"``."""
+        try:
+            divisions = tuple(int(part) for part in text.split("."))
+        except ValueError as exc:
+            raise SplidError(f"malformed SPLID text {text!r}") from exc
+        return cls(divisions)
+
+    # -- basic accessors ---------------------------------------------------
+
+    @property
+    def divisions(self) -> Tuple[int, ...]:
+        """The raw division tuple."""
+        return self._divisions
+
+    @property
+    def level(self) -> int:
+        """Tree level of the labeled node; the document root is level 0.
+
+        The level is the number of odd divisions minus one -- even
+        (overflow) divisions do not open a level.
+        """
+        return sum(1 for d in self._divisions if d % 2 == 1) - 1
+
+    @property
+    def is_root(self) -> bool:
+        return self._divisions == (1,)
+
+    @property
+    def is_meta(self) -> bool:
+        """True for attribute-root and string-node labels (division 1)."""
+        return len(self._divisions) > 1 and self._divisions[-1] == META_DIVISION
+
+    # -- tree relationships ------------------------------------------------
+
+    @property
+    def parent(self) -> Optional["Splid"]:
+        """The SPLID of the parent node, or ``None`` for the root.
+
+        The final (odd) division is removed together with any overflow
+        (even) divisions in front of it, so the result again ends with an
+        odd division.
+        """
+        if self.is_root:
+            return None
+        divs = list(self._divisions[:-1])
+        while divs and divs[-1] % 2 == 0:
+            divs.pop()
+        return Splid(divs)
+
+    def ancestors(self) -> Iterator["Splid"]:
+        """Yield the ancestor labels from the parent up to the root.
+
+        This is the operation the paper calls performance-critical for
+        intention locking: it needs *no* document access.
+        """
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def ancestors_bottom_up(self) -> Tuple["Splid", ...]:
+        """All ancestors, parent first, root last (materialized)."""
+        return tuple(self.ancestors())
+
+    def ancestors_top_down(self) -> Tuple["Splid", ...]:
+        """All ancestors, root first, parent last."""
+        return tuple(reversed(tuple(self.ancestors())))
+
+    def ancestor_at_level(self, level: int) -> "Splid":
+        """The ancestor-or-self label at the given tree level.
+
+        Raises :class:`SplidError` if this node is above ``level``.  Used by
+        the lock-depth mechanism: accesses below lock depth *n* are covered
+        by a subtree lock on the level-*n* ancestor.
+        """
+        own = self.level
+        if level > own:
+            raise SplidError(
+                f"{self} is at level {own}, cannot take ancestor at {level}"
+            )
+        if level == own:
+            return self
+        node = self
+        while node.level > level:
+            node = node.parent  # type: ignore[assignment]  # never root here
+        return node
+
+    def is_ancestor_of(self, other: "Splid") -> bool:
+        """Strict ancestor test via prefix comparison (no document access)."""
+        mine = self._divisions
+        theirs = other._divisions
+        return len(mine) < len(theirs) and theirs[: len(mine)] == mine
+
+    def is_descendant_of(self, other: "Splid") -> bool:
+        return other.is_ancestor_of(self)
+
+    def is_self_or_descendant_of(self, other: "Splid") -> bool:
+        return self == other or other.is_ancestor_of(self)
+
+    def common_ancestor(self, other: "Splid") -> "Splid":
+        """The lowest common ancestor-or-self of two labels."""
+        mine = self._divisions
+        theirs = other._divisions
+        shared = 0
+        for a, b in zip(mine, theirs):
+            if a != b:
+                break
+            shared += 1
+        divs = list(mine[:shared])
+        while divs and divs[-1] % 2 == 0:
+            divs.pop()
+        if not divs:
+            raise SplidError("labels do not share the document root")
+        return Splid(divs)
+
+    def child(self, division: int) -> "Splid":
+        """Append a single (odd) division, producing a child label."""
+        if division % 2 == 0:
+            raise SplidError("child labels must use an odd division")
+        return Splid(self._divisions + (division,))
+
+    def with_suffix(self, suffix: Sequence[int]) -> "Splid":
+        """Append a division suffix (used by the allocator)."""
+        return Splid(self._divisions + tuple(suffix))
+
+    @property
+    def attribute_root(self) -> "Splid":
+        """Label of this element's attribute root (division 1 child)."""
+        return Splid(self._divisions + (META_DIVISION,))
+
+    @property
+    def string_node(self) -> "Splid":
+        """Label of the string node below a text or attribute node."""
+        return Splid(self._divisions + (META_DIVISION,))
+
+    def local_suffix(self, ancestor: "Splid") -> Tuple[int, ...]:
+        """The division suffix of this label below ``ancestor``."""
+        if not ancestor.is_ancestor_of(self):
+            raise SplidError(f"{ancestor} is not an ancestor of {self}")
+        return self._divisions[len(ancestor._divisions):]
+
+    # -- ordering / identity -----------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Splid):
+            return NotImplemented
+        return self._divisions == other._divisions
+
+    def __lt__(self, other: "Splid") -> bool:
+        if not isinstance(other, Splid):
+            return NotImplemented
+        return self._divisions < other._divisions
+
+    def __hash__(self) -> int:
+        return hash(self._divisions)
+
+    def __str__(self) -> str:
+        return ".".join(str(d) for d in self._divisions)
+
+    def __repr__(self) -> str:
+        return f"Splid({self})"
+
+
+def document_order(labels: Sequence[Splid]) -> list:
+    """Return the labels sorted in document order (convenience helper)."""
+    return sorted(labels)

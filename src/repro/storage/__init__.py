@@ -1,0 +1,40 @@
+"""Storage substrate: pages, buffer manager, B*-trees, and indexes.
+
+Implements Section 3.1/3.2 of the paper: the document container and
+document index as one B*-tree keyed by SPLID bytes, the element index
+(name directory + node-reference indexes), the ID index for direct jumps,
+the vocabulary of name surrogates, and an LRU buffer manager whose I/O
+counters feed the TaMix cost model.
+"""
+
+from repro.storage.bptree import BPTree, prefix_upper_bound
+from repro.storage.buffer import (
+    BufferManager,
+    IoStatistics,
+    PageFile,
+    make_buffered_store,
+)
+from repro.storage.document_store import DocumentStore
+from repro.storage.element_index import ElementIndex, IdIndex
+from repro.storage.page import DEFAULT_PAGE_SIZE, Page, entry_size
+from repro.storage.record import NO_NAME, NodeKind, NodeRecord
+from repro.storage.vocabulary import Vocabulary
+
+__all__ = [
+    "BPTree",
+    "BufferManager",
+    "DEFAULT_PAGE_SIZE",
+    "DocumentStore",
+    "ElementIndex",
+    "IdIndex",
+    "IoStatistics",
+    "NO_NAME",
+    "NodeKind",
+    "NodeRecord",
+    "Page",
+    "PageFile",
+    "Vocabulary",
+    "entry_size",
+    "make_buffered_store",
+    "prefix_upper_bound",
+]

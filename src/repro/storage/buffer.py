@@ -1,0 +1,168 @@
+"""Buffer manager: a fixed-size LRU page pool with I/O accounting.
+
+The paper attributes part of the lock-protocol cost differences to disk
+accesses (e.g. the *-2PL subtree scans in CLUSTER2 "may include accesses to
+disks").  The buffer manager makes those costs observable: every page
+access is a *logical* read; accesses to pages not resident in the pool are
+*physical* reads.  The TaMix cost model converts these counters into
+simulated time.
+
+Pages live in a :class:`PageFile` (the "disk").  Residency is what the
+LRU pool tracks; page contents are shared Python objects either way, which
+keeps the simulation cheap while the hit/miss behaviour stays faithful.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import StorageError
+from repro.storage.page import DEFAULT_PAGE_SIZE, Page
+
+
+@dataclass
+class IoStatistics:
+    """Counters the cost model and the storage examples read."""
+
+    logical_reads: int = 0
+    physical_reads: int = 0
+    physical_writes: int = 0
+    evictions: int = 0
+
+    def snapshot(self) -> "IoStatistics":
+        return IoStatistics(
+            self.logical_reads,
+            self.physical_reads,
+            self.physical_writes,
+            self.evictions,
+        )
+
+    def delta_since(self, earlier: "IoStatistics") -> "IoStatistics":
+        return IoStatistics(
+            self.logical_reads - earlier.logical_reads,
+            self.physical_reads - earlier.physical_reads,
+            self.physical_writes - earlier.physical_writes,
+            self.evictions - earlier.evictions,
+        )
+
+    @property
+    def hit_ratio(self) -> float:
+        if self.logical_reads == 0:
+            return 1.0
+        return 1.0 - self.physical_reads / self.logical_reads
+
+
+class PageFile:
+    """The backing store ("disk"): allocates and owns all pages."""
+
+    def __init__(self, page_size: int = DEFAULT_PAGE_SIZE):
+        self.page_size = page_size
+        self._pages: Dict[int, Page] = {}
+        self._next_id = 0
+
+    def allocate(self) -> Page:
+        page = Page(self._next_id, self.page_size)
+        self._pages[self._next_id] = page
+        self._next_id += 1
+        return page
+
+    def free(self, page_id: int) -> None:
+        self._pages.pop(page_id, None)
+
+    def read(self, page_id: int) -> Page:
+        try:
+            return self._pages[page_id]
+        except KeyError:
+            raise StorageError(f"page {page_id} does not exist") from None
+
+    def __contains__(self, page_id: int) -> bool:
+        return page_id in self._pages
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def occupancy(self) -> float:
+        """Mean occupancy over all allocated pages (paper: > 96 %)."""
+        if not self._pages:
+            return 0.0
+        return sum(p.occupancy for p in self._pages.values()) / len(self._pages)
+
+
+class BufferManager:
+    """LRU page pool in front of a :class:`PageFile`.
+
+    ``fix`` brings a page into the pool (counting a physical read on a
+    miss) and returns it.  Newly allocated pages enter the pool resident
+    and dirty.  The pool never holds more than ``pool_size`` pages;
+    evicting a dirty page counts a physical write.
+    """
+
+    def __init__(self, page_file: PageFile, pool_size: int = 256):
+        if pool_size < 4:
+            raise StorageError(f"pool size {pool_size} is too small")
+        self.page_file = page_file
+        self.pool_size = pool_size
+        self.stats = IoStatistics()
+        self._resident: "OrderedDict[int, bool]" = OrderedDict()  # id -> dirty
+
+    # -- page access -------------------------------------------------------
+
+    def fix(self, page_id: int, *, for_update: bool = False) -> Page:
+        """Access a page, updating LRU order and I/O counters."""
+        self.stats.logical_reads += 1
+        if page_id in self._resident:
+            dirty = self._resident.pop(page_id)
+            self._resident[page_id] = dirty or for_update
+        else:
+            self.stats.physical_reads += 1
+            self._admit(page_id, dirty=for_update)
+        return self.page_file.read(page_id)
+
+    def allocate(self) -> Page:
+        """Allocate a fresh page; it enters the pool resident and dirty."""
+        page = self.page_file.allocate()
+        self._admit(page.page_id, dirty=True)
+        return page
+
+    def free(self, page_id: int) -> None:
+        """Drop a page from pool and disk (page deallocation)."""
+        self._resident.pop(page_id, None)
+        self.page_file.free(page_id)
+
+    def mark_dirty(self, page_id: int) -> None:
+        if page_id in self._resident:
+            self._resident.move_to_end(page_id)
+            self._resident[page_id] = True
+
+    def flush(self) -> None:
+        """Write back all dirty pages (checkpoint)."""
+        for page_id, dirty in self._resident.items():
+            if dirty:
+                self.stats.physical_writes += 1
+                self._resident[page_id] = False
+
+    def is_resident(self, page_id: int) -> bool:
+        return page_id in self._resident
+
+    @property
+    def resident_count(self) -> int:
+        return len(self._resident)
+
+    # -- internals -----------------------------------------------------------
+
+    def _admit(self, page_id: int, *, dirty: bool) -> None:
+        while len(self._resident) >= self.pool_size:
+            victim_id, victim_dirty = self._resident.popitem(last=False)
+            self.stats.evictions += 1
+            if victim_dirty:
+                self.stats.physical_writes += 1
+        self._resident[page_id] = dirty
+
+
+def make_buffered_store(
+    page_size: int = DEFAULT_PAGE_SIZE, pool_size: int = 256
+) -> BufferManager:
+    """Convenience constructor for a fresh page file + buffer manager."""
+    return BufferManager(PageFile(page_size), pool_size)

@@ -1,0 +1,61 @@
+"""Vocabulary: element/attribute name surrogates.
+
+"Stored tree nodes are additionally compressed by a vocabulary.  Instead
+of storing their names, surrogates (<= 2 bytes) are used to identify them"
+(Section 3.2).  The vocabulary is an append-only bidirectional map from
+names to 16-bit surrogates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from repro.errors import VocabularyError
+
+#: Two-byte surrogates bound the vocabulary size.
+MAX_SURROGATES = 1 << 16
+
+
+class Vocabulary:
+    """Bidirectional name <-> surrogate map for one document container."""
+
+    def __init__(self):
+        self._by_name: Dict[str, int] = {}
+        self._by_surrogate: List[str] = []
+
+    def __len__(self) -> int:
+        return len(self._by_surrogate)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def intern(self, name: str) -> int:
+        """Return the surrogate for ``name``, assigning one if new."""
+        surrogate = self._by_name.get(name)
+        if surrogate is not None:
+            return surrogate
+        if len(self._by_surrogate) >= MAX_SURROGATES:
+            raise VocabularyError("vocabulary exhausted (65536 names)")
+        surrogate = len(self._by_surrogate)
+        self._by_name[name] = surrogate
+        self._by_surrogate.append(name)
+        return surrogate
+
+    def surrogate_of(self, name: str) -> int:
+        """Surrogate lookup without interning; raises if unknown."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise VocabularyError(f"unknown name {name!r}") from None
+
+    def name_of(self, surrogate: int) -> str:
+        if 0 <= surrogate < len(self._by_surrogate):
+            return self._by_surrogate[surrogate]
+        raise VocabularyError(f"unknown surrogate {surrogate}")
+
+    def items(self) -> Iterator[Tuple[str, int]]:
+        return iter(self._by_name.items())
+
+    def encoded_size(self) -> int:
+        """Approximate on-disk footprint of the name directory."""
+        return sum(len(name.encode("utf-8")) + 3 for name in self._by_surrogate)

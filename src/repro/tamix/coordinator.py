@@ -1,0 +1,128 @@
+"""TaMix clients and coordinator (Section 4.3).
+
+The coordinator keeps a fixed population of transaction slots active for
+the whole run -- CLUSTER1's 3 clients x 24 transactions = 72.  Each slot
+waits a random initial delay (0..5000 ms), then loops: begin a
+transaction, run its program, commit, wait ``waitAfterCommit``, restart.
+A deadlock victim is rolled back, counted as aborted, and the slot
+restarts a fresh transaction of the same type after a backoff -- keeping
+the configured number of transactions active, as the paper describes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.database import Database
+from repro.errors import BenchmarkError, DeadlockAbort, TransactionAborted
+from repro.locking.lock_manager import IsolationLevel
+from repro.sched.simulator import Delay, Simulator
+from repro.tamix.bibgen import BibInfo
+from repro.tamix.metrics import RunResult
+from repro.tamix.transactions import TRANSACTION_TYPES
+
+
+@dataclass
+class TaMixConfig:
+    """Run parameters (paper values as defaults, duration configurable)."""
+
+    protocol: str = "taDOM3+"
+    lock_depth: int = 4
+    isolation: str = "repeatable"
+    #: Simulated run duration; the paper uses 5 minutes (300000 ms).
+    run_duration_ms: float = 60_000.0
+    wait_after_commit_ms: float = 2_500.0
+    wait_after_operation_ms: float = 100.0
+    initial_wait_max_ms: float = 5_000.0
+    restart_backoff_max_ms: float = 2_500.0
+    clients: int = 3
+    #: Per-client transaction mix (CLUSTER1 by default).
+    mix: Dict[str, int] = field(
+        default_factory=lambda: {
+            "TAqueryBook": 9,
+            "TAchapter": 5,
+            "TArenameTopic": 2,
+            "TAlendAndReturn": 8,
+        }
+    )
+    seed: int = 42
+
+    @property
+    def wait_after_operation(self) -> float:
+        return self.wait_after_operation_ms
+
+    @property
+    def active_transactions(self) -> int:
+        return self.clients * sum(self.mix.values())
+
+
+class TaMixCoordinator:
+    """Runs one benchmark configuration against one database."""
+
+    def __init__(self, database: Database, info: BibInfo, config: TaMixConfig):
+        if database.document is not info.document:
+            raise BenchmarkError("database and BibInfo use different documents")
+        self.database = database
+        self.info = info
+        self.config = config
+        self.result = RunResult(
+            protocol=config.protocol,
+            lock_depth=config.lock_depth,
+            isolation=config.isolation,
+            run_duration_ms=config.run_duration_ms,
+        )
+
+    def run(self) -> RunResult:
+        sim = Simulator()
+        self.database.set_clock(lambda: sim.now)
+        rng = random.Random(self.config.seed)
+        slot = 0
+        for _client in range(self.config.clients):
+            for txn_type, count in self.config.mix.items():
+                if txn_type not in TRANSACTION_TYPES:
+                    raise BenchmarkError(f"unknown transaction type {txn_type}")
+                for _i in range(count):
+                    slot += 1
+                    slot_rng = random.Random(rng.randrange(2 ** 62))
+                    sim.spawn(
+                        self._slot(sim, txn_type, slot_rng),
+                        name=f"{txn_type}-{slot}",
+                    )
+        sim.run(until=self.config.run_duration_ms)
+        self._collect()
+        return self.result
+
+    # -- internals -----------------------------------------------------------
+
+    def _slot(self, sim: Simulator, txn_type: str, rng: random.Random):
+        """One continuously active transaction slot."""
+        cfg = self.config
+        program = TRANSACTION_TYPES[txn_type]
+        yield Delay(rng.uniform(0.0, cfg.initial_wait_max_ms))
+        while sim.now < cfg.run_duration_ms:
+            txn = self.database.begin(txn_type, cfg.isolation)
+            started = sim.now
+            try:
+                yield from program(
+                    self.database.nodes, txn, rng, self.info, cfg
+                )
+            except TransactionAborted as abort:
+                # Deadlock victim or lock-wait timeout: roll back, count
+                # the abort, and restart a fresh transaction of the same
+                # type after a backoff (keeping the population active).
+                self.database.abort(txn)
+                kind = "deadlock" if isinstance(abort, DeadlockAbort) else "timeout"
+                self.result.by_type[txn_type].record_abort(kind)
+                yield Delay(rng.uniform(0.0, cfg.restart_backoff_max_ms))
+                continue
+            self.database.commit(txn)
+            self.result.by_type[txn_type].record_commit(sim.now - started)
+            yield Delay(cfg.wait_after_commit_ms)
+
+    def _collect(self) -> None:
+        detector = self.database.locks.detector
+        self.result.deadlocks = detector.count()
+        self.result.deadlocks_by_kind = detector.counts_by_kind()
+        self.result.lock_stats = self.database.locks.lock_statistics()

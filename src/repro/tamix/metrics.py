@@ -1,0 +1,113 @@
+"""TaMix performance metrics (Section 4.1).
+
+"We could specifically realize the following performance metrics for each
+experiment: number of committed and aborted transactions for a
+pre-specified lock depth and isolation level; average, maximal, and
+minimal duration of a transaction of a given type; number and type of
+deadlocks for a lock protocol."
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class TypeMetrics:
+    """Counters for one transaction type."""
+
+    committed: int = 0
+    aborted: int = 0
+    deadlock_aborts: int = 0
+    timeout_aborts: int = 0
+    durations: List[float] = field(default_factory=list)
+
+    def record_commit(self, duration_ms: float) -> None:
+        self.committed += 1
+        self.durations.append(duration_ms)
+
+    def record_abort(self, kind: str = "deadlock") -> None:
+        self.aborted += 1
+        if kind == "deadlock":
+            self.deadlock_aborts += 1
+        else:
+            self.timeout_aborts += 1
+
+    @property
+    def avg_duration(self) -> Optional[float]:
+        if not self.durations:
+            return None
+        return sum(self.durations) / len(self.durations)
+
+    @property
+    def min_duration(self) -> Optional[float]:
+        return min(self.durations) if self.durations else None
+
+    @property
+    def max_duration(self) -> Optional[float]:
+        return max(self.durations) if self.durations else None
+
+
+@dataclass
+class RunResult:
+    """The outcome of one TaMix benchmark run."""
+
+    protocol: str
+    lock_depth: int
+    isolation: str
+    run_duration_ms: float
+    by_type: Dict[str, TypeMetrics] = field(
+        default_factory=lambda: defaultdict(TypeMetrics)
+    )
+    deadlocks: int = 0
+    deadlocks_by_kind: Dict[str, int] = field(default_factory=dict)
+    lock_stats: Dict[str, int] = field(default_factory=dict)
+
+    # -- the paper's headline numbers ---------------------------------------
+
+    @property
+    def committed(self) -> int:
+        """Total committed transactions (the figures' throughput axis)."""
+        return sum(m.committed for m in self.by_type.values())
+
+    @property
+    def aborted(self) -> int:
+        return sum(m.aborted for m in self.by_type.values())
+
+    def committed_of(self, txn_type: str) -> int:
+        return self.by_type[txn_type].committed
+
+    def aborted_of(self, txn_type: str) -> int:
+        return self.by_type[txn_type].aborted
+
+    def normalized_throughput(self, window_ms: float = 300_000.0) -> float:
+        """Committed transactions per paper-sized (5-minute) window."""
+        if self.run_duration_ms <= 0:
+            return 0.0
+        return self.committed * window_ms / self.run_duration_ms
+
+    # -- reporting ---------------------------------------------------------------
+
+    def row(self) -> Dict[str, object]:
+        return {
+            "protocol": self.protocol,
+            "lock_depth": self.lock_depth,
+            "isolation": self.isolation,
+            "committed": self.committed,
+            "aborted": self.aborted,
+            "deadlocks": self.deadlocks,
+        }
+
+    def summary(self) -> str:
+        per_type = "  ".join(
+            f"{name}={metrics.committed}/{metrics.aborted}"
+            for name, metrics in sorted(self.by_type.items())
+        )
+        return (
+            f"{self.protocol:<9} depth={self.lock_depth} "
+            f"{self.isolation:<11} committed={self.committed:<5} "
+            f"aborted={self.aborted:<5} deadlocks={self.deadlocks:<5} "
+            f"[{per_type}]"
+        )

@@ -1,0 +1,92 @@
+"""Reporting helpers: paper-style ASCII charts for the figure benchmarks.
+
+The evaluation figures of the paper are line charts over lock depth and
+bar charts per protocol.  These renderers produce the same shapes as
+monospace text, so the benchmark results files double as figures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence
+
+_GLYPHS = "*o+x#@%&"
+
+
+def line_chart(
+    series: Mapping[str, Sequence[float]],
+    *,
+    x_labels: Sequence[object],
+    title: str = "",
+    height: int = 12,
+    y_label: str = "",
+) -> str:
+    """Render several aligned series as an ASCII line chart.
+
+    ``series`` maps a name to one value per x position (the lock-depth
+    sweeps of Figures 7, 9, 10).
+    """
+    names = list(series)
+    if not names:
+        return title
+    columns = len(x_labels)
+    peak = max((max(values) for values in series.values()), default=0.0)
+    peak = max(peak, 1.0)
+    grid = [[" "] * (columns * 4) for _row in range(height)]
+    for index, name in enumerate(names):
+        glyph = _GLYPHS[index % len(_GLYPHS)]
+        for x, value in enumerate(series[name]):
+            row = height - 1 - int(round((value / peak) * (height - 1)))
+            grid[row][x * 4 + 1] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        level = peak * (height - 1 - row_index) / (height - 1)
+        lines.append(f"{level:8.0f} |" + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * (columns * 4))
+    lines.append(
+        " " * 10 + "".join(f"{str(label):<4}" for label in x_labels)
+        + ("  " + y_label if y_label else "")
+    )
+    legend = "   ".join(
+        f"{_GLYPHS[i % len(_GLYPHS)]} {name}" for i, name in enumerate(names)
+    )
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    *,
+    title: str = "",
+    width: int = 48,
+    unit: str = "",
+) -> str:
+    """Render a name -> value mapping as horizontal ASCII bars
+    (the Figure 8/11 per-protocol comparisons)."""
+    if not values:
+        return title
+    peak = max(max(values.values()), 1e-9)
+    lines = [title] if title else []
+    for name, value in values.items():
+        bar = "#" * max(1, int(round((value / peak) * width))) if value else ""
+        lines.append(f"  {name:<10} {value:10.2f} {unit:<3} |{bar}")
+    return "\n".join(lines)
+
+
+def mode_profile_table(
+    profiles: Mapping[str, Mapping[str, int]],
+    *,
+    title: str = "",
+    top: Optional[int] = None,
+) -> str:
+    """Tabulate per-protocol lock-mode usage side by side."""
+    lines = [title] if title else []
+    for protocol, profile in profiles.items():
+        entries = sorted(profile.items(), key=lambda kv: -kv[1])
+        if top is not None:
+            entries = entries[:top]
+        rendered = "  ".join(f"{mode}={count}" for mode, count in entries)
+        lines.append(f"  {protocol:<10} {rendered}")
+    return "\n".join(lines)

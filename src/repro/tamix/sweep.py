@@ -1,0 +1,167 @@
+"""The automated measurement environment (Section 4.1).
+
+"Therefore, we had to design tailored benchmarks together with an
+automated measurement environment."  This module is that environment: it
+expands an experiment matrix (protocols x lock depths x isolation levels
+x repetitions), runs every cell, aggregates repetitions, and persists the
+results as CSV/JSON so figures can be regenerated without re-running.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.registry import get_protocol
+from repro.errors import BenchmarkError
+from repro.tamix.cluster import run_cluster1
+from repro.tamix.metrics import RunResult
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One point of the experiment matrix."""
+
+    protocol: str
+    lock_depth: int
+    isolation: str
+    run: int = 0
+
+
+@dataclass
+class CellResult:
+    """Aggregated repetitions of one cell."""
+
+    cell: SweepCell
+    committed: float = 0.0
+    aborted: float = 0.0
+    deadlocks: float = 0.0
+    runs: int = 0
+    by_type: Dict[str, float] = field(default_factory=dict)
+
+    def as_row(self) -> Dict[str, object]:
+        row: Dict[str, object] = {
+            "protocol": self.cell.protocol,
+            "lock_depth": self.cell.lock_depth,
+            "isolation": self.cell.isolation,
+            "runs": self.runs,
+            "committed": round(self.committed, 2),
+            "aborted": round(self.aborted, 2),
+            "deadlocks": round(self.deadlocks, 2),
+        }
+        for txn_type, value in sorted(self.by_type.items()):
+            row[txn_type] = round(value, 2)
+        return row
+
+
+@dataclass
+class SweepSpec:
+    """An experiment matrix, in the spirit of the paper's test plans.
+
+    The paper's CLUSTER1 plan: "isolation levels: none, uncommitted,
+    committed, repeatable; lock depths where applicable: 0 to 7; number
+    of runs per isolation level and lock depth: 4; run duration: 5 mins".
+    """
+
+    protocols: Sequence[str]
+    lock_depths: Sequence[int] = (0, 1, 2, 3, 4, 5, 6, 7)
+    isolations: Sequence[str] = ("repeatable",)
+    runs_per_cell: int = 1
+    scale: float = 0.1
+    run_duration_ms: float = 60_000.0
+    base_seed: int = 42
+
+    def cells(self) -> Iterable[SweepCell]:
+        if self.runs_per_cell < 1:
+            raise BenchmarkError("runs_per_cell must be >= 1")
+        for protocol in self.protocols:
+            depth_aware = get_protocol(protocol).supports_lock_depth
+            depths = self.lock_depths if depth_aware else (self.lock_depths[0],)
+            for depth in depths:
+                for isolation in self.isolations:
+                    for run in range(self.runs_per_cell):
+                        yield SweepCell(protocol, depth, isolation, run)
+
+
+class SweepRunner:
+    """Runs a :class:`SweepSpec` and aggregates per-cell repetitions."""
+
+    def __init__(self, spec: SweepSpec):
+        self.spec = spec
+        self.results: Dict[Tuple[str, int, str], CellResult] = {}
+
+    def run(self, *, progress=None) -> List[CellResult]:
+        for cell in self.spec.cells():
+            outcome = run_cluster1(
+                cell.protocol,
+                lock_depth=cell.lock_depth,
+                isolation=cell.isolation,
+                scale=self.spec.scale,
+                run_duration_ms=self.spec.run_duration_ms,
+                seed=self.spec.base_seed + cell.run,
+            )
+            self._aggregate(cell, outcome)
+            if progress is not None:
+                progress(cell, outcome)
+        return self.sorted_results()
+
+    def sorted_results(self) -> List[CellResult]:
+        return [
+            self.results[key]
+            for key in sorted(self.results, key=lambda k: (k[0], k[2], k[1]))
+        ]
+
+    # -- persistence ---------------------------------------------------------
+
+    def to_csv(self) -> str:
+        results = self.sorted_results()
+        if not results:
+            return ""
+        fieldnames = list(results[0].as_row())
+        for result in results:
+            for key in result.as_row():
+                if key not in fieldnames:
+                    fieldnames.append(key)
+        out = io.StringIO()
+        writer = csv.DictWriter(out, fieldnames=fieldnames, restval=0)
+        writer.writeheader()
+        for result in results:
+            writer.writerow(result.as_row())
+        return out.getvalue()
+
+    def to_json(self) -> str:
+        return json.dumps(
+            [result.as_row() for result in self.sorted_results()], indent=2
+        )
+
+    def series(self, metric: str = "committed",
+               isolation: Optional[str] = None) -> Dict[str, List[float]]:
+        """Per-protocol series over lock depth (line-chart ready)."""
+        isolation = isolation or self.spec.isolations[0]
+        series: Dict[str, List[float]] = {}
+        for result in self.sorted_results():
+            if result.cell.isolation != isolation:
+                continue
+            value = getattr(result, metric)
+            series.setdefault(result.cell.protocol, []).append(value)
+        return series
+
+    # -- internals -----------------------------------------------------------------
+
+    def _aggregate(self, cell: SweepCell, outcome: RunResult) -> None:
+        key = (cell.protocol, cell.lock_depth, cell.isolation)
+        slot = self.results.get(key)
+        if slot is None:
+            slot = CellResult(SweepCell(*key))
+            self.results[key] = slot
+        n = slot.runs
+        slot.committed = (slot.committed * n + outcome.committed) / (n + 1)
+        slot.aborted = (slot.aborted * n + outcome.aborted) / (n + 1)
+        slot.deadlocks = (slot.deadlocks * n + outcome.deadlocks) / (n + 1)
+        for txn_type, metrics in outcome.by_type.items():
+            previous = slot.by_type.get(txn_type, 0.0)
+            slot.by_type[txn_type] = (previous * n + metrics.committed) / (n + 1)
+        slot.runs = n + 1

@@ -1,0 +1,161 @@
+"""The five TaMix transaction types (Section 4.2).
+
+Each transaction is a generator taking the node manager, a transaction
+object, a seeded RNG, the :class:`~repro.tamix.bibgen.BibInfo`, and the
+TaMix configuration.  Client think time (waitAfterOperation) is charged
+per visited node, emulating the operation-by-operation pacing of the
+paper's clients without exploding the event count.
+
+* **TAqueryBook** -- direct jump to a random book (via ID / index) and a
+  navigational read of its whole subtree.  Pure reader: provides the
+  continuous load the IUD transactions compete against.
+* **TAchapter** -- the same read profile followed by an update of one
+  chapter text node (read -> write conversion).
+* **TAdelBook** -- read profile on a random topic followed by deletion of
+  a book subtree (the CLUSTER2 transaction).
+* **TAlendAndReturn** -- direct jump to a random book, navigation into its
+  history, then updates, deletions, and insertions of lend elements.
+* **TArenameTopic** -- direct jump to a random topic and a rename.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Generator
+
+from repro.core.protocol import Access
+from repro.dom.node_manager import NodeManager
+from repro.sched.simulator import Delay
+from repro.splid import Splid
+from repro.storage.record import NodeKind
+from repro.tamix.bibgen import BibInfo
+from repro.txn.transaction import Transaction
+
+#: Synonyms used by TArenameTopic.
+_TOPIC_NAMES = ("topic", "subject", "category", "area")
+
+
+def _think(cfg, units: int):
+    """Client think time for ``units`` operations."""
+    if cfg.wait_after_operation > 0 and units > 0:
+        yield Delay(cfg.wait_after_operation * units)
+
+
+def ta_query_book(nm: NodeManager, txn: Transaction, rng: random.Random,
+                  info: BibInfo, cfg) -> Generator:
+    """Select a random book by ID and read all of its descendants."""
+    book_id = rng.choice(info.book_ids)
+    book = yield from nm.get_element_by_id(txn, book_id)
+    yield from _think(cfg, 1)
+    if book is None:
+        return
+    entries = yield from nm.read_subtree(txn, book)
+    yield from _think(cfg, len(entries))
+
+
+def ta_chapter(nm: NodeManager, txn: Transaction, rng: random.Random,
+               info: BibInfo, cfg) -> Generator:
+    """Read a book, then update the text of one of its chapter summaries."""
+    book_id = rng.choice(info.book_ids)
+    book = yield from nm.get_element_by_id(txn, book_id)
+    yield from _think(cfg, 1)
+    if book is None:
+        return
+    entries = yield from nm.read_subtree(txn, book)
+    yield from _think(cfg, len(entries))
+    records = dict(entries)
+    summaries = [
+        splid for splid, record in entries
+        if record.kind is NodeKind.TEXT
+        and _parent_is(records, splid, "summary", nm)
+    ]
+    if not summaries:
+        return
+    target = rng.choice(summaries)
+    yield from nm.update_content(
+        txn, target, f"revised summary {rng.randrange(10_000)}"
+    )
+    yield from _think(cfg, 1)
+
+
+def ta_del_book(nm: NodeManager, txn: Transaction, rng: random.Random,
+                info: BibInfo, cfg) -> Generator:
+    """Read a random topic's child list, then delete one book subtree."""
+    topic_id = rng.choice(info.topic_ids)
+    topic = yield from nm.get_element_by_id(txn, topic_id)
+    yield from _think(cfg, 1)
+    if topic is None:
+        return
+    books = yield from nm.get_child_nodes(txn, topic)
+    yield from _think(cfg, len(books))
+    if not books:
+        return
+    book = rng.choice(list(books))
+    entries = yield from nm.read_subtree(txn, book)
+    yield from _think(cfg, len(entries))
+    yield from nm.delete_subtree(txn, book, access=Access.JUMP)
+    yield from _think(cfg, 1)
+
+
+def ta_lend_and_return(nm: NodeManager, txn: Transaction, rng: random.Random,
+                       info: BibInfo, cfg) -> Generator:
+    """Locate a book, walk into its history, and lend/return it."""
+    book_id = rng.choice(info.book_ids)
+    book = yield from nm.get_element_by_id(txn, book_id)
+    yield from _think(cfg, 1)
+    if book is None:
+        return
+    history = yield from nm.get_last_child(txn, book)
+    yield from _think(cfg, 1)
+    if history is None:
+        return
+    lends = yield from nm.get_child_nodes(txn, history)
+    yield from _think(cfg, len(lends) + 1)
+    if lends and rng.random() < 0.5:
+        # Return: drop the oldest lend entry.
+        yield from nm.delete_subtree(txn, lends[0])
+        yield from _think(cfg, 1)
+    # Lend: attach a new lend' subtree with person and return attributes.
+    person = rng.choice(info.person_ids) if info.person_ids else "p0"
+    yield from nm.insert_tree(
+        txn,
+        history,
+        ("lend", {
+            "person": person,
+            "return": f"2006-{rng.randint(1, 12):02d}-{rng.randint(1, 28):02d}",
+        }, []),
+    )
+    yield from _think(cfg, 1)
+
+
+def ta_rename_topic(nm: NodeManager, txn: Transaction, rng: random.Random,
+                    info: BibInfo, cfg) -> Generator:
+    """Locate a topic element by a random ID and rename it."""
+    topic_id = rng.choice(info.topic_ids)
+    topic = yield from nm.get_element_by_id(txn, topic_id)
+    yield from _think(cfg, 1)
+    if topic is None:
+        return
+    yield from nm.rename_element(txn, topic, rng.choice(_TOPIC_NAMES))
+    yield from _think(cfg, 1)
+
+
+def _parent_is(records, splid: Splid, name: str, nm: NodeManager) -> bool:
+    """Is the text node's parent element called ``name``?"""
+    parent = splid.parent
+    if parent is None:
+        return False
+    record = records.get(parent)
+    if record is None or record.kind is not NodeKind.ELEMENT:
+        return False
+    return nm.document.vocabulary.name_of(record.name_surrogate) == name
+
+
+#: Transaction type registry (paper names -> programs).
+TRANSACTION_TYPES: Dict[str, object] = {
+    "TAqueryBook": ta_query_book,
+    "TAchapter": ta_chapter,
+    "TAdelBook": ta_del_book,
+    "TAlendAndReturn": ta_lend_and_return,
+    "TArenameTopic": ta_rename_topic,
+}

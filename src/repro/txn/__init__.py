@@ -1,0 +1,13 @@
+"""Transactions: lifecycle, isolation levels, undo-based rollback."""
+
+from repro.locking.lock_manager import IsolationLevel
+from repro.txn.manager import TransactionManager
+from repro.txn.transaction import Transaction, TransactionStats, TxnState
+
+__all__ = [
+    "IsolationLevel",
+    "Transaction",
+    "TransactionManager",
+    "TransactionStats",
+    "TxnState",
+]

@@ -1,0 +1,105 @@
+"""Transaction manager: begin/commit/abort with undo-based rollback.
+
+Commit releases all locks (the paper's "release locks at commit for
+isolation level repeatable read").  Abort first applies the undo log in
+reverse order against the raw document -- while still holding every lock,
+so rollback is isolated -- and then releases.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.dom.document import Document
+from repro.errors import TransactionError
+from repro.locking.lock_manager import IsolationLevel, LockManager
+from repro.txn.transaction import Transaction, TxnState
+
+
+class TransactionManager:
+    """Transaction lifecycle for one database instance."""
+
+    def __init__(
+        self,
+        document: Document,
+        lock_manager: LockManager,
+        *,
+        clock: Optional[Callable[[], float]] = None,
+        wal=None,
+    ):
+        self.document = document
+        self.lock_manager = lock_manager
+        self.wal = wal
+        self._clock = clock or (lambda: 0.0)
+        self._active: Dict[int, Transaction] = {}
+        self.committed: int = 0
+        self.aborted: int = 0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def begin(
+        self,
+        name: str = "txn",
+        isolation: "IsolationLevel | str" = IsolationLevel.REPEATABLE,
+    ) -> Transaction:
+        txn = Transaction(
+            name, IsolationLevel.parse(isolation), start_time=self._clock()
+        )
+        self._active[txn.txn_id] = txn
+        if self.wal is not None:
+            self.wal.log_begin(txn.txn_id)
+        return txn
+
+    def commit(self, txn: Transaction) -> None:
+        txn.require_active()
+        if self.wal is not None:
+            # Write-ahead discipline: the COMMIT record precedes releases.
+            self.wal.log_commit(txn.txn_id)
+        self.lock_manager.release_transaction(txn)
+        txn.state = TxnState.COMMITTED
+        txn.end_time = self._clock()
+        txn.undo_log.clear()
+        self._active.pop(txn.txn_id, None)
+        self.committed += 1
+
+    def abort(self, txn: Transaction) -> None:
+        if txn.state is TxnState.ABORTED:
+            return
+        txn.require_active()
+        self._rollback(txn)
+        if self.wal is not None:
+            self.wal.log_abort(txn.txn_id)
+        self.lock_manager.release_transaction(txn)
+        txn.state = TxnState.ABORTED
+        txn.end_time = self._clock()
+        self._active.pop(txn.txn_id, None)
+        self.aborted += 1
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def active_count(self) -> int:
+        return len(self._active)
+
+    def active_transactions(self) -> List[Transaction]:
+        return list(self._active.values())
+
+    # -- internals -----------------------------------------------------------------
+
+    def _rollback(self, txn: Transaction) -> None:
+        """Apply the undo log backwards against the raw document."""
+        for kind, payload in reversed(txn.undo_log):
+            if kind == "insert":
+                if self.document.exists(payload):
+                    self.document.delete_subtree(payload)
+            elif kind == "delete":
+                self.document.restore_subtree(payload)
+            elif kind == "content":
+                splid, old = payload
+                self.document.update_string(splid, old)
+            elif kind == "rename":
+                splid, old = payload
+                self.document.rename_element(splid, old)
+            else:
+                raise TransactionError(f"unknown undo entry {kind!r}")
+        txn.undo_log.clear()

@@ -1,0 +1,88 @@
+"""Transactions: identity, isolation, statistics, and the undo log."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, List, Optional, Tuple
+
+from repro.errors import TransactionError
+from repro.locking.lock_manager import IsolationLevel
+
+
+class TxnState(Enum):
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+@dataclass
+class TransactionStats:
+    """Per-transaction counters feeding the TaMix metrics."""
+
+    operations: int = 0
+    lock_requests: int = 0
+    covered_skips: int = 0
+    blocked_waits: int = 0
+    fanout_locks: int = 0
+    logical_reads: int = 0
+    physical_reads: int = 0
+    nodes_visited: int = 0
+
+
+#: Undo-log entry: (kind, payload).  Kinds:
+#:   ("insert", splid)            -- delete the inserted subtree on undo
+#:   ("delete", entries)          -- restore_subtree(entries) on undo
+#:   ("content", (splid, old))    -- put the old string back on undo
+#:   ("rename", (splid, old))     -- rename back on undo
+UndoEntry = Tuple[str, Any]
+
+
+class Transaction:
+    """One ACID transaction inside the XDBMS."""
+
+    _counter = 0
+
+    def __init__(
+        self,
+        name: str = "txn",
+        isolation: IsolationLevel = IsolationLevel.REPEATABLE,
+        start_time: float = 0.0,
+    ):
+        Transaction._counter += 1
+        self.txn_id = Transaction._counter
+        self.name = name
+        self.isolation = isolation
+        self.state = TxnState.ACTIVE
+        self.start_time = start_time
+        self.end_time: Optional[float] = None
+        self.stats = TransactionStats()
+        self.undo_log: List[UndoEntry] = []
+
+    # -- bookkeeping -------------------------------------------------------
+
+    @property
+    def is_active(self) -> bool:
+        return self.state is TxnState.ACTIVE
+
+    def require_active(self) -> None:
+        if self.state is not TxnState.ACTIVE:
+            raise TransactionError(f"{self} is {self.state.value}")
+
+    def log_undo(self, kind: str, payload: Any) -> None:
+        self.undo_log.append((kind, payload))
+
+    @property
+    def duration(self) -> Optional[float]:
+        if self.end_time is None:
+            return None
+        return self.end_time - self.start_time
+
+    def __hash__(self) -> int:
+        return self.txn_id
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+    def __repr__(self) -> str:
+        return f"<T{self.txn_id} {self.name} {self.state.value}>"

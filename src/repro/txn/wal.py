@@ -1,0 +1,421 @@
+"""Write-ahead logging and crash recovery.
+
+The paper requires the XDBMS to "guarantee ACID properties" for every XDP
+interface; atomicity comes from the undo log, isolation from the lock
+protocols -- this module supplies durability:
+
+* :class:`WriteAheadLog` -- an append-only, byte-serializable log of
+  logical operation records (insert / delete / content / rename) framed
+  by BEGIN/COMMIT/ABORT;
+* :func:`take_checkpoint` / :func:`restore_checkpoint` -- a physical
+  snapshot of a document: the exact (SPLID, record) pairs plus the
+  vocabulary, so recovered labels are bit-identical (re-parsing XML would
+  re-allocate overflow labels and break logical redo);
+* :func:`recover` -- checkpoint + log -> committed state: replay the
+  operations of *winner* transactions in LSN order; losers (aborted or
+  in-flight at the crash) are simply not redone.
+
+The log is deliberately logical: records carry enough to redo (new state)
+and to audit (old state), mirroring the classic ARIES-style split without
+page-level physiology -- appropriate for the node-granular store.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.dom.document import Document
+from repro.errors import StorageError, TransactionError
+from repro.splid import Splid, decode, encode
+from repro.storage.record import NodeRecord
+
+
+class LogKind(IntEnum):
+    BEGIN = 1
+    COMMIT = 2
+    ABORT = 3
+    INSERT = 4      # payload: the logged nodes of a new subtree
+    DELETE = 5      # payload: the logged nodes of the removed subtree
+    CONTENT = 6     # payload: splid, old text, new text
+    RENAME = 7      # payload: splid, old name, new name
+
+
+@dataclass(frozen=True)
+class LoggedNode:
+    """One node in a logged subtree, *self-contained*.
+
+    Names are stored as strings, never as vocabulary surrogates: names
+    interned after the checkpoint would be unknown at recovery time.
+    """
+
+    splid: Splid
+    kind: int                    # NodeKind value
+    name: Optional[str] = None   # element/attribute tag name
+    text: Optional[str] = None   # string-node content
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    lsn: int
+    kind: LogKind
+    txn_id: int
+    #: Subtree entries for INSERT/DELETE.
+    entries: Tuple[LoggedNode, ...] = ()
+    #: Target node for CONTENT/RENAME.
+    target: Optional[Splid] = None
+    old: str = ""
+    new: str = ""
+
+
+def _freeze_entries(document: Document, entries) -> Tuple[LoggedNode, ...]:
+    """Convert (splid, NodeRecord) pairs into self-contained log nodes."""
+    from repro.storage.record import NO_NAME
+
+    frozen = []
+    for splid, record in entries:
+        name = None
+        if record.name_surrogate != NO_NAME:
+            name = document.vocabulary.name_of(record.name_surrogate)
+        frozen.append(LoggedNode(
+            splid, int(record.kind), name, record.text_content
+        ))
+    return tuple(frozen)
+
+
+def _thaw_entries(
+    document: Document, entries: Sequence[LoggedNode]
+) -> List[Tuple[Splid, NodeRecord]]:
+    """Rebuild (splid, NodeRecord) pairs against the recovering document,
+    interning names as needed."""
+    from repro.storage.record import NO_NAME, NodeKind
+
+    thawed = []
+    for node in entries:
+        surrogate = NO_NAME
+        if node.name is not None:
+            surrogate = document.vocabulary.intern(node.name)
+        content = b"" if node.text is None else node.text.encode("utf-8")
+        thawed.append(
+            (node.splid, NodeRecord(NodeKind(node.kind), surrogate, content))
+        )
+    return thawed
+
+
+class WriteAheadLog:
+    """Append-only log with byte serialization.
+
+    Operation payloads are logged through :meth:`log_insert` /
+    :meth:`log_delete` with the owning document, so name surrogates are
+    resolved to strings on the way in.
+    """
+
+    def __init__(self):
+        self._records: List[LogRecord] = []
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def records(self) -> Tuple[LogRecord, ...]:
+        return tuple(self._records)
+
+    @property
+    def last_lsn(self) -> int:
+        return len(self._records)
+
+    # -- appends -------------------------------------------------------------
+
+    def _append(self, kind: LogKind, txn_id: int, **fields) -> LogRecord:
+        record = LogRecord(len(self._records) + 1, kind, txn_id, **fields)
+        self._records.append(record)
+        return record
+
+    def log_begin(self, txn_id: int) -> LogRecord:
+        return self._append(LogKind.BEGIN, txn_id)
+
+    def log_commit(self, txn_id: int) -> LogRecord:
+        return self._append(LogKind.COMMIT, txn_id)
+
+    def log_abort(self, txn_id: int) -> LogRecord:
+        return self._append(LogKind.ABORT, txn_id)
+
+    def log_insert(
+        self,
+        txn_id: int,
+        entries: Sequence[Tuple[Splid, NodeRecord]],
+        document: Document,
+    ) -> LogRecord:
+        return self._append(
+            LogKind.INSERT, txn_id, entries=_freeze_entries(document, entries)
+        )
+
+    def log_delete(
+        self,
+        txn_id: int,
+        entries: Sequence[Tuple[Splid, NodeRecord]],
+        document: Document,
+    ) -> LogRecord:
+        return self._append(
+            LogKind.DELETE, txn_id, entries=_freeze_entries(document, entries)
+        )
+
+    def log_content(
+        self, txn_id: int, target: Splid, old: str, new: str
+    ) -> LogRecord:
+        return self._append(
+            LogKind.CONTENT, txn_id, target=target, old=old, new=new
+        )
+
+    def log_rename(
+        self, txn_id: int, target: Splid, old: str, new: str
+    ) -> LogRecord:
+        return self._append(
+            LogKind.RENAME, txn_id, target=target, old=old, new=new
+        )
+
+    # -- serialization ----------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialize the whole log (the 'disk' image)."""
+        out = io.BytesIO()
+        for record in self._records:
+            _write_record(out, record)
+        return out.getvalue()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "WriteAheadLog":
+        log = cls()
+        stream = io.BytesIO(data)
+        while True:
+            record = _read_record(stream, len(log._records) + 1)
+            if record is None:
+                break
+            log._records.append(record)
+        return log
+
+
+def _write_str(out: io.BytesIO, text: str) -> None:
+    raw = text.encode("utf-8")
+    out.write(struct.pack(">I", len(raw)))
+    out.write(raw)
+
+
+def _read_str(stream: io.BytesIO) -> str:
+    (length,) = struct.unpack(">I", _read_exact(stream, 4))
+    return _read_exact(stream, length).decode("utf-8")
+
+
+def _read_exact(stream: io.BytesIO, size: int) -> bytes:
+    data = stream.read(size)
+    if len(data) != size:
+        raise StorageError("truncated log record")
+    return data
+
+
+def _write_record(out: io.BytesIO, record: LogRecord) -> None:
+    out.write(struct.pack(">BQ", record.kind, record.txn_id))
+    out.write(struct.pack(">I", len(record.entries)))
+    for node in record.entries:
+        key = encode(node.splid)
+        out.write(struct.pack(">HB", len(key), node.kind))
+        out.write(key)
+        _write_str(out, "" if node.name is None else "\x00" + node.name)
+        _write_str(out, "" if node.text is None else "\x00" + node.text)
+    target = b"" if record.target is None else encode(record.target)
+    out.write(struct.pack(">H", len(target)))
+    out.write(target)
+    _write_str(out, record.old)
+    _write_str(out, record.new)
+
+
+def _read_optional_str(stream: io.BytesIO) -> Optional[str]:
+    raw = _read_str(stream)
+    return raw[1:] if raw.startswith("\x00") else None
+
+
+def _read_record(stream: io.BytesIO, lsn: int) -> Optional[LogRecord]:
+    header = stream.read(9)
+    if not header:
+        return None
+    if len(header) != 9:
+        raise StorageError("truncated log header")
+    kind_value, txn_id = struct.unpack(">BQ", header)
+    (entry_count,) = struct.unpack(">I", _read_exact(stream, 4))
+    entries = []
+    for _i in range(entry_count):
+        key_len, node_kind = struct.unpack(">HB", _read_exact(stream, 3))
+        splid = decode(_read_exact(stream, key_len))
+        name = _read_optional_str(stream)
+        text = _read_optional_str(stream)
+        entries.append(LoggedNode(splid, node_kind, name, text))
+    (target_len,) = struct.unpack(">H", _read_exact(stream, 2))
+    target = decode(_read_exact(stream, target_len)) if target_len else None
+    old = _read_str(stream)
+    new = _read_str(stream)
+    return LogRecord(
+        lsn, LogKind(kind_value), txn_id,
+        entries=tuple(entries), target=target, old=old, new=new,
+    )
+
+
+# ---------------------------------------------------------------------------
+# checkpoints
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Checkpoint:
+    """A physical snapshot: exact labels, records, and the vocabulary."""
+
+    root_name: str
+    names: Tuple[str, ...]
+    entries: Tuple[Tuple[bytes, bytes], ...]
+    #: LSN up to which the checkpoint already reflects the log.
+    lsn: int = 0
+
+
+def take_checkpoint(document: Document, log: Optional[WriteAheadLog] = None) -> Checkpoint:
+    return Checkpoint(
+        root_name=document.name_of(document.root),
+        names=tuple(
+            document.vocabulary.name_of(i)
+            for i in range(len(document.vocabulary))
+        ),
+        entries=tuple(
+            (encode(splid), record.encode())
+            for splid, record in document.walk()
+        ),
+        lsn=0 if log is None else log.last_lsn,
+    )
+
+
+def checkpoint_to_bytes(checkpoint: Checkpoint) -> bytes:
+    """Serialize a checkpoint (the on-disk database image)."""
+    out = io.BytesIO()
+    _write_str(out, checkpoint.root_name)
+    out.write(struct.pack(">Q", checkpoint.lsn))
+    out.write(struct.pack(">I", len(checkpoint.names)))
+    for name in checkpoint.names:
+        _write_str(out, name)
+    out.write(struct.pack(">I", len(checkpoint.entries)))
+    for key, value in checkpoint.entries:
+        out.write(struct.pack(">HH", len(key), len(value)))
+        out.write(key)
+        out.write(value)
+    return out.getvalue()
+
+
+def checkpoint_from_bytes(data: bytes) -> Checkpoint:
+    """Inverse of :func:`checkpoint_to_bytes`."""
+    stream = io.BytesIO(data)
+    root_name = _read_str(stream)
+    (lsn,) = struct.unpack(">Q", _read_exact(stream, 8))
+    (name_count,) = struct.unpack(">I", _read_exact(stream, 4))
+    names = tuple(_read_str(stream) for _i in range(name_count))
+    (entry_count,) = struct.unpack(">I", _read_exact(stream, 4))
+    entries = []
+    for _i in range(entry_count):
+        key_len, value_len = struct.unpack(">HH", _read_exact(stream, 4))
+        entries.append(
+            (_read_exact(stream, key_len), _read_exact(stream, value_len))
+        )
+    return Checkpoint(root_name, names, tuple(entries), lsn)
+
+
+def restore_checkpoint(checkpoint: Checkpoint) -> Document:
+    document = Document(root_element=checkpoint.root_name)
+    for name in checkpoint.names:
+        document.vocabulary.intern(name)
+    # Wipe the implicit root entry, then restore the exact image.
+    document.element_index.remove(checkpoint.root_name, document.root)
+    document.store.delete(document.root)
+    entries = [
+        (decode(key), NodeRecord.decode(value))
+        for key, value in checkpoint.entries
+    ]
+    for splid, record in entries:
+        document.store.put(splid, record)
+    document._reindex(entries)  # rebuild element + ID indexes
+    return document
+
+
+# ---------------------------------------------------------------------------
+# recovery
+# ---------------------------------------------------------------------------
+
+def winners_of(log: WriteAheadLog) -> Set[int]:
+    """Transactions with a COMMIT record (everything else is a loser)."""
+    return {
+        record.txn_id for record in log.records()
+        if record.kind is LogKind.COMMIT
+    }
+
+
+def recover(checkpoint: Checkpoint, log: WriteAheadLog) -> Document:
+    """Checkpoint + log -> the committed state at the crash.
+
+    Redo-only recovery: the checkpoint is a transaction-consistent or
+    action-consistent base; the operations of winner transactions after
+    the checkpoint LSN are replayed in log order.  Losers are skipped
+    entirely (their effects are absent from the checkpoint by
+    construction, or compensated by their recorded inverse operations --
+    see :func:`recover_with_undo` for the fuzzy-checkpoint variant).
+    """
+    document = restore_checkpoint(checkpoint)
+    winners = winners_of(log)
+    for record in log.records():
+        if record.lsn <= checkpoint.lsn:
+            continue
+        if record.txn_id not in winners:
+            continue
+        _redo(document, record)
+    return document
+
+
+def recover_with_undo(checkpoint: Checkpoint, log: WriteAheadLog) -> Document:
+    """Fuzzy-checkpoint recovery: redo winners *and* undo losers.
+
+    For checkpoints taken while transactions were in flight, loser
+    operations recorded before the checkpoint may be reflected in it;
+    this variant replays winners forward and then rolls losers back via
+    the inverse of each of their logged operations, newest first.
+    """
+    document = restore_checkpoint(checkpoint)
+    winners = winners_of(log)
+    for record in log.records():
+        if record.lsn <= checkpoint.lsn or record.txn_id not in winners:
+            continue
+        _redo(document, record)
+    losers = [
+        record for record in log.records()
+        if record.txn_id not in winners and record.lsn <= checkpoint.lsn
+    ]
+    for record in reversed(losers):
+        _undo(document, record)
+    return document
+
+
+def _redo(document: Document, record: LogRecord) -> None:
+    if record.kind is LogKind.INSERT:
+        document.restore_subtree(_thaw_entries(document, record.entries))
+    elif record.kind is LogKind.DELETE:
+        if record.entries and document.exists(record.entries[0].splid):
+            document.delete_subtree(record.entries[0].splid)
+    elif record.kind is LogKind.CONTENT:
+        document.update_string(record.target, record.new)
+    elif record.kind is LogKind.RENAME:
+        document.rename_element(record.target, record.new)
+
+
+def _undo(document: Document, record: LogRecord) -> None:
+    if record.kind is LogKind.INSERT:
+        if record.entries and document.exists(record.entries[0].splid):
+            document.delete_subtree(record.entries[0].splid)
+    elif record.kind is LogKind.DELETE:
+        document.restore_subtree(_thaw_entries(document, record.entries))
+    elif record.kind is LogKind.CONTENT:
+        document.update_string(record.target, record.old)
+    elif record.kind is LogKind.RENAME:
+        document.rename_element(record.target, record.old)

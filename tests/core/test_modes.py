@@ -1,0 +1,224 @@
+"""Tests for the mode algebra and the paper's printed matrices."""
+
+import pytest
+
+from repro.core.modes import (
+    Conversion,
+    ModeTable,
+    compat_from_rows,
+    conversions_from_rows,
+    derive_conversions,
+)
+from repro.core.tables import (
+    TADOM2_COVERAGE,
+    TADOM2_MODES,
+    TADOM2_TABLE,
+    TADOM2P_TABLE,
+    TADOM3_TABLE,
+    TADOM3P_TABLE,
+    URIX_TABLE,
+)
+from repro.errors import LockError
+
+
+class TestMatrixParsers:
+    def test_compat_rows(self):
+        table = compat_from_rows(("A", "B"), {"A": "+ -", "B": "- -"})
+        assert table[("A", "A")] is True
+        assert table[("A", "B")] is False
+
+    def test_compat_rows_wrong_length(self):
+        with pytest.raises(LockError):
+            compat_from_rows(("A", "B"), {"A": "+", "B": "- -"})
+
+    def test_compat_rows_bad_symbol(self):
+        with pytest.raises(LockError):
+            compat_from_rows(("A",), {"A": "?"})
+
+    def test_conversion_rows_with_child(self):
+        table = conversions_from_rows(("A", "B"), {"A": "A B[A]", "B": "B B"})
+        assert table[("A", "B")] == Conversion("B", "A")
+        assert table[("A", "A")] == Conversion("A")
+
+
+class TestModeTableValidation:
+    def test_missing_cells_rejected(self):
+        with pytest.raises(LockError):
+            ModeTable("t", ("A", "B"), {("A", "A"): True},
+                      {}, {"A": frozenset(), "B": frozenset()})
+
+    def test_unknown_conversion_result_rejected(self):
+        compat = compat_from_rows(("A",), {"A": "+"})
+        with pytest.raises(LockError):
+            ModeTable("t", ("A",), compat, {("A", "A"): Conversion("Z")},
+                      {"A": frozenset()})
+
+    def test_unknown_privilege_rejected(self):
+        compat = compat_from_rows(("A",), {"A": "+"})
+        conv = {("A", "A"): Conversion("A")}
+        with pytest.raises(LockError):
+            ModeTable("t", ("A",), compat, conv, {"A": frozenset({"bogus"})})
+
+
+class TestFigure3a:
+    """The taDOM2 compatibility matrix, cell by cell (Figure 3a)."""
+
+    @pytest.mark.parametrize("held,requested,expected", [
+        ("IR", "SX", False), ("IR", "SU", False), ("IR", "CX", True),
+        ("NR", "IX", True), ("NR", "SU", False),
+        ("LR", "CX", False), ("LR", "IX", True),
+        ("SR", "IX", False), ("SR", "SU", False), ("SR", "SR", True),
+        ("IX", "SR", False), ("IX", "CX", True), ("IX", "LR", True),
+        ("CX", "LR", False), ("CX", "CX", True), ("CX", "SR", False),
+        ("SU", "SR", True), ("SU", "IX", False), ("SU", "SU", False),
+        ("SX", "IR", False), ("SX", "NR", False),
+    ])
+    def test_cell(self, held, requested, expected):
+        assert TADOM2_TABLE.compatible(held, requested) is expected
+
+    def test_cx_cx_compatible(self):
+        # "it does not prohibit other CX locks on c, because separate
+        # direct-child nodes may be exclusively locked by concurrent
+        # transactions"
+        assert TADOM2_TABLE.compatible("CX", "CX")
+
+
+class TestFigure4:
+    """The taDOM2 conversion matrix (Figure 4), including child actions."""
+
+    @pytest.mark.parametrize("held,requested,result,child", [
+        ("IR", "NR", "NR", None),
+        ("NR", "LR", "LR", None),
+        ("LR", "IX", "IX", "NR"),
+        ("LR", "CX", "CX", "NR"),
+        ("SR", "IX", "IX", "SR"),
+        ("SR", "CX", "CX", "SR"),
+        ("IX", "LR", "IX", "NR"),
+        ("IX", "SR", "IX", "SR"),
+        ("CX", "LR", "CX", "NR"),
+        ("CX", "SR", "CX", "SR"),
+        ("SU", "IX", "SX", None),
+        ("SU", "CX", "SX", None),
+        ("CX", "SU", "SX", None),
+        ("SX", "IR", "SX", None),
+        ("SR", "SU", "SR", None),   # the paper's asymmetric cell
+    ])
+    def test_cell(self, held, requested, result, child):
+        conversion = TADOM2_TABLE.convert(held, requested)
+        assert conversion.result == result
+        assert conversion.child_mode == child
+
+    def test_example_from_section_23(self):
+        # "the transaction has to convert the existing LR lock on c to a
+        # CX lock and to acquire an NR lock on each direct-child node"
+        conversion = TADOM2_TABLE.convert("LR", "CX")
+        assert conversion.result == "CX"
+        assert conversion.child_mode == "NR"
+        assert conversion.has_fanout
+
+
+class TestDerivedMatrixMatchesFigure4:
+    """The coverage algebra rederives Figure 4 (one documented exception)."""
+
+    def test_all_cells(self):
+        derived = derive_conversions(TADOM2_MODES, TADOM2_COVERAGE)
+        mismatches = []
+        for a in TADOM2_MODES:
+            for b in TADOM2_MODES:
+                want = TADOM2_TABLE.convert(a, b)
+                got = derived[(a, b)]
+                if (got.result, got.child_mode) != (want.result, want.child_mode):
+                    mismatches.append((a, b))
+        # (SR, SU): the paper keeps SR; pure coverage reasoning says SU.
+        assert mismatches == [("SR", "SU")]
+
+
+class TestCombinationModes:
+    def test_tadom2p_mode_count(self):
+        assert len(TADOM2P_TABLE.modes) == 12
+
+    def test_tadom3p_has_twenty_modes(self):
+        # "taDOM3+ includes 20 lock modes" (Section 2.3)
+        assert len(TADOM3P_TABLE.modes) == 20
+
+    def test_lrix_avoids_fanout(self):
+        assert TADOM2_TABLE.convert("LR", "IX") == Conversion("IX", "NR")
+        assert TADOM2P_TABLE.convert("LR", "IX") == Conversion("LRIX")
+
+    def test_srcx_avoids_fanout(self):
+        assert TADOM2_TABLE.convert("SR", "CX") == Conversion("CX", "SR")
+        assert TADOM2P_TABLE.convert("SR", "CX") == Conversion("SRCX")
+
+    def test_combination_compat_is_intersection(self):
+        for other in TADOM2_TABLE.modes:
+            expected = (TADOM2P_TABLE.compatible("LR", other)
+                        and TADOM2P_TABLE.compatible("IX", other))
+            assert TADOM2P_TABLE.compatible("LRIX", other) is expected
+
+    def test_combination_conversions_close(self):
+        # Converting any pair of taDOM3+ modes stays inside the table.
+        for a in TADOM3P_TABLE.modes:
+            for b in TADOM3P_TABLE.modes:
+                conversion = TADOM3P_TABLE.convert(a, b)
+                assert conversion.result in TADOM3P_TABLE.modes
+
+    def test_base_cells_unchanged_where_no_combo_applies(self):
+        assert TADOM2P_TABLE.convert("IR", "NR").result == "NR"
+        assert TADOM2P_TABLE.convert("SU", "IX").result == "SX"
+
+
+class TestTaDom3Refinement:
+    def test_footnote3_split(self):
+        # IR (pure intention) tolerates a node rename; NR does not.
+        assert TADOM3_TABLE.compatible("IR", "NX")
+        assert not TADOM3_TABLE.compatible("NR", "NX")
+
+    def test_nu_allows_readers(self):
+        for reader in ("IR", "NR", "LR", "SR"):
+            assert TADOM3_TABLE.compatible(reader, "NU")
+        assert not TADOM3_TABLE.compatible("NU", "NU")
+
+    def test_nx_conflicts_with_double_role_intentions(self):
+        # IX/CX keep their double role (they read the node they sit on),
+        # so a rename (NX) must exclude them; only the pure intention IR
+        # may pass through a node being renamed.
+        assert not TADOM3_TABLE.compatible("NX", "IX")
+        assert not TADOM3_TABLE.compatible("NX", "CX")
+        assert TADOM3_TABLE.compatible("IR", "NX")
+
+    def test_nu_upgrades_to_nx(self):
+        assert TADOM3_TABLE.convert("NU", "NX").result == "NX"
+
+
+class TestUrixFigure2:
+    @pytest.mark.parametrize("held,requested,expected", [
+        ("IR", "IX", True), ("IR", "U", False), ("IR", "X", False),
+        ("IX", "R", False), ("IX", "IX", True),
+        ("R", "U", False), ("R", "R", True), ("R", "IX", False),
+        ("RIX", "IR", True), ("RIX", "IX", False),
+        ("U", "R", True), ("U", "U", False), ("U", "IR", True),
+        ("X", "IR", False),
+    ])
+    def test_compat_cell(self, held, requested, expected):
+        assert URIX_TABLE.compatible(held, requested) is expected
+
+    def test_asymmetric_u(self):
+        # Figure 2 is asymmetric: a held U admits R requests, a held R
+        # blocks U requests.
+        assert URIX_TABLE.compatible("U", "R")
+        assert not URIX_TABLE.compatible("R", "U")
+
+    @pytest.mark.parametrize("held,requested,result", [
+        ("IR", "X", "X"), ("IX", "R", "RIX"), ("R", "IX", "RIX"),
+        ("U", "IX", "X"), ("U", "R", "U"), ("RIX", "U", "X"),
+        ("R", "U", "R"),
+    ])
+    def test_conversion_cell(self, held, requested, result):
+        assert URIX_TABLE.convert(held, requested).result == result
+
+    def test_section22_example(self):
+        # "a lock conversion of the context node to X can be performed by
+        # converting IR to IX on the ancestor path and R to X on the
+        # context node"
+        assert URIX_TABLE.convert("IR", "IX").result == "IX"
+        assert URIX_TABLE.convert("R", "X").result == "X"

@@ -1,0 +1,264 @@
+"""Tests for the per-protocol lock plans (meta request -> lock steps)."""
+
+import pytest
+
+from repro.core import (
+    Access,
+    CONTENT_SPACE,
+    EDGE_SPACE,
+    EdgeRole,
+    ID_SPACE,
+    MetaOp,
+    MetaRequest,
+    NODE_SPACE,
+    STRUCT_SPACE,
+    get_protocol,
+    ALL_PROTOCOLS,
+)
+from repro.errors import UnknownProtocolError
+from repro.splid import Splid
+
+
+def S(text):
+    return Splid.parse(text)
+
+
+def steps_of(protocol_name, op, target, depth=7, **kwargs):
+    protocol = get_protocol(protocol_name)
+    plan = protocol.plan(MetaRequest(op, S(target), **kwargs), depth)
+    return [(s.space, str(s.key) if not isinstance(s.key, tuple) else
+             (str(s.key[0]), s.key[1].value), s.mode) for s in plan.steps]
+
+
+class TestRegistry:
+    def test_eleven_protocols(self):
+        assert len(ALL_PROTOCOLS) == 11
+
+    def test_unknown_protocol(self):
+        with pytest.raises(UnknownProtocolError):
+            get_protocol("taDOM4")
+
+    def test_depth_support(self):
+        for name in ("Node2PL", "NO2PL", "OO2PL"):
+            assert not get_protocol(name).supports_lock_depth
+        for name in ("Node2PLa", "IRX", "IRIX", "URIX",
+                     "taDOM2", "taDOM2+", "taDOM3", "taDOM3+"):
+            assert get_protocol(name).supports_lock_depth
+
+
+class TestTaDomPlans:
+    def test_figure3b_jump_read(self):
+        # T1 jumps to the book node: NR on book, IR on all ancestors.
+        steps = steps_of("taDOM3+", MetaOp.READ_NODE, "1.5.3.3",
+                         access=Access.JUMP)
+        assert steps == [
+            (NODE_SPACE, "1", "IR"),
+            (NODE_SPACE, "1.5", "IR"),
+            (NODE_SPACE, "1.5.3", "IR"),
+            (NODE_SPACE, "1.5.3.3", "NR"),
+        ]
+
+    def test_lock_depth_escalation_to_sr(self):
+        # Figure 3b: at lock depth 4, reading below level 4 places SR on
+        # the level-4 ancestor (here depth counted from root=0 -> use 3).
+        steps = steps_of("taDOM3+", MetaOp.READ_NODE, "1.5.3.3.11.3", depth=3)
+        assert steps[-1] == (NODE_SPACE, "1.5.3.3", "SR")
+
+    def test_depth_zero_is_document_lock(self):
+        steps = steps_of("taDOM3+", MetaOp.READ_NODE, "1.5.3.3", depth=0)
+        assert steps == [(NODE_SPACE, "1", "SR")]
+        steps = steps_of("taDOM3+", MetaOp.DELETE_SUBTREE, "1.5.3.3", depth=0)
+        assert steps == [(NODE_SPACE, "1", "SX")]
+
+    def test_level_read_uses_lr(self):
+        steps = steps_of("taDOM2", MetaOp.READ_LEVEL, "1.5.3.3")
+        assert steps[-1] == (NODE_SPACE, "1.5.3.3", "LR")
+
+    def test_write_path_has_cx_on_parent(self):
+        # T2conv in Figure 3b: SX on the subtree, CX on the parent (book),
+        # IX on the remaining ancestors.
+        steps = steps_of("taDOM3+", MetaOp.DELETE_SUBTREE, "1.5.3.3.11")
+        assert steps == [
+            (NODE_SPACE, "1", "IX"),
+            (NODE_SPACE, "1.5", "IX"),
+            (NODE_SPACE, "1.5.3", "IX"),
+            (NODE_SPACE, "1.5.3.3", "CX"),
+            (NODE_SPACE, "1.5.3.3.11", "SX"),
+        ]
+
+    def test_rename_tadom3_uses_nx(self):
+        steps = steps_of("taDOM3", MetaOp.RENAME_NODE, "1.5.3")
+        assert steps[-1] == (NODE_SPACE, "1.5.3", "NX")
+
+    def test_rename_tadom2_falls_back_to_sx(self):
+        steps = steps_of("taDOM2", MetaOp.RENAME_NODE, "1.5.3")
+        assert steps[-1] == (NODE_SPACE, "1.5.3", "SX")
+
+    def test_write_content_separates_structure(self):
+        # CX on the text node, SX only on its string node.
+        steps = steps_of("taDOM3+", MetaOp.WRITE_CONTENT, "1.5.3.3.5.3")
+        assert (NODE_SPACE, "1.5.3.3.5.3", "CX") in steps
+        assert steps[-1] == (NODE_SPACE, "1.5.3.3.5.3.1", "SX")
+
+    def test_edge_locks(self):
+        steps = steps_of("taDOM3+", MetaOp.READ_EDGE, "1.5.3",
+                         role=EdgeRole.NEXT_SIBLING)
+        assert steps == [(EDGE_SPACE, ("1.5.3", "next_sibling"), "ER")]
+
+
+class TestMglPlans:
+    def test_read_uses_intention_as_node_lock(self):
+        steps = steps_of("URIX", MetaOp.READ_NODE, "1.5.3.3")
+        assert steps[-1] == (NODE_SPACE, "1.5.3.3", "IR")
+
+    def test_escalated_read_uses_r(self):
+        steps = steps_of("URIX", MetaOp.READ_NODE, "1.5.3.3", depth=2)
+        assert steps[-1] == (NODE_SPACE, "1.5.3", "R")
+
+    def test_level_read_fans_out(self):
+        children = (S("1.5.3.3.3"), S("1.5.3.3.5"))
+        steps = steps_of("URIX", MetaOp.READ_LEVEL, "1.5.3.3",
+                         children=children)
+        assert (NODE_SPACE, "1.5.3.3.3", "IR") in steps
+        assert (NODE_SPACE, "1.5.3.3.5", "IR") in steps
+
+    def test_level_read_below_depth_uses_subtree(self):
+        steps = steps_of("URIX", MetaOp.READ_LEVEL, "1.5.3.3", depth=3,
+                         children=(S("1.5.3.3.3"),))
+        assert steps[-1] == (NODE_SPACE, "1.5.3.3", "R")
+
+    def test_rename_locks_whole_subtree(self):
+        # MGL "cannot separate the name from the content of a topic".
+        steps = steps_of("URIX", MetaOp.RENAME_NODE, "1.5.3")
+        assert steps[-1] == (NODE_SPACE, "1.5.3", "X")
+
+    def test_update_mode_differs(self):
+        assert steps_of("URIX", MetaOp.UPDATE_NODE, "1.5.3")[-1][2] == "U"
+        assert steps_of("IRIX", MetaOp.UPDATE_NODE, "1.5.3")[-1][2] == "R"
+
+    def test_irx_single_intention(self):
+        read = steps_of("IRX", MetaOp.READ_NODE, "1.5.3.3")
+        write = steps_of("IRX", MetaOp.DELETE_SUBTREE, "1.5.3.3")
+        assert all(mode == "I" for _s, _k, mode in read)
+        assert write[:-1] == [(NODE_SPACE, "1", "I"), (NODE_SPACE, "1.5", "I"),
+                              (NODE_SPACE, "1.5.3", "I")]
+        assert write[-1] == (NODE_SPACE, "1.5.3.3", "X")
+
+    def test_all_mgl_variants_lock_edges(self):
+        # Edge isolation is part of the meta-synchronization interface;
+        # all MGL variants map it to the shared ER/EU/EX edge table.
+        for name in ("URIX", "IRX", "IRIX"):
+            steps = steps_of(name, MetaOp.READ_EDGE, "1.5",
+                             role=EdgeRole.FIRST_CHILD)
+            assert steps == [(EDGE_SPACE, ("1.5", "first_child"), "ER")]
+            write = steps_of(name, MetaOp.WRITE_EDGE, "1.5",
+                             role=EdgeRole.FIRST_CHILD)
+            assert write == [(EDGE_SPACE, ("1.5", "first_child"), "EX")]
+
+
+class TestNode2PlaPlans:
+    def test_reads_borrow_urix_intentions(self):
+        steps = steps_of("Node2PLa", MetaOp.READ_NODE, "1.5.3.3")
+        assert steps[-1] == (NODE_SPACE, "1.5.3.3", "IR")
+        assert steps[0] == (NODE_SPACE, "1", "IR")
+
+    def test_writes_anchor_at_parent(self):
+        # Deleting a book X-locks the parent topic subtree (the level of
+        # the context node, as in Node2PL's M lock).
+        steps = steps_of("Node2PLa", MetaOp.DELETE_SUBTREE, "1.5.3.3")
+        assert steps[-1] == (NODE_SPACE, "1.5.3", "X")
+
+    def test_rename_topic_locks_topics_level(self):
+        # The TArenameTopic catastrophe: X on the whole topics subtree.
+        steps = steps_of("Node2PLa", MetaOp.RENAME_NODE, "1.5.3")
+        assert steps[-1] == (NODE_SPACE, "1.5", "X")
+
+    def test_depth_caps_anchor(self):
+        steps = steps_of("Node2PLa", MetaOp.READ_NODE, "1.5.3.3.5", depth=2)
+        assert steps[-1] == (NODE_SPACE, "1.5.3", "R")
+        write = steps_of("Node2PLa", MetaOp.WRITE_CONTENT, "1.5.3.3.5", depth=2)
+        assert write[-1] == (NODE_SPACE, "1.5.3", "X")
+
+    def test_no_id_scan_needed(self):
+        protocol = get_protocol("Node2PLa")
+        plan = protocol.plan(
+            MetaRequest(MetaOp.DELETE_SUBTREE, S("1.5.3.3"), access=Access.JUMP), 7
+        )
+        assert plan.scan_ids is None
+        assert not protocol.requires_root_navigation
+
+
+class Test2PLPlans:
+    def test_node2pl_locks_parent_level(self):
+        steps = steps_of("Node2PL", MetaOp.READ_NODE, "1.5.3.3")
+        assert steps == [(STRUCT_SPACE, "1.5.3", "T")]
+
+    def test_node2pl_jump_uses_idr_keyed_by_value(self):
+        steps = steps_of("Node2PL", MetaOp.READ_NODE, "1.5.3.3",
+                         access=Access.JUMP, id_value="b42")
+        assert (ID_SPACE, "b42", "IDR") in steps
+        # Without a known id value the jump lock comes from the node
+        # manager's pre-lookup IDR instead.
+        bare = steps_of("Node2PL", MetaOp.READ_NODE, "1.5.3.3",
+                        access=Access.JUMP)
+        assert all(space != ID_SPACE for space, _k, _m in bare)
+
+    def test_node2pl_insert_converts_to_m(self):
+        steps = steps_of("Node2PL", MetaOp.INSERT_CHILD, "1.5.3.3.11.13")
+        assert steps == [(STRUCT_SPACE, "1.5.3.3.11", "M")]
+
+    def test_delete_requires_id_scan(self):
+        for name in ("Node2PL", "NO2PL", "OO2PL"):
+            protocol = get_protocol(name)
+            plan = protocol.plan(
+                MetaRequest(MetaOp.DELETE_SUBTREE, S("1.5.3.3"),
+                            access=Access.JUMP), 7
+            )
+            assert plan.scan_ids == S("1.5.3.3")
+            assert protocol.requires_root_navigation
+            assert protocol.traverses_subtrees
+
+    def test_subtree_reads_traverse(self):
+        for name in ("Node2PL", "NO2PL", "OO2PL"):
+            plan = get_protocol(name).plan(
+                MetaRequest(MetaOp.READ_SUBTREE, S("1.5.3.3")), 7
+            )
+            assert plan.traverse_individually
+
+    def test_no2pl_update_locks_neighbourhood(self):
+        steps = steps_of("NO2PL", MetaOp.INSERT_CHILD, "1.5.3.3.11.13",
+                         affected=(S("1.5.3.3.11.9"), S("1.5.3.3.11")))
+        assert (NODE_SPACE, "1.5.3.3.11.13", "W2") in steps
+        assert (NODE_SPACE, "1.5.3.3.11.9", "W2") in steps
+        assert (NODE_SPACE, "1.5.3.3.11", "W2") in steps
+
+    def test_no2pl_read_locks_single_node(self):
+        steps = steps_of("NO2PL", MetaOp.READ_NODE, "1.5.3.3")
+        assert steps == [(NODE_SPACE, "1.5.3.3", "R2")]
+
+    def test_oo2pl_locks_edges_and_content(self):
+        steps = steps_of("OO2PL", MetaOp.READ_EDGE, "1.5.3",
+                         role=EdgeRole.NEXT_SIBLING)
+        assert steps == [(EDGE_SPACE, ("1.5.3", "next_sibling"), "ER")]
+        # Visiting a node has no structure lock -- only the S content lock
+        # protecting the record that was read.
+        assert steps_of("OO2PL", MetaOp.READ_NODE, "1.5.3.3") == [
+            (CONTENT_SPACE, "1.5.3.3", "S"),
+        ]
+
+    def test_oo2pl_rename_is_content_lock(self):
+        steps = steps_of("OO2PL", MetaOp.RENAME_NODE, "1.5.3")
+        assert steps == [(CONTENT_SPACE, "1.5.3", "X")]
+
+
+class TestAllProtocolsCoverAllOps:
+    @pytest.mark.parametrize("name", ALL_PROTOCOLS)
+    @pytest.mark.parametrize("op", list(MetaOp))
+    def test_plan_exists(self, name, op):
+        protocol = get_protocol(name)
+        request = MetaRequest(op, S("1.5.3.3"), role=EdgeRole.FIRST_CHILD)
+        plan = protocol.plan(request, 4)
+        tables = protocol.tables()
+        for step in plan.steps:
+            assert step.space in tables
+            assert step.mode in tables[step.space]

@@ -1,0 +1,189 @@
+"""Property-based invariants over all mode tables and protocol plans."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ALL_PROTOCOLS, Access, EdgeRole, MetaOp, MetaRequest, get_protocol
+from repro.core.tables import (
+    EDGE_TABLE,
+    IRIX_TABLE,
+    IRX_TABLE,
+    TADOM2_TABLE,
+    TADOM2P_TABLE,
+    TADOM3_TABLE,
+    TADOM3P_TABLE,
+    URIX_TABLE,
+)
+from repro.splid import Splid
+
+ALL_TABLES = (
+    TADOM2_TABLE, TADOM2P_TABLE, TADOM3_TABLE, TADOM3P_TABLE,
+    URIX_TABLE, IRIX_TABLE, IRX_TABLE, EDGE_TABLE,
+)
+
+
+def table_mode_pairs():
+    for table in ALL_TABLES:
+        for a in table.modes:
+            for b in table.modes:
+                yield table, a, b
+
+
+class TestModeTableInvariants:
+    @pytest.mark.parametrize("table", ALL_TABLES, ids=lambda t: t.name)
+    def test_conversion_is_idempotent_on_result(self, table):
+        """Converting the result with the same request is stable."""
+        for a in table.modes:
+            for b in table.modes:
+                result = table.convert(a, b).result
+                again = table.convert(result, b)
+                assert again.result == result, (table.name, a, b)
+
+    @pytest.mark.parametrize("table", ALL_TABLES, ids=lambda t: t.name)
+    def test_conversion_identity(self, table):
+        for a in table.modes:
+            assert table.convert(a, a).result == a
+
+    #: Conversion cells printed verbatim in the paper that deliberately
+    #: swallow an update request into the held read mode: Figure 4's
+    #: (SR, SU) -> SR and Figure 2's (R, U) -> R.
+    PAPER_ASYMMETRIC_CELLS = {
+        ("taDOM2", "SR", "SU"),
+        ("taDOM2+", "SR", "SU"),
+        ("URIX", "R", "U"),
+        ("URIX", "RIX", "U"),
+    }
+
+    @pytest.mark.parametrize("table", ALL_TABLES, ids=lambda t: t.name)
+    def test_conversion_covers_both_inputs(self, table):
+        """The single replacement lock gives sufficient isolation: the
+        result's coverage (plus the distributed child coverage) contains
+        everything held and requested."""
+        for a in table.modes:
+            for b in table.modes:
+                if (table.name, a, b) in self.PAPER_ASYMMETRIC_CELLS:
+                    continue
+                conversion = table.convert(a, b)
+                union = table.coverage[a] | table.coverage[b]
+                covered = set(table.coverage[conversion.result])
+                if conversion.child_mode is not None:
+                    # Distributed read privileges count as covered.
+                    covered |= {"level_read", "subtree_read"}
+                assert union <= covered, (table.name, a, b, conversion)
+
+    @pytest.mark.parametrize("table", ALL_TABLES, ids=lambda t: t.name)
+    def test_conversion_never_weakens_compatibility(self, table):
+        """Anything incompatible with the held or requested mode stays
+        incompatible with the conversion result -- unless the conversion
+        carries a child action, in which case the lost exclusion is
+        delegated to the fanned-out child locks (CX_NR-style)."""
+        for a in table.modes:
+            for b in table.modes:
+                if (table.name, a, b) in self.PAPER_ASYMMETRIC_CELLS:
+                    continue
+                conversion = table.convert(a, b)
+                if conversion.child_mode is not None:
+                    continue
+                for other in table.modes:
+                    if not table.compatible(a, other) or not table.compatible(b, other):
+                        assert not table.compatible(conversion.result, other), (
+                            table.name, a, b, conversion.result, other,
+                        )
+
+    @pytest.mark.parametrize("table", ALL_TABLES, ids=lambda t: t.name)
+    def test_exclusive_mode_exists(self, table):
+        """Some mode is incompatible with everything (total exclusion)."""
+        assert any(
+            all(not table.compatible(mode, other) for other in table.modes)
+            for mode in table.modes
+        )
+
+    @pytest.mark.parametrize("table", ALL_TABLES, ids=lambda t: t.name)
+    def test_write_modes_mutually_exclusive(self, table):
+        """Two transactions can never both hold node-write coverage."""
+        for a in table.modes:
+            for b in table.modes:
+                both_write = (
+                    "node_write" in table.coverage[a]
+                    and "node_write" in table.coverage[b]
+                )
+                if both_write:
+                    assert not table.compatible(a, b), (table.name, a, b)
+
+
+# -- protocol plan properties --------------------------------------------------
+
+splids = st.builds(
+    lambda parts: Splid((1, *parts)),
+    st.lists(st.integers(min_value=1, max_value=20).map(lambda v: 2 * v + 1),
+             min_size=1, max_size=6),
+)
+
+ops = st.sampled_from([
+    MetaOp.READ_NODE, MetaOp.READ_CONTENT, MetaOp.READ_LEVEL,
+    MetaOp.READ_SUBTREE, MetaOp.UPDATE_NODE, MetaOp.WRITE_CONTENT,
+    MetaOp.RENAME_NODE, MetaOp.INSERT_CHILD, MetaOp.DELETE_SUBTREE,
+])
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    protocol_name=st.sampled_from(ALL_PROTOCOLS),
+    op=ops,
+    target=splids,
+    depth=st.integers(min_value=0, max_value=8),
+    access=st.sampled_from([Access.NAVIGATION, Access.JUMP]),
+)
+def test_plans_are_well_formed(protocol_name, op, target, depth, access):
+    """Every plan uses only registered spaces/modes and locks top-down."""
+    protocol = get_protocol(protocol_name)
+    request = MetaRequest(op, target, access, role=EdgeRole.FIRST_CHILD)
+    plan = protocol.plan(request, depth)
+    tables = protocol.tables()
+    node_keys = []
+    for step in plan.steps:
+        assert step.space in tables
+        assert step.mode in tables[step.space]
+        if isinstance(step.key, Splid):
+            if step.space == "node":
+                node_keys.append(step.key)
+            # No lock lands outside the target's root path or subtree,
+            # except parent-anchored protocols (parent of target).
+            assert (
+                step.key.is_self_or_descendant_of(target)
+                or step.key == target
+                or step.key in target.ancestors_bottom_up()
+                or (target.parent is not None
+                    and step.key.is_self_or_descendant_of(target.parent))
+            )
+    # Node-space locks are acquired ancestors-first (top-down).
+    for earlier, later in zip(node_keys, node_keys[1:]):
+        assert not later.is_ancestor_of(earlier)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    protocol_name=st.sampled_from(
+        ["Node2PLa", "IRX", "IRIX", "URIX",
+         "taDOM2", "taDOM2+", "taDOM3", "taDOM3+"]
+    ),
+    target=splids,
+    depth=st.integers(min_value=0, max_value=8),
+)
+def test_lock_depth_caps_lock_levels(protocol_name, target, depth):
+    """No individual node lock lands below the lock-depth level."""
+    protocol = get_protocol(protocol_name)
+    plan = protocol.plan(MetaRequest(MetaOp.READ_NODE, target), depth)
+    for step in plan.steps:
+        if step.space == "node" and isinstance(step.key, Splid):
+            assert step.key.level <= depth
+
+
+@settings(max_examples=60, deadline=None)
+@given(target=splids, depth=st.integers(min_value=0, max_value=8))
+def test_depth_zero_reads_are_document_locks(target, depth):
+    protocol = get_protocol("taDOM3+")
+    plan = protocol.plan(MetaRequest(MetaOp.READ_NODE, target), 0)
+    assert len(plan.steps) == 1
+    assert str(plan.steps[0].key) == "1"

@@ -1,0 +1,131 @@
+"""Tests for the builder, the XML parser, and the serializer."""
+
+import pytest
+
+from repro.errors import DocumentError
+from repro.dom import (
+    build_document,
+    parse_document,
+    parse_spec,
+    serialize_document,
+    serialize_subtree,
+)
+
+LIBRARY_SPEC = (
+    "bib",
+    [
+        ("persons", [
+            ("person", {"id": "p1"}, [("name", ["Gray"])]),
+            ("person", {"id": "p2"}, [("name", ["Reuter"])]),
+        ]),
+        ("topics", [
+            ("topic", {"id": "t1"}, [
+                ("book", {"id": "b1", "year": "1993"}, [
+                    ("title", ["Transaction Processing"]),
+                    ("author", ["Gray & Reuter"]),
+                ]),
+            ]),
+        ]),
+    ],
+)
+
+
+class TestBuilder:
+    def test_build_document(self):
+        doc = build_document(LIBRARY_SPEC)
+        assert doc.name_of(doc.root) == "bib"
+        assert len(doc.elements_by_name("person")) == 2
+        assert doc.element_by_id("b1") is not None
+        book = doc.element_by_id("b1")
+        assert doc.attribute_value(book, "year") == "1993"
+
+    def test_text_content(self):
+        doc = build_document(LIBRARY_SPEC)
+        title = doc.elements_by_name("title")[0]
+        assert doc.text_of_element(title) == "Transaction Processing"
+
+    def test_rejects_text_root(self):
+        with pytest.raises(DocumentError):
+            build_document("just text")
+
+    def test_rejects_malformed_spec(self):
+        with pytest.raises(DocumentError):
+            build_document((42, []))
+        with pytest.raises(DocumentError):
+            build_document(("ok", [("child", 99)]))
+
+
+class TestParser:
+    def test_simple_document(self):
+        doc = parse_document(
+            '<bib><book id="b1" year="1993">'
+            "<title>TP &amp; Recovery</title></book></bib>"
+        )
+        book = doc.element_by_id("b1")
+        assert doc.attribute_value(book, "year") == "1993"
+        title = doc.elements_by_name("title")[0]
+        assert doc.text_of_element(title) == "TP & Recovery"
+
+    def test_self_closing_and_comments(self):
+        spec = parse_spec(
+            "<?xml version='1.0'?><!-- header --><a><b/><!-- mid --><c/></a>"
+        )
+        assert spec[0] == "a"
+        assert [child[0] for child in spec[2]] == ["b", "c"]
+
+    def test_cdata(self):
+        doc = parse_document("<a><![CDATA[<raw> & data]]></a>")
+        assert doc.text_of_element(doc.root) == "<raw> & data"
+
+    def test_single_quotes_and_entities(self):
+        spec = parse_spec("<a title='O&apos;Neil'/>")
+        assert spec[1]["title"] == "O'Neil"
+
+    def test_mismatched_tags(self):
+        with pytest.raises(DocumentError):
+            parse_spec("<a><b></a></b>")
+
+    def test_unclosed(self):
+        with pytest.raises(DocumentError):
+            parse_spec("<a><b></b>")
+
+    def test_multiple_roots(self):
+        with pytest.raises(DocumentError):
+            parse_spec("<a/><b/>")
+
+    def test_no_root(self):
+        with pytest.raises(DocumentError):
+            parse_spec("   just text   ")
+
+
+class TestSerializer:
+    def test_round_trip(self):
+        doc = build_document(LIBRARY_SPEC)
+        text = serialize_document(doc)
+        doc2 = parse_document(text)
+        assert serialize_document(doc2) == text
+
+    def test_escaping(self):
+        doc = parse_document('<a note="x&quot;y">a &lt; b</a>')
+        text = serialize_document(doc)
+        assert "&lt;" in text
+        assert "&quot;" in text
+        round_tripped = parse_document(text)
+        assert round_tripped.text_of_element(round_tripped.root) == "a < b"
+
+    def test_pretty_print(self):
+        doc = build_document(("a", [("b", ["hi"])]))
+        pretty = serialize_document(doc, indent=2)
+        assert "\n  <b>" in pretty
+
+    def test_subtree_serialization(self):
+        doc = build_document(LIBRARY_SPEC)
+        book = doc.element_by_id("b1")
+        text = serialize_subtree(doc, book)
+        assert text.startswith("<book")
+        assert "Transaction Processing" in text
+        assert "persons" not in text
+
+    def test_empty_element_self_closes(self):
+        doc = build_document(("a", [("hollow", {})]))
+        assert "<hollow/>" in serialize_document(doc)

@@ -1,0 +1,160 @@
+"""Unit tests for the raw taDOM document operations."""
+
+import pytest
+
+from repro.errors import DocumentError, NodeNotFound
+from repro.dom import Document
+from repro.storage.record import NodeKind
+
+
+@pytest.fixture
+def doc():
+    return Document(name="lib", root_element="bib")
+
+
+class TestCreation:
+    def test_root_exists(self, doc):
+        assert doc.exists(doc.root)
+        assert doc.name_of(doc.root) == "bib"
+        assert doc.elements_by_name("bib") == [doc.root]
+
+    def test_add_element(self, doc):
+        book = doc.add_element(doc.root, "book")
+        assert doc.kind(book) is NodeKind.ELEMENT
+        assert doc.name_of(book) == "book"
+        assert book.parent == doc.root
+        assert doc.elements_by_name("book") == [book]
+
+    def test_add_text_creates_string_node(self, doc):
+        title = doc.add_element(doc.root, "title")
+        text = doc.add_text(title, "TP: Concepts and Techniques")
+        assert doc.kind(text) is NodeKind.TEXT
+        assert doc.string_value(text) == "TP: Concepts and Techniques"
+        assert doc.text_of_element(title) == "TP: Concepts and Techniques"
+
+    def test_add_element_positions(self, doc):
+        b = doc.add_element(doc.root, "b")
+        d = doc.add_element(doc.root, "d")
+        a = doc.add_element(doc.root, "a", before=b)
+        c = doc.add_element(doc.root, "c", after=b)
+        kids = [doc.name_of(k) for k in doc.store.children(doc.root)]
+        assert kids == ["a", "b", "c", "d"]
+        assert a < b < c < d
+
+    def test_before_and_after_conflict(self, doc):
+        child = doc.add_element(doc.root, "x")
+        with pytest.raises(DocumentError):
+            doc.add_element(doc.root, "y", before=child, after=child)
+
+    def test_add_to_text_rejected(self, doc):
+        text = doc.add_text(doc.root, "data")
+        with pytest.raises(DocumentError):
+            doc.add_element(text, "nested")
+
+
+class TestAttributes:
+    def test_set_and_read(self, doc):
+        book = doc.add_element(doc.root, "book")
+        doc.set_attribute(book, "year", "1993")
+        doc.set_attribute(book, "lang", "en")
+        assert doc.attribute_value(book, "year") == "1993"
+        assert doc.attributes_of(book) == {"year": "1993", "lang": "en"}
+
+    def test_update_existing_attribute(self, doc):
+        book = doc.add_element(doc.root, "book")
+        first = doc.set_attribute(book, "year", "1993")
+        second = doc.set_attribute(book, "year", "2006")
+        assert first == second
+        assert doc.attribute_value(book, "year") == "2006"
+
+    def test_id_attribute_feeds_index(self, doc):
+        book = doc.add_element(doc.root, "book")
+        doc.set_attribute(book, "id", "b42")
+        assert doc.element_by_id("b42") == book
+
+    def test_id_update_moves_index(self, doc):
+        book = doc.add_element(doc.root, "book")
+        doc.set_attribute(book, "id", "b1")
+        doc.set_attribute(book, "id", "b2")
+        assert doc.element_by_id("b1") is None
+        assert doc.element_by_id("b2") == book
+
+    def test_missing_attribute(self, doc):
+        book = doc.add_element(doc.root, "book")
+        assert doc.attribute_value(book, "year") is None
+
+
+class TestContentUpdates:
+    def test_update_string_returns_old(self, doc):
+        text = doc.add_text(doc.root, "old")
+        assert doc.update_string(text, "new") == "old"
+        assert doc.string_value(text) == "new"
+
+    def test_update_string_requires_string_node(self, doc):
+        el = doc.add_element(doc.root, "el")
+        with pytest.raises(DocumentError):
+            doc.update_string(el, "x")
+
+    def test_rename_element(self, doc):
+        topic = doc.add_element(doc.root, "topic")
+        old = doc.rename_element(topic, "subject")
+        assert old == "topic"
+        assert doc.name_of(topic) == "subject"
+        assert doc.elements_by_name("topic") == []
+        assert doc.elements_by_name("subject") == [topic]
+
+    def test_rename_non_element_rejected(self, doc):
+        text = doc.add_text(doc.root, "data")
+        with pytest.raises(DocumentError):
+            doc.rename_element(text, "x")
+
+
+class TestDeletion:
+    def _build_book(self, doc):
+        book = doc.add_element(doc.root, "book")
+        doc.set_attribute(book, "id", "b9")
+        title = doc.add_element(book, "title")
+        doc.add_text(title, "The Benchmark Handbook")
+        return book
+
+    def test_delete_subtree(self, doc):
+        book = self._build_book(doc)
+        before = len(doc)
+        removed = doc.delete_subtree(book)
+        # book + attr root + attr + string + title + text + string = 7
+        assert len(removed) == 7
+        assert len(doc) == before - 7
+        assert not doc.exists(book)
+        assert doc.element_by_id("b9") is None
+        assert doc.elements_by_name("title") == []
+
+    def test_delete_root_rejected(self, doc):
+        with pytest.raises(DocumentError):
+            doc.delete_subtree(doc.root)
+
+    def test_delete_missing_raises(self, doc):
+        book = self._build_book(doc)
+        doc.delete_subtree(book)
+        with pytest.raises(NodeNotFound):
+            doc.delete_subtree(book)
+
+    def test_restore_subtree_is_exact_undo(self, doc):
+        book = self._build_book(doc)
+        snapshot = sorted(str(s) for s, _r in doc.walk())
+        removed = doc.delete_subtree(book)
+        doc.restore_subtree(removed)
+        assert sorted(str(s) for s, _r in doc.walk()) == snapshot
+        assert doc.element_by_id("b9") == book
+        assert doc.elements_by_name("title") != []
+
+
+class TestStatistics:
+    def test_statistics_keys(self, doc):
+        for i in range(50):
+            el = doc.add_element(doc.root, "person")
+            doc.set_attribute(el, "id", f"p{i}")
+        stats = doc.statistics()
+        assert stats["nodes"] == len(doc)
+        assert stats["indexed_ids"] == 50
+        assert stats["vocabulary_names"] >= 2
+        assert 0 < stats["document_occupancy"] <= 1

@@ -1,0 +1,219 @@
+"""Unit tests for the lock-guarded node manager (single-user driving)."""
+
+import pytest
+
+from repro import Database
+from repro.core.protocol import Access
+from repro.storage.record import NodeKind
+
+LIBRARY = (
+    "topics",
+    [
+        ("topic", {"id": "t0"}, [
+            ("book", {"id": "b0", "year": "1993"}, [
+                ("title", ["Transaction Processing"]),
+                ("author", ["Gray"]),
+                ("history", [
+                    ("lend", {"person": "p1", "return": "2006-01-01"}, []),
+                    ("lend", {"person": "p2", "return": "2006-02-01"}, []),
+                ]),
+            ]),
+            ("book", {"id": "b1"}, [("title", ["XML Storage"])]),
+        ]),
+    ],
+)
+
+
+@pytest.fixture(params=["taDOM3+", "URIX", "Node2PL", "OO2PL"])
+def db(request):
+    database = Database(protocol=request.param, lock_depth=7,
+                        root_element="bib")
+    database.load(LIBRARY)
+    return database
+
+
+@pytest.fixture
+def tadom_db():
+    database = Database(protocol="taDOM3+", lock_depth=7, root_element="bib")
+    database.load(LIBRARY)
+    return database
+
+
+class TestJumpsAndNavigation:
+    def test_get_element_by_id(self, db):
+        txn = db.begin()
+        book, ms = db.run(db.nodes.get_element_by_id(txn, "b0"))
+        assert db.document.name_of(book) == "book"
+        assert ms > 0
+        db.commit(txn)
+
+    def test_get_element_by_id_missing(self, db):
+        txn = db.begin()
+        result, _ = db.run(db.nodes.get_element_by_id(txn, "nope"))
+        assert result is None
+        db.commit(txn)
+
+    def test_navigation_chain(self, db):
+        txn = db.begin()
+        book, _ = db.run(db.nodes.get_element_by_id(txn, "b0"))
+        first, _ = db.run(db.nodes.get_first_child(txn, book))
+        assert db.document.name_of(first) == "title"
+        sibling, _ = db.run(db.nodes.get_next_sibling(txn, first))
+        assert db.document.name_of(sibling) == "author"
+        back, _ = db.run(db.nodes.get_previous_sibling(txn, sibling))
+        assert back == first
+        last, _ = db.run(db.nodes.get_last_child(txn, book))
+        assert db.document.name_of(last) == "history"
+        parent, _ = db.run(db.nodes.get_parent(txn, first))
+        assert parent == book
+        db.commit(txn)
+
+    def test_get_child_nodes(self, db):
+        txn = db.begin()
+        book, _ = db.run(db.nodes.get_element_by_id(txn, "b0"))
+        children, _ = db.run(db.nodes.get_child_nodes(txn, book))
+        assert [db.document.name_of(c) for c in children] == [
+            "title", "author", "history",
+        ]
+        db.commit(txn)
+
+    def test_get_attributes_and_value(self, db):
+        txn = db.begin()
+        book, _ = db.run(db.nodes.get_element_by_id(txn, "b0"))
+        attrs, _ = db.run(db.nodes.get_attributes(txn, book))
+        assert len(attrs) == 2
+        year, _ = db.run(db.nodes.get_attribute_value(txn, book, "year"))
+        assert year == "1993"
+        missing, _ = db.run(db.nodes.get_attribute_value(txn, book, "isbn"))
+        assert missing is None
+        db.commit(txn)
+
+    def test_read_subtree(self, db):
+        txn = db.begin()
+        book, _ = db.run(db.nodes.get_element_by_id(txn, "b0"))
+        entries, _ = db.run(db.nodes.read_subtree(txn, book))
+        kinds = {record.kind for _s, record in entries}
+        assert NodeKind.ELEMENT in kinds
+        assert NodeKind.STRING in kinds
+        assert entries[0][0] == book
+        db.commit(txn)
+
+    def test_read_content(self, db):
+        txn = db.begin()
+        title = db.document.elements_by_name("title")[0]
+        text = db.document.store.first_child(title)
+        value, _ = db.run(db.nodes.read_content(txn, text))
+        assert value == "Transaction Processing"
+        db.commit(txn)
+
+
+class TestUpdates:
+    def test_update_content(self, db):
+        txn = db.begin()
+        title = db.document.elements_by_name("title")[0]
+        text = db.document.store.first_child(title)
+        old, _ = db.run(db.nodes.update_content(txn, text, "New Title"))
+        assert old == "Transaction Processing"
+        db.commit(txn)
+        assert db.document.string_value(text) == "New Title"
+
+    def test_rename(self, db):
+        txn = db.begin()
+        topic = db.document.element_by_id("t0")
+        old, _ = db.run(db.nodes.rename_element(txn, topic, "subject"))
+        assert old == "topic"
+        db.commit(txn)
+        assert db.document.name_of(topic) == "subject"
+
+    def test_insert_tree_appends(self, db):
+        txn = db.begin()
+        history = db.document.elements_by_name("history")[0]
+        before = list(db.document.store.children(history))
+        new, _ = db.run(db.nodes.insert_tree(
+            txn, history, ("lend", {"person": "p9"}, [])
+        ))
+        db.commit(txn)
+        after = list(db.document.store.children(history))
+        assert after == before + [new]
+        assert db.document.attribute_value(new, "person") == "p9"
+
+    def test_delete_subtree(self, db):
+        txn = db.begin()
+        book, _ = db.run(db.nodes.get_element_by_id(txn, "b0"))
+        count, _ = db.run(db.nodes.delete_subtree(txn, book, access=Access.JUMP))
+        assert count > 10
+        db.commit(txn)
+        assert not db.document.exists(book)
+        assert db.document.element_by_id("b0") is None
+
+    def test_delete_missing_is_noop(self, db):
+        txn = db.begin()
+        book, _ = db.run(db.nodes.get_element_by_id(txn, "b0"))
+        db.run(db.nodes.delete_subtree(txn, book))
+        count, _ = db.run(db.nodes.delete_subtree(txn, book))
+        assert count == 0
+        db.commit(txn)
+
+    def test_abort_undoes_everything(self, db):
+        snapshot = sorted(str(s) for s, _r in db.document.walk())
+        txn = db.begin()
+        history = db.document.elements_by_name("history")[0]
+        db.run(db.nodes.insert_tree(txn, history, ("lend", {"person": "px"}, [])))
+        title = db.document.elements_by_name("title")[0]
+        text = db.document.store.first_child(title)
+        db.run(db.nodes.update_content(txn, text, "garbage"))
+        topic = db.document.element_by_id("t0")
+        db.run(db.nodes.rename_element(txn, topic, "oops"))
+        book, _ = db.run(db.nodes.get_element_by_id(txn, "b1"))
+        db.run(db.nodes.delete_subtree(txn, book))
+        db.abort(txn)
+        assert sorted(str(s) for s, _r in db.document.walk()) == snapshot
+        assert db.document.name_of(topic) == "topic"
+        assert db.document.string_value(text) == "Transaction Processing"
+
+
+class TestStatsAndCosts:
+    def test_operations_counted(self, tadom_db):
+        db = tadom_db
+        txn = db.begin()
+        book, _ = db.run(db.nodes.get_element_by_id(txn, "b0"))
+        db.run(db.nodes.read_subtree(txn, book))
+        assert txn.stats.operations == 2
+        assert txn.stats.lock_requests > 0
+        assert txn.stats.nodes_visited > 10
+        db.commit(txn)
+
+    def test_subtree_lock_covers_rereads(self, tadom_db):
+        db = tadom_db
+        txn = db.begin()
+        book, _ = db.run(db.nodes.get_element_by_id(txn, "b0"))
+        db.run(db.nodes.read_subtree(txn, book))
+        before = txn.stats.lock_requests
+        # Reading inside the SR-covered subtree needs no new locks.
+        title = db.document.elements_by_name("title")[0]
+        db.run(db.nodes.get_first_child(txn, title))
+        assert txn.stats.lock_requests == before
+        assert txn.stats.covered_skips > 0
+        db.commit(txn)
+
+    def test_committed_isolation_releases_read_locks(self, tadom_db):
+        db = tadom_db
+        txn = db.begin("r", "committed")
+        book, _ = db.run(db.nodes.get_element_by_id(txn, "b0"))
+        db.run(db.nodes.read_subtree(txn, book))
+        # All read locks are gone at the end of the operation.
+        assert db.locks.table.lock_count() == 0
+        db.commit(txn)
+
+    def test_star2pl_visits_more(self):
+        def locks_used(protocol):
+            database = Database(protocol=protocol, lock_depth=7,
+                                root_element="bib")
+            database.load(LIBRARY)
+            txn = database.begin()
+            book, _ = database.run(database.nodes.get_element_by_id(txn, "b0"))
+            database.run(database.nodes.read_subtree(txn, book))
+            database.commit(txn)
+            return txn.stats.lock_requests
+
+        assert locks_used("Node2PL") > locks_used("taDOM3+")

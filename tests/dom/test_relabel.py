@@ -1,0 +1,107 @@
+"""Tests for subtree relabeling (SPLID maintenance, Section 3.2)."""
+
+import pytest
+
+from repro.dom import Document, build_children, serialize_document
+from repro.splid import Splid
+
+
+@pytest.fixture
+def doc():
+    document = Document(root_element="bib")
+    build_children(document, document.root, [
+        ("topic", {"id": "t0"}, [
+            ("book", {"id": "b0"}, [("title", ["One"])]),
+            ("book", {"id": "b1"}, [("title", ["Two"])]),
+        ]),
+        ("topic", {"id": "t1"}, [
+            ("book", {"id": "b2"}, [("title", ["Three"])]),
+        ]),
+    ])
+    return document
+
+
+def bloat_labels(doc, parent, rounds=10):
+    """Create long overflow labels by repeated front insertions."""
+    first = doc.store.first_child(parent)
+    for i in range(rounds):
+        first = doc.add_element(parent, "filler", before=first)
+    return first
+
+
+class TestRelabel:
+    def test_order_and_content_preserved(self, doc):
+        topic = doc.element_by_id("t0")
+        bloat_labels(doc, topic)
+        before = serialize_document(doc)
+        doc.relabel_subtree(topic)
+        assert serialize_document(doc) == before
+
+    def test_labels_become_compact(self, doc):
+        topic = doc.element_by_id("t0")
+        deepest = bloat_labels(doc, topic, rounds=14)
+        worst_before = max(
+            len(s.divisions) for s in doc.store.subtree_labels(topic)
+        )
+        doc.relabel_subtree(topic)
+        worst_after = max(
+            len(s.divisions) for s in doc.store.subtree_labels(topic)
+        )
+        assert worst_after < worst_before
+
+    def test_only_the_subtree_is_affected(self, doc):
+        topic0 = doc.element_by_id("t0")
+        outside_before = [
+            s for s, _r in doc.walk()
+            if not s.is_self_or_descendant_of(topic0)
+        ]
+        bloat_labels(doc, topic0)
+        doc.relabel_subtree(topic0)
+        outside_after = [
+            s for s, _r in doc.walk()
+            if not s.is_self_or_descendant_of(topic0)
+        ]
+        assert outside_after == outside_before
+
+    def test_root_label_unchanged(self, doc):
+        topic = doc.element_by_id("t0")
+        mapping = doc.relabel_subtree(topic)
+        assert mapping[topic] == topic
+
+    def test_mapping_covers_every_node(self, doc):
+        topic = doc.element_by_id("t0")
+        before = set(doc.store.subtree_labels(topic))
+        mapping = doc.relabel_subtree(topic)
+        assert set(mapping) == before
+        assert set(doc.store.subtree_labels(topic)) == set(mapping.values())
+
+    def test_indexes_follow_the_relabeling(self, doc):
+        topic = doc.element_by_id("t0")
+        bloat_labels(doc, topic)
+        mapping = doc.relabel_subtree(topic)
+        b0 = doc.element_by_id("b0")
+        assert b0 is not None
+        assert doc.name_of(b0) == "book"
+        assert b0 in set(mapping.values())
+        # Element index finds exactly the relabeled books.
+        books = doc.elements_by_name("book")
+        assert len(books) == 3
+        assert all(doc.exists(b) for b in books)
+
+    def test_document_order_is_stable(self, doc):
+        topic = doc.element_by_id("t0")
+        names_before = [
+            doc.name_of(s) for s in doc.store.subtree_labels(topic)
+            if doc.node(s).kind.name == "ELEMENT"
+        ]
+        bloated = bloat_labels(doc, topic)
+        doc.relabel_subtree(topic)
+        labels = list(doc.store.subtree_labels(topic))
+        assert labels == sorted(labels)
+
+    def test_meta_children_keep_division_one(self, doc):
+        topic = doc.element_by_id("t0")
+        doc.relabel_subtree(topic)
+        for splid, record in doc.store.subtree(topic):
+            if record.kind.name in ("ATTRIBUTE_ROOT", "STRING"):
+                assert splid.divisions[-1] == 1

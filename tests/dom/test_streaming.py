@@ -1,0 +1,129 @@
+"""Tests for the SAX-style streaming interface."""
+
+import pytest
+
+from repro import Database
+from repro.dom.streaming import (
+    CHARACTERS,
+    END_ELEMENT,
+    START_ELEMENT,
+    StreamReader,
+    collect_events,
+)
+from repro.dom.parser import parse_document
+from repro.dom.serializer import serialize_document
+from repro.sched import Delay, Simulator
+
+LIBRARY = (
+    "topics",
+    [("topic", {"id": "t0"}, [
+        ("book", {"id": "b0", "year": "1993"}, [
+            ("title", ["TP Concepts"]),
+            ("history", [("lend", {"person": "p1"}, [])]),
+        ]),
+    ])],
+)
+
+
+@pytest.fixture
+def db():
+    database = Database(protocol="taDOM3+", lock_depth=7, root_element="bib")
+    database.load(LIBRARY)
+    return database
+
+
+class TestEventStream:
+    def test_whole_document(self, db):
+        txn = db.begin()
+        events = collect_events(db, txn)
+        db.commit(txn)
+        assert events[0] == (START_ELEMENT, "bib", {})
+        assert events[-1] == (END_ELEMENT, "bib")
+        starts = [e[1] for e in events if e[0] == START_ELEMENT]
+        ends = [e[1] for e in events if e[0] == END_ELEMENT]
+        assert sorted(starts) == sorted(ends)
+
+    def test_fragment_stream(self, db):
+        book = db.document.element_by_id("b0")
+        txn = db.begin()
+        events = collect_events(db, txn, book)
+        db.commit(txn)
+        assert events[0] == (START_ELEMENT, "book", {"id": "b0", "year": "1993"})
+        assert (CHARACTERS, "TP Concepts") in events
+        assert events[-1] == (END_ELEMENT, "book")
+
+    def test_nesting_is_well_formed(self, db):
+        txn = db.begin()
+        events = collect_events(db, txn)
+        db.commit(txn)
+        stack = []
+        for event in events:
+            if event[0] == START_ELEMENT:
+                stack.append(event[1])
+            elif event[0] == END_ELEMENT:
+                assert stack and stack[-1] == event[1]
+                stack.pop()
+        assert stack == []
+
+    def test_attributes_delivered_on_start(self, db):
+        book = db.document.element_by_id("b0")
+        txn = db.begin()
+        events = collect_events(db, txn, book)
+        db.commit(txn)
+        lend_start = next(e for e in events
+                          if e[0] == START_ELEMENT and e[1] == "lend")
+        assert lend_start[2] == {"person": "p1"}
+
+    def test_stream_round_trips_through_serializer(self, db):
+        """Events rebuilt into XML parse back to the same document."""
+        txn = db.begin()
+        events = collect_events(db, txn)
+        db.commit(txn)
+        pieces = []
+        for event in events:
+            if event[0] == START_ELEMENT:
+                attrs = "".join(f' {k}="{v}"' for k, v in event[2].items())
+                pieces.append(f"<{event[1]}{attrs}>")
+            elif event[0] == CHARACTERS:
+                pieces.append(event[1])
+            else:
+                pieces.append(f"</{event[1]}>")
+        rebuilt = parse_document("".join(pieces))
+        assert serialize_document(rebuilt) == serialize_document(db.document)
+
+    def test_stream_takes_subtree_lock(self, db):
+        txn = db.begin()
+        book = db.document.element_by_id("b0")
+        collect_events(db, txn, book)
+        assert txn.stats.lock_requests > 0
+        assert db.locks.table.lock_count() > 0
+        db.commit(txn)
+
+    def test_stream_is_isolated_from_writers(self, db):
+        """A concurrent delete waits for the stream's transaction."""
+        book = db.document.element_by_id("b0")
+        order = []
+        sim = Simulator()
+        db.set_clock(lambda: sim.now)
+        reader = StreamReader(db.nodes)
+
+        def streamer():
+            txn = db.begin("stream")
+            events = []
+            yield from reader.events(txn, book, handler=events.append)
+            order.append(("streamed", len(events)))
+            yield Delay(100.0)
+            db.commit(txn)
+
+        def deleter():
+            txn = db.begin("delete")
+            yield Delay(10.0)
+            yield from db.nodes.delete_subtree(txn, book)
+            db.commit(txn)
+            order.append(("deleted",))
+
+        sim.spawn(streamer())
+        sim.spawn(deleter())
+        sim.run()
+        assert order[0][0] == "streamed"
+        assert order[1] == ("deleted",)

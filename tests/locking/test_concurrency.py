@@ -1,0 +1,331 @@
+"""Integration tests: concurrent transactions under the simulator."""
+
+import pytest
+
+from repro import Database, DeadlockAbort, IsolationLevel
+from repro.core.protocol import Access
+from repro.sched import Delay, Simulator
+
+BOOK_SPEC = (
+    "topics",
+    [
+        ("topic", {"id": "t1"}, [
+            ("book", {"id": "b1"}, [
+                ("title", ["TP: Concepts"]),
+                ("history", [("lend", {"person": "p1"}, [])]),
+            ]),
+            ("book", {"id": "b2"}, [
+                ("title", ["The Benchmark Handbook"]),
+                ("history", []),
+            ]),
+        ]),
+    ],
+)
+
+
+def make_db(protocol="taDOM3+", depth=7, isolation="repeatable"):
+    db = Database(protocol=protocol, lock_depth=depth, isolation=isolation,
+                  root_element="bib")
+    db.load(BOOK_SPEC)
+    return db
+
+
+def run_processes(db, *procs):
+    """Spawn generators in a simulator; return the final time."""
+    sim = Simulator()
+    db.set_clock(lambda: sim.now)
+    for i, proc in enumerate(procs):
+        sim.spawn(proc, name=f"p{i}")
+    return sim.run()
+
+
+class TestReaderWriterBlocking:
+    def test_writer_waits_for_reader(self):
+        db = make_db()
+        book = db.document.element_by_id("b1")
+        trace = []
+
+        def reader():
+            txn = db.begin("reader")
+            yield from db.nodes.read_subtree(txn, book)
+            trace.append(("reader-read", True))
+            yield Delay(100.0)
+            db.commit(txn)
+            trace.append(("reader-commit", None))
+
+        def writer():
+            txn = db.begin("writer")
+            yield Delay(10.0)  # start after the reader holds its SR
+            yield from db.nodes.delete_subtree(txn, book, access=Access.JUMP)
+            trace.append(("writer-deleted", None))
+            db.commit(txn)
+
+        run_processes(db, reader(), writer())
+        assert [t[0] for t in trace] == [
+            "reader-read", "reader-commit", "writer-deleted",
+        ]
+        assert not db.document.exists(book)
+
+    def test_readers_share(self):
+        db = make_db()
+        book = db.document.element_by_id("b1")
+        done = []
+
+        def reader(name):
+            txn = db.begin(name)
+            yield from db.nodes.read_subtree(txn, book)
+            done.append((name, True))
+            yield Delay(50.0)
+            db.commit(txn)
+
+        sim = Simulator()
+        db.set_clock(lambda: sim.now)
+        for i in range(3):
+            sim.spawn(reader(f"r{i}"))
+        sim.run()
+        # All three read before any committed: truly concurrent shares.
+        assert len(done) == 3
+
+    def test_disjoint_books_do_not_conflict(self):
+        db = make_db(depth=7)
+        b1 = db.document.element_by_id("b1")
+        b2 = db.document.element_by_id("b2")
+        order = []
+
+        def reader():
+            txn = db.begin("reader")
+            yield from db.nodes.read_subtree(txn, b1)
+            yield Delay(200.0)
+            order.append("reader-done")
+            db.commit(txn)
+
+        def writer():
+            txn = db.begin("writer")
+            yield Delay(10.0)
+            hist = db.document.elements_by_name("history")[1]
+            yield from db.nodes.insert_tree(txn, hist, ("lend", {"person": "x"}, []))
+            order.append("writer-done")
+            db.commit(txn)
+
+        run_processes(db, reader(), writer())
+        # Writer finished during the reader's long pause: no blocking.
+        assert order == ["writer-done", "reader-done"]
+
+    def test_depth_zero_serializes_conflicting_ops(self):
+        db = make_db(depth=0)
+        b1 = db.document.element_by_id("b1")
+        b2 = db.document.element_by_id("b2")
+        order = []
+
+        def reader():
+            txn = db.begin("reader")
+            yield from db.nodes.read_subtree(txn, b1)
+            yield Delay(200.0)
+            order.append("reader-done")
+            db.commit(txn)
+
+        def writer():
+            txn = db.begin("writer")
+            yield Delay(10.0)
+            hist = db.document.elements_by_name("history")[1]
+            yield from db.nodes.insert_tree(txn, hist, ("lend", {"person": "x"}, []))
+            order.append("writer-done")
+            db.commit(txn)
+
+        run_processes(db, reader(), writer())
+        # Document locks: the disjoint writer now waits for the reader.
+        assert order == ["reader-done", "writer-done"]
+
+
+class TestDeadlocks:
+    def test_conversion_deadlock_detected(self):
+        """Two transactions read the same subtree, then both upgrade."""
+        db = make_db()
+        book = db.document.element_by_id("b1")
+        aborted = []
+
+        def upgrader(name, pause):
+            txn = db.begin(name)
+            yield from db.nodes.read_subtree(txn, book)
+            yield Delay(pause)
+            try:
+                yield from db.nodes.delete_subtree(txn, book)
+            except DeadlockAbort as exc:
+                aborted.append((name, exc.cycle))
+                db.abort(txn)
+                return
+            db.commit(txn)
+
+        run_processes(db, upgrader("a", 10.0), upgrader("b", 12.0))
+        assert len(aborted) == 1
+        assert db.transactions.committed == 1
+        assert db.transactions.aborted == 1
+        assert db.locks.detector.count() == 1
+        assert db.locks.detector.events[0].kind == "conversion"
+
+    def test_victim_rollback_restores_document(self):
+        db = make_db()
+        book = db.document.element_by_id("b1")
+        before = sorted(str(s) for s, _r in db.document.walk())
+        hist1 = db.document.elements_by_name("history")[0]
+
+        def txn_a():
+            txn = db.begin("a")
+            yield from db.nodes.read_subtree(txn, book)
+            yield Delay(5.0)
+            try:
+                yield from db.nodes.insert_tree(txn, hist1, ("lend", {}, []))
+            except DeadlockAbort:
+                db.abort(txn)
+                return
+            db.commit(txn)
+
+        run_processes(db, txn_a(), txn_a())
+        # Whatever happened, the aborted transaction left no trace and the
+        # committed one (if any) added exactly one lend element.
+        after = sorted(str(s) for s, _r in db.document.walk())
+        added = len(after) - len(before)
+        assert added == db.transactions.committed  # one lend element per commit
+
+    def test_wound_free_when_no_cycle(self):
+        db = make_db()
+        book = db.document.element_by_id("b1")
+
+        def reader():
+            txn = db.begin("r")
+            yield from db.nodes.read_subtree(txn, book)
+            yield Delay(20.0)
+            db.commit(txn)
+
+        def writer():
+            txn = db.begin("w")
+            yield Delay(5.0)
+            yield from db.nodes.delete_subtree(txn, book)
+            db.commit(txn)
+
+        run_processes(db, reader(), writer())
+        assert db.locks.detector.count() == 0
+        assert db.transactions.aborted == 0
+
+
+class TestIsolationLevels:
+    def _run_reader_writer(self, isolation):
+        db = make_db(isolation=isolation)
+        book = db.document.element_by_id("b1")
+        order = []
+
+        def reader():
+            txn = db.begin("reader", isolation)
+            yield from db.nodes.read_subtree(txn, book)
+            yield Delay(100.0)
+            order.append("reader-done")
+            db.commit(txn)
+
+        def writer():
+            txn = db.begin("writer", isolation)
+            yield Delay(10.0)
+            hist = db.document.elements_by_name("history")[0]
+            yield from db.nodes.insert_tree(txn, hist, ("lend", {}, []))
+            order.append("writer-done")
+            db.commit(txn)
+
+        run_processes(db, reader(), writer())
+        return order, db
+
+    def test_repeatable_blocks_writer(self):
+        order, _db = self._run_reader_writer("repeatable")
+        assert order == ["reader-done", "writer-done"]
+
+    def test_committed_releases_read_locks_early(self):
+        order, _db = self._run_reader_writer("committed")
+        assert order == ["writer-done", "reader-done"]
+
+    def test_uncommitted_takes_no_read_locks(self):
+        order, db = self._run_reader_writer("uncommitted")
+        assert order == ["writer-done", "reader-done"]
+        assert db.locks.table.waits == 0
+
+    def test_none_takes_no_locks_at_all(self):
+        order, db = self._run_reader_writer("none")
+        assert order == ["writer-done", "reader-done"]
+        assert db.locks.table.requests == 0
+
+
+class TestConversionFanout:
+    def test_cx_nr_fanout_locks_children(self):
+        """taDOM2: held LR + requested CX fans NR out to every child."""
+        db = make_db(protocol="taDOM2", depth=7)
+        book = db.document.element_by_id("b1")
+
+        def txn_prog():
+            txn = db.begin("t")
+            yield from db.nodes.get_child_nodes(txn, book)     # LR on book
+            hist = db.document.elements_by_name("history")[0]
+            yield from db.nodes.delete_subtree(txn, hist)      # needs CX on book
+            db.commit(txn)
+            return txn
+
+        sim = Simulator()
+        db.set_clock(lambda: sim.now)
+        holder = {}
+
+        def wrapper():
+            holder["txn"] = yield from txn_prog()
+
+        sim.spawn(wrapper())
+        sim.run()
+        assert holder["txn"].stats.fanout_locks > 0
+
+    def test_tadom2_plus_avoids_fanout(self):
+        db = make_db(protocol="taDOM2+", depth=7)
+        book = db.document.element_by_id("b1")
+
+        def txn_prog(holder):
+            txn = db.begin("t")
+            yield from db.nodes.get_child_nodes(txn, book)
+            hist = db.document.elements_by_name("history")[0]
+            yield from db.nodes.delete_subtree(txn, hist)
+            db.commit(txn)
+            holder["txn"] = txn
+
+        sim = Simulator()
+        db.set_clock(lambda: sim.now)
+        holder = {}
+        sim.spawn(txn_prog(holder))
+        sim.run()
+        assert holder["txn"].stats.fanout_locks == 0
+
+
+class TestStar2PLBehaviour:
+    def test_id_scan_on_delete(self):
+        db = make_db(protocol="Node2PL")
+        topic = db.document.element_by_id("t1")
+        book = db.document.element_by_id("b1")
+        holder = {}
+
+        def deleter():
+            txn = db.begin("d")
+            target = yield from db.nodes.get_element_by_id(txn, "b1")
+            yield from db.nodes.delete_subtree(txn, target, access=Access.JUMP)
+            db.commit(txn)
+            holder["txn"] = txn
+
+        run_processes(db, deleter())
+        assert not db.document.exists(book)
+        assert db.document.exists(topic)
+        # The pre-delete scan visited the subtree.
+        assert holder["txn"].stats.nodes_visited > 5
+
+    def test_jump_becomes_root_navigation(self):
+        db = make_db(protocol="Node2PL")
+        holder = {}
+
+        def jumper():
+            txn = db.begin("j")
+            yield from db.nodes.get_element_by_id(txn, "b1")
+            db.commit(txn)
+            holder["txn"] = txn
+
+        run_processes(db, jumper())
+        # bib -> topics -> topic -> book: at least 4 visits.
+        assert holder["txn"].stats.nodes_visited >= 4

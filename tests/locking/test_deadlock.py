@@ -1,0 +1,95 @@
+"""Unit tests for the deadlock detector (wait-for graph analysis)."""
+
+import pytest
+
+from repro.core import NODE_SPACE
+from repro.core.tables import TADOM2_TABLE
+from repro.locking import DeadlockDetector, LockTable
+from repro.splid import Splid
+
+
+def S(text):
+    return Splid.parse(text)
+
+
+@pytest.fixture
+def table():
+    return LockTable({NODE_SPACE: TADOM2_TABLE})
+
+
+@pytest.fixture
+def detector(table):
+    return DeadlockDetector(table)
+
+
+NODE_A = S("1.3")
+NODE_B = S("1.5")
+
+
+class TestCycleDetection:
+    def test_no_cycle_on_simple_wait(self, table, detector):
+        table.request("t1", NODE_SPACE, NODE_A, "SX")
+        blocked = table.request("t2", NODE_SPACE, NODE_A, "NR")
+        assert detector.check(blocked.ticket) is None
+        assert detector.count() == 0
+
+    def test_two_party_cycle(self, table, detector):
+        table.request("t1", NODE_SPACE, NODE_A, "SX")
+        table.request("t2", NODE_SPACE, NODE_B, "SX")
+        w1 = table.request("t1", NODE_SPACE, NODE_B, "NR")
+        assert detector.check(w1.ticket) is None
+        w2 = table.request("t2", NODE_SPACE, NODE_A, "NR")
+        event = detector.check(w2.ticket, active_transactions=2)
+        assert event is not None
+        assert event.victim == "t2"
+        assert set(event.cycle) == {"t1", "t2"}
+        assert event.active_transactions == 2
+
+    def test_three_party_cycle(self, table, detector):
+        node_c = S("1.7")
+        table.request("t1", NODE_SPACE, NODE_A, "SX")
+        table.request("t2", NODE_SPACE, NODE_B, "SX")
+        table.request("t3", NODE_SPACE, node_c, "SX")
+        assert detector.check(
+            table.request("t1", NODE_SPACE, NODE_B, "NR").ticket) is None
+        assert detector.check(
+            table.request("t2", NODE_SPACE, node_c, "NR").ticket) is None
+        event = detector.check(
+            table.request("t3", NODE_SPACE, NODE_A, "NR").ticket)
+        assert event is not None
+        assert set(event.cycle) == {"t1", "t2", "t3"}
+
+    def test_waiting_on_non_waiting_holder_is_no_cycle(self, table, detector):
+        table.request("t1", NODE_SPACE, NODE_A, "SR")
+        table.request("t2", NODE_SPACE, NODE_A, "SR")
+        conversion = table.request("t1", NODE_SPACE, NODE_A, "SX")
+        assert detector.check(conversion.ticket) is None
+
+
+class TestClassification:
+    def test_conversion_deadlock(self, table, detector):
+        table.request("t1", NODE_SPACE, NODE_A, "SR")
+        table.request("t2", NODE_SPACE, NODE_A, "SR")
+        c1 = table.request("t1", NODE_SPACE, NODE_A, "SX")
+        assert detector.check(c1.ticket) is None
+        c2 = table.request("t2", NODE_SPACE, NODE_A, "SX")
+        event = detector.check(c2.ticket)
+        assert event is not None
+        assert event.conversion
+        assert event.kind == "conversion"
+
+    def test_distinct_subtree_deadlock(self, table, detector):
+        table.request("t1", NODE_SPACE, NODE_A, "SX")
+        table.request("t2", NODE_SPACE, NODE_B, "SX")
+        detector.check(table.request("t1", NODE_SPACE, NODE_B, "NR").ticket)
+        event = detector.check(
+            table.request("t2", NODE_SPACE, NODE_A, "NR").ticket)
+        assert event is not None
+        assert not event.conversion
+        assert event.kind == "distinct-subtree"
+
+    def test_counts_by_kind(self, table, detector):
+        self.test_distinct_subtree_deadlock(table, detector)
+        counts = detector.counts_by_kind()
+        assert counts == {"conversion": 0, "distinct-subtree": 1}
+        assert detector.count() == 1

@@ -1,0 +1,114 @@
+"""Edge-lock isolation: repeated traversals see identical navigation paths.
+
+Section 2 of the paper: protocols "have to isolate the edges traversed to
+guarantee identical navigation paths on repeated traversals".  These tests
+pin that guarantee for the protocols with edge locks (taDOM*, URIX,
+OO2PL) and for the parent-level protection of Node2PL.
+"""
+
+import pytest
+
+from repro import Database
+from repro.sched import Delay, Simulator
+
+LIBRARY = (
+    "topics",
+    [("topic", {"id": "t0"}, [
+        ("book", {"id": "b0"}, [
+            ("history", [
+                ("lend", {"id": "l1", "person": "p1"}, []),
+                ("lend", {"id": "l2", "person": "p2"}, []),
+            ]),
+        ]),
+    ])],
+)
+
+
+def make_db(protocol):
+    db = Database(protocol=protocol, lock_depth=7, root_element="bib")
+    db.load(LIBRARY)
+    return db
+
+
+@pytest.mark.parametrize("protocol", ["taDOM3+", "URIX", "OO2PL", "Node2PL"])
+def test_sibling_navigation_is_repeatable(protocol):
+    """A reader's next-sibling step yields the same node before and after
+    a concurrent insert attempt into that gap."""
+    db = make_db(protocol)
+    sim = Simulator()
+    db.set_clock(lambda: sim.now)
+    history = db.document.elements_by_name("history")[0]
+    l1 = db.document.element_by_id("l1")
+    observations = []
+
+    def reader():
+        txn = db.begin("reader")
+        first = yield from db.nodes.get_next_sibling(txn, l1)
+        yield Delay(100.0)
+        second = yield from db.nodes.get_next_sibling(txn, l1)
+        observations.append((str(first), str(second)))
+        db.commit(txn)
+
+    def inserter():
+        txn = db.begin("inserter")
+        yield Delay(10.0)
+        # Appending after the last lend changes the edge l2 -> next, but
+        # the reader's traversed edge l1 -> l2 must stay stable; inserting
+        # *between* l1 and l2 must block until the reader commits.
+        l2 = db.document.element_by_id("l2")
+        predicted = db.document.allocator.between(history, l1, l2)
+        from repro.core import EdgeRole, MetaOp, MetaRequest
+
+        report = yield from db.nodes.locks.acquire(
+            txn,
+            MetaRequest(MetaOp.INSERT_CHILD, predicted, affected=(l1, l2)),
+        )
+        yield from db.nodes.locks.acquire(
+            txn,
+            MetaRequest(MetaOp.WRITE_EDGE, l1, role=EdgeRole.NEXT_SIBLING),
+        )
+        observations.append("insert-locks-granted")
+        db.document.add_element(history, "lend", after=l1)
+        db.commit(txn)
+
+    sim.spawn(reader())
+    sim.spawn(inserter())
+    sim.run()
+    # The reader finished both traversals before the insert got its locks.
+    assert observations[0] == (str(db.document.element_by_id("l2")),) * 2 or (
+        observations[0][0] == observations[0][1]
+    )
+    assert observations[1] == "insert-locks-granted"
+
+
+@pytest.mark.parametrize("protocol", ["taDOM3+", "URIX", "OO2PL", "Node2PL"])
+def test_insert_tree_blocks_behind_level_readers(protocol):
+    """getChildNodes isolates the child list against appends."""
+    db = make_db(protocol)
+    sim = Simulator()
+    db.set_clock(lambda: sim.now)
+    history = db.document.elements_by_name("history")[0]
+    observations = []
+
+    def reader():
+        txn = db.begin("reader")
+        first = yield from db.nodes.get_child_nodes(txn, history)
+        yield Delay(100.0)
+        second = yield from db.nodes.get_child_nodes(txn, history)
+        observations.append(("reader", len(first), len(second)))
+        db.commit(txn)
+
+    def appender():
+        txn = db.begin("appender")
+        yield Delay(10.0)
+        yield from db.nodes.insert_tree(
+            txn, history, ("lend", {"person": "p3"}, [])
+        )
+        db.commit(txn)
+        observations.append(("appended",))
+
+    sim.spawn(reader())
+    sim.spawn(appender())
+    sim.run()
+    assert observations[0] == ("reader", 2, 2)     # stable child list
+    assert observations[1] == ("appended",)        # insert happened after

@@ -1,0 +1,122 @@
+"""Tests for lock-manager instrumentation and deadlock data collection."""
+
+import pytest
+
+from repro import Database
+from repro.errors import DeadlockAbort
+from repro.sched import Delay, Simulator
+
+LIBRARY = (
+    "topics",
+    [("topic", {"id": "t0"}, [
+        ("book", {"id": "b0"}, [("title", ["TP"]), ("history", [])]),
+    ])],
+)
+
+
+def make_db(**kwargs):
+    db = Database(protocol="taDOM3+", lock_depth=7, root_element="bib",
+                  **kwargs)
+    db.load(LIBRARY)
+    return db
+
+
+class TestModeProfile:
+    def test_profile_reflects_protocol_vocabulary(self):
+        db = make_db()
+        txn = db.begin()
+        book, _ = db.run(db.nodes.get_element_by_id(txn, "b0"))
+        db.run(db.nodes.read_subtree(txn, book))
+        db.commit(txn)
+        profile = db.locks.mode_profile("node")
+        assert profile.get("IR", 0) > 0
+        assert profile.get("NR", 0) >= 1
+        assert profile.get("SR", 0) >= 1
+
+    def test_profile_namespaced_without_space(self):
+        db = make_db()
+        txn = db.begin()
+        db.run(db.nodes.get_element_by_id(txn, "b0"))
+        db.commit(txn)
+        profile = db.locks.mode_profile()
+        assert all(":" in key for key in profile)
+
+    def test_writer_profile_contains_exclusive_modes(self):
+        db = make_db()
+        txn = db.begin()
+        book, _ = db.run(db.nodes.get_element_by_id(txn, "b0"))
+        db.run(db.nodes.delete_subtree(txn, book))
+        db.commit(txn)
+        profile = db.locks.mode_profile("node")
+        assert profile.get("SX", 0) >= 1
+        assert profile.get("CX", 0) >= 1
+
+
+class TestWaitStatistics:
+    def test_no_waits_single_user(self):
+        db = make_db()
+        txn = db.begin()
+        db.run(db.nodes.get_element_by_id(txn, "b0"))
+        db.commit(txn)
+        stats = db.locks.wait_statistics()
+        assert stats["count"] == 0
+        assert stats["mean_ms"] == 0.0
+
+    def test_wait_durations_recorded(self):
+        db = make_db()
+        sim = Simulator()
+        db.set_clock(lambda: sim.now)
+        book = db.document.element_by_id("b0")
+
+        def holder():
+            txn = db.begin("h")
+            yield from db.nodes.delete_subtree(txn, book)
+            yield Delay(42.0)
+            db.commit(txn)
+
+        def waiter():
+            txn = db.begin("w")
+            yield Delay(2.0)
+            yield from db.nodes.read_subtree(txn, book)
+            db.commit(txn)
+
+        sim.spawn(holder())
+        sim.spawn(waiter())
+        sim.run()
+        stats = db.locks.wait_statistics()
+        assert stats["count"] == 1
+        assert stats["max_ms"] == pytest.approx(40.0, abs=1.0)
+        assert stats["total_ms"] == stats["max_ms"]
+
+
+class TestDeadlockDataCollection:
+    def test_event_carries_analysis_data(self):
+        db = make_db()
+        sim = Simulator()
+        db.set_clock(lambda: sim.now)
+        book = db.document.element_by_id("b0")
+
+        def upgrader(pause):
+            txn = db.begin("u")
+            yield from db.nodes.read_subtree(txn, book)
+            yield Delay(pause)
+            try:
+                yield from db.nodes.delete_subtree(txn, book)
+            except DeadlockAbort:
+                db.abort(txn)
+                return
+            db.commit(txn)
+
+        sim.spawn(upgrader(5.0))
+        sim.spawn(upgrader(6.0))
+        sim.run()
+        assert db.locks.detector.count() == 1
+        event = db.locks.detector.events[0]
+        assert event.kind == "conversion"
+        assert event.active_transactions == 2
+        assert event.locks_held > 0
+        assert event.wait_edges  # a snapshot of the wait-for graph
+        assert event.waiting_modes  # the contested conversion modes
+        description = event.describe()
+        assert "conversion deadlock" in description
+        assert "victim=" in description

@@ -1,0 +1,200 @@
+"""Unit tests for the lock table state machine."""
+
+import pytest
+
+from repro.core import NODE_SPACE
+from repro.core.tables import TADOM2_TABLE, URIX_TABLE
+from repro.errors import LockError
+from repro.locking import LockTable
+from repro.splid import Splid
+
+
+def S(text):
+    return Splid.parse(text)
+
+
+@pytest.fixture
+def table():
+    return LockTable({NODE_SPACE: TADOM2_TABLE})
+
+
+NODE = S("1.3.3")
+
+
+class TestBasicGrants:
+    def test_first_request_granted(self, table):
+        result = table.request("t1", NODE_SPACE, NODE, "NR")
+        assert result.granted
+        assert result.mode == "NR"
+        assert table.mode_held("t1", (NODE_SPACE, NODE)) == "NR"
+
+    def test_compatible_modes_share(self, table):
+        assert table.request("t1", NODE_SPACE, NODE, "NR").granted
+        assert table.request("t2", NODE_SPACE, NODE, "NR").granted
+        assert table.request("t3", NODE_SPACE, NODE, "IX").granted
+
+    def test_incompatible_request_waits(self, table):
+        table.request("t1", NODE_SPACE, NODE, "SX")
+        result = table.request("t2", NODE_SPACE, NODE, "NR")
+        assert not result.granted
+        assert result.ticket is not None
+        assert not result.ticket.granted
+
+    def test_fifo_behind_waiter(self, table):
+        table.request("t1", NODE_SPACE, NODE, "SR")
+        table.request("t2", NODE_SPACE, NODE, "SX")      # waits
+        result = table.request("t3", NODE_SPACE, NODE, "SR")
+        assert not result.granted                        # no overtaking
+
+    def test_unknown_mode_rejected(self, table):
+        with pytest.raises(LockError):
+            table.request("t1", NODE_SPACE, NODE, "ZZ")
+
+    def test_unknown_space_rejected(self, table):
+        with pytest.raises(LockError):
+            table.request("t1", "bogus", NODE, "NR")
+
+    def test_request_while_waiting_rejected(self, table):
+        table.request("t1", NODE_SPACE, NODE, "SX")
+        table.request("t2", NODE_SPACE, NODE, "SX")
+        with pytest.raises(LockError):
+            table.request("t2", NODE_SPACE, S("1.5"), "NR")
+
+
+class TestConversions:
+    def test_noop_conversion(self, table):
+        table.request("t1", NODE_SPACE, NODE, "SR")
+        result = table.request("t1", NODE_SPACE, NODE, "NR")
+        assert result.granted and result.noop
+        assert result.mode == "SR"
+
+    def test_upgrade(self, table):
+        table.request("t1", NODE_SPACE, NODE, "NR")
+        result = table.request("t1", NODE_SPACE, NODE, "SX")
+        assert result.granted
+        assert result.mode == "SX"
+        assert table.mode_held("t1", (NODE_SPACE, NODE)) == "SX"
+
+    def test_fanout_conversion_reports_child_mode(self, table):
+        table.request("t1", NODE_SPACE, NODE, "LR")
+        result = table.request("t1", NODE_SPACE, NODE, "CX")
+        assert result.granted
+        assert result.mode == "CX"
+        assert result.child_mode == "NR"
+
+    def test_child_action_on_stable_mode(self, table):
+        table.request("t1", NODE_SPACE, NODE, "CX")
+        result = table.request("t1", NODE_SPACE, NODE, "LR")
+        assert result.granted
+        assert result.mode == "CX"
+        assert result.child_mode == "NR"
+        assert not result.noop
+
+    def test_blocked_conversion_waits_at_front(self, table):
+        table.request("t1", NODE_SPACE, NODE, "SR")
+        table.request("t2", NODE_SPACE, NODE, "SR")
+        blocked_new = table.request("t3", NODE_SPACE, NODE, "SX")
+        assert not blocked_new.granted
+        conversion = table.request("t1", NODE_SPACE, NODE, "SX")  # SR->SX
+        assert not conversion.granted
+        # t2 releases: the conversion (queued in front) is granted first.
+        table.release_all("t2")
+        assert conversion.ticket.granted
+        assert table.mode_held("t1", (NODE_SPACE, NODE)) == "SX"
+        assert not blocked_new.ticket.granted
+
+    def test_conversion_deadlock_shape(self, table):
+        """Two SR holders both upgrading: neither can be granted."""
+        table.request("t1", NODE_SPACE, NODE, "SR")
+        table.request("t2", NODE_SPACE, NODE, "SR")
+        c1 = table.request("t1", NODE_SPACE, NODE, "SX")
+        c2 = table.request("t2", NODE_SPACE, NODE, "SX")
+        assert not c1.granted and not c2.granted
+        assert "t2" in table.blockers_of(c1.ticket)
+        assert "t1" in table.blockers_of(c2.ticket)
+
+
+class TestReleases:
+    def test_release_grants_waiter(self, table):
+        table.request("t1", NODE_SPACE, NODE, "SX")
+        waiting = table.request("t2", NODE_SPACE, NODE, "NR")
+        fired = []
+        waiting.ticket.on_grant = lambda t: fired.append(t)
+        table.release_all("t1")
+        assert waiting.ticket.granted
+        assert fired == [waiting.ticket]
+        assert table.mode_held("t2", (NODE_SPACE, NODE)) == "NR"
+
+    def test_release_grants_compatible_prefix(self, table):
+        table.request("t1", NODE_SPACE, NODE, "SX")
+        r2 = table.request("t2", NODE_SPACE, NODE, "SR")
+        r3 = table.request("t3", NODE_SPACE, NODE, "SR")
+        r4 = table.request("t4", NODE_SPACE, NODE, "SX")
+        table.release_all("t1")
+        assert r2.ticket.granted and r3.ticket.granted
+        assert not r4.ticket.granted
+        table.release_all("t2")
+        assert not r4.ticket.granted
+        table.release_all("t3")
+        assert r4.ticket.granted
+
+    def test_release_single_resource(self, table):
+        other = S("1.5")
+        table.request("t1", NODE_SPACE, NODE, "SX")
+        table.request("t1", NODE_SPACE, other, "SX")
+        table.release("t1", (NODE_SPACE, NODE))
+        assert table.mode_held("t1", (NODE_SPACE, NODE)) is None
+        assert table.mode_held("t1", (NODE_SPACE, other)) == "SX"
+
+    def test_cancel_wait_unblocks_queue(self, table):
+        table.request("t1", NODE_SPACE, NODE, "SR")
+        blocked = table.request("t2", NODE_SPACE, NODE, "SX")
+        r3 = table.request("t3", NODE_SPACE, NODE, "SR")
+        assert not r3.granted
+        table.cancel_wait("t2")
+        assert blocked.ticket.cancelled
+        assert r3.ticket.granted
+
+    def test_release_all_is_idempotent(self, table):
+        table.request("t1", NODE_SPACE, NODE, "NR")
+        table.release_all("t1")
+        table.release_all("t1")
+        assert table.lock_count() == 0
+
+    def test_entry_garbage_collected(self, table):
+        table.request("t1", NODE_SPACE, NODE, "NR")
+        table.release_all("t1")
+        assert table.holders((NODE_SPACE, NODE)) == {}
+
+
+class TestWaitGraph:
+    def test_blockers_include_queue_predecessors(self, table):
+        table.request("t1", NODE_SPACE, NODE, "SR")
+        table.request("t2", NODE_SPACE, NODE, "SX")
+        r3 = table.request("t3", NODE_SPACE, NODE, "SX")
+        blockers = table.blockers_of(r3.ticket)
+        assert blockers == {"t1", "t2"}
+
+    def test_wait_edges_snapshot(self, table):
+        table.request("t1", NODE_SPACE, NODE, "SX")
+        table.request("t2", NODE_SPACE, NODE, "SR")
+        edges = table.wait_edges()
+        assert edges == {"t2": {"t1"}}
+
+    def test_statistics(self, table):
+        table.request("t1", NODE_SPACE, NODE, "NR")
+        table.request("t1", NODE_SPACE, NODE, "SX")
+        table.request("t2", NODE_SPACE, NODE, "NR")
+        assert table.requests == 3
+        assert table.conversions == 1
+        assert table.waits == 1
+
+
+class TestAsymmetricUrix:
+    def test_u_admits_readers_but_not_vice_versa(self):
+        table = LockTable({NODE_SPACE: URIX_TABLE})
+        table.request("t1", NODE_SPACE, NODE, "U")
+        assert table.request("t2", NODE_SPACE, NODE, "R").granted
+        table.release_all("t1")
+        # Now R held; a U request must wait (Figure 2 row R, column U).
+        assert not table.request("t3", NODE_SPACE, NODE, "U").granted

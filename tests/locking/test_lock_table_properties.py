@@ -1,0 +1,121 @@
+"""Property-based stress tests for the lock table.
+
+A random schedule of requests/conversions/releases across many
+transactions must maintain the fundamental lock-manager invariants at
+every step:
+
+* **compatibility**: the granted group of every resource is pairwise
+  compatible (in both matrix directions for asymmetric tables);
+* **no lost wakeups**: whenever a queue head is compatible with all
+  holders, it is granted (drains eagerly);
+* **single lock per transaction and resource** (the paper's rule);
+* **ticket discipline**: every blocked request is eventually granted or
+  cancelled once its blockers release.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import NODE_SPACE
+from repro.core.tables import TADOM3P_TABLE, URIX_TABLE
+from repro.errors import LockError
+from repro.locking import LockTable
+from repro.splid import Splid
+
+RESOURCES = [Splid.parse(t) for t in ("1", "1.3", "1.5", "1.3.3")]
+TXNS = [f"t{i}" for i in range(6)]
+
+
+def check_invariants(table: LockTable, mode_table) -> None:
+    for resource in RESOURCES:
+        holders = table.holders((NODE_SPACE, resource))
+        items = list(holders.items())
+        for i, (txn_a, mode_a) in enumerate(items):
+            for txn_b, mode_b in items[i + 1:]:
+                assert txn_a != txn_b
+                assert mode_table.compatible(mode_a, mode_b) or (
+                    mode_table.compatible(mode_b, mode_a)
+                ), f"incompatible grants {mode_a}/{mode_b} on {resource}"
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    data=st.data(),
+    table_choice=st.sampled_from([TADOM3P_TABLE, URIX_TABLE]),
+    steps=st.integers(min_value=5, max_value=60),
+)
+def test_random_schedules_keep_invariants(data, table_choice, steps):
+    table = LockTable({NODE_SPACE: table_choice})
+    waiting = set()
+    for _step in range(steps):
+        action = data.draw(st.sampled_from(["request", "release", "cancel"]))
+        txn = data.draw(st.sampled_from(TXNS))
+        if action == "request" and txn not in waiting:
+            resource = data.draw(st.sampled_from(RESOURCES))
+            mode = data.draw(st.sampled_from(table_choice.modes))
+            result = table.request(txn, NODE_SPACE, resource, mode)
+            if not result.granted:
+                waiting.add(txn)
+                result.ticket.on_grant = (
+                    lambda t, txn=txn: waiting.discard(txn)
+                )
+        elif action == "release":
+            table.release_all(txn)
+            waiting.discard(txn)
+        elif action == "cancel" and txn in waiting:
+            table.cancel_wait(txn)
+            waiting.discard(txn)
+        check_invariants(table, table_choice)
+    # Drain: releasing everything must grant or leave-cancelled everyone.
+    for txn in TXNS:
+        if txn not in waiting:
+            table.release_all(txn)
+    for txn in TXNS:
+        table.release_all(txn)
+    assert table.lock_count() == 0
+    for resource in RESOURCES:
+        assert table.holders((NODE_SPACE, resource)) == {}
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    modes=st.lists(st.sampled_from(TADOM3P_TABLE.modes), min_size=2,
+                   max_size=8),
+)
+def test_single_transaction_accumulates_one_lock(modes):
+    """One transaction requesting any mode sequence holds exactly one
+    lock whose coverage dominates every requested mode (self-conversions
+    never block)."""
+    table = LockTable({NODE_SPACE: TADOM3P_TABLE})
+    resource = RESOURCES[1]
+    requested = set()
+    for mode in modes:
+        result = table.request("t", NODE_SPACE, resource, mode)
+        assert result.granted, f"self-conversion to {mode} blocked"
+        requested.add(mode)
+    held = table.mode_held("t", (NODE_SPACE, resource))
+    assert held is not None
+    held_cov = set(TADOM3P_TABLE.coverage[held])
+    if any(TADOM3P_TABLE.convert(m1, m2).child_mode
+           for m1 in requested for m2 in requested):
+        held_cov |= {"level_read", "subtree_read"}
+    for mode in requested:
+        assert TADOM3P_TABLE.coverage[mode] <= held_cov
+
+
+def test_queue_drains_in_order_after_bulk_release():
+    table = LockTable({NODE_SPACE: URIX_TABLE})
+    node = RESOURCES[0]
+    table.request("holder", NODE_SPACE, node, "X")
+    tickets = []
+    for i in range(5):
+        result = table.request(f"w{i}", NODE_SPACE, node, "R")
+        tickets.append(result.ticket)
+    blocked_x = table.request("w9", NODE_SPACE, node, "X")
+    table.release_all("holder")
+    assert all(t.granted for t in tickets)      # all readers granted together
+    assert not blocked_x.ticket.granted         # the writer stays behind
+    for i in range(5):
+        table.release_all(f"w{i}")
+    assert blocked_x.ticket.granted

@@ -1,0 +1,184 @@
+"""Tests for query evaluation: raw oracle + locked evaluation agree."""
+
+import pytest
+
+from repro import Database
+from repro.query import QueryProcessor, evaluate_raw
+from repro.sched import Delay, Simulator
+
+LIBRARY = (
+    "bib",
+    [
+        ("topics", [
+            ("topic", {"id": "t0"}, [
+                ("book", {"id": "b0", "year": "1993"}, [
+                    ("title", ["Transaction Processing"]),
+                    ("author", ["Gray"]),
+                    ("history", [
+                        ("lend", {"person": "p1"}, []),
+                        ("lend", {"person": "p2"}, []),
+                    ]),
+                ]),
+                ("book", {"id": "b1", "year": "2002"}, [
+                    ("title", ["XMark Explained"]),
+                    ("author", ["Schmidt"]),
+                ]),
+            ]),
+            ("topic", {"id": "t1"}, [
+                ("book", {"id": "b2", "year": "1993"}, [
+                    ("title", ["The Benchmark Handbook"]),
+                    ("author", ["Gray"]),
+                ]),
+            ]),
+        ]),
+    ],
+)
+
+
+@pytest.fixture
+def db():
+    database = Database(protocol="taDOM3+", lock_depth=7, root_element="bib")
+    for child in LIBRARY[1]:
+        database.load(child)
+    return database
+
+
+def names(db, nodes):
+    return [db.document.name_of(n) for n in nodes]
+
+
+class TestRawEvaluation:
+    def test_child_path(self, db):
+        result = evaluate_raw(db.document, "/bib/topics/topic")
+        assert names(db, result) == ["topic", "topic"]
+
+    def test_descendant(self, db):
+        result = evaluate_raw(db.document, "//book")
+        assert len(result) == 3
+
+    def test_attribute_result(self, db):
+        years = evaluate_raw(db.document, "//book/@year")
+        assert years == ["1993", "2002", "1993"]
+
+    def test_text_result(self, db):
+        titles = evaluate_raw(db.document, "//book[@id='b0']/title/text()")
+        assert titles == ["Transaction Processing"]
+
+    def test_attribute_predicate(self, db):
+        result = evaluate_raw(db.document, "//book[@year='1993']")
+        assert len(result) == 2
+
+    def test_attribute_existence(self, db):
+        assert len(evaluate_raw(db.document, "//book[@year]")) == 3
+        assert evaluate_raw(db.document, "//book[@isbn]") == []
+
+    def test_child_text_predicate(self, db):
+        result = evaluate_raw(db.document, "//book[author='Gray']")
+        assert len(result) == 2
+
+    def test_child_existence_predicate(self, db):
+        result = evaluate_raw(db.document, "//book[history]")
+        assert [str(s) for s in result] == [
+            str(evaluate_raw(db.document, "id('b0')")[0])
+        ]
+
+    def test_positional(self, db):
+        second = evaluate_raw(db.document, "/bib/topics/topic[1]/book[2]")
+        assert evaluate_raw(db.document, "id('b1')") == second
+        assert evaluate_raw(db.document, "//book[9]") == []
+
+    def test_wildcard(self, db):
+        kids = evaluate_raw(db.document, "/bib/topics/topic[1]/book[1]/*")
+        assert names(db, kids) == ["title", "author", "history"]
+
+    def test_id_start(self, db):
+        lends = evaluate_raw(db.document, "id('b0')//lend")
+        assert len(lends) == 2
+
+    def test_unknown_id(self, db):
+        assert evaluate_raw(db.document, "id('zzz')/title") == []
+
+    def test_root_mismatch(self, db):
+        assert evaluate_raw(db.document, "/wrongroot/topics") == []
+
+
+class TestLockedEvaluation:
+    QUERIES = (
+        "/bib/topics/topic",
+        "//book",
+        "//book/@year",
+        "//book[@id='b0']/title/text()",
+        "//book[@year='1993']",
+        "//book[author='Gray']",
+        "/bib/topics/topic[1]/book[2]",
+        "id('b0')//lend",
+        "id('b0')/history/lend/@person",
+    )
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_agrees_with_oracle(self, db, query):
+        processor = QueryProcessor(db.nodes)
+        txn = db.begin("q")
+        result, _ = db.run(processor.evaluate(txn, query))
+        db.commit(txn)
+        assert result == evaluate_raw(db.document, query)
+
+    def test_queries_take_locks(self, db):
+        processor = QueryProcessor(db.nodes)
+        txn = db.begin("q")
+        db.run(processor.evaluate(txn, "//book[@year='1993']"))
+        assert txn.stats.lock_requests > 0
+        assert db.locks.table.lock_count() > 0
+        db.commit(txn)
+        assert db.locks.table.lock_count() == 0
+
+    @pytest.mark.parametrize("protocol", [
+        "Node2PL", "NO2PL", "OO2PL", "Node2PLa", "IRX", "IRIX", "URIX",
+        "taDOM2", "taDOM2+", "taDOM3", "taDOM3+",
+    ])
+    def test_every_protocol_returns_identical_results(self, protocol):
+        """Queries are protocol-independent: only locking differs."""
+        database = Database(protocol=protocol, lock_depth=5,
+                            root_element="bib")
+        for child in LIBRARY[1]:
+            database.load(child)
+        processor = QueryProcessor(database.nodes)
+        txn = database.begin("q")
+        query = "//book[author='Gray']/@year"
+        result, _ = database.run(processor.evaluate(txn, query))
+        database.commit(txn)
+        assert result == ["1993", "1993"]
+
+    def test_repeatable_read_blocks_writer(self, db):
+        """A query's locks keep its result stable against updates."""
+        processor = QueryProcessor(db.nodes)
+        order = []
+        sim = Simulator()
+        db.set_clock(lambda: sim.now)
+
+        def reader():
+            txn = db.begin("reader")
+            first, = yield from processor.evaluate(
+                txn, "//book[@id='b0']/title/text()"
+            )
+            yield Delay(100.0)
+            second, = yield from processor.evaluate(
+                txn, "//book[@id='b0']/title/text()"
+            )
+            order.append(("reads", first, second))
+            db.commit(txn)
+
+        def writer():
+            txn = db.begin("writer")
+            yield Delay(10.0)
+            title = evaluate_raw(db.document, "id('b0')/title")[0]
+            text = db.document.store.first_child(title)
+            yield from db.nodes.update_content(txn, text, "Hacked")
+            db.commit(txn)
+            order.append(("written",))
+
+        sim.spawn(reader())
+        sim.spawn(writer())
+        sim.run()
+        assert order[0][0] == "reads"
+        assert order[0][1] == order[0][2] == "Transaction Processing"

@@ -1,0 +1,71 @@
+"""Property test: locked evaluation == raw oracle on random documents."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Database
+from repro.query import QueryProcessor, evaluate_raw
+
+TAGS = ("a", "b", "c")
+
+
+@st.composite
+def document_specs(draw, depth=0):
+    tag = draw(st.sampled_from(TAGS))
+    attrs = {}
+    if draw(st.booleans()):
+        attrs["k"] = draw(st.sampled_from(("v1", "v2")))
+    children = []
+    if depth < 3:
+        count = draw(st.integers(min_value=0, max_value=3))
+        for _i in range(count):
+            if draw(st.booleans()):
+                children.append(draw(document_specs(depth=depth + 1)))
+            else:
+                # Adjacent text nodes merge on XML serialization; keep
+                # at most one text node per gap so round trips are exact.
+                if not children or not isinstance(children[-1], str):
+                    children.append(draw(st.sampled_from(("x", "y"))))
+    return (tag, attrs, children)
+
+
+queries = st.sampled_from([
+    "//a", "//b", "//c", "//a/b", "//b//c", "//a[@k]",
+    "//a[@k='v1']", "//b[1]", "//a/@k", "//b/text()",
+    "/root/*", "//a[b]", "//c[2]",
+])
+
+
+@settings(max_examples=80, deadline=None)
+@given(spec=document_specs(), query=queries)
+def test_locked_matches_oracle(spec, query):
+    db = Database(protocol="taDOM3+", lock_depth=5, root_element="root")
+    db.load(spec)
+    expected = evaluate_raw(db.document, query)
+
+    processor = QueryProcessor(db.nodes)
+    txn = db.begin("q")
+    result, _elapsed = db.run(processor.evaluate(txn, query))
+    db.commit(txn)
+
+    assert result == expected
+    assert db.locks.table.lock_count() == 0     # everything released
+
+
+@settings(max_examples=40, deadline=None)
+@given(spec=document_specs(), query=queries)
+def test_oracle_is_stable_under_reload(spec, query):
+    """Serialization round-trips preserve query results."""
+    from repro.dom import parse_document, serialize_document
+
+    db = Database(protocol="taDOM2", root_element="root")
+    db.load(spec)
+    first = evaluate_raw(db.document, query)
+    reloaded = parse_document(serialize_document(db.document))
+    second = evaluate_raw(reloaded, query)
+    if first and hasattr(first[0], "level"):
+        # Node results: labels may differ after reload; compare by shape.
+        assert len(first) == len(second)
+    else:
+        assert first == second

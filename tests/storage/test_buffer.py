@@ -1,0 +1,112 @@
+"""Unit tests for the buffer manager (LRU residency + I/O accounting)."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.buffer import BufferManager, PageFile, make_buffered_store
+
+
+@pytest.fixture
+def buffer():
+    return BufferManager(PageFile(page_size=512), pool_size=4)
+
+
+class TestPageFile:
+    def test_allocate_and_read(self):
+        pf = PageFile()
+        page = pf.allocate()
+        assert pf.read(page.page_id) is page
+        assert page.page_id in pf
+
+    def test_read_missing_raises(self):
+        with pytest.raises(StorageError):
+            PageFile().read(99)
+
+    def test_free(self):
+        pf = PageFile()
+        page = pf.allocate()
+        pf.free(page.page_id)
+        assert page.page_id not in pf
+
+    def test_ids_monotonic(self):
+        pf = PageFile()
+        ids = [pf.allocate().page_id for _ in range(5)]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == 5
+
+
+class TestResidency:
+    def test_allocation_is_resident(self, buffer):
+        page = buffer.allocate()
+        assert buffer.is_resident(page.page_id)
+
+    def test_hit_does_not_count_physical(self, buffer):
+        page = buffer.allocate()
+        before = buffer.stats.physical_reads
+        buffer.fix(page.page_id)
+        assert buffer.stats.physical_reads == before
+        assert buffer.stats.logical_reads == 1
+
+    def test_miss_counts_physical(self, buffer):
+        pages = [buffer.allocate() for _ in range(6)]  # evicts the first two
+        assert not buffer.is_resident(pages[0].page_id)
+        before = buffer.stats.physical_reads
+        buffer.fix(pages[0].page_id)
+        assert buffer.stats.physical_reads == before + 1
+
+    def test_lru_eviction_order(self, buffer):
+        pages = [buffer.allocate() for _ in range(4)]
+        buffer.fix(pages[0].page_id)          # page 0 becomes most recent
+        buffer.allocate()                      # evicts page 1, not page 0
+        assert buffer.is_resident(pages[0].page_id)
+        assert not buffer.is_resident(pages[1].page_id)
+
+    def test_dirty_eviction_counts_write(self, buffer):
+        page = buffer.allocate()               # dirty on allocation
+        for _ in range(4):
+            buffer.allocate()
+        assert not buffer.is_resident(page.page_id)
+        assert buffer.stats.physical_writes >= 1
+
+    def test_pool_size_bound(self, buffer):
+        for _ in range(20):
+            buffer.allocate()
+        assert buffer.resident_count <= 4
+
+    def test_pool_too_small_rejected(self):
+        with pytest.raises(StorageError):
+            BufferManager(PageFile(), pool_size=1)
+
+    def test_free_drops_residency(self, buffer):
+        page = buffer.allocate()
+        buffer.free(page.page_id)
+        assert not buffer.is_resident(page.page_id)
+        with pytest.raises(StorageError):
+            buffer.fix(page.page_id)
+
+
+class TestStatistics:
+    def test_flush_writes_dirty_pages(self, buffer):
+        buffer.allocate()
+        buffer.allocate()
+        buffer.flush()
+        assert buffer.stats.physical_writes == 2
+        buffer.flush()                          # now clean: no extra writes
+        assert buffer.stats.physical_writes == 2
+
+    def test_snapshot_delta(self, buffer):
+        page = buffer.allocate()
+        snap = buffer.stats.snapshot()
+        buffer.fix(page.page_id)
+        delta = buffer.stats.delta_since(snap)
+        assert delta.logical_reads == 1
+        assert delta.physical_reads == 0
+
+    def test_hit_ratio(self, buffer):
+        page = buffer.allocate()
+        for _ in range(9):
+            buffer.fix(page.page_id)
+        assert buffer.stats.hit_ratio == 1.0
+
+    def test_hit_ratio_without_reads(self):
+        assert make_buffered_store().stats.hit_ratio == 1.0

@@ -1,0 +1,199 @@
+"""Unit tests for the document store built on the Figure 5 sample tree."""
+
+import pytest
+
+from repro.errors import NodeNotFound
+from repro.splid import Splid
+from repro.storage import DocumentStore, NodeKind, NodeRecord, Vocabulary
+
+
+def S(text):
+    return Splid.parse(text)
+
+
+@pytest.fixture
+def store():
+    """A cutout of the paper's Figure 5 library document.
+
+    bib(1) -> persons(1.3) -> person(1.3.3) with attribute root/attrs,
+    name(1.3.3.3); topics(1.5) -> topic0(1.5.3) -> book(1.5.3.3) with
+    attribute root, title(1.5.3.3.3) + text + string, author(1.5.3.3.5).
+    """
+    vocab = Vocabulary()
+    store = DocumentStore()
+
+    def el(name):
+        return NodeRecord.element(vocab.intern(name))
+
+    store.put(S("1"), el("bib"))
+    store.put(S("1.3"), el("persons"))
+    store.put(S("1.3.3"), el("person"))
+    store.put(S("1.3.3.1"), NodeRecord.attribute_root())
+    store.put(S("1.3.3.1.3"), NodeRecord.attribute(vocab.intern("id")))
+    store.put(S("1.3.3.1.3.1"), NodeRecord.string("p001"))
+    store.put(S("1.3.3.3"), el("name"))
+    store.put(S("1.5"), el("topics"))
+    store.put(S("1.5.3"), el("topic"))
+    store.put(S("1.5.3.3"), el("book"))
+    store.put(S("1.5.3.3.1"), NodeRecord.attribute_root())
+    store.put(S("1.5.3.3.1.3"), NodeRecord.attribute(vocab.intern("id")))
+    store.put(S("1.5.3.3.1.3.1"), NodeRecord.string("b001"))
+    store.put(S("1.5.3.3.3"), el("title"))
+    store.put(S("1.5.3.3.3.3"), NodeRecord.text())
+    store.put(S("1.5.3.3.3.3.1"), NodeRecord.string("TP Concepts"))
+    store.put(S("1.5.3.3.5"), el("author"))
+    store.vocab = vocab
+    return store
+
+
+class TestPointAccess:
+    def test_get_existing(self, store):
+        assert store.get(S("1.5.3.3")).kind is NodeKind.ELEMENT
+
+    def test_get_missing_raises(self, store):
+        with pytest.raises(NodeNotFound):
+            store.get(S("1.9"))
+
+    def test_try_get(self, store):
+        assert store.try_get(S("1.9")) is None
+        assert store.try_get(S("1")) is not None
+
+    def test_exists(self, store):
+        assert store.exists(S("1.3.3"))
+        assert not store.exists(S("1.3.5"))
+
+    def test_len(self, store):
+        assert len(store) == 17
+
+
+class TestDocumentOrderNavigation:
+    def test_first_node(self, store):
+        assert store.first_node() == S("1")
+
+    def test_next_in_document_order(self, store):
+        assert store.next_in_document_order(S("1")) == S("1.3")
+        assert store.next_in_document_order(S("1.3.3.1.3.1")) == S("1.3.3.3")
+        assert store.next_in_document_order(S("1.5.3.3.5")) is None
+
+    def test_previous_in_document_order(self, store):
+        assert store.previous_in_document_order(S("1.3")) == S("1")
+        assert store.previous_in_document_order(S("1")) is None
+
+    def test_next_following_skips_subtree(self, store):
+        assert store.next_following(S("1.3")) == S("1.5")
+        assert store.next_following(S("1.3.3")) == S("1.5")
+
+
+class TestDomNavigation:
+    def test_first_child_skips_attribute_root(self, store):
+        # book's first DOM child is title, not the attribute root.
+        assert store.first_child(S("1.5.3.3")) == S("1.5.3.3.3")
+
+    def test_first_child_of_leaf(self, store):
+        assert store.first_child(S("1.5.3.3.5")) is None
+
+    def test_first_child_of_text_is_none(self, store):
+        # The string node below a text node is meta, not a DOM child.
+        assert store.first_child(S("1.5.3.3.3.3")) is None
+
+    def test_last_child(self, store):
+        assert store.last_child(S("1.5.3.3")) == S("1.5.3.3.5")
+        assert store.last_child(S("1")) == S("1.5")
+
+    def test_last_child_of_leaf(self, store):
+        assert store.last_child(S("1.3.3.3")) is None
+
+    def test_next_sibling(self, store):
+        assert store.next_sibling(S("1.3")) == S("1.5")
+        assert store.next_sibling(S("1.5.3.3.3")) == S("1.5.3.3.5")
+        assert store.next_sibling(S("1.5")) is None
+        assert store.next_sibling(S("1.5.3.3.5")) is None
+
+    def test_previous_sibling(self, store):
+        assert store.previous_sibling(S("1.5")) == S("1.3")
+        assert store.previous_sibling(S("1.5.3.3.5")) == S("1.5.3.3.3")
+        assert store.previous_sibling(S("1.3")) is None
+
+    def test_previous_sibling_skips_attribute_root(self, store):
+        # title's previous sibling is None (attribute root is meta).
+        assert store.previous_sibling(S("1.5.3.3.3")) is None
+
+    def test_children(self, store):
+        kids = list(store.children(S("1.5.3.3")))
+        assert kids == [S("1.5.3.3.3"), S("1.5.3.3.5")]
+
+    def test_child_count(self, store):
+        assert store.child_count(S("1")) == 2
+        assert store.child_count(S("1.5.3.3.5")) == 0
+
+
+class TestMetaAccess:
+    def test_attribute_root(self, store):
+        assert store.attribute_root(S("1.5.3.3")) == S("1.5.3.3.1")
+        assert store.attribute_root(S("1.5.3.3.3")) is None
+
+    def test_attributes(self, store):
+        attrs = list(store.attributes(S("1.5.3.3")))
+        assert attrs == [S("1.5.3.3.1.3")]
+
+    def test_attributes_of_attributeless_element(self, store):
+        assert list(store.attributes(S("1.3"))) == []
+
+    def test_string_child(self, store):
+        assert store.string_child(S("1.5.3.3.3.3")) == S("1.5.3.3.3.3.1")
+        assert store.string_child(S("1.5.3.3.3")) is None
+
+
+class TestAxes:
+    def test_following_siblings(self, store):
+        assert list(store.following_siblings(S("1.3"))) == [S("1.5")]
+        assert list(store.following_siblings(S("1.5"))) == []
+        assert list(store.following_siblings(S("1.5.3.3.3"))) == [S("1.5.3.3.5")]
+
+    def test_preceding_siblings(self, store):
+        assert list(store.preceding_siblings(S("1.5"))) == [S("1.3")]
+        assert list(store.preceding_siblings(S("1.3"))) == []
+        # Attribute roots are meta: title has no preceding siblings.
+        assert list(store.preceding_siblings(S("1.5.3.3.3"))) == []
+
+    def test_ancestors(self, store):
+        labels = [str(a) for a in store.ancestors(S("1.5.3.3.3.3"))]
+        assert labels == ["1.5.3.3.3", "1.5.3.3", "1.5.3", "1.5", "1"]
+
+    def test_descendants_skip_meta(self, store):
+        descendants = list(store.descendants(S("1.5.3.3")))
+        assert S("1.5.3.3.3") in descendants
+        assert S("1.5.3.3.1") not in descendants      # attribute root
+        assert S("1.5.3.3.3.3.1") not in descendants  # string node
+        assert S("1.5.3.3") not in descendants        # self excluded
+
+    def test_following_axis(self, store):
+        after_persons = list(store.following(S("1.3")))
+        assert after_persons[0] == S("1.5")
+        assert all(s > S("1.3") for s in after_persons)
+        assert not any(s.is_self_or_descendant_of(S("1.3"))
+                       for s in after_persons)
+        assert list(store.following(S("1.5.3.3.5"))) == []
+
+
+class TestSubtrees:
+    def test_subtree_size(self, store):
+        assert store.subtree_size(S("1.5.3.3")) == 8
+        assert store.subtree_size(S("1")) == len(store)
+
+    def test_subtree_labels_in_order(self, store):
+        labels = list(store.subtree_labels(S("1.3.3")))
+        assert labels == sorted(labels)
+        assert labels[0] == S("1.3.3")
+
+    def test_delete_subtree(self, store):
+        removed = store.delete_subtree(S("1.5.3.3"))
+        assert removed == 8
+        assert not store.exists(S("1.5.3.3"))
+        assert not store.exists(S("1.5.3.3.3.3.1"))
+        assert store.exists(S("1.5.3"))
+
+    def test_scan_everything(self, store):
+        labels = [splid for splid, _rec in store.scan()]
+        assert labels == sorted(labels)
+        assert len(labels) == len(store)

@@ -1,0 +1,92 @@
+"""Unit tests for the element index and the ID index."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.splid import Splid
+from repro.storage import ElementIndex, IdIndex, Vocabulary, make_buffered_store
+
+
+def S(text):
+    return Splid.parse(text)
+
+
+@pytest.fixture
+def element_index():
+    return ElementIndex(make_buffered_store(), Vocabulary())
+
+
+@pytest.fixture
+def id_index():
+    return IdIndex(make_buffered_store())
+
+
+class TestElementIndex:
+    def test_lookup_in_document_order(self, element_index):
+        element_index.add("book", S("1.5.5"))
+        element_index.add("book", S("1.5.3.3"))
+        element_index.add("book", S("1.3.3"))
+        assert element_index.lookup_list("book") == [
+            S("1.3.3"), S("1.5.3.3"), S("1.5.5"),
+        ]
+
+    def test_names_are_isolated(self, element_index):
+        element_index.add("book", S("1.3.3"))
+        element_index.add("title", S("1.3.3.3"))
+        assert element_index.lookup_list("book") == [S("1.3.3")]
+        assert element_index.lookup_list("title") == [S("1.3.3.3")]
+
+    def test_unknown_name(self, element_index):
+        assert element_index.lookup_list("nope") == []
+        assert element_index.count("nope") == 0
+
+    def test_remove(self, element_index):
+        element_index.add("book", S("1.3.3"))
+        assert element_index.remove("book", S("1.3.3"))
+        assert not element_index.remove("book", S("1.3.3"))
+        assert not element_index.remove("never-seen", S("1.3.3"))
+        assert element_index.lookup_list("book") == []
+
+    def test_count(self, element_index):
+        for i in range(5):
+            element_index.add("chapter", S(f"1.3.{2 * i + 3}"))
+        assert element_index.count("chapter") == 5
+
+    def test_name_directory(self, element_index):
+        element_index.add("bib", S("1"))
+        element_index.add("book", S("1.3.3"))
+        assert sorted(element_index.names()) == ["bib", "book"]
+
+    def test_many_entries_per_name(self, element_index):
+        labels = [S(f"1.{2 * i + 3}") for i in range(300)]
+        for label in labels:
+            element_index.add("person", label)
+        assert element_index.lookup_list("person") == sorted(labels)
+
+
+class TestIdIndex:
+    def test_lookup(self, id_index):
+        id_index.add("b42", S("1.5.3.3"))
+        assert id_index.lookup("b42") == S("1.5.3.3")
+        assert id_index.lookup("nope") is None
+
+    def test_duplicate_id_rejected(self, id_index):
+        id_index.add("b42", S("1.5.3.3"))
+        with pytest.raises(StorageError):
+            id_index.add("b42", S("1.5.5"))
+
+    def test_re_adding_same_mapping_ok(self, id_index):
+        id_index.add("b42", S("1.5.3.3"))
+        id_index.add("b42", S("1.5.3.3"))
+        assert len(id_index) == 1
+
+    def test_remove(self, id_index):
+        id_index.add("b42", S("1.5.3.3"))
+        assert id_index.remove("b42")
+        assert not id_index.remove("b42")
+        assert id_index.lookup("b42") is None
+
+    def test_ids_iteration(self, id_index):
+        for value in ("a", "b", "c"):
+            id_index.add(value, S("1.3"))
+        assert sorted(id_index.ids()) == ["a", "b", "c"]

@@ -1,0 +1,125 @@
+"""Model-based testing: the document store vs. a reference model.
+
+Hypothesis drives random structural edit sequences against both the real
+B*-tree-backed document store and a trivial in-memory reference model;
+every navigation primitive must agree after every step.
+"""
+
+from typing import Dict, List, Optional
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dom import Document
+from repro.splid import Splid
+
+
+class ReferenceModel:
+    """Ground truth: plain dicts + sorted label lists."""
+
+    def __init__(self, root: Splid):
+        self.labels: List[Splid] = [root]
+
+    def insert(self, labels: List[Splid]) -> None:
+        self.labels.extend(labels)
+        self.labels.sort()
+
+    def delete_subtree(self, root: Splid) -> None:
+        self.labels = [
+            label for label in self.labels
+            if not label.is_self_or_descendant_of(root)
+        ]
+
+    def children(self, parent: Splid) -> List[Splid]:
+        return sorted(
+            label for label in self.labels
+            if label.parent == parent and label.divisions[-1] != 1
+        )
+
+    def first_child(self, parent: Splid) -> Optional[Splid]:
+        kids = self.children(parent)
+        return kids[0] if kids else None
+
+    def last_child(self, parent: Splid) -> Optional[Splid]:
+        kids = self.children(parent)
+        return kids[-1] if kids else None
+
+    def next_sibling(self, node: Splid) -> Optional[Splid]:
+        siblings = self.children(node.parent) if node.parent else []
+        try:
+            index = siblings.index(node)
+        except ValueError:
+            return None
+        return siblings[index + 1] if index + 1 < len(siblings) else None
+
+    def previous_sibling(self, node: Splid) -> Optional[Splid]:
+        siblings = self.children(node.parent) if node.parent else []
+        try:
+            index = siblings.index(node)
+        except ValueError:
+            return None
+        return siblings[index - 1] if index > 0 else None
+
+    def subtree_size(self, root: Splid) -> int:
+        return sum(
+            1 for label in self.labels
+            if label.is_self_or_descendant_of(root)
+        )
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data(), operations=st.integers(min_value=3, max_value=30))
+def test_document_matches_reference_model(data, operations):
+    document = Document(root_element="root")
+    model = ReferenceModel(document.root)
+    elements: List[Splid] = [document.root]
+
+    for _step in range(operations):
+        action = data.draw(st.sampled_from(
+            ["append", "prepend", "insert_between", "delete"]
+        ))
+        if action == "delete" and len(elements) > 1:
+            victim = data.draw(st.sampled_from(
+                [e for e in elements if e != document.root]
+            ))
+            document.delete_subtree(victim)
+            model.delete_subtree(victim)
+            elements = [
+                e for e in elements
+                if not e.is_self_or_descendant_of(victim)
+            ]
+            continue
+        parent = data.draw(st.sampled_from(elements))
+        if action == "append":
+            new = document.add_element(parent, "el")
+        elif action == "prepend":
+            first = document.store.first_child(parent)
+            new = document.add_element(
+                parent, "el", before=first
+            ) if first is not None else document.add_element(parent, "el")
+        else:
+            kids = list(document.store.children(parent))
+            if len(kids) >= 2:
+                index = data.draw(
+                    st.integers(min_value=0, max_value=len(kids) - 2)
+                )
+                new = document.add_element(parent, "el", after=kids[index])
+            else:
+                new = document.add_element(parent, "el")
+        model.insert([new])
+        elements.append(new)
+
+        # Compare every navigation primitive on every live element.
+        for element in elements:
+            assert document.store.first_child(element) == model.first_child(element)
+            assert document.store.last_child(element) == model.last_child(element)
+            assert document.store.next_sibling(element) == model.next_sibling(element)
+            assert (document.store.previous_sibling(element)
+                    == model.previous_sibling(element))
+            assert list(document.store.children(element)) == model.children(element)
+            assert (document.store.subtree_size(element)
+                    == model.subtree_size(element))
+
+    stored = [label for label, _record in document.walk()]
+    assert stored == sorted(model.labels)

@@ -1,0 +1,84 @@
+"""Tests for the bib document generator (Section 4.3 composition)."""
+
+import pytest
+
+from repro.errors import BenchmarkError
+from repro.storage.record import NodeKind
+from repro.tamix import generate_bib
+
+
+@pytest.fixture(scope="module")
+def info():
+    return generate_bib(scale=0.05, seed=99)
+
+
+class TestComposition:
+    def test_scale_proportions(self, info):
+        doc = info.document
+        # 5% of the paper's composition: 5 topics x 20 books, 50 persons.
+        assert info.topics == 5
+        assert info.books == 100
+        assert len(doc.elements_by_name("topic")) == 5
+        assert len(doc.elements_by_name("book")) == 100
+        assert len(doc.elements_by_name("person")) == 50
+        assert len(doc.elements_by_name("author")) >= 100  # section + books
+
+    def test_books_equally_distributed(self, info):
+        doc = info.document
+        for topic in doc.elements_by_name("topic"):
+            books = [
+                child for child in doc.store.children(topic)
+                if doc.name_of(child) == "book"
+            ]
+            assert len(books) == 20
+
+    def test_chapter_counts(self, info):
+        doc = info.document
+        for chapters in doc.elements_by_name("chapters")[:20]:
+            count = doc.store.child_count(chapters)
+            assert 5 <= count <= 10
+
+    def test_history_lend_counts(self, info):
+        doc = info.document
+        for history in doc.elements_by_name("history")[:20]:
+            lends = list(doc.store.children(history))
+            assert len(lends) in (9, 10)
+            for lend in lends[:2]:
+                attrs = doc.attributes_of(lend)
+                assert set(attrs) == {"person", "return"}
+                assert attrs["person"] in set(info.person_ids)
+
+    def test_ids_resolvable(self, info):
+        doc = info.document
+        for book_id in info.book_ids[:10]:
+            book = doc.element_by_id(book_id)
+            assert book is not None
+            assert doc.name_of(book) == "book"
+        for topic_id in info.topic_ids:
+            assert doc.element_by_id(topic_id) is not None
+
+    def test_book_structure(self, info):
+        doc = info.document
+        book = doc.element_by_id(info.book_ids[0])
+        names = [doc.name_of(c) for c in doc.store.children(book)]
+        assert names == ["title", "author", "price", "chapters", "history"]
+
+    def test_deterministic(self):
+        a = generate_bib(scale=0.02, seed=5)
+        b = generate_bib(scale=0.02, seed=5)
+        assert len(a.document) == len(b.document)
+        assert a.book_ids == b.book_ids
+        labels_a = [str(s) for s, _r in a.document.walk()]
+        labels_b = [str(s) for s, _r in b.document.walk()]
+        assert labels_a == labels_b
+
+    def test_invalid_scale(self):
+        with pytest.raises(BenchmarkError):
+            generate_bib(scale=0.0)
+
+    def test_string_nodes_present(self, info):
+        kinds = {record.kind for _s, record in info.document.walk()}
+        assert kinds == {
+            NodeKind.ELEMENT, NodeKind.ATTRIBUTE_ROOT, NodeKind.ATTRIBUTE,
+            NodeKind.TEXT, NodeKind.STRING,
+        }

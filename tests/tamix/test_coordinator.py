@@ -1,0 +1,139 @@
+"""Tests for the TaMix coordinator, metrics, and cluster runners."""
+
+import pytest
+
+from repro.errors import BenchmarkError
+from repro.tamix import (
+    CLUSTER1_MIX,
+    TaMixConfig,
+    TaMixCoordinator,
+    generate_bib,
+    make_database,
+    run_cluster1,
+    run_cluster2,
+)
+from repro.tamix.metrics import RunResult, TypeMetrics
+
+
+class TestConfig:
+    def test_cluster1_population(self):
+        config = TaMixConfig()
+        assert sum(config.mix.values()) == 24
+        assert config.active_transactions == 72
+
+    def test_paper_defaults(self):
+        config = TaMixConfig()
+        assert config.wait_after_commit_ms == 2500.0
+        assert config.wait_after_operation_ms == 100.0
+        assert config.initial_wait_max_ms == 5000.0
+        assert config.clients == 3
+
+    def test_unknown_transaction_type_rejected(self):
+        database, info = make_database("taDOM3+", 4, "repeatable", scale=0.02)
+        config = TaMixConfig(mix={"TAnonsense": 1})
+        with pytest.raises(BenchmarkError):
+            TaMixCoordinator(database, info, config).run()
+
+    def test_mismatched_document_rejected(self):
+        database, _info = make_database("taDOM3+", 4, "repeatable", scale=0.02)
+        other = generate_bib(scale=0.02)
+        with pytest.raises(BenchmarkError):
+            TaMixCoordinator(database, other, TaMixConfig())
+
+
+class TestMetrics:
+    def test_type_metrics_durations(self):
+        metrics = TypeMetrics()
+        metrics.record_commit(10.0)
+        metrics.record_commit(30.0)
+        metrics.record_abort("deadlock")
+        metrics.record_abort("timeout")
+        assert metrics.committed == 2
+        assert metrics.aborted == 2
+        assert metrics.deadlock_aborts == 1
+        assert metrics.timeout_aborts == 1
+        assert metrics.avg_duration == 20.0
+        assert metrics.min_duration == 10.0
+        assert metrics.max_duration == 30.0
+
+    def test_empty_durations(self):
+        metrics = TypeMetrics()
+        assert metrics.avg_duration is None
+        assert metrics.min_duration is None
+
+    def test_run_result_aggregation(self):
+        result = RunResult("taDOM3+", 4, "repeatable", 60_000.0)
+        result.by_type["TAqueryBook"].record_commit(5.0)
+        result.by_type["TAchapter"].record_commit(7.0)
+        result.by_type["TAchapter"].record_abort()
+        assert result.committed == 2
+        assert result.aborted == 1
+        assert result.committed_of("TAqueryBook") == 1
+        assert result.normalized_throughput() == 10.0
+        assert "taDOM3+" in result.summary()
+        assert result.row()["committed"] == 2
+
+
+class TestCluster1:
+    def test_short_run_produces_commits(self):
+        result = run_cluster1(
+            "taDOM3+", lock_depth=6, scale=0.02, run_duration_ms=15_000
+        )
+        assert result.committed > 0
+        assert result.protocol == "taDOM3+"
+        assert set(result.by_type) <= set(CLUSTER1_MIX)
+        for metrics in result.by_type.values():
+            for duration in metrics.durations:
+                assert duration > 0
+
+    def test_reproducible_with_seed(self):
+        a = run_cluster1("URIX", lock_depth=4, scale=0.02,
+                         run_duration_ms=10_000, seed=3)
+        b = run_cluster1("URIX", lock_depth=4, scale=0.02,
+                         run_duration_ms=10_000, seed=3)
+        assert a.committed == b.committed
+        assert a.aborted == b.aborted
+        assert a.deadlocks == b.deadlocks
+
+    def test_different_seeds_differ(self):
+        a = run_cluster1("taDOM3+", lock_depth=6, scale=0.02,
+                         run_duration_ms=15_000, seed=1)
+        b = run_cluster1("taDOM3+", lock_depth=6, scale=0.02,
+                         run_duration_ms=15_000, seed=2)
+        # Not necessarily different counts, but different schedules almost
+        # surely change some metric.
+        assert (a.committed, a.aborted, sorted(
+            m.avg_duration for m in a.by_type.values() if m.durations
+        )) != (b.committed, b.aborted, sorted(
+            m.avg_duration for m in b.by_type.values() if m.durations
+        ))
+
+    def test_document_consistency_after_run(self):
+        """After a concurrent run, committed state is structurally sound."""
+        database, info = make_database(
+            "taDOM2", 5, "repeatable", scale=0.02
+        )
+        config = TaMixConfig(protocol="taDOM2", lock_depth=5,
+                             run_duration_ms=20_000.0)
+        TaMixCoordinator(database, info, config).run()
+        doc = info.document
+        labels = [splid for splid, _r in doc.walk()]
+        assert labels == sorted(labels)
+        for splid in labels:
+            parent = splid.parent
+            if parent is not None:
+                assert doc.exists(parent), f"orphan {splid}"
+        # Every indexed id still points at a live element.
+        for id_value in doc.id_index.ids():
+            assert doc.exists(doc.element_by_id(id_value))
+
+
+class TestCluster2:
+    def test_returns_elapsed_time(self):
+        elapsed = run_cluster2("taDOM3+", scale=0.02)
+        assert elapsed > 0
+
+    def test_star_2pl_pays_for_the_scan(self):
+        fast = run_cluster2("taDOM3+", scale=0.02)
+        slow = run_cluster2("Node2PL", scale=0.02)
+        assert slow > fast * 1.3

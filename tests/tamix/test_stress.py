@@ -1,0 +1,75 @@
+"""High-contention stress runs: shake out rare interleavings.
+
+A tiny document (one topic, 20 books) under the full 72-transaction
+CLUSTER1 population maximizes conflicts, deadlocks, timeouts, and
+rollbacks.  After each run the document must be structurally sound and
+the metrics internally consistent -- for every protocol group.
+"""
+
+import pytest
+
+from repro.tamix import generate_bib, make_database, TaMixConfig, TaMixCoordinator
+
+
+def run_stress(protocol, *, lock_depth=4, isolation="repeatable"):
+    info = generate_bib(scale=0.01, seed=99)   # 1 topic, 20 books
+    database, info = make_database(
+        protocol, lock_depth, isolation, info=info
+    )
+    config = TaMixConfig(
+        protocol=protocol,
+        lock_depth=lock_depth,
+        isolation=isolation,
+        run_duration_ms=40_000.0,
+        seed=7,
+    )
+    result = TaMixCoordinator(database, info, config).run()
+    return database, info, result
+
+
+@pytest.mark.parametrize("protocol", [
+    "Node2PL", "OO2PL", "Node2PLa", "IRX", "URIX", "taDOM2", "taDOM3+",
+])
+def test_stress_run_stays_consistent(protocol):
+    database, info, result = run_stress(protocol)
+    doc = database.document
+
+    # Progress happened and the accounting adds up.
+    assert result.committed > 0
+    assert result.committed == database.transactions.committed
+    assert result.aborted == database.transactions.aborted
+    for metrics in result.by_type.values():
+        assert metrics.aborted == metrics.deadlock_aborts + metrics.timeout_aborts
+        assert len(metrics.durations) == metrics.committed
+
+    # Structural soundness after heavy concurrent mutation.
+    labels = [splid for splid, _record in doc.walk()]
+    assert labels == sorted(labels)
+    label_set = set(labels)
+    for splid in labels:
+        if splid.parent is not None:
+            assert splid.parent in label_set, f"orphan {splid}"
+
+    # Index integrity: every id resolves, every element is indexed.
+    for id_value in doc.id_index.ids():
+        assert doc.exists(doc.element_by_id(id_value))
+    for name in ("book", "topic", "history"):
+        for element in doc.elements_by_name(name):
+            assert doc.exists(element)
+            assert doc.name_of(element) == name
+
+
+def test_stress_under_weak_isolation_does_not_crash():
+    """Isolation 'uncommitted' permits anomalies but never corruption."""
+    database, _info, result = run_stress("taDOM3+", isolation="uncommitted")
+    assert result.committed > 0
+    doc = database.document
+    labels = [splid for splid, _record in doc.walk()]
+    assert labels == sorted(labels)
+
+
+def test_stress_depth_zero_is_survivable():
+    """Document locks: almost everything serializes, nothing breaks."""
+    database, _info, result = run_stress("taDOM3+", lock_depth=0)
+    assert result.committed + result.aborted > 0
+    assert database.locks.table.lock_count() >= 0  # table still coherent

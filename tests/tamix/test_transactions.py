@@ -1,0 +1,168 @@
+"""Unit tests for the five TaMix transaction programs."""
+
+import random
+
+import pytest
+
+from repro import Database
+from repro.sched.simulator import run_sync
+from repro.tamix import TaMixConfig, generate_bib
+from repro.tamix.transactions import (
+    TRANSACTION_TYPES,
+    ta_chapter,
+    ta_del_book,
+    ta_lend_and_return,
+    ta_query_book,
+    ta_rename_topic,
+)
+
+
+@pytest.fixture(scope="module")
+def info():
+    return generate_bib(scale=0.02, seed=11)
+
+
+@pytest.fixture
+def db(info):
+    # Reuse the generated document across tests; read-only programs leave
+    # it untouched and writers are validated per test.
+    return Database(protocol="taDOM3+", lock_depth=6, document=info.document)
+
+
+@pytest.fixture
+def cfg():
+    return TaMixConfig(wait_after_operation_ms=0.0)
+
+
+def run_program(db, program, rng, info, cfg, name="t"):
+    txn = db.begin(name)
+    result, elapsed = run_sync(program(db.nodes, txn, rng, info, cfg))
+    db.commit(txn)
+    return txn, elapsed
+
+
+class TestTaQueryBook:
+    def test_reads_a_whole_book(self, db, info, cfg):
+        txn, elapsed = run_program(db, ta_query_book, random.Random(1), info, cfg)
+        assert txn.stats.operations == 2            # jump + subtree read
+        assert txn.stats.nodes_visited > 20
+        assert elapsed > 0
+        assert not txn.undo_log
+
+    def test_pure_reader_leaves_document_unchanged(self, db, info, cfg):
+        before = len(db.document)
+        run_program(db, ta_query_book, random.Random(2), info, cfg)
+        assert len(db.document) == before
+
+    def test_think_time_applied(self, db, info):
+        chatty = TaMixConfig(wait_after_operation_ms=100.0)
+        _txn, elapsed = run_program(db, ta_query_book, random.Random(3),
+                                    info, chatty)
+        assert elapsed > 1000.0                     # ~1 think per node read
+
+
+class TestTaChapter:
+    def test_updates_one_summary(self, db, info, cfg):
+        rng = random.Random(4)
+        txn = db.begin("chapter")
+        run_sync(ta_chapter(db.nodes, txn, rng, info, cfg))
+        # Before commit the undo log holds exactly the content change.
+        kinds = [kind for kind, _p in txn.undo_log]
+        assert kinds == ["content"]
+        db.commit(txn)
+
+    def test_summary_actually_changed(self, db, info, cfg):
+        rng = random.Random(5)
+        txn = db.begin("chapter")
+        run_sync(ta_chapter(db.nodes, txn, rng, info, cfg))
+        (kind, (owner, old)), = txn.undo_log
+        db.commit(txn)
+        assert db.document.string_value(owner) != old
+        assert db.document.string_value(owner).startswith("revised summary")
+
+
+class TestTaDelBook:
+    def test_deletes_one_book(self, info, cfg):
+        local = generate_bib(scale=0.02, seed=77)
+        db = Database(protocol="taDOM3+", lock_depth=6, document=local.document)
+        books_before = len(local.document.elements_by_name("book"))
+        run_program(db, ta_del_book, random.Random(6), local, cfg)
+        assert len(local.document.elements_by_name("book")) == books_before - 1
+
+    def test_abort_restores_book(self, info, cfg):
+        local = generate_bib(scale=0.02, seed=78)
+        db = Database(protocol="taDOM3+", lock_depth=6, document=local.document)
+        snapshot = sorted(str(s) for s, _r in local.document.walk())
+        txn = db.begin("del")
+        run_sync(ta_del_book(db.nodes, txn, random.Random(7), local, cfg))
+        db.abort(txn)
+        assert sorted(str(s) for s, _r in local.document.walk()) == snapshot
+
+
+class TestTaLendAndReturn:
+    def test_inserts_a_lend(self, info, cfg):
+        local = generate_bib(scale=0.02, seed=79)
+        db = Database(protocol="taDOM3+", lock_depth=6, document=local.document)
+        lends_before = len(local.document.elements_by_name("lend"))
+        txn, _ = run_program(db, ta_lend_and_return, random.Random(8),
+                             local, cfg)
+        lends_after = len(local.document.elements_by_name("lend"))
+        # Either pure lend (+1) or return+lend (0 net).
+        assert lends_after - lends_before in (0, 1)
+        kinds = {kind for kind, _p in []}
+        assert txn.stats.operations >= 4
+
+    def test_new_lend_has_attributes(self, info, cfg):
+        local = generate_bib(scale=0.02, seed=80)
+        db = Database(protocol="taDOM3+", lock_depth=6, document=local.document)
+        txn = db.begin("lend")
+        run_sync(ta_lend_and_return(db.nodes, txn, random.Random(9),
+                                    local, cfg))
+        inserts = [p for kind, p in txn.undo_log if kind == "insert"]
+        assert inserts
+        db.commit(txn)
+        attrs = local.document.attributes_of(inserts[-1])
+        assert set(attrs) == {"person", "return"}
+        assert attrs["person"].startswith("p")
+
+
+class TestTaRenameTopic:
+    def test_renames_a_topic(self, info, cfg):
+        local = generate_bib(scale=0.02, seed=81)
+        db = Database(protocol="taDOM3+", lock_depth=6, document=local.document)
+        txn = db.begin("rename")
+        run_sync(ta_rename_topic(db.nodes, txn, random.Random(10),
+                                 local, cfg))
+        renames = [p for kind, p in txn.undo_log if kind == "rename"]
+        assert len(renames) == 1
+        element, old = renames[0]
+        db.commit(txn)
+        assert old == "topic"
+        assert local.document.name_of(element) in (
+            "topic", "subject", "category", "area",
+        )
+
+    def test_id_still_resolves_after_rename(self, info, cfg):
+        local = generate_bib(scale=0.02, seed=82)
+        db = Database(protocol="taDOM3+", lock_depth=6, document=local.document)
+        run_program(db, ta_rename_topic, random.Random(11), local, cfg)
+        for topic_id in local.topic_ids:
+            assert local.document.element_by_id(topic_id) is not None
+
+
+class TestRegistry:
+    def test_all_five_types(self):
+        assert set(TRANSACTION_TYPES) == {
+            "TAqueryBook", "TAchapter", "TAdelBook",
+            "TAlendAndReturn", "TArenameTopic",
+        }
+
+    @pytest.mark.parametrize("name", sorted(TRANSACTION_TYPES))
+    def test_every_type_runs_single_user(self, name, cfg):
+        local = generate_bib(scale=0.02, seed=hash(name) % 1000)
+        db = Database(protocol="URIX", lock_depth=6, document=local.document)
+        txn = db.begin(name)
+        run_sync(TRANSACTION_TYPES[name](db.nodes, txn, random.Random(0),
+                                         local, cfg))
+        db.commit(txn)
+        assert txn.stats.operations >= 1

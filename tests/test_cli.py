@@ -1,0 +1,145 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+XML = (
+    '<bib><topic id="t1"><book id="b1" year="1993">'
+    "<title>TP</title></book>"
+    '<book id="b2" year="2002"><title>XML</title></book></topic></bib>'
+)
+
+
+@pytest.fixture
+def xml_file(tmp_path):
+    path = tmp_path / "doc.xml"
+    path.write_text(XML)
+    return str(path)
+
+
+class TestInfo:
+    def test_lists_protocols(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        for name in ("Node2PL", "URIX", "taDOM3+"):
+            assert name in out
+
+
+class TestQuery:
+    def test_node_result(self, xml_file, capsys):
+        assert main([
+            "query", xml_file, "//book[@year='1993']/title/text()",
+        ]) == 0
+        assert capsys.readouterr().out.strip() == "TP"
+
+    def test_element_result_serialized(self, xml_file, capsys):
+        assert main(["query", xml_file, "//book[@id='b2']"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("<book")
+        assert "XML" in out
+
+    def test_empty_result_exit_code(self, xml_file):
+        assert main(["query", xml_file, "//missing"]) == 1
+
+
+class TestStats:
+    def test_prints_statistics(self, xml_file, capsys):
+        assert main(["stats", xml_file]) == 0
+        out = capsys.readouterr().out
+        assert "nodes" in out
+        assert "document_occupancy" in out
+
+
+class TestBenchCommands:
+    def test_cluster1_smoke(self, capsys):
+        code = main([
+            "cluster1", "--protocol", "taDOM3+", "--scale", "0.02",
+            "--seconds", "8", "--lock-depth", "6",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "committed=" in out
+        assert "lock stats" in out
+
+    def test_sweep_smoke(self, capsys):
+        code = main([
+            "sweep", "--protocols", "taDOM3+", "--depths", "0", "6",
+            "--scale", "0.02", "--seconds", "8",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "taDOM3+" in out
+
+    def test_cluster2_smoke(self, capsys):
+        assert main(["cluster2", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        for name in ("Node2PL", "taDOM3+", "URIX"):
+            assert name in out
+
+
+class TestModes:
+    def test_prints_figure_3a_and_4(self, capsys):
+        assert main(["modes", "taDOM2", "--space", "node"]) == 0
+        out = capsys.readouterr().out
+        assert "taDOM2 compatibility" in out
+        assert "CX[NR]" in out          # the subscripted Figure 4 cell
+
+    def test_all_spaces_by_default(self, capsys):
+        assert main(["modes", "URIX"]) == 0
+        out = capsys.readouterr().out
+        assert "lock space: node" in out
+        assert "lock space: edge" in out
+
+    def test_twenty_modes_of_tadom3_plus(self, capsys):
+        assert main(["modes", "taDOM3+", "--space", "node"]) == 0
+        out = capsys.readouterr().out
+        for mode in ("NX", "LRIX", "SRCX", "NUIX"):
+            assert mode in out
+
+
+class TestXmark:
+    def test_xmark_smoke(self, capsys):
+        assert main(["xmark", "--scale", "0.02", "--seconds", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "deadlocks=0" in out
+        assert "taDOM3+" in out
+
+
+class TestReport:
+    def test_collates_result_files(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "figure09_synopsis.txt").write_text("FIG9 DATA")
+        (results / "extra_experiment.txt").write_text("EXTRA DATA")
+        assert main(["report", "--results-dir", str(results)]) == 0
+        out = capsys.readouterr().out
+        assert "evaluation report" in out
+        assert out.index("FIG9 DATA") < out.index("EXTRA DATA")
+
+    def test_report_to_file(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "figure11_cluster2.txt").write_text("F11")
+        target = tmp_path / "REPORT.txt"
+        assert main(["report", "--results-dir", str(results),
+                     "--output", str(target)]) == 0
+        assert "F11" in target.read_text()
+
+    def test_missing_results_dir(self, tmp_path):
+        assert main(["report", "--results-dir", str(tmp_path / "nope")]) == 1
+
+    def test_empty_results_dir(self, tmp_path):
+        empty = tmp_path / "results"
+        empty.mkdir()
+        assert main(["report", "--results-dir", str(empty)]) == 1
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["cluster1", "--protocol", "nope"])

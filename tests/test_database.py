@@ -1,0 +1,81 @@
+"""Tests for the Database facade."""
+
+import pytest
+
+from repro import ALL_PROTOCOLS, Database, IsolationLevel, get_protocol
+from repro.core.protocol import LockProtocol
+from repro.errors import UnknownProtocolError
+
+
+class TestConstruction:
+    def test_protocol_by_name(self):
+        db = Database(protocol="URIX")
+        assert db.protocol.name == "URIX"
+
+    def test_protocol_by_instance(self):
+        db = Database(protocol=get_protocol("taDOM2"))
+        assert db.protocol.name == "taDOM2"
+
+    def test_unknown_protocol(self):
+        with pytest.raises(UnknownProtocolError):
+            Database(protocol="taDOM9")
+
+    def test_all_protocols_construct(self):
+        for name in ALL_PROTOCOLS:
+            db = Database(protocol=name)
+            assert isinstance(db.protocol, LockProtocol)
+
+    def test_default_isolation(self):
+        db = Database(isolation="committed")
+        txn = db.begin()
+        assert txn.isolation is IsolationLevel.COMMITTED
+        override = db.begin(isolation="none")
+        assert override.isolation is IsolationLevel.NONE
+
+    def test_root_element(self):
+        db = Database(root_element="bib")
+        assert db.document.name_of(db.document.root) == "bib"
+
+    def test_existing_document(self):
+        from repro.dom import build_document
+        doc = build_document(("lib", [("shelf", [])]))
+        db = Database(document=doc)
+        assert db.document is doc
+        assert db.document.elements_by_name("shelf")
+
+
+class TestRunAndStatistics:
+    def test_load_and_run(self):
+        db = Database(root_element="bib")
+        db.load(("book", {"id": "b1"}, [("title", ["T"])]))
+        txn = db.begin()
+        book, elapsed = db.run(db.nodes.get_element_by_id(txn, "b1"))
+        assert book is not None
+        assert elapsed > 0
+        db.commit(txn)
+
+    def test_statistics_merge_everything(self):
+        db = Database(root_element="bib")
+        db.load(("book", {"id": "b1"}, []))
+        txn = db.begin()
+        db.run(db.nodes.get_element_by_id(txn, "b1"))
+        db.commit(txn)
+        stats = db.statistics()
+        for key in ("requests", "deadlocks", "nodes", "committed", "aborted"):
+            assert key in stats
+        assert stats["committed"] == 1
+
+    def test_set_clock(self):
+        db = Database()
+        db.set_clock(lambda: 123.0)
+        txn = db.begin()
+        assert txn.start_time == 123.0
+
+    def test_wait_timeout_plumbed(self):
+        db = Database(wait_timeout_ms=42.0)
+        assert db.locks.wait_timeout_ms == 42.0
+        assert Database(wait_timeout_ms=None).locks.wait_timeout_ms is None
+
+    def test_lock_depth_plumbed(self):
+        db = Database(lock_depth=2)
+        assert db.locks.lock_depth == 2

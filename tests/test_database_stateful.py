@@ -1,0 +1,153 @@
+"""Stateful model-based testing of the whole database.
+
+A hypothesis state machine drives random transactions (insert / update /
+rename / delete, randomly committed or aborted) against a live database
+and a plain-Python oracle of the *committed* state.  After every commit or
+abort, the stored document must match the oracle exactly -- undo logs,
+index maintenance, and label allocation all have to cooperate for this to
+hold across arbitrary operation sequences.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro import Database
+
+
+class _Oracle:
+    """Committed state: {counter_id: text} plus live element ids."""
+
+    def __init__(self):
+        self.texts = {}          # element id -> text value
+        self.names = {}          # element id -> tag name
+        self.next_id = 0
+
+
+class DatabaseMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.db = Database(protocol="taDOM3+", lock_depth=6,
+                           root_element="bib")
+        self.oracle = _Oracle()
+        self.txn = None
+        self.pending = None      # staged oracle changes of the open txn
+
+    # -- helpers -------------------------------------------------------------
+
+    def _element(self, element_id):
+        return self.db.document.element_by_id(element_id)
+
+    def _text_node(self, element_id):
+        element = self._element(element_id)
+        return self.db.document.store.first_child(element)
+
+    # -- transaction lifecycle -------------------------------------------------
+
+    @precondition(lambda self: self.txn is None)
+    @rule()
+    def begin(self):
+        self.txn = self.db.begin("fuzz")
+        self.pending = _Oracle()
+        self.pending.texts = dict(self.oracle.texts)
+        self.pending.names = dict(self.oracle.names)
+        self.pending.next_id = self.oracle.next_id
+
+    @precondition(lambda self: self.txn is not None)
+    @rule()
+    def commit(self):
+        self.db.commit(self.txn)
+        self.oracle = self.pending
+        self.txn = None
+        self.pending = None
+
+    @precondition(lambda self: self.txn is not None)
+    @rule()
+    def abort(self):
+        self.db.abort(self.txn)
+        self.txn = None
+        self.pending = None
+
+    # -- operations --------------------------------------------------------------
+
+    @precondition(lambda self: self.txn is not None)
+    @rule(text=st.text(alphabet="abcxyz", min_size=1, max_size=6))
+    def insert_element(self, text):
+        element_id = f"e{self.pending.next_id}"
+        self.pending.next_id += 1
+        self.db.run(self.db.nodes.insert_tree(
+            self.txn, self.db.document.root,
+            ("item", {"id": element_id}, [text]),
+        ))
+        self.pending.texts[element_id] = text
+        self.pending.names[element_id] = "item"
+
+    @precondition(lambda self: self.txn is not None and self.pending.texts)
+    @rule(data=st.data(), text=st.text(alphabet="mnop", min_size=1, max_size=6))
+    def update_text(self, data, text):
+        element_id = data.draw(
+            st.sampled_from(sorted(self.pending.texts)), label="target"
+        )
+        node = self._text_node(element_id)
+        self.db.run(self.db.nodes.update_content(self.txn, node, text))
+        self.pending.texts[element_id] = text
+
+    @precondition(lambda self: self.txn is not None and self.pending.names)
+    @rule(data=st.data(), name=st.sampled_from(("item", "entry", "node")))
+    def rename(self, data, name):
+        element_id = data.draw(
+            st.sampled_from(sorted(self.pending.names)), label="target"
+        )
+        self.db.run(self.db.nodes.rename_element(
+            self.txn, self._element(element_id), name
+        ))
+        self.pending.names[element_id] = name
+
+    @precondition(lambda self: self.txn is not None and self.pending.texts)
+    @rule(data=st.data())
+    def delete(self, data):
+        element_id = data.draw(
+            st.sampled_from(sorted(self.pending.texts)), label="target"
+        )
+        self.db.run(self.db.nodes.delete_subtree(
+            self.txn, self._element(element_id)
+        ))
+        del self.pending.texts[element_id]
+        del self.pending.names[element_id]
+
+    # -- the invariant ---------------------------------------------------------------
+
+    @invariant()
+    def committed_state_matches_oracle(self):
+        if self.txn is not None:
+            return      # only check between transactions
+        doc = self.db.document
+        live = {}
+        for element in doc.elements_by_name("item") + \
+                doc.elements_by_name("entry") + doc.elements_by_name("node"):
+            element_id = doc.attribute_value(element, "id")
+            live[element_id] = (doc.name_of(element),
+                                doc.text_of_element(element))
+        expected = {
+            element_id: (self.oracle.names[element_id],
+                         self.oracle.texts[element_id])
+            for element_id in self.oracle.texts
+        }
+        assert live == expected
+        # Index coherence.
+        for element_id in expected:
+            assert doc.element_by_id(element_id) is not None
+        # No locks leak between transactions.
+        assert self.db.locks.table.lock_count() == 0
+
+
+DatabaseMachine.TestCase.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)
+TestDatabaseStateful = DatabaseMachine.TestCase

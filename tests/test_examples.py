@@ -1,0 +1,36 @@
+"""Smoke tests: every example script runs to completion."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).parent.parent / "examples").glob("*.py"),
+    key=lambda p: p.name,
+)
+
+FAST_ARGS = {
+    "protocol_contest.py": ["--scale", "0.02", "--seconds", "10"],
+}
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    args = FAST_ARGS.get(script.name, [])
+    proc = subprocess.run(
+        [sys.executable, str(script), *args],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "examples must print something"
+
+
+def test_expected_examples_present():
+    names = {p.name for p in EXAMPLES}
+    assert {
+        "quickstart.py", "protocol_contest.py", "deadlock_anatomy.py",
+        "isolation_levels.py", "splid_storage_tour.py",
+        "xdp_interfaces.py", "crash_recovery.py",
+    } <= names

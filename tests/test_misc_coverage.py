@@ -1,0 +1,132 @@
+"""Edge-case coverage for smaller public surfaces."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Database
+from repro.dom import parse_document, serialize_document
+from repro.dom.streaming import collect_events, START_ELEMENT, END_ELEMENT
+from repro.errors import StorageError, VocabularyError
+from repro.splid import Splid, document_order
+from repro.storage.vocabulary import MAX_SURROGATES, Vocabulary
+from repro.tamix.metrics import RunResult
+from repro.txn.wal import WriteAheadLog
+
+
+class TestSplidHelpers:
+    def test_document_order_helper(self):
+        labels = [Splid.parse(t) for t in ("1.5", "1.3", "1.3.3")]
+        assert [str(s) for s in document_order(labels)] == [
+            "1.3", "1.3.3", "1.5",
+        ]
+
+    def test_common_ancestor_of_self(self):
+        s = Splid.parse("1.3.3")
+        assert s.common_ancestor(s) == s
+
+    def test_ancestors_of_root_empty(self):
+        assert list(Splid.root().ancestors()) == []
+        assert Splid.root().ancestors_top_down() == ()
+
+
+class TestStreamingEdgeCases:
+    def test_root_only_document(self):
+        db = Database(root_element="empty")
+        txn = db.begin()
+        events = collect_events(db, txn)
+        db.commit(txn)
+        assert events == [(START_ELEMENT, "empty", {}), (END_ELEMENT, "empty")]
+
+    def test_attributes_on_root(self):
+        db = Database(root_element="r")
+        db.document.set_attribute(db.document.root, "k", "v")
+        txn = db.begin()
+        events = collect_events(db, txn)
+        db.commit(txn)
+        assert events[0] == (START_ELEMENT, "r", {"k": "v"})
+
+
+class TestVocabularyLimits:
+    def test_exhaustion(self):
+        vocab = Vocabulary()
+        vocab._by_surrogate = ["x"] * MAX_SURROGATES       # simulate fullness
+        vocab._by_name = {"x": 0}
+        with pytest.raises(VocabularyError):
+            vocab.intern("one-too-many")
+
+
+class TestMetricsEdgeCases:
+    def test_normalized_throughput_zero_duration(self):
+        result = RunResult("p", 0, "repeatable", 0.0)
+        assert result.normalized_throughput() == 0.0
+
+    def test_row_keys(self):
+        row = RunResult("p", 3, "none", 10.0).row()
+        assert set(row) == {
+            "protocol", "lock_depth", "isolation",
+            "committed", "aborted", "deadlocks",
+        }
+
+
+class TestWalRobustness:
+    def test_truncated_log_bytes_rejected(self):
+        log = WriteAheadLog()
+        log.log_begin(1)
+        log.log_commit(1)
+        data = log.to_bytes()
+        with pytest.raises(StorageError):
+            WriteAheadLog.from_bytes(data[:-3])
+
+    def test_empty_log_round_trip(self):
+        assert len(WriteAheadLog.from_bytes(b"")) == 0
+
+
+class TestDatabaseRun:
+    def test_run_propagates_program_errors(self):
+        db = Database(root_element="r")
+        txn = db.begin()
+
+        def broken():
+            yield from db.nodes.get_child_nodes(txn, db.document.root)
+            raise ValueError("app bug")
+
+        with pytest.raises(ValueError):
+            db.run(broken())
+
+
+# -- serializer round-trip property ------------------------------------------
+
+_tags = st.sampled_from(("alpha", "beta", "gamma"))
+_texts = st.text(
+    alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Nd"),
+                           whitelist_characters=" <>&\"'"),
+    min_size=1, max_size=12,
+).filter(lambda t: t.strip())
+
+
+@st.composite
+def xml_specs(draw, depth=0):
+    tag = draw(_tags)
+    attrs = draw(st.dictionaries(
+        st.sampled_from(("a1", "a2")), _texts, max_size=2
+    ))
+    children = []
+    if depth < 2:
+        for _i in range(draw(st.integers(0, 2))):
+            if draw(st.booleans()):
+                children.append(draw(xml_specs(depth=depth + 1)))
+            elif not children or not isinstance(children[-1], str):
+                children.append(draw(_texts))
+    return (tag, attrs, children)
+
+
+@settings(max_examples=80, deadline=None)
+@given(spec=xml_specs())
+def test_serialize_parse_round_trip(spec):
+    from repro.dom import build_document
+
+    document = build_document(spec)
+    text = serialize_document(document)
+    reparsed = parse_document(text)
+    assert serialize_document(reparsed) == text

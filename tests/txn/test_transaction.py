@@ -1,0 +1,140 @@
+"""Unit tests for transactions and the transaction manager."""
+
+import pytest
+
+from repro.core import get_protocol
+from repro.dom import Document, build_children
+from repro.errors import TransactionError
+from repro.locking import IsolationLevel, LockManager
+from repro.txn import Transaction, TransactionManager, TxnState
+
+
+@pytest.fixture
+def setup():
+    document = Document(root_element="bib")
+    build_children(document, document.root, [
+        ("book", {"id": "b1"}, [("title", ["TP"])]),
+    ])
+    locks = LockManager(get_protocol("taDOM3+"))
+    manager = TransactionManager(document, locks)
+    return document, locks, manager
+
+
+class TestLifecycle:
+    def test_begin_assigns_unique_ids(self, setup):
+        _doc, _locks, manager = setup
+        t1 = manager.begin("a")
+        t2 = manager.begin("b")
+        assert t1.txn_id != t2.txn_id
+        assert t1.is_active and t2.is_active
+        assert manager.active_count == 2
+
+    def test_commit(self, setup):
+        _doc, _locks, manager = setup
+        txn = manager.begin()
+        manager.commit(txn)
+        assert txn.state is TxnState.COMMITTED
+        assert manager.committed == 1
+        assert manager.active_count == 0
+        assert txn.duration is not None
+
+    def test_commit_twice_rejected(self, setup):
+        _doc, _locks, manager = setup
+        txn = manager.begin()
+        manager.commit(txn)
+        with pytest.raises(TransactionError):
+            manager.commit(txn)
+
+    def test_abort_is_idempotent(self, setup):
+        _doc, _locks, manager = setup
+        txn = manager.begin()
+        manager.abort(txn)
+        manager.abort(txn)  # no error
+        assert manager.aborted == 1
+
+    def test_abort_after_commit_rejected(self, setup):
+        _doc, _locks, manager = setup
+        txn = manager.begin()
+        manager.commit(txn)
+        with pytest.raises(TransactionError):
+            manager.abort(txn)
+
+    def test_isolation_parsing(self, setup):
+        _doc, _locks, manager = setup
+        txn = manager.begin(isolation="committed")
+        assert txn.isolation is IsolationLevel.COMMITTED
+
+    def test_require_active(self):
+        txn = Transaction()
+        txn.require_active()
+        txn.state = TxnState.ABORTED
+        with pytest.raises(TransactionError):
+            txn.require_active()
+
+    def test_clock_binding(self, setup):
+        document, locks, _m = setup
+        times = iter([10.0, 250.0])
+        manager = TransactionManager(document, locks, clock=lambda: next(times))
+        txn = manager.begin()
+        manager.commit(txn)
+        assert txn.start_time == 10.0
+        assert txn.duration == 240.0
+
+
+class TestRollback:
+    def test_undo_insert(self, setup):
+        document, _locks, manager = setup
+        txn = manager.begin()
+        new = document.add_element(document.root, "person")
+        txn.log_undo("insert", new)
+        manager.abort(txn)
+        assert not document.exists(new)
+
+    def test_undo_delete(self, setup):
+        document, _locks, manager = setup
+        book = document.element_by_id("b1")
+        txn = manager.begin()
+        removed = document.delete_subtree(book)
+        txn.log_undo("delete", removed)
+        manager.abort(txn)
+        assert document.exists(book)
+        assert document.element_by_id("b1") == book
+
+    def test_undo_content_and_rename(self, setup):
+        document, _locks, manager = setup
+        title = document.elements_by_name("title")[0]
+        text = document.store.first_child(title)
+        txn = manager.begin()
+        old = document.update_string(text, "changed")
+        txn.log_undo("content", (text, old))
+        old_name = document.rename_element(title, "heading")
+        txn.log_undo("rename", (title, old_name))
+        manager.abort(txn)
+        assert document.string_value(text) == "TP"
+        assert document.name_of(title) == "title"
+
+    def test_undo_applied_in_reverse_order(self, setup):
+        document, _locks, manager = setup
+        title = document.elements_by_name("title")[0]
+        text = document.store.first_child(title)
+        txn = manager.begin()
+        first = document.update_string(text, "v1")
+        txn.log_undo("content", (text, first))
+        second = document.update_string(text, "v2")
+        txn.log_undo("content", (text, second))
+        manager.abort(txn)
+        assert document.string_value(text) == "TP"
+
+    def test_unknown_undo_kind(self, setup):
+        _document, _locks, manager = setup
+        txn = manager.begin()
+        txn.log_undo("bogus", None)
+        with pytest.raises(TransactionError):
+            manager.abort(txn)
+
+    def test_commit_releases_locks(self, setup):
+        document, locks, manager = setup
+        txn = manager.begin()
+        locks.table.request(txn, "node", document.root, "SR")
+        manager.commit(txn)
+        assert locks.table.lock_count() == 0
