@@ -1,0 +1,6 @@
+"""Performance-regression micro-benchmark harness.
+
+Run ``python benchmarks/perf/run_perf.py`` (optionally ``--quick``) from
+the repository root; it writes ``BENCH_perf.json`` next to ``ROADMAP.md``
+so successive PRs accumulate a perf trajectory.
+"""

@@ -1,0 +1,334 @@
+"""Micro-benchmark harness for the repro hot paths.
+
+Measures the three layers the lock protocols live on:
+
+1. **SPLID kernel** -- label construction/parse, ancestor derivation,
+   ``ancestor_at_level`` (the operation Section 3.2 calls
+   performance-critical for intention locking);
+2. **lock pipeline** -- meta-request acquire/release throughput through
+   :class:`~repro.locking.lock_manager.LockManager`, both the cold path
+   (fresh lock-table requests) and the warm path (coverage-cache hits
+   under a subtree lock);
+3. **end-to-end** -- one small CLUSTER1 cell, plus a serial vs. parallel
+   sweep over the same cells.
+
+Usage (from the repository root)::
+
+    python benchmarks/perf/run_perf.py            # full run
+    python benchmarks/perf/run_perf.py --quick    # CI smoke mode
+    python benchmarks/perf/run_perf.py --output /tmp/before.json
+
+Writes ``BENCH_perf.json`` at the repository root by default.  Numbers
+are ops/sec (higher is better) for the micro-benchmarks and wall-clock
+seconds (lower is better) for the end-to-end cells.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.core.protocol import MetaOp, MetaRequest  # noqa: E402
+from repro.core.registry import get_protocol  # noqa: E402
+from repro.locking.lock_manager import IsolationLevel, LockManager  # noqa: E402
+from repro.splid import Splid  # noqa: E402
+from repro.splid.codec import decode, encode  # noqa: E402
+from repro.tamix.cluster import run_cluster1  # noqa: E402
+from repro.tamix.sweep import SweepRunner, SweepSpec  # noqa: E402
+
+
+# -- corpus -------------------------------------------------------------------
+
+
+def label_corpus(count: int = 2_000) -> List[str]:
+    """A deterministic corpus of dotted labels shaped like a bib document:
+    shallow fan-out near the root, deeper chains with occasional overflow
+    (even) divisions further down."""
+    import random
+
+    rng = random.Random(20061)
+    labels: List[str] = []
+    while len(labels) < count:
+        depth = rng.randint(1, 7)
+        divisions = [1]
+        for _ in range(depth):
+            if rng.random() < 0.15:
+                divisions.append(2 * rng.randint(1, 8))  # overflow hop
+            divisions.append(2 * rng.randint(1, 40) + 1)
+        labels.append(".".join(str(d) for d in divisions))
+    return labels
+
+
+# -- timing helpers -----------------------------------------------------------
+
+
+def ops_per_sec(fn: Callable[[], int], *, repeat: int = 3) -> Dict[str, float]:
+    """Best-of-``repeat`` ops/sec; ``fn`` returns the op count it did."""
+    best = 0.0
+    ops = 0
+    for _ in range(repeat):
+        start = time.perf_counter()
+        ops = fn()
+        elapsed = time.perf_counter() - start
+        rate = ops / elapsed if elapsed > 0 else float("inf")
+        best = max(best, rate)
+    return {"ops": float(ops), "ops_per_sec": round(best, 1)}
+
+
+# -- layer 1: SPLID kernel ----------------------------------------------------
+
+
+def bench_splid(scale: int) -> Dict[str, Dict[str, float]]:
+    texts = label_corpus(2_000)
+    tuples = [tuple(int(p) for p in t.split(".")) for t in texts]
+    parsed = [Splid.parse(t) for t in texts]
+    encoded = [encode(s) for s in parsed]
+    loops = scale
+
+    def run_parse() -> int:
+        for _ in range(loops):
+            for text in texts:
+                Splid.parse(text)
+        return loops * len(texts)
+
+    def run_construct() -> int:
+        for _ in range(loops):
+            for divs in tuples:
+                Splid(divs)
+        return loops * len(tuples)
+
+    def run_ancestors() -> int:
+        n = 0
+        for _ in range(loops):
+            for label in parsed:
+                n += len(label.ancestors_bottom_up())
+        return n
+
+    def run_ancestor_at_level() -> int:
+        n = 0
+        for _ in range(loops):
+            for label in parsed:
+                own = label.level
+                for level in range(own + 1):
+                    label.ancestor_at_level(level)
+                n += own + 1
+        return n
+
+    def run_decode() -> int:
+        for _ in range(loops):
+            for data in encoded:
+                decode(data)
+        return loops * len(encoded)
+
+    return {
+        "parse": ops_per_sec(run_parse),
+        "construct": ops_per_sec(run_construct),
+        "ancestors": ops_per_sec(run_ancestors),
+        "ancestor_at_level": ops_per_sec(run_ancestor_at_level),
+        "codec_decode": ops_per_sec(run_decode),
+    }
+
+
+# -- layer 2: lock pipeline ---------------------------------------------------
+
+
+class _BenchTxn:
+    __slots__ = ("name", "isolation")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.isolation = IsolationLevel.REPEATABLE
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+def _drive(generator) -> object:
+    """Run a LockManager.acquire generator to completion (single user:
+    nothing ever blocks, so no tickets are yielded)."""
+    try:
+        while True:
+            next(generator)
+    except StopIteration as stop:
+        return stop.value
+
+
+def _lock_targets() -> List[Splid]:
+    """Leaf-ish nodes under a handful of document subtrees."""
+    targets: List[Splid] = []
+    for top in (3, 5, 7, 9):
+        for mid in (3, 5, 7, 9, 11):
+            for leaf in (3, 5, 7, 9, 11, 13, 15, 17, 19, 21):
+                targets.append(Splid((1, top, mid, leaf)))
+    return targets
+
+
+def bench_locks(scale: int) -> Dict[str, Dict[str, float]]:
+    protocol = get_protocol("taDOM3+")
+    targets = _lock_targets()
+    loops = scale
+
+    def run_cold() -> int:
+        """Fresh transactions taking node-read locks: every request walks
+        the ancestor path through the lock table."""
+        n = 0
+        for i in range(loops * 4):
+            manager = LockManager(protocol, lock_depth=8)
+            txn = _BenchTxn(f"cold{i}")
+            for node in targets:
+                _drive(manager.acquire(
+                    txn, MetaRequest(MetaOp.READ_NODE, node)))
+                n += 1
+            manager.release_transaction(txn)
+        return n
+
+    def run_warm() -> int:
+        """One subtree read lock, then node reads under it: every request
+        after the first should be a coverage-cache hit."""
+        n = 0
+        for i in range(loops * 4):
+            manager = LockManager(protocol, lock_depth=8)
+            txn = _BenchTxn(f"warm{i}")
+            _drive(manager.acquire(
+                txn, MetaRequest(MetaOp.READ_SUBTREE, Splid.root())))
+            for node in targets:
+                _drive(manager.acquire(
+                    txn, MetaRequest(MetaOp.READ_NODE, node)))
+                n += 1
+            manager.release_transaction(txn)
+        return n
+
+    def run_write() -> int:
+        n = 0
+        for i in range(loops * 2):
+            manager = LockManager(protocol, lock_depth=8)
+            txn = _BenchTxn(f"write{i}")
+            for node in targets:
+                _drive(manager.acquire(
+                    txn, MetaRequest(MetaOp.WRITE_CONTENT, node)))
+                n += 1
+            manager.release_transaction(txn)
+        return n
+
+    return {
+        "acquire_cold_read": ops_per_sec(run_cold),
+        "acquire_covered_read": ops_per_sec(run_warm),
+        "acquire_write": ops_per_sec(run_write),
+    }
+
+
+# -- layer 3: end-to-end ------------------------------------------------------
+
+
+def bench_cluster1(quick: bool) -> Dict[str, float]:
+    scale = 0.05 if quick else 0.1
+    duration = 5_000.0 if quick else 20_000.0
+    start = time.perf_counter()
+    result = run_cluster1(
+        "taDOM3+", lock_depth=4, isolation="repeatable",
+        scale=scale, run_duration_ms=duration, seed=42,
+    )
+    elapsed = time.perf_counter() - start
+    return {
+        "wall_seconds": round(elapsed, 3),
+        "committed": float(result.committed),
+        "scale": scale,
+        "run_duration_ms": duration,
+    }
+
+
+def bench_sweep(quick: bool, workers: int) -> Dict[str, object]:
+    spec = SweepSpec(
+        protocols=("taDOM3+",),
+        lock_depths=(0, 2, 4, 6) if not quick else (0, 4),
+        isolations=("repeatable",),
+        runs_per_cell=1,
+        scale=0.05,
+        run_duration_ms=4_000.0 if quick else 10_000.0,
+    )
+    start = time.perf_counter()
+    serial_rows = [r.as_row() for r in SweepRunner(spec).run()]
+    serial = time.perf_counter() - start
+
+    out: Dict[str, object] = {
+        "cells": len(serial_rows),
+        "serial_wall_seconds": round(serial, 3),
+    }
+    try:
+        runner = SweepRunner(spec, workers=workers)
+    except TypeError:
+        out["parallel_wall_seconds"] = None  # pre-parallel SweepRunner
+        return out
+    start = time.perf_counter()
+    parallel_rows = [r.as_row() for r in runner.run()]
+    out["parallel_wall_seconds"] = round(time.perf_counter() - start, 3)
+    out["workers"] = workers
+    out["deterministic"] = parallel_rows == serial_rows
+    return out
+
+
+# -- entry point --------------------------------------------------------------
+
+
+def run_all(*, quick: bool = False, workers: int = 2) -> Dict[str, object]:
+    scale = 1 if quick else 10
+    report: Dict[str, object] = {
+        "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "quick": quick,
+        "machine": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpus": os.cpu_count(),
+        },
+        "splid": bench_splid(scale),
+        "locks": bench_locks(scale),
+        "cluster1_cell": bench_cluster1(quick),
+        "sweep": bench_sweep(quick, workers),
+    }
+    return report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small iteration counts (CI smoke mode)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="worker processes for the sweep benchmark")
+    parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_perf.json"),
+                        help="where to write the JSON report")
+    args = parser.parse_args(argv)
+
+    report = run_all(quick=args.quick, workers=args.workers)
+    output = Path(args.output)
+    output.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"wrote {output}")
+    for layer in ("splid", "locks"):
+        for name, stats in report[layer].items():  # type: ignore[union-attr]
+            print(f"  {layer}.{name:<22} {stats['ops_per_sec']:>14,.0f} ops/s")
+    cell = report["cluster1_cell"]
+    print(f"  cluster1 cell wall        {cell['wall_seconds']:>10.3f} s "
+          f"(committed={cell['committed']:.0f})")
+    sweep = report["sweep"]
+    par = sweep.get("parallel_wall_seconds")
+    print(f"  sweep serial              {sweep['serial_wall_seconds']:>10.3f} s")
+    if par is not None:
+        print(f"  sweep x{sweep.get('workers', '?')} workers          "
+              f"{par:>10.3f} s (deterministic={sweep.get('deterministic')})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

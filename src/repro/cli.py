@@ -55,6 +55,16 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--isolation", default="repeatable")
     sweep.add_argument("--scale", type=float, default=0.1)
     sweep.add_argument("--seconds", type=float, default=60.0)
+    sweep.add_argument("--runs", type=int, default=1,
+                       help="repetitions per cell (averaged)")
+    sweep.add_argument("--seed", type=int, default=42)
+    sweep.add_argument("--workers", type=int, default=1,
+                       help="worker processes for the sweep cells "
+                            "(1 = serial; results are identical)")
+    sweep.add_argument("--csv", default=None,
+                       help="also write the full result matrix as CSV")
+    sweep.add_argument("--json", default=None,
+                       help="also write the full result matrix as JSON")
 
     modes = sub.add_parser(
         "modes", help="print a protocol's lock matrices (the paper's figures)"
@@ -143,22 +153,35 @@ def _cmd_cluster2(args) -> int:
 
 
 def _cmd_sweep(args) -> int:
+    from pathlib import Path
+
     from repro.core.registry import depth_aware_protocols
+    from repro.tamix.sweep import SweepRunner, SweepSpec
 
     protocols = args.protocols or depth_aware_protocols()
-    print("protocol   " + "".join(f"d{d:<7}" for d in args.depths))
+    spec = SweepSpec(
+        protocols=protocols,
+        lock_depths=tuple(args.depths),
+        isolations=(args.isolation,),
+        runs_per_cell=args.runs,
+        scale=args.scale,
+        run_duration_ms=args.seconds * 1000.0,
+        base_seed=args.seed,
+    )
+    runner = SweepRunner(spec, workers=args.workers)
+    runner.run()
+    series = runner.series(metric="committed", isolation=args.isolation)
+    depths = sorted(set(args.depths))  # series values come back depth-sorted
+    print("protocol   " + "".join(f"d{d:<7}" for d in depths))
     for name in protocols:
-        cells = []
-        for depth in args.depths:
-            result = run_cluster1(
-                name,
-                lock_depth=depth,
-                isolation=args.isolation,
-                scale=args.scale,
-                run_duration_ms=args.seconds * 1000.0,
-            )
-            cells.append(f"{result.committed:<8}")
-        print(f"{name:<11}" + "".join(cells))
+        cells = "".join(f"{value:<8g}" for value in series.get(name, []))
+        print(f"{name:<11}" + cells)
+    if args.csv:
+        Path(args.csv).write_text(runner.to_csv())
+        print(f"wrote {args.csv}")
+    if args.json:
+        Path(args.json).write_text(runner.to_json())
+        print(f"wrote {args.json}")
     return 0
 
 

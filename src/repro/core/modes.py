@@ -52,6 +52,24 @@ PRIVILEGES = (
 #: mode covers the union (LR -> NR per child, SR -> SR per child).
 _DISTRIBUTABLE = frozenset({"level_read", "subtree_read"})
 
+#: Privileges that make a mode a *write* mode (kept long under every
+#: isolation level except NONE).  Lives here so :class:`ModeTable` can
+#: classify its modes once at construction; the lock manager re-exports it.
+WRITE_PRIVILEGES = frozenset(
+    {
+        "intent_write",
+        "child_exclusive",
+        "subtree_update",
+        "subtree_write",
+        "node_update",
+        "node_write",
+    }
+)
+
+#: A request needing no more than these is a plain node read -- the only
+#: requests a *level* read anchor (LR on the parent) can cover.
+_PURE_READ_PRIVILEGES = frozenset({"intent_read", "node_read"})
+
 
 @dataclass(frozen=True)
 class Conversion:
@@ -88,6 +106,35 @@ class ModeTable:
         self._convert = dict(conversions)
         self.coverage = {m: frozenset(coverage[m]) for m in modes}
         self._validate()
+        # Hot-path caches: the meta-sync front end classifies modes and
+        # compares coverages on every lock request, so the frozenset
+        # algebra is flattened into per-table lookups once, here.
+        #: Modes whose coverage intersects :data:`WRITE_PRIVILEGES`.
+        self.write_modes = frozenset(
+            m for m in modes if self.coverage[m] & WRITE_PRIVILEGES
+        )
+        #: Modes that demand nothing beyond a plain node read.
+        self.pure_read_modes = frozenset(
+            m for m in modes if self.coverage[m] <= _PURE_READ_PRIVILEGES
+        )
+        #: ``(held, requested)`` pairs where held coverage subsumes the
+        #: requested coverage (the transaction-local lock-cache test).
+        self._subsumes = frozenset(
+            (held, requested)
+            for held in modes
+            for requested in modes
+            if self.coverage[requested] <= self.coverage[held]
+        )
+        #: mode -> (grants subtree_write, subtree_read, level_read): the
+        #: coverage-cache anchor classification of every granted mode.
+        self.anchor_flags = {
+            m: (
+                "subtree_write" in self.coverage[m],
+                "subtree_read" in self.coverage[m],
+                "level_read" in self.coverage[m],
+            )
+            for m in modes
+        }
 
     # -- queries -------------------------------------------------------------
 
@@ -120,6 +167,14 @@ class ModeTable:
 
     def covers(self, mode: str, privileges: Iterable[str]) -> bool:
         return frozenset(privileges) <= self.coverage[mode]
+
+    def subsumes(self, held: str, requested: str) -> bool:
+        """Does holding ``held`` already grant everything ``requested``
+        needs?  Precomputed for all mode pairs."""
+        return (held, requested) in self._subsumes
+
+    def is_write_mode(self, mode: str) -> bool:
+        return mode in self.write_modes
 
     def is_upgrade(self, held: str, requested: str) -> bool:
         """True if the conversion result differs from the held mode."""

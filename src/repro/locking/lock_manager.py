@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
-from repro.core.modes import ModeTable
+from repro.core.modes import ModeTable, WRITE_PRIVILEGES
 from repro.core.protocol import (
     EDGE_SPACE,
     LockPlan,
@@ -42,18 +42,12 @@ from repro.locking.deadlock import DeadlockDetector
 from repro.locking.lock_table import GrantResult, LockTable, WaitTicket
 from repro.splid import Splid
 
-#: Privileges that make a mode a *write* mode (kept long under every
-#: isolation level except NONE).
-WRITE_PRIVILEGES = frozenset(
-    {
-        "intent_write",
-        "child_exclusive",
-        "subtree_update",
-        "subtree_write",
-        "node_update",
-        "node_write",
-    }
-)
+__all__ = [
+    "AcquireReport",
+    "IsolationLevel",
+    "LockManager",
+    "WRITE_PRIVILEGES",
+]
 
 
 class IsolationLevel(Enum):
@@ -104,6 +98,12 @@ class _TxnLockState:
     level_read_anchors: Set[Splid] = field(default_factory=set)
 
 
+#: Bound on the per-manager plan cache (complete lock plans keyed by
+#: meta request; FIFO-evicted in insertion order).
+PLAN_CACHE_CAPACITY = 8_192
+_PLAN_EVICT_BATCH = 512
+
+
 class LockManager:
     """Meta-lock requests -> protocol plan -> lock table execution."""
 
@@ -122,6 +122,11 @@ class LockManager:
         self.table = LockTable(protocol.tables())
         self.detector = DeadlockDetector(self.table)
         self._states: Dict[object, _TxnLockState] = {}
+        #: Plans are pure functions of (request, lock_depth) for a fixed
+        #: protocol, and MetaRequest is frozen/hashable -- so identical
+        #: requests (re-reads of the same node, repeated traversal steps)
+        #: reuse the derived plan instead of re-running protocol.plan().
+        self._plan_cache: Dict[Tuple[MetaRequest, int], LockPlan] = {}
         self._active_transactions = active_transactions or (lambda: 0)
         #: Clock for wait-time accounting (bound by Database.set_clock).
         self.clock: Callable[[], float] = lambda: 0.0
@@ -143,7 +148,7 @@ class LockManager:
         """
         report = AcquireReport()
         isolation = self._isolation_of(txn)
-        plan = self.protocol.plan(request, self.lock_depth)
+        plan = self._plan_for(request)
         report.traverse_individually = plan.traverse_individually
         report.scan_ids = plan.scan_ids
         if isolation is IsolationLevel.NONE:
@@ -189,7 +194,7 @@ class LockManager:
             if mode is None:
                 continue
             table = self.table.table_for(space)
-            if not table.coverage[mode] & WRITE_PRIVILEGES:
+            if mode not in table.write_modes:
                 self.table.release(txn, resource)
                 released += 1
         if released:
@@ -251,6 +256,19 @@ class LockManager:
 
     # -- internals --------------------------------------------------------------------
 
+    def _plan_for(self, request: MetaRequest) -> LockPlan:
+        """Cached protocol.plan(): the plan is derived once per distinct
+        (request, lock_depth) pair and treated as read-only thereafter."""
+        cache_key = (request, self.lock_depth)
+        plan = self._plan_cache.get(cache_key)
+        if plan is None:
+            plan = self.protocol.plan(request, self.lock_depth)
+            if len(self._plan_cache) >= PLAN_CACHE_CAPACITY:
+                for stale in list(self._plan_cache)[:_PLAN_EVICT_BATCH]:
+                    del self._plan_cache[stale]
+            self._plan_cache[cache_key] = plan
+        return plan
+
     @staticmethod
     def _isolation_of(txn: object) -> IsolationLevel:
         return getattr(txn, "isolation", IsolationLevel.REPEATABLE)
@@ -295,20 +313,22 @@ class LockManager:
     def _note_grant(self, txn: object, space: str, key: object, mode: str) -> None:
         if space not in (NODE_SPACE, EDGE_SPACE) or not isinstance(key, Splid):
             return
-        coverage = self.table.table_for(space).coverage[mode]
+        subtree_write, subtree_read, level_read = (
+            self.table.table_for(space).anchor_flags[mode]
+        )
         state = self._states.setdefault(txn, _TxnLockState())
         # Conversions can *lose* coverage (LR -> CX drops the level read,
         # compensated by the NR child fan-out), so anchors are kept in
         # exact sync with the currently held mode.
-        if "subtree_write" in coverage:
+        if subtree_write:
             state.subtree_write_anchors.add(key)
         else:
             state.subtree_write_anchors.discard(key)
-        if "subtree_read" in coverage:
+        if subtree_read:
             state.subtree_read_anchors.add(key)
         else:
             state.subtree_read_anchors.discard(key)
-        if "level_read" in coverage:
+        if level_read:
             state.level_read_anchors.add(key)
         else:
             state.level_read_anchors.discard(key)
@@ -327,7 +347,7 @@ class LockManager:
     def _is_covered(self, txn: object, step: LockStep) -> bool:
         table = self.table.table_for(step.space)
         held = self.table.mode_held(txn, (step.space, step.key))
-        if held is not None and table.coverage[step.mode] <= table.coverage[held]:
+        if held is not None and table.subsumes(held, step.mode):
             # Transaction-local lock cache: the held mode already grants
             # everything the request needs -- no lock-table access.
             return True
@@ -342,12 +362,11 @@ class LockManager:
             edge_parent = node.parent
         else:
             return False
-        required = self.table.table_for(step.space).coverage[step.mode]
-        if required & WRITE_PRIVILEGES:
+        if step.mode in table.write_modes:
             return self._anchored(state.subtree_write_anchors, node, edge_parent)
         if self._anchored(state.subtree_read_anchors, node, edge_parent):
             return True
-        if required <= frozenset({"intent_read", "node_read"}):
+        if step.mode in table.pure_read_modes:
             parent = node.parent
             if parent is not None and parent in state.level_read_anchors:
                 return True
@@ -361,9 +380,17 @@ class LockManager:
 
         Edge locks span two siblings, so the anchor must cover the parent
         to guarantee both endpoints lie inside the locked subtree.
+
+        Probed as an O(depth) walk: the node and each label on its cached
+        ancestor chain are tested for membership in the anchor set, so the
+        cost is the tree depth, not the number of anchors held.
         """
+        if not anchors:
+            return False
         probe = edge_parent if edge_parent is not None else node
-        for anchor in anchors:
-            if probe == anchor or anchor.is_ancestor_of(probe):
+        if probe in anchors:
+            return True
+        for ancestor in probe.ancestors_bottom_up():
+            if ancestor in anchors:
                 return True
         return False

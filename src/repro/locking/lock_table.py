@@ -28,6 +28,27 @@ from repro.errors import LockError
 ResourceKey = Tuple[str, object]  # (lock space, key)
 
 
+def _release_order(resource: ResourceKey):
+    """Deterministic release order without stringifying every key.
+
+    Releases drain wait queues, so the order must be stable for
+    reproducible runs; sorting by ``repr`` was a measurable cost at
+    commit time.  Keys are ordered structurally instead: SPLIDs by
+    division tuple, edge keys by (divisions, role), anything else by its
+    string form.  The integer tag keeps mixed key shapes comparable.
+    """
+    space, key = resource
+    divisions = getattr(key, "divisions", None)
+    if divisions is not None:
+        return (space, 0, divisions, "")
+    if isinstance(key, tuple) and len(key) == 2:
+        node_divisions = getattr(key[0], "divisions", None)
+        if node_divisions is not None:
+            role = key[1]
+            return (space, 1, node_divisions, getattr(role, "value", str(role)))
+    return (space, 2, (), str(key))
+
+
 @dataclass
 class WaitTicket:
     """Handle for a blocked lock request.
@@ -228,9 +249,7 @@ class LockTable:
 
     def release_all(self, txn: object) -> None:
         self.cancel_wait(txn)
-        for resource in sorted(
-            self._held.pop(txn, ()), key=lambda r: (r[0], repr(r[1]))
-        ):
+        for resource in sorted(self._held.pop(txn, ()), key=_release_order):
             entry = self._entries.get(resource)
             if entry is not None and txn in entry.granted:
                 del entry.granted[txn]

@@ -66,7 +66,21 @@ def encode(splid: Splid) -> bytes:
 
 def decode(data: bytes) -> Splid:
     """Inverse of :func:`encode`."""
-    return Splid(decode_divisions(data))
+    return _splid_from_decoded(decode_divisions(data))
+
+
+def _splid_from_decoded(divs: Tuple[int, ...]) -> Splid:
+    """Interned Splid from decoded divisions.
+
+    Band/Huffman decoding guarantees every division is >= 1, so only the
+    root and odd-tail invariants remain to check before taking the
+    trusted constructor path.
+    """
+    if divs[0] != 1:
+        raise SplidError(f"document root division must be 1, got {divs[0]}")
+    if divs[-1] % 2 == 0:
+        raise SplidError(f"a SPLID must end with an odd division, got {divs!r}")
+    return Splid._from_divisions(divs)
 
 
 def decode_divisions(data: bytes) -> Tuple[int, ...]:

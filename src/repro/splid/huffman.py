@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import Iterable, List, Tuple
 
 from repro.errors import SplidError
+from repro.splid.codec import _splid_from_decoded
 from repro.splid.splid import Splid
 
 #: (prefix bits as string, payload bit count, first value of the range).
@@ -56,7 +57,7 @@ def encode_bits(splid: Splid) -> str:
 
 def decode_bits(bits: str) -> Splid:
     """Inverse of :func:`encode_bits`."""
-    return Splid(decode_divisions_bits(bits))
+    return _splid_from_decoded(decode_divisions_bits(bits))
 
 
 def decode_divisions_bits(bits: str) -> Tuple[int, ...]:

@@ -18,6 +18,22 @@ comparison, and the ancestor labels by truncating divisions -- all without
 touching the stored document, which is what makes intention locking along
 the ancestor path cheap.
 
+The paper calls ancestor derivation performance-critical for intention
+locking, so the value type is engineered as a hot-path kernel:
+
+* instances are **interned** through a bounded canonicalizing cache keyed
+  by the division tuple, so the labels a workload keeps re-deriving
+  (ancestor paths, lock anchors) are materialized exactly once;
+* ``level``, the hash, the ``parent`` link, and the full ancestor chain
+  are **memoized** on the instance (``__slots__``-backed lazy fields) --
+  the first ancestor walk pays O(depth), every later one is a tuple read;
+* ``ancestor_at_level`` indexes the cached chain (each parent step drops
+  exactly one level), turning the old per-call reparse into O(1) after
+  the chain exists;
+* derivations whose result is valid *by construction* (``parent``,
+  ``child``, ``with_suffix``, codec decodes) use a trusted constructor
+  that skips re-validation entirely.
+
 This module implements the label value type.  Allocation of new labels
 (including the ``dist`` gap parameter) lives in
 :mod:`repro.splid.allocator`; order-preserving byte encoding in
@@ -26,16 +42,27 @@ This module implements the label value type.  Allocation of new labels
 
 from __future__ import annotations
 
-from functools import total_ordering
-from typing import Iterator, Optional, Sequence, Tuple
+from typing import Dict, Iterator, Optional, Sequence, Tuple
 
 from repro.errors import SplidError
 
 #: Division value reserved for attribute roots and string nodes.
 META_DIVISION = 1
 
+#: Bound on the canonicalizing cache.  Eviction is FIFO in insertion
+#: order; evicted labels keep working (equality and hashing are by
+#: value), they just stop being canonical.
+INTERN_CAPACITY = 1 << 16
+_EVICT_BATCH = 1 << 10
 
-@total_ordering
+#: division tuple -> canonical instance.  Plain dict: reads and writes
+#: are GIL-atomic, and a lost race merely creates a short-lived duplicate
+#: that compares equal to the canonical instance.
+_INTERN: Dict[Tuple[int, ...], "Splid"] = {}
+
+_UNSET = object()  # sentinel: ``None`` is a valid parent (the root's)
+
+
 class Splid:
     """An immutable, order-comparable stable path labeling identifier.
 
@@ -43,10 +70,17 @@ class Splid:
     before their descendants, and siblings sort by their division values.
     """
 
-    __slots__ = ("_divisions",)
+    __slots__ = ("_divisions", "_hash", "_level", "_parent", "_ancestors")
 
-    def __init__(self, divisions: Sequence[int]):
+    def __new__(cls, divisions: Sequence[int]):
+        if type(divisions) is tuple:
+            cached = _INTERN.get(divisions)
+            if cached is not None:
+                return cached
         divs = tuple(int(d) for d in divisions)
+        cached = _INTERN.get(divs)
+        if cached is not None:
+            return cached
         if not divs:
             raise SplidError("a SPLID needs at least one division")
         if divs[0] != 1:
@@ -58,24 +92,68 @@ class Splid:
             raise SplidError(
                 f"a SPLID must end with an odd division, got {divs!r}"
             )
-        self._divisions = divs
+        return cls._new_interned(divs)
 
     # -- construction ------------------------------------------------------
 
     @classmethod
+    def _new_interned(cls, divs: Tuple[int, ...]) -> "Splid":
+        self = object.__new__(cls)
+        self._divisions = divs
+        self._hash = hash(divs)
+        self._level = None
+        self._parent = _UNSET
+        self._ancestors = None
+        if len(_INTERN) >= INTERN_CAPACITY:
+            evict = iter(_INTERN)
+            for key in [next(evict) for _ in range(_EVICT_BATCH)]:
+                del _INTERN[key]
+        _INTERN[divs] = self
+        return self
+
+    @classmethod
+    def _from_divisions(cls, divs: Tuple[int, ...]) -> "Splid":
+        """Trusted constructor: ``divs`` is already a valid division tuple
+        (derived from an existing label or a verified decode)."""
+        cached = _INTERN.get(divs)
+        if cached is not None:
+            return cached
+        return cls._new_interned(divs)
+
+    @classmethod
     def root(cls) -> "Splid":
         """The label of the document root element, ``1``."""
-        return cls((1,))
+        return cls._from_divisions((1,))
 
     @classmethod
     def parse(cls, text: str) -> "Splid":
         """Parse the dotted notation used throughout the paper, e.g.
-        ``"1.3.4.3"``."""
-        try:
-            divisions = tuple(int(part) for part in text.split("."))
-        except ValueError as exc:
-            raise SplidError(f"malformed SPLID text {text!r}") from exc
-        return cls(divisions)
+        ``"1.3.4.3"``.
+
+        Parsing is strict: every division must be a plain run of ASCII
+        digits, so ``"1."`` (empty division), ``" 1.3"`` (whitespace) and
+        ``"1.+3"`` (sign) are rejected rather than silently normalized.
+        """
+        divisions = []
+        for part in text.split("."):
+            if not (part.isascii() and part.isdigit()):
+                raise SplidError(
+                    f"malformed SPLID text {text!r}: bad division {part!r}"
+                )
+            divisions.append(int(part))
+        return cls(tuple(divisions))
+
+    # -- interning introspection ------------------------------------------
+
+    @classmethod
+    def intern_info(cls) -> Dict[str, int]:
+        """Size/capacity of the canonicalizing cache (for tests/benchmarks)."""
+        return {"size": len(_INTERN), "capacity": INTERN_CAPACITY}
+
+    @classmethod
+    def clear_intern_cache(cls) -> None:
+        """Drop all canonical instances (tests and memory pressure)."""
+        _INTERN.clear()
 
     # -- basic accessors ---------------------------------------------------
 
@@ -89,9 +167,13 @@ class Splid:
         """Tree level of the labeled node; the document root is level 0.
 
         The level is the number of odd divisions minus one -- even
-        (overflow) divisions do not open a level.
+        (overflow) divisions do not open a level.  Memoized.
         """
-        return sum(1 for d in self._divisions if d % 2 == 1) - 1
+        level = self._level
+        if level is None:
+            level = sum(d & 1 for d in self._divisions) - 1
+            self._level = level
+        return level
 
     @property
     def is_root(self) -> bool:
@@ -110,33 +192,46 @@ class Splid:
 
         The final (odd) division is removed together with any overflow
         (even) divisions in front of it, so the result again ends with an
-        odd division.
+        odd division.  Memoized; the result is interned.
         """
-        if self.is_root:
-            return None
-        divs = list(self._divisions[:-1])
-        while divs and divs[-1] % 2 == 0:
-            divs.pop()
-        return Splid(divs)
+        parent = self._parent
+        if parent is _UNSET:
+            divs = self._divisions
+            if divs == (1,):
+                parent = None
+            else:
+                end = len(divs) - 1
+                while divs[end - 1] % 2 == 0:
+                    end -= 1
+                parent = Splid._from_divisions(divs[:end])
+            self._parent = parent
+        return parent
+
+    def _ancestor_chain(self) -> Tuple["Splid", ...]:
+        """The memoized ancestor chain, parent first, root last."""
+        chain = self._ancestors
+        if chain is None:
+            parent = self.parent
+            chain = () if parent is None else (parent,) + parent._ancestor_chain()
+            self._ancestors = chain
+        return chain
 
     def ancestors(self) -> Iterator["Splid"]:
         """Yield the ancestor labels from the parent up to the root.
 
         This is the operation the paper calls performance-critical for
-        intention locking: it needs *no* document access.
+        intention locking: it needs *no* document access (and, after the
+        first call, no computation either).
         """
-        node = self.parent
-        while node is not None:
-            yield node
-            node = node.parent
+        return iter(self._ancestor_chain())
 
     def ancestors_bottom_up(self) -> Tuple["Splid", ...]:
         """All ancestors, parent first, root last (materialized)."""
-        return tuple(self.ancestors())
+        return self._ancestor_chain()
 
     def ancestors_top_down(self) -> Tuple["Splid", ...]:
         """All ancestors, root first, parent last."""
-        return tuple(reversed(tuple(self.ancestors())))
+        return tuple(reversed(self._ancestor_chain()))
 
     def ancestor_at_level(self, level: int) -> "Splid":
         """The ancestor-or-self label at the given tree level.
@@ -144,6 +239,9 @@ class Splid:
         Raises :class:`SplidError` if this node is above ``level``.  Used by
         the lock-depth mechanism: accesses below lock depth *n* are covered
         by a subtree lock on the level-*n* ancestor.
+
+        Each parent step removes exactly one odd division, so the cached
+        ancestor chain is indexed directly: O(1) once the chain exists.
         """
         own = self.level
         if level > own:
@@ -152,10 +250,7 @@ class Splid:
             )
         if level == own:
             return self
-        node = self
-        while node.level > level:
-            node = node.parent  # type: ignore[assignment]  # never root here
-        return node
+        return self._ancestor_chain()[own - 1 - level]
 
     def is_ancestor_of(self, other: "Splid") -> bool:
         """Strict ancestor test via prefix comparison (no document access)."""
@@ -167,7 +262,7 @@ class Splid:
         return other.is_ancestor_of(self)
 
     def is_self_or_descendant_of(self, other: "Splid") -> bool:
-        return self == other or other.is_ancestor_of(self)
+        return self is other or self == other or other.is_ancestor_of(self)
 
     def common_ancestor(self, other: "Splid") -> "Splid":
         """The lowest common ancestor-or-self of two labels."""
@@ -178,32 +273,45 @@ class Splid:
             if a != b:
                 break
             shared += 1
-        divs = list(mine[:shared])
-        while divs and divs[-1] % 2 == 0:
-            divs.pop()
-        if not divs:
+        while shared and mine[shared - 1] % 2 == 0:
+            shared -= 1
+        if not shared:
             raise SplidError("labels do not share the document root")
-        return Splid(divs)
+        return Splid._from_divisions(mine[:shared])
 
     def child(self, division: int) -> "Splid":
         """Append a single (odd) division, producing a child label."""
+        division = int(division)
         if division % 2 == 0:
             raise SplidError("child labels must use an odd division")
-        return Splid(self._divisions + (division,))
+        if division < 1:
+            raise SplidError(f"division values must be >= 1, got {division}")
+        return Splid._from_divisions(self._divisions + (division,))
 
     def with_suffix(self, suffix: Sequence[int]) -> "Splid":
         """Append a division suffix (used by the allocator)."""
-        return Splid(self._divisions + tuple(suffix))
+        tail = tuple(int(d) for d in suffix)
+        if not tail:
+            return self
+        for d in tail:
+            if d < 1:
+                raise SplidError(f"division values must be >= 1, got {d}")
+        if tail[-1] % 2 == 0:
+            raise SplidError(
+                f"a SPLID must end with an odd division, got "
+                f"{self._divisions + tail!r}"
+            )
+        return Splid._from_divisions(self._divisions + tail)
 
     @property
     def attribute_root(self) -> "Splid":
         """Label of this element's attribute root (division 1 child)."""
-        return Splid(self._divisions + (META_DIVISION,))
+        return Splid._from_divisions(self._divisions + (META_DIVISION,))
 
     @property
     def string_node(self) -> "Splid":
         """Label of the string node below a text or attribute node."""
-        return Splid(self._divisions + (META_DIVISION,))
+        return Splid._from_divisions(self._divisions + (META_DIVISION,))
 
     def local_suffix(self, ancestor: "Splid") -> Tuple[int, ...]:
         """The division suffix of this label below ``ancestor``."""
@@ -214,23 +322,52 @@ class Splid:
     # -- ordering / identity -----------------------------------------------
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, Splid):
             return NotImplemented
         return self._divisions == other._divisions
+
+    def __ne__(self, other: object) -> bool:
+        if self is other:
+            return False
+        if not isinstance(other, Splid):
+            return NotImplemented
+        return self._divisions != other._divisions
 
     def __lt__(self, other: "Splid") -> bool:
         if not isinstance(other, Splid):
             return NotImplemented
         return self._divisions < other._divisions
 
+    def __le__(self, other: "Splid") -> bool:
+        if not isinstance(other, Splid):
+            return NotImplemented
+        return self._divisions <= other._divisions
+
+    def __gt__(self, other: "Splid") -> bool:
+        if not isinstance(other, Splid):
+            return NotImplemented
+        return self._divisions > other._divisions
+
+    def __ge__(self, other: "Splid") -> bool:
+        if not isinstance(other, Splid):
+            return NotImplemented
+        return self._divisions >= other._divisions
+
     def __hash__(self) -> int:
-        return hash(self._divisions)
+        return self._hash
 
     def __str__(self) -> str:
-        return ".".join(str(d) for d in self._divisions)
+        return ".".join(map(str, self._divisions))
 
     def __repr__(self) -> str:
         return f"Splid({self})"
+
+    def __reduce__(self):
+        # Re-enter the interning constructor on unpickle (cached lazy
+        # fields are recomputed, not shipped).
+        return (Splid, (self._divisions,))
 
 
 def document_order(labels: Sequence[Splid]) -> list:

@@ -5,6 +5,12 @@ automated measurement environment."  This module is that environment: it
 expands an experiment matrix (protocols x lock depths x isolation levels
 x repetitions), runs every cell, aggregates repetitions, and persists the
 results as CSV/JSON so figures can be regenerated without re-running.
+
+Cells are independent (every cell builds its own document and seeds its
+own RNG streams), so :class:`SweepRunner` can fan them out across a
+``ProcessPoolExecutor`` (``workers=N``).  Per-cell seeds are derived the
+same way in both paths and results are aggregated in matrix order, so a
+parallel sweep is byte-identical to a serial one.
 """
 
 from __future__ import annotations
@@ -86,27 +92,73 @@ class SweepSpec:
                         yield SweepCell(protocol, depth, isolation, run)
 
 
-class SweepRunner:
-    """Runs a :class:`SweepSpec` and aggregates per-cell repetitions."""
+def _execute_cell(spec: SweepSpec, cell: SweepCell) -> RunResult:
+    """Run one cell (module-level so worker processes can unpickle it).
 
-    def __init__(self, spec: SweepSpec):
+    The per-cell seed depends only on the spec and the cell, never on
+    execution order, which keeps parallel sweeps deterministic.
+    """
+    return run_cluster1(
+        cell.protocol,
+        lock_depth=cell.lock_depth,
+        isolation=cell.isolation,
+        scale=spec.scale,
+        run_duration_ms=spec.run_duration_ms,
+        seed=spec.base_seed + cell.run,
+    )
+
+
+class SweepRunner:
+    """Runs a :class:`SweepSpec` and aggregates per-cell repetitions.
+
+    With ``workers > 1`` the independent cells are fanned out across a
+    process pool; aggregation still happens in matrix order, so the
+    results match a serial run exactly.  When a pool cannot be created
+    (restricted environments) the runner silently falls back to serial
+    execution.
+    """
+
+    def __init__(self, spec: SweepSpec, *, workers: int = 1):
         self.spec = spec
+        self.workers = max(1, int(workers)) if workers else 1
         self.results: Dict[Tuple[str, int, str], CellResult] = {}
 
     def run(self, *, progress=None) -> List[CellResult]:
-        for cell in self.spec.cells():
-            outcome = run_cluster1(
-                cell.protocol,
-                lock_depth=cell.lock_depth,
-                isolation=cell.isolation,
-                scale=self.spec.scale,
-                run_duration_ms=self.spec.run_duration_ms,
-                seed=self.spec.base_seed + cell.run,
-            )
+        cells = list(self.spec.cells())
+        outcomes = None
+        if self.workers > 1 and len(cells) > 1:
+            outcomes = self._run_parallel(cells)
+        if outcomes is None:
+            outcomes = ((cell, _execute_cell(self.spec, cell)) for cell in cells)
+        for cell, outcome in outcomes:
             self._aggregate(cell, outcome)
             if progress is not None:
                 progress(cell, outcome)
         return self.sorted_results()
+
+    def _run_parallel(self, cells: List[SweepCell]):
+        """All (cell, outcome) pairs in matrix order, or ``None`` when no
+        process pool is available."""
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+            from concurrent.futures.process import BrokenProcessPool
+            pool = ProcessPoolExecutor(
+                max_workers=min(self.workers, len(cells))
+            )
+        except (ImportError, NotImplementedError, OSError, ValueError):
+            return None
+        try:
+            with pool:
+                futures = [
+                    pool.submit(_execute_cell, self.spec, cell)
+                    for cell in cells
+                ]
+                return [
+                    (cell, future.result())
+                    for cell, future in zip(cells, futures)
+                ]
+        except BrokenProcessPool:
+            return None
 
     def sorted_results(self) -> List[CellResult]:
         return [
@@ -117,19 +169,20 @@ class SweepRunner:
     # -- persistence ---------------------------------------------------------
 
     def to_csv(self) -> str:
-        results = self.sorted_results()
-        if not results:
+        rows = [result.as_row() for result in self.sorted_results()]
+        if not rows:
             return ""
-        fieldnames = list(results[0].as_row())
-        for result in results:
-            for key in result.as_row():
-                if key not in fieldnames:
+        fieldnames = list(rows[0])
+        seen = set(fieldnames)
+        for row in rows:
+            for key in row:
+                if key not in seen:
+                    seen.add(key)
                     fieldnames.append(key)
         out = io.StringIO()
         writer = csv.DictWriter(out, fieldnames=fieldnames, restval=0)
         writer.writeheader()
-        for result in results:
-            writer.writerow(result.as_row())
+        writer.writerows(rows)
         return out.getvalue()
 
     def to_json(self) -> str:

@@ -86,19 +86,28 @@ def test_random_schedules_keep_invariants(data, table_choice, steps):
 def test_single_transaction_accumulates_one_lock(modes):
     """One transaction requesting any mode sequence holds exactly one
     lock whose coverage dominates every requested mode (self-conversions
-    never block)."""
+    never block).
+
+    Coverage may be *lost* along the way when a conversion pushes the
+    distributable level/subtree-read privileges down to the children
+    (e.g. held LRNU + requested IX -> NUIX[NR]), so fan-outs are tracked
+    along the actual conversion chain -- pairwise checks over the
+    requested modes miss fan-outs involving intermediate combination
+    modes."""
     table = LockTable({NODE_SPACE: TADOM3P_TABLE})
     resource = RESOURCES[1]
     requested = set()
+    distributed_to_children = False
     for mode in modes:
         result = table.request("t", NODE_SPACE, resource, mode)
         assert result.granted, f"self-conversion to {mode} blocked"
+        if result.child_mode is not None:
+            distributed_to_children = True
         requested.add(mode)
     held = table.mode_held("t", (NODE_SPACE, resource))
     assert held is not None
     held_cov = set(TADOM3P_TABLE.coverage[held])
-    if any(TADOM3P_TABLE.convert(m1, m2).child_mode
-           for m1 in requested for m2 in requested):
+    if distributed_to_children:
         held_cov |= {"level_read", "subtree_read"}
     for mode in requested:
         assert TADOM3P_TABLE.coverage[mode] <= held_cov

@@ -42,6 +42,84 @@ class TestConstruction:
         assert "1.3.3" in repr(Splid.parse("1.3.3"))
 
 
+class TestStrictParse:
+    """Dotted-notation parsing rejects anything ``int`` would quietly
+    normalize: signs, whitespace, empty divisions, non-ASCII digits."""
+
+    @pytest.mark.parametrize("text", [
+        "", "1.", ".3", "1..3",          # empty divisions
+        " 1.3", "1.3 ", "1. 3", "1.3\n",  # whitespace
+        "1.+3", "+1", "1.-3",            # signs
+        "1.x.3", "1,3",                  # non-digits
+        "1.³", "1.๓",          # unicode digits int() disagrees on
+    ])
+    def test_rejects_malformed(self, text):
+        with pytest.raises(SplidError):
+            Splid.parse(text)
+
+    def test_error_names_text_and_division(self):
+        with pytest.raises(SplidError) as excinfo:
+            Splid.parse("1.+3")
+        message = str(excinfo.value)
+        assert "1.+3" in message
+        assert "+3" in message
+
+    def test_error_names_empty_division(self):
+        with pytest.raises(SplidError) as excinfo:
+            Splid.parse("1.")
+        assert "''" in str(excinfo.value)
+
+    def test_still_validates_label_invariants(self):
+        with pytest.raises(SplidError):
+            Splid.parse("1.4")   # even tail
+        with pytest.raises(SplidError):
+            Splid.parse("3.3")   # non-root start
+
+
+class TestInterning:
+    def test_equal_labels_are_canonical(self):
+        assert Splid.parse("1.3.4.3") is Splid((1, 3, 4, 3))
+
+    def test_derived_labels_are_interned(self):
+        node = Splid.parse("1.3.4.3")
+        assert node.parent is Splid.parse("1.3")
+        assert node.parent is node.parent          # memoized
+        assert Splid.root().child(3) is Splid.parse("1.3")
+        assert node.ancestor_at_level(0) is Splid.root()
+
+    def test_ancestor_chain_cached_and_correct(self):
+        node = Splid.parse("1.3.4.3.5")
+        chain = node.ancestors_bottom_up()
+        assert chain is node.ancestors_bottom_up()  # same tuple object
+        assert [str(a) for a in chain] == ["1.3.4.3", "1.3", "1"]
+        assert list(node.ancestors()) == list(chain)
+
+    def test_invalid_labels_never_enter_the_cache(self):
+        with pytest.raises(SplidError):
+            Splid((1, 4))
+        with pytest.raises(SplidError):
+            Splid((1, 4))  # still rejected on the second attempt
+
+    def test_cache_stays_bounded_and_evictees_stay_valid(self):
+        from repro.splid.splid import INTERN_CAPACITY
+
+        keep = Splid((1, 999_999))
+        for i in range(INTERN_CAPACITY + 2_000):
+            Splid((1, 2 * i + 1))
+        info = Splid.intern_info()
+        assert info["size"] <= info["capacity"]
+        # Evicted instances still compare and hash by value.
+        again = Splid((1, 999_999))
+        assert keep == again and hash(keep) == hash(again)
+
+    def test_pickle_round_trips_through_intern(self):
+        import pickle
+
+        node = Splid.parse("1.5.3.3")
+        clone = pickle.loads(pickle.dumps(node))
+        assert clone is node
+
+
 class TestLevels:
     def test_paper_level_example(self):
         # "d1=1.3.3 and d2=1.3.5 label two consecutive nodes at level 3"

@@ -87,3 +87,16 @@ class TestRunner:
 
     def test_empty_runner_csv(self):
         assert SweepRunner(small_spec()).to_csv() == ""
+
+
+class TestParallelRunner:
+    def test_progress_fires_per_cell_in_matrix_order(self):
+        seen = []
+        runner = SweepRunner(small_spec(), workers=2)
+        runner.run(progress=lambda cell, outcome: seen.append(cell))
+        assert seen == list(small_spec().cells())
+
+    def test_workers_normalized(self):
+        assert SweepRunner(small_spec(), workers=0).workers == 1
+        assert SweepRunner(small_spec(), workers=-3).workers == 1
+        assert SweepRunner(small_spec(), workers=4).workers == 4
