@@ -17,10 +17,19 @@ Usage (from the repository root)::
     python benchmarks/perf/run_perf.py            # full run
     python benchmarks/perf/run_perf.py --quick    # CI smoke mode
     python benchmarks/perf/run_perf.py --output /tmp/before.json
+    python benchmarks/perf/run_perf.py --compare BENCH_perf.json
 
 Writes ``BENCH_perf.json`` at the repository root by default.  Numbers
 are ops/sec (higher is better) for the micro-benchmarks and wall-clock
 seconds (lower is better) for the end-to-end cells.
+
+``--compare BASELINE.json`` checks the fresh ops/sec numbers against a
+previous report and exits non-zero when any drops by more than
+``--tolerance`` (a fraction; the generous default absorbs machine noise
+-- the check is a regression tripwire, not a precision gate).  The
+``obs`` section measures the observability layer directly: lock
+throughput with tracing disabled vs. ring-buffer tracing, as a
+machine-independent ratio.
 """
 
 from __future__ import annotations
@@ -229,6 +238,45 @@ def bench_locks(scale: int) -> Dict[str, Dict[str, float]]:
     }
 
 
+def bench_obs(scale: int) -> Dict[str, object]:
+    """Tracing overhead on the write path.
+
+    The observability contract is "one attribute check per site when
+    disabled"; this reports the write-path throughput disabled vs. with
+    ring-buffer tracing, plus the resulting overhead ratio, so the cost
+    of both states is pinned as a machine-independent number.
+    """
+    from repro.obs import Observability
+
+    protocol = get_protocol("taDOM3+")
+    targets = _lock_targets()
+    loops = max(1, scale // 2)
+
+    def writes(make_obs: Callable[[], "Observability"]) -> Callable[[], int]:
+        def run() -> int:
+            n = 0
+            for i in range(loops * 2):
+                manager = LockManager(protocol, lock_depth=8, obs=make_obs())
+                txn = _BenchTxn(f"obs{i}")
+                for node in targets:
+                    _drive(manager.acquire(
+                        txn, MetaRequest(MetaOp.WRITE_CONTENT, node)))
+                    n += 1
+                manager.release_transaction(txn)
+            return n
+        return run
+
+    disabled = ops_per_sec(writes(Observability.disabled))
+    tracing = ops_per_sec(writes(lambda: Observability.enabled(capacity=4096)))
+    return {
+        "write_tracing_disabled": disabled,
+        "write_tracing_ring": tracing,
+        "tracing_overhead_ratio": round(
+            disabled["ops_per_sec"] / tracing["ops_per_sec"], 3
+        ) if tracing["ops_per_sec"] else None,
+    }
+
+
 # -- layer 3: end-to-end ------------------------------------------------------
 
 
@@ -294,10 +342,38 @@ def run_all(*, quick: bool = False, workers: int = 2) -> Dict[str, object]:
         },
         "splid": bench_splid(scale),
         "locks": bench_locks(scale),
+        "obs": bench_obs(scale),
         "cluster1_cell": bench_cluster1(quick),
         "sweep": bench_sweep(quick, workers),
     }
     return report
+
+
+def compare_reports(
+    current: Dict[str, object],
+    baseline: Dict[str, object],
+    tolerance: float,
+) -> List[str]:
+    """Ops/sec regressions beyond ``tolerance`` (fractional drop allowed).
+
+    Compares every ``ops_per_sec`` entry in the micro-benchmark layers;
+    metrics absent from the baseline (new benchmarks) are skipped.
+    """
+    failures: List[str] = []
+    for layer in ("splid", "locks"):
+        base_layer = baseline.get(layer) or {}
+        for name, stats in current[layer].items():  # type: ignore[union-attr]
+            base = (base_layer.get(name) or {}).get("ops_per_sec")
+            if not base:
+                continue
+            now = stats["ops_per_sec"]
+            floor = base * (1.0 - tolerance)
+            if now < floor:
+                failures.append(
+                    f"{layer}.{name}: {now:,.0f} ops/s is below "
+                    f"{100 * (1 - tolerance):.0f}% of baseline {base:,.0f}"
+                )
+    return failures
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -308,6 +384,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="worker processes for the sweep benchmark")
     parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_perf.json"),
                         help="where to write the JSON report")
+    parser.add_argument("--compare", metavar="BASELINE",
+                        help="baseline report to check for regressions")
+    parser.add_argument("--tolerance", type=float, default=0.5,
+                        help="allowed fractional ops/sec drop vs. the "
+                             "baseline before failing (default 0.5)")
     args = parser.parse_args(argv)
 
     report = run_all(quick=args.quick, workers=args.workers)
@@ -327,6 +408,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     if par is not None:
         print(f"  sweep x{sweep.get('workers', '?')} workers          "
               f"{par:>10.3f} s (deterministic={sweep.get('deterministic')})")
+    ratio = report["obs"]["tracing_overhead_ratio"]  # type: ignore[index]
+    print(f"  tracing overhead ratio    {ratio:>10} x (disabled / ring)")
+
+    if args.compare:
+        baseline = json.loads(Path(args.compare).read_text())
+        failures = compare_reports(report, baseline, args.tolerance)
+        if failures:
+            print(f"\nPERF REGRESSION vs {args.compare} "
+                  f"(tolerance {args.tolerance:.0%}):")
+            for line in failures:
+                print(f"  {line}")
+            return 1
+        print(f"\nno regression vs {args.compare} "
+              f"(tolerance {args.tolerance:.0%})")
     return 0
 
 

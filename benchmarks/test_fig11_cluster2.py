@@ -14,7 +14,7 @@ single subtree lock.
 import pytest
 
 from conftest import SCALE, figure_header, write_result
-from repro.tamix import generate_bib, run_cluster2
+from repro.tamix import run_cluster2
 
 #: All 11 protocols in the paper's Figure 11 order.
 PROTOCOLS = (

@@ -14,7 +14,7 @@ never tabulates.  The assertions pin the qualitative claims:
 import pytest
 
 from conftest import SCALE, figure_header, write_result
-from repro.tamix import TaMixConfig, TaMixCoordinator, generate_bib, make_database
+from repro.tamix import TaMixConfig, TaMixCoordinator, make_database
 from repro.tamix.report import mode_profile_table
 
 PROTOCOLS = ("Node2PL", "Node2PLa", "URIX", "taDOM3+")

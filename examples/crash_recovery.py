@@ -40,23 +40,23 @@ def main() -> None:
     checkpoint = take_checkpoint(db.document, db.wal)
     print(f"checkpoint taken: {len(checkpoint.entries)} node entries")
 
-    # A: commits a lend.
-    a = db.begin("A-lender")
-    history = db.document.elements_by_name("history")[0]
-    db.run(db.nodes.insert_tree(
-        a, history, ("lend", {"person": "p1", "return": "2006-12-01"}, [])
-    ))
-    db.commit(a)
+    # A: commits a lend (clean session exit -> commit).
+    with db.session("A-lender") as a:
+        history = db.document.elements_by_name("history")[0]
+        a.run(a.nodes.insert_tree(
+            history, ("lend", {"person": "p1", "return": "2006-12-01"}, [])
+        ))
     print("A committed: lend inserted")
 
-    # B: deletes a book, then thinks better of it.
-    b = db.begin("B-deleter")
-    book_b1 = db.document.element_by_id("b1")
-    db.run(db.nodes.delete_subtree(b, book_b1))
-    db.abort(b)
+    # B: deletes a book, then thinks better of it (explicit abort).
+    with db.session("B-deleter") as b:
+        book_b1 = db.document.element_by_id("b1")
+        b.run(b.nodes.delete_subtree(book_b1))
+        b.abort()
     print("B aborted: delete rolled back")
 
-    # C: renames a topic and never commits (in flight at the crash).
+    # C: renames a topic and never commits (in flight at the crash) --
+    # deliberately *not* a session: nothing may close this transaction.
     c = db.begin("C-renamer")
     topic = db.document.element_by_id("t0")
     db.run(db.nodes.rename_element(c, topic, "subject"))

@@ -1,13 +1,14 @@
 #!/usr/bin/env python3
 """Quickstart: store an XML document, run locked transactions, roll back.
 
-Walks through the public API end to end:
+Walks through the session-oriented public API end to end:
 
 1. create a database with a chosen lock protocol and lock depth,
 2. load an XML document (taDOM storage model, SPLID labels),
-3. run read and update transactions through the lock-guarded node manager,
-4. abort a transaction and watch the undo log restore the document,
-5. inspect lock-manager and storage statistics.
+3. run read and update sessions through the lock-guarded node manager
+   (``with db.session(...)`` commits on clean exit),
+4. watch an aborted session's undo log restore the document,
+5. inspect per-session, lock-manager, and storage statistics.
 
 Run:  python examples/quickstart.py
 """
@@ -41,30 +42,34 @@ def main() -> None:
         db.load(child_spec)
     print(f"loaded document with {len(db.document)} taDOM nodes")
 
-    # 2. A reader: direct jump via the ID index, then a subtree read.
-    reader = db.begin("reader")
-    book, _ = db.run(db.nodes.get_element_by_id(reader, "tp-book"))
-    entries, _ = db.run(db.nodes.read_subtree(reader, book))
-    print(f"reader saw {len(entries)} nodes in the book subtree")
-    print(f"reader lock requests: {reader.stats.lock_requests} "
-          f"(covered by subtree locks: {reader.stats.covered_skips})")
-    db.commit(reader)
+    # 2. A reader session: direct jump via the ID index, then a subtree
+    #    read.  Leaving the ``with`` block commits automatically.
+    with db.session("reader") as session:
+        book = session.run(session.nodes.get_element_by_id("tp-book"))
+        entries = session.run(session.nodes.read_subtree(book))
+        print(f"reader saw {len(entries)} nodes in the book subtree")
+        stats = session.metrics
+        print(f"reader lock requests: {stats['lock_requests']} "
+              f"(covered by subtree locks: {stats['covered_skips']})")
 
-    # 3. A writer: lend the book (insert a lend element under history).
-    writer = db.begin("writer")
-    history = db.document.elements_by_name("history")[0]
-    lend, _ = db.run(db.nodes.insert_tree(
-        writer, history, ("lend", {"person": "p2", "return": "2006-09-15"}, [])
-    ))
-    print(f"writer inserted lend element {lend}")
-    db.commit(writer)
+    # 3. A writer session: lend the book (insert under history).
+    with db.session("writer") as session:
+        history = db.document.elements_by_name("history")[0]
+        lend = session.run(session.nodes.insert_tree(
+            history, ("lend", {"person": "p2", "return": "2006-09-15"}, [])
+        ))
+        print(f"writer inserted lend element {lend}")
 
-    # 4. Rollback: a rename that is aborted leaves no trace.
-    doomed = db.begin("doomed")
+    # 4. Rollback: an exception aborts the session and the undo log
+    #    restores the document -- the rename leaves no trace.
     topic = db.document.element_by_id("databases")
-    db.run(db.nodes.rename_element(doomed, topic, "subject"))
-    print(f"inside txn: topic is now <{db.document.name_of(topic)}>")
-    db.abort(doomed)
+    try:
+        with db.session("doomed") as session:
+            session.run(session.nodes.rename_element(topic, "subject"))
+            print(f"inside txn: topic is now <{db.document.name_of(topic)}>")
+            raise RuntimeError("changed my mind")
+    except RuntimeError:
+        pass
     print(f"after abort: topic is back to <{db.document.name_of(topic)}>")
 
     # 5. The stored document serializes back to XML.

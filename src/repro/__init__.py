@@ -16,15 +16,23 @@ The package rebuilds the paper's complete experimental system:
   transaction types, and the CLUSTER1/CLUSTER2 workloads
   (:mod:`repro.tamix`).
 
-Quickstart::
+Quickstart (the session API)::
 
     from repro import Database
 
-    db = Database(protocol="taDOM3+", lock_depth=4)
-    doc = db.create_document("bib")
-    ...
+    db = Database(protocol="taDOM3+", lock_depth=4, root_element="bib")
+    with db.session("reader") as session:
+        book = session.run(session.nodes.get_element_by_id("b42"))
+    # committed on clean exit, rolled back on exception
 
 See ``examples/quickstart.py`` for a complete runnable tour.
+
+The names exported here -- :class:`Database`, :class:`Session`,
+:class:`IsolationLevel`, :func:`list_protocols`, the exception
+hierarchy, and the observability surface (:class:`Observability`) --
+are the stable public API; everything else (node-manager wiring,
+transaction-manager internals, lock-table machinery) is subject to
+change between releases.
 """
 
 __version__ = "1.0.0"
@@ -35,6 +43,7 @@ from repro.errors import (
     DeadlockAbort,
     DocumentError,
     LockError,
+    LockTimeout,
     ReproError,
     SplidError,
     StorageError,
@@ -42,8 +51,16 @@ from repro.errors import (
     TransactionError,
 )
 from repro.locking.lock_manager import IsolationLevel
+from repro.obs import Observability
 from repro.query import QueryProcessor, evaluate_raw, parse_path
+from repro.session import Session
 from repro.splid import Splid, SplidAllocator
+
+
+def list_protocols() -> list:
+    """Names of all registered lock protocols (the paper's contestants)."""
+    return list(protocol_names())
+
 
 __all__ = [
     "QueryProcessor",
@@ -53,7 +70,11 @@ __all__ = [
     "Database",
     "DeadlockAbort",
     "IsolationLevel",
+    "LockTimeout",
+    "Observability",
+    "Session",
     "get_protocol",
+    "list_protocols",
     "protocol_names",
     "DocumentError",
     "LockError",

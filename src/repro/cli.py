@@ -6,6 +6,8 @@
     python -m repro cluster1 --protocol taDOM3+ --lock-depth 4
     python -m repro cluster2
     python -m repro sweep --figure 9 --depths 0 2 4 6
+    python -m repro trace --protocol taDOM2 --output trace.jsonl
+    python -m repro metrics --protocol taDOM3+ --format json
     python -m repro query document.xml "//book[@year='1993']/title/text()"
     python -m repro stats document.xml
 """
@@ -66,6 +68,27 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--json", default=None,
                        help="also write the full result matrix as JSON")
 
+    trace = sub.add_parser(
+        "trace",
+        help="run one CLUSTER1 cell with event tracing; write a JSONL trace",
+    )
+    _add_cell_arguments(trace)
+    trace.add_argument("--output", default="trace.jsonl",
+                       help="JSONL trace file (default: trace.jsonl)")
+    trace.add_argument("--verify", action="store_true",
+                       help="replay the written trace and check its "
+                            "aggregated counters against the run metrics")
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="run one CLUSTER1 cell and dump the metrics registry",
+    )
+    _add_cell_arguments(metrics)
+    metrics.add_argument("--format", default="text",
+                         choices=["text", "json", "csv"])
+    metrics.add_argument("--output", default=None,
+                         help="write to a file instead of stdout")
+
     modes = sub.add_parser(
         "modes", help="print a protocol's lock matrices (the paper's figures)"
     )
@@ -97,6 +120,18 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_cell_arguments(parser) -> None:
+    """Shared knobs for commands that run one CLUSTER1 cell."""
+    parser.add_argument("--protocol", default="taDOM3+", choices=ALL_PROTOCOLS)
+    parser.add_argument("--lock-depth", type=int, default=4)
+    parser.add_argument("--isolation", default="repeatable",
+                        choices=["none", "uncommitted", "committed",
+                                 "repeatable", "serializable"])
+    parser.add_argument("--scale", type=float, default=0.1)
+    parser.add_argument("--seconds", type=float, default=60.0)
+    parser.add_argument("--seed", type=int, default=42)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {
@@ -104,6 +139,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "cluster1": _cmd_cluster1,
         "cluster2": _cmd_cluster2,
         "sweep": _cmd_sweep,
+        "trace": _cmd_trace,
+        "metrics": _cmd_metrics,
         "modes": _cmd_modes,
         "xmark": _cmd_xmark,
         "query": _cmd_query,
@@ -182,6 +219,82 @@ def _cmd_sweep(args) -> int:
     if args.json:
         Path(args.json).write_text(runner.to_json())
         print(f"wrote {args.json}")
+    return 0
+
+
+def _run_observed_cell(args, *, sink=None):
+    """Run one CLUSTER1 cell with observability enabled."""
+    from repro.obs import Observability
+    from repro.tamix.cluster import run_cluster1 as run_cell
+
+    obs = Observability.enabled(capacity=None, sink=sink)
+    result = run_cell(
+        args.protocol,
+        lock_depth=args.lock_depth,
+        isolation=args.isolation,
+        scale=args.scale,
+        run_duration_ms=args.seconds * 1000.0,
+        seed=args.seed,
+        observability=obs,
+    )
+    obs.close()
+    return obs, result
+
+
+def _cmd_trace(args) -> int:
+    obs, result = _run_observed_cell(args, sink=args.output)
+    print(result.summary())
+    print(f"wrote {args.output} ({len(obs.tracer.events())} events)")
+    for kind, count in sorted(obs.tracer.counts_by_kind().items()):
+        print(f"  {kind:<20} {count}")
+    if args.verify:
+        from repro.obs import aggregate, load_jsonl
+
+        totals = aggregate(load_jsonl(args.output))
+        checks = [
+            ("committed", totals.get("committed", 0), result.committed),
+            ("aborted.deadlock", totals.get("aborted.deadlock", 0),
+             result.aborted_by_kind["deadlock"]),
+            ("aborted.timeout", totals.get("aborted.timeout", 0),
+             result.aborted_by_kind["timeout"]),
+            ("lock waits", totals.get("lock.block", 0),
+             result.lock_stats["waits"]),
+        ]
+        failed = False
+        for label, from_trace, from_metrics in checks:
+            ok = from_trace == from_metrics
+            failed = failed or not ok
+            print(f"  verify {label:<18} trace={from_trace:<6} "
+                  f"metrics={from_metrics:<6} {'ok' if ok else 'MISMATCH'}")
+        if failed:
+            return 1
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    from pathlib import Path
+
+    obs, result = _run_observed_cell(args)
+    registry = obs.metrics
+    if args.format == "json":
+        body = registry.to_json() + "\n"
+    elif args.format == "csv":
+        body = registry.to_csv()
+    else:
+        lines = [result.summary()]
+        for name, value in registry.as_dict().items():
+            if isinstance(value, dict):  # histogram
+                lines.append(f"  {name:<24} count={value['count']} "
+                             f"mean={value['mean']:.2f} max={value['max']:.2f}")
+                lines.append(f"    buckets: {value['buckets']}")
+            else:
+                lines.append(f"  {name:<24} {value}")
+        body = "\n".join(lines) + "\n"
+    if args.output:
+        Path(args.output).write_text(body)
+        print(f"wrote {args.output}")
+    else:
+        print(body, end="")
     return 0
 
 

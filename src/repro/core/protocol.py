@@ -25,7 +25,6 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import List, Optional, Sequence, Tuple
 
-from repro.core.modes import ModeTable
 from repro.splid import Splid
 
 

@@ -22,7 +22,6 @@ from __future__ import annotations
 from typing import Dict, FrozenSet
 
 from repro.core.modes import (
-    Conversion,
     ModeTable,
     compat_from_rows,
     conversions_from_rows,

@@ -5,14 +5,21 @@ This is the public entry point a downstream user starts from::
     from repro import Database
 
     db = Database(protocol="taDOM3+", lock_depth=4, root_element="bib")
-    txn = db.begin("reader")
-    book, _elapsed = db.run(db.nodes.get_element_by_id(txn, "b42"))
-    db.commit(txn)
+    with db.session("reader") as session:
+        book = session.run(session.nodes.get_element_by_id("b42"))
+    # committed on clean exit, rolled back on exception
 
-``Database.run`` drives an operation generator synchronously (single-user
-convenience).  Concurrent workloads hand the generators to a
-:class:`~repro.sched.simulator.Simulator` (see :mod:`repro.tamix`) or to
-the threaded runtime instead.
+:meth:`Database.session` is the primary transaction API; ``begin`` /
+``commit`` / ``abort`` remain as thin delegates for drivers that manage
+lifecycles themselves.  ``Database.run`` drives an operation generator
+synchronously (single-user convenience).  Concurrent workloads hand the
+generators to a :class:`~repro.sched.simulator.Simulator` (see
+:mod:`repro.tamix`) or to the threaded runtime instead.
+
+Observability: pass ``observability=True`` (or a configured
+:class:`~repro.obs.Observability`) to record a structured event trace;
+``Database.metrics()`` snapshots the metrics registry all components
+publish into.
 """
 
 from __future__ import annotations
@@ -26,8 +33,10 @@ from repro.dom.document import Document
 from repro.dom.node_manager import NodeManager
 from repro.errors import LockError
 from repro.locking.lock_manager import IsolationLevel, LockManager
+from repro.obs import Observability
 from repro.sched.costs import DEFAULT_COSTS, CostModel
 from repro.sched.simulator import run_sync
+from repro.session import Session
 from repro.txn.manager import TransactionManager
 from repro.txn.transaction import Transaction
 
@@ -47,12 +56,19 @@ class Database:
         costs: CostModel = DEFAULT_COSTS,
         wait_timeout_ms: Optional[float] = 10_000.0,
         enable_wal: bool = False,
+        observability: Union[Observability, bool, None] = None,
     ):
         if isinstance(protocol, str):
             protocol = get_protocol(protocol)
         self.protocol = protocol
         self.lock_depth = lock_depth
         self.default_isolation = IsolationLevel.parse(isolation)
+        if observability is None or observability is False:
+            self.obs = Observability.disabled()
+        elif observability is True:
+            self.obs = Observability.enabled()
+        else:
+            self.obs = observability
         if document is None:
             from repro.storage.buffer import make_buffered_store
 
@@ -61,11 +77,13 @@ class Database:
                 buffer=make_buffered_store(pool_size=buffer_pool_pages),
             )
         self.document = document
+        self.document.buffer.bind_observability(self.obs)
         self.locks = LockManager(
             protocol,
             lock_depth=lock_depth,
             wait_timeout_ms=wait_timeout_ms,
             active_transactions=lambda: self.transactions.active_count,
+            obs=self.obs,
         )
         self.wal = None
         if enable_wal:
@@ -73,7 +91,7 @@ class Database:
 
             self.wal = WriteAheadLog()
         self.transactions = TransactionManager(document, self.locks,
-                                               wal=self.wal)
+                                               wal=self.wal, obs=self.obs)
         self.nodes = NodeManager(document, self.locks, costs, wal=self.wal)
 
     # -- content loading -------------------------------------------------------
@@ -83,6 +101,18 @@ class Database:
         build_children(self.document, self.document.root, [spec])
 
     # -- transaction lifecycle ----------------------------------------------------
+
+    def session(
+        self,
+        name: str = "session",
+        isolation: Optional[Union[IsolationLevel, str]] = None,
+    ) -> Session:
+        """Open a transaction as a context manager.
+
+        Commits on clean ``with`` exit, rolls back (and re-raises) on an
+        exception.  See :class:`repro.session.Session`.
+        """
+        return Session(self, name, isolation)
 
     def begin(
         self,
@@ -104,8 +134,8 @@ class Database:
     def commit(self, txn: Transaction) -> None:
         self.transactions.commit(txn)
 
-    def abort(self, txn: Transaction) -> None:
-        self.transactions.abort(txn)
+    def abort(self, txn: Transaction, *, reason: str = "rollback") -> None:
+        self.transactions.abort(txn, reason=reason)
 
     # -- single-user driving ---------------------------------------------------------
 
@@ -117,9 +147,11 @@ class Database:
         return run_sync(operation)
 
     def set_clock(self, clock) -> None:
-        """Bind all clocks (transactions, lock waits) to e.g. a simulator."""
+        """Bind all clocks (transactions, lock waits, trace timestamps)
+        to e.g. a simulator."""
         self.transactions._clock = clock
         self.locks.clock = clock
+        self.obs.bind_clock(clock)
 
     # -- persistence -------------------------------------------------------------------
 
@@ -157,3 +189,12 @@ class Database:
         stats["committed"] = self.transactions.committed
         stats["aborted"] = self.transactions.aborted
         return stats
+
+    def metrics(self) -> dict:
+        """Snapshot of the metrics registry (all components collected)."""
+        return self.obs.metrics.as_dict()
+
+    @property
+    def tracer(self):
+        """The database's event tracer (the no-op tracer when disabled)."""
+        return self.obs.tracer

@@ -39,7 +39,7 @@ from repro.locking.lock_manager import AcquireReport, LockManager
 from repro.sched.costs import DEFAULT_COSTS, CostModel
 from repro.sched.simulator import Delay
 from repro.splid import Splid
-from repro.storage.record import NodeKind, NodeRecord
+from repro.storage.record import NodeKind
 from repro.txn.transaction import Transaction
 
 T = TypeVar("T")

@@ -51,7 +51,17 @@ class TransactionError(ReproError):
 
 
 class TransactionAborted(TransactionError):
-    """The transaction has been aborted and must not issue further work."""
+    """The transaction has been aborted and must not issue further work.
+
+    Subclasses carry the abort *reason* so callers can branch on the
+    cause without string matching: :class:`DeadlockAbort` (victim
+    choice) and :class:`LockTimeout` (lock-wait timeout).  ``reason`` is
+    the same token the tracer records on the ``txn.abort`` event and the
+    metrics registry counts under ``txn.aborted.<reason>``.
+    """
+
+    #: Abort-reason token ("rollback" for plain application aborts).
+    reason = "rollback"
 
 
 class DeadlockAbort(TransactionAborted):
@@ -61,6 +71,8 @@ class DeadlockAbort(TransactionAborted):
     classify the deadlock (conversion deadlock vs. distinct-subtree
     deadlock), mirroring the paper's XTCdeadlockDetector analysis.
     """
+
+    reason = "deadlock"
 
     def __init__(self, message: str = "deadlock victim", cycle: tuple = ()):
         super().__init__(message)
@@ -72,8 +84,22 @@ class LockTimeout(TransactionAborted):
 
     Long waits behind coarse locks (e.g. Node2PL's parent-level M locks)
     are aborted rather than stalling the system indefinitely; TaMix counts
-    these among the aborted transactions.
+    these among the aborted transactions.  Both runtimes (the simulator
+    and the threaded driver) raise it with the contested resource
+    attached.
     """
+
+    reason = "timeout"
+
+    def __init__(
+        self,
+        message: str = "lock wait timed out",
+        resource: "tuple | None" = None,
+        timeout_ms: "float | None" = None,
+    ):
+        super().__init__(message)
+        self.resource = resource
+        self.timeout_ms = timeout_ms
 
 
 class BenchmarkError(ReproError):

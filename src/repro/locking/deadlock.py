@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.locking.lock_table import LockTable, WaitTicket
+from repro.obs import DEADLOCK_DETECTED, NULL_TRACER, txn_label
 
 
 @dataclass(frozen=True)
@@ -62,6 +63,8 @@ class DeadlockDetector:
 
     table: LockTable
     events: List[DeadlockEvent] = field(default_factory=list)
+    #: Observability tracer (no-op by default; set by the lock manager).
+    tracer: object = NULL_TRACER
 
     def check(self, ticket: WaitTicket, active_transactions: int = 0) -> Optional[DeadlockEvent]:
         """Run detection for a freshly blocked request.
@@ -94,6 +97,17 @@ class DeadlockDetector:
             waiting_modes=tuple(waiting_modes),
         )
         self.events.append(event)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                DEADLOCK_DETECTED,
+                txn=txn_label(ticket.txn),
+                deadlock_kind=event.kind,
+                cycle=[txn_label(member) for member in event.cycle],
+                resource=str(event.resource[1]),
+                space=event.resource[0],
+                active_transactions=event.active_transactions,
+                locks_held=event.locks_held,
+            )
         return event
 
     # -- statistics -------------------------------------------------------------

@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
-from repro.core.modes import ModeTable, WRITE_PRIVILEGES
+from repro.core.modes import WRITE_PRIVILEGES
 from repro.core.protocol import (
     EDGE_SPACE,
     LockPlan,
@@ -39,7 +39,18 @@ from repro.core.protocol import (
 )
 from repro.errors import DeadlockAbort, LockError
 from repro.locking.deadlock import DeadlockDetector
-from repro.locking.lock_table import GrantResult, LockTable, WaitTicket
+from repro.locking.lock_table import LockTable
+from repro.obs import (
+    LOCK_BLOCK,
+    LOCK_CONVERT,
+    LOCK_ESCALATE,
+    LOCK_GRANT,
+    LOCK_RELEASE,
+    LOCK_REQUEST,
+    LOCK_TIMEOUT,
+    Observability,
+    txn_label,
+)
 from repro.splid import Splid
 
 __all__ = [
@@ -114,13 +125,26 @@ class LockManager:
         lock_depth: int = 4,
         wait_timeout_ms: Optional[float] = 10_000.0,
         active_transactions: Optional[Callable[[], int]] = None,
+        obs: Optional[Observability] = None,
     ):
         self.protocol = protocol
         self.lock_depth = lock_depth
         self.wait_timeout_ms = wait_timeout_ms
         self.timeouts = 0
+        self.obs = obs if obs is not None else Observability.disabled()
+        self.tracer = self.obs.tracer
+        #: Tracer state never changes after construction, so the hot path
+        #: reads this cached flag instead of chasing tracer.enabled.
+        self._tracing = self.tracer.enabled
         self.table = LockTable(protocol.tables())
-        self.detector = DeadlockDetector(self.table)
+        self.detector = DeadlockDetector(self.table, tracer=self.tracer)
+        #: Blocking-wait durations (simulated ms) in fixed buckets -- the
+        #: per-cell wait histogram of the sweep reports.  Observing is a
+        #: bisect + increment and happens only for *completed* waits
+        #: (blocked, then granted); victims and still-parked waiters at
+        #: the run horizon never resume, so they are not observed.
+        self.wait_histogram = self.obs.metrics.histogram("lock.wait_ms")
+        self.obs.metrics.register_collector(self._collect_metrics)
         self._states: Dict[object, _TxnLockState] = {}
         #: Plans are pure functions of (request, lock_depth) for a fixed
         #: protocol, and MetaRequest is frozen/hashable -- so identical
@@ -201,10 +225,22 @@ class LockManager:
             state = self._states.get(txn)
             if state is not None:
                 self._refresh_state(txn, state)
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    LOCK_RELEASE, txn=txn_label(txn), count=released,
+                    scope="operation",
+                )
         return released
 
     def release_transaction(self, txn: object) -> None:
         """Release everything at commit/abort."""
+        if self.tracer.enabled:
+            held = len(self.table.held_resources(txn))
+            if held:
+                self.tracer.emit(
+                    LOCK_RELEASE, txn=txn_label(txn), count=held,
+                    scope="transaction",
+                )
         self.table.release_all(txn)
         self._states.pop(txn, None)
 
@@ -250,9 +286,28 @@ class LockManager:
     def _make_cancel(self, txn: object) -> Callable[[], None]:
         def cancel() -> None:
             self.timeouts += 1
+            if self.tracer.enabled:
+                ticket = self.table.waiting_ticket(txn)
+                data = {"timeout_ms": self.wait_timeout_ms}
+                if ticket is not None:
+                    data["space"] = ticket.resource[0]
+                    data["key"] = str(ticket.resource[1])
+                    data["mode"] = ticket.mode
+                self.tracer.emit(LOCK_TIMEOUT, txn=txn_label(txn), **data)
             self.table.cancel_wait(txn)
 
         return cancel
+
+    def _collect_metrics(self, registry) -> None:
+        """Snapshot-time collector: mirror the cheap native counters."""
+        registry.gauge("lock.requests").set(self.table.requests)
+        registry.gauge("lock.instant_grants").set(self.table.instant_grants)
+        registry.gauge("lock.waits").set(self.table.waits)
+        registry.gauge("lock.conversions").set(self.table.conversions)
+        registry.gauge("lock.timeouts").set(self.timeouts)
+        registry.gauge("deadlock.total").set(self.detector.count())
+        for kind, count in self.detector.counts_by_kind().items():
+            registry.gauge(f"deadlock.{kind}").set(count)
 
     # -- internals --------------------------------------------------------------------
 
@@ -278,10 +333,25 @@ class LockManager:
             report.skipped_covered += 1
             return
         report.lock_requests += 1
+        # Tracing cost when disabled: the instant-grant path below pays
+        # two checks of this cached flag and nothing else.
+        trace = self._tracing
+        if trace:
+            held_before = self.table.mode_held(txn, (step.space, step.key))
+            self.tracer.emit(
+                LOCK_REQUEST, txn=txn_label(txn), space=step.space,
+                key=str(step.key), mode=step.mode,
+            )
         result = self.table.request(txn, step.space, step.key, step.mode)
         if not result.granted:
             report.blocked += 1
             ticket = result.ticket
+            if trace:
+                self.tracer.emit(
+                    LOCK_BLOCK, txn=txn_label(txn), space=step.space,
+                    key=str(step.key), mode=ticket.mode,
+                    conversion=ticket.is_conversion,
+                )
             event = self.detector.check(ticket, self._active_transactions())
             if event is not None:
                 self.table.cancel_wait(txn)
@@ -296,16 +366,45 @@ class LockManager:
             self.wait_count += 1
             self.wait_time_total += waited
             self.wait_time_max = max(self.wait_time_max, waited)
+            self.wait_histogram.observe(waited)
             granted_mode = ticket.mode
             child_mode = ticket.child_mode
+            if trace:
+                self.tracer.emit(
+                    LOCK_GRANT, txn=txn_label(txn), space=step.space,
+                    key=str(step.key), mode=granted_mode,
+                    waited_ms=round(waited, 6),
+                )
+                if held_before is not None and granted_mode != held_before:
+                    self.tracer.emit(
+                        LOCK_CONVERT, txn=txn_label(txn), space=step.space,
+                        key=str(step.key), from_mode=held_before,
+                        to_mode=granted_mode,
+                    )
         else:
             granted_mode = result.mode
             child_mode = result.child_mode
+            if trace:
+                self.tracer.emit(
+                    LOCK_GRANT, txn=txn_label(txn), space=step.space,
+                    key=str(step.key), mode=granted_mode, waited_ms=0.0,
+                )
+                if held_before is not None and granted_mode != held_before:
+                    self.tracer.emit(
+                        LOCK_CONVERT, txn=txn_label(txn), space=step.space,
+                        key=str(step.key), from_mode=held_before,
+                        to_mode=granted_mode,
+                    )
         usage_key = (step.space, granted_mode)
         self.mode_usage[usage_key] = self.mode_usage.get(usage_key, 0) + 1
         if child_mode is not None:
             key = step.key if isinstance(step.key, Splid) else step.key[0]
             report.fanouts.append((key, child_mode))
+            if trace:
+                self.tracer.emit(
+                    LOCK_ESCALATE, txn=txn_label(txn), node=str(key),
+                    child_mode=child_mode,
+                )
         self._note_grant(txn, step.space, step.key, granted_mode)
 
     # -- coverage cache ------------------------------------------------------------

@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
-from repro.core.modes import Conversion, ModeTable
+from repro.core.modes import ModeTable
 from repro.errors import LockError
 
 ResourceKey = Tuple[str, object]  # (lock space, key)

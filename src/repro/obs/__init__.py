@@ -1,0 +1,111 @@
+"""repro.obs -- the cross-cutting observability layer.
+
+Two cooperating pieces:
+
+* the **event tracer** (:mod:`repro.obs.tracer`): typed events for the
+  lock pipeline, deadlock detector, transaction lifecycle, and buffer
+  manager, kept in a ring buffer and optionally mirrored to a JSONL sink;
+* the **metrics registry** (:mod:`repro.obs.metrics`): counters, gauges,
+  and fixed-bucket histograms that every runtime component publishes
+  into.
+
+:class:`Observability` bundles one tracer and one registry; a
+:class:`~repro.database.Database` owns one bundle and hands it to the
+lock manager, deadlock detector, transaction manager, and buffer pool.
+``Observability.disabled()`` (the default) uses the no-op tracer, whose
+cost at every instrumentation site is a single attribute check.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Optional, Union
+
+from repro.obs.events import (  # noqa: F401  (re-exported taxonomy)
+    BUFFER_EVICT,
+    BUFFER_FIX,
+    BUFFER_MISS,
+    DEADLOCK_DETECTED,
+    EVENT_KINDS,
+    LOCK_BLOCK,
+    LOCK_CONVERT,
+    LOCK_ESCALATE,
+    LOCK_GRANT,
+    LOCK_RELEASE,
+    LOCK_REQUEST,
+    LOCK_TIMEOUT,
+    TXN_ABORT,
+    TXN_BEGIN,
+    TXN_COMMIT,
+    TraceEvent,
+    txn_label,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    WAIT_TIME_BUCKETS_MS,
+)
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    RingTracer,
+    aggregate,
+    load_jsonl,
+)
+
+__all__ = [
+    "EVENT_KINDS",
+    "TraceEvent",
+    "txn_label",
+    "NullTracer",
+    "NULL_TRACER",
+    "RingTracer",
+    "load_jsonl",
+    "aggregate",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "WAIT_TIME_BUCKETS_MS",
+    "Observability",
+]
+
+
+class Observability:
+    """One tracer + one metrics registry, wired through a database."""
+
+    def __init__(
+        self,
+        tracer: Optional["NullTracer | RingTracer"] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+
+    @classmethod
+    def disabled(cls) -> "Observability":
+        """No-op tracing; metrics registry still collectable on demand."""
+        return cls(NULL_TRACER)
+
+    @classmethod
+    def enabled(
+        cls,
+        capacity: Optional[int] = 65_536,
+        *,
+        sink: Union[str, Path, None] = None,
+    ) -> "Observability":
+        """Ring-buffer tracing (``capacity=None`` keeps every event)."""
+        return cls(RingTracer(capacity, sink=sink))
+
+    @property
+    def tracing(self) -> bool:
+        return self.tracer.enabled
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        if self.tracer.enabled:
+            self.tracer.bind_clock(clock)
+
+    def close(self) -> None:
+        self.tracer.close()

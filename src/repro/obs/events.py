@@ -1,0 +1,109 @@
+"""The event taxonomy of the observability layer.
+
+Every traced occurrence is a :class:`TraceEvent` with a *kind* drawn from
+a fixed vocabulary, a timestamp from the bound clock (the simulator clock
+during benchmark runs, so traces are deterministic and diffable), a
+monotonically increasing sequence number, and a flat JSON-safe payload.
+
+Kinds mirror the paper's measurement interests (Section 4.1): the lock
+pipeline (request/grant/block/convert/escalate/release/timeout), the
+deadlock detector (detection + victim choice), the transaction lifecycle
+(begin/commit/abort with the abort reason), and the buffer manager
+(fix/miss/evict).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+# -- lock pipeline ------------------------------------------------------------
+LOCK_REQUEST = "lock.request"
+LOCK_GRANT = "lock.grant"
+LOCK_BLOCK = "lock.block"
+LOCK_CONVERT = "lock.convert"
+#: A granted conversion demanded a child fan-out (the CX_NR-style
+#: "escalation" of one subtree lock into per-child locks).
+LOCK_ESCALATE = "lock.escalate"
+LOCK_RELEASE = "lock.release"
+LOCK_TIMEOUT = "lock.timeout"
+
+# -- deadlock detector --------------------------------------------------------
+DEADLOCK_DETECTED = "deadlock.detected"
+
+# -- transaction lifecycle ----------------------------------------------------
+TXN_BEGIN = "txn.begin"
+TXN_COMMIT = "txn.commit"
+TXN_ABORT = "txn.abort"
+
+# -- buffer manager -----------------------------------------------------------
+BUFFER_FIX = "buffer.fix"
+BUFFER_MISS = "buffer.miss"
+BUFFER_EVICT = "buffer.evict"
+
+#: The complete event vocabulary; tracers reject kinds outside it so that
+#: downstream consumers can rely on a closed taxonomy.
+EVENT_KINDS = frozenset({
+    LOCK_REQUEST,
+    LOCK_GRANT,
+    LOCK_BLOCK,
+    LOCK_CONVERT,
+    LOCK_ESCALATE,
+    LOCK_RELEASE,
+    LOCK_TIMEOUT,
+    DEADLOCK_DETECTED,
+    TXN_BEGIN,
+    TXN_COMMIT,
+    TXN_ABORT,
+    BUFFER_FIX,
+    BUFFER_MISS,
+    BUFFER_EVICT,
+})
+
+
+def txn_label(txn: object) -> str:
+    """Stable trace identity for a transaction-like object.
+
+    Transactions carry a state-independent ``label`` (``repr`` would
+    change between the block and abort events of the same transaction);
+    bare tokens (test strings) fall back to ``str``.
+    """
+    label = getattr(txn, "label", None)
+    return label if isinstance(label, str) else str(txn)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured trace record.
+
+    ``data`` values are JSON-safe scalars (str/int/float/bool/None) so a
+    trace round-trips through JSONL without loss.
+    """
+
+    seq: int
+    ts: float
+    kind: str
+    txn: Optional[str] = None
+    data: Dict[str, object] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        record: Dict[str, object] = {
+            "seq": self.seq,
+            "ts": self.ts,
+            "kind": self.kind,
+        }
+        if self.txn is not None:
+            record["txn"] = self.txn
+        if self.data:
+            record["data"] = self.data
+        return record
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, object]) -> "TraceEvent":
+        return cls(
+            seq=int(record["seq"]),
+            ts=float(record["ts"]),
+            kind=str(record["kind"]),
+            txn=record.get("txn"),  # type: ignore[arg-type]
+            data=dict(record.get("data", {})),  # type: ignore[arg-type]
+        )

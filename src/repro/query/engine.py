@@ -18,12 +18,12 @@ Two evaluators share the step semantics:
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Union
+from typing import List, Sequence, Union
 
 from repro.dom.document import Document
 from repro.dom.node_manager import NodeManager
 from repro.query.ast import Axis, Path, Predicate, Step, TestKind
-from repro.query.parser import QueryError, parse_path
+from repro.query.parser import parse_path
 from repro.splid import Splid
 from repro.storage.record import NodeKind
 from repro.txn.transaction import Transaction

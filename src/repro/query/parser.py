@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import re
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from repro.errors import ReproError
 from repro.query.ast import Axis, NodeTest, Path, Predicate, Step, TestKind

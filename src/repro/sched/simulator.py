@@ -173,7 +173,9 @@ class Simulator:
                 ticket.cancel()
             self._throw(process, LockTimeout(
                 f"lock wait timed out after {ticket.timeout_ms} ms "
-                f"on {ticket.resource}"
+                f"on {ticket.resource}",
+                resource=ticket.resource,
+                timeout_ms=ticket.timeout_ms,
             ))
 
         self._seq += 1

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Any, Callable, Generator, List, Optional, Tuple
+from typing import Any, Generator, List, Optional
 
 from repro.errors import LockTimeout
 from repro.locking.lock_table import WaitTicket
@@ -117,7 +117,9 @@ class ThreadedRuntime:
             if ticket.cancel is not None:
                 ticket.cancel()
         return LockTimeout(
-            f"lock wait timed out on {ticket.resource} (threaded runtime)"
+            f"lock wait timed out on {ticket.resource} (threaded runtime)",
+            resource=ticket.resource,
+            timeout_ms=ticket.timeout_ms,
         )
 
 

@@ -1,0 +1,139 @@
+"""The session-oriented public API.
+
+A :class:`Session` is one transaction with its lifecycle managed by a
+context manager::
+
+    from repro import Database
+
+    db = Database(protocol="taDOM3+", lock_depth=4, root_element="bib")
+    with db.session("reader") as session:
+        book = session.run(session.nodes.get_element_by_id("b42"))
+        subtree = session.run(session.nodes.read_subtree(book))
+    # clean exit -> committed; an exception -> rolled back and re-raised
+
+``session.nodes`` is a transaction-bound view of the node manager: the
+same operations as :class:`~repro.dom.node_manager.NodeManager`, minus
+the explicit transaction argument.  ``session.run`` drives one operation
+generator to completion (single-user mode); concurrent workloads still
+hand the raw generators to a simulator or the threaded runtime.
+
+``Database.begin/commit/abort`` remain available as thin delegates for
+drivers that need explicit lifecycle control (the TaMix coordinator, the
+concurrency examples).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, Optional, Union
+
+from repro.errors import TransactionError
+from repro.locking.lock_manager import IsolationLevel
+from repro.sched.simulator import run_sync
+from repro.txn.transaction import Transaction, TxnState
+
+
+class SessionNodes:
+    """Transaction-bound view of the node manager.
+
+    Attribute access returns the node-manager operation with the
+    session's transaction pre-bound as the first argument, so callers
+    write ``session.nodes.read_subtree(node)`` instead of threading the
+    transaction handle through every call.
+    """
+
+    __slots__ = ("_session",)
+
+    def __init__(self, session: "Session"):
+        self._session = session
+
+    def __getattr__(self, name: str):
+        target = getattr(self._session.database.nodes, name)
+        if not callable(target):
+            return target
+        txn = self._session.txn
+
+        def bound(*args, **kwargs):
+            return target(txn, *args, **kwargs)
+
+        bound.__name__ = name
+        return bound
+
+
+class Session:
+    """One transaction under context-manager lifecycle."""
+
+    def __init__(
+        self,
+        database,
+        name: str = "session",
+        isolation: Optional[Union[IsolationLevel, str]] = None,
+    ):
+        self.database = database
+        self.txn: Transaction = database.begin(name, isolation)
+        self.nodes = SessionNodes(self)
+        #: Simulated milliseconds consumed by ``run`` calls.
+        self.elapsed_ms = 0.0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, exc, _tb) -> bool:
+        if self.txn.state is TxnState.ACTIVE:
+            if exc_type is None:
+                self.database.commit(self.txn)
+            else:
+                reason = getattr(exc, "reason", "rollback")
+                self.database.abort(self.txn, reason=reason)
+        return False  # never swallow the exception
+
+    def commit(self) -> None:
+        """Commit early; the context-manager exit becomes a no-op."""
+        self.database.commit(self.txn)
+
+    def abort(self) -> None:
+        """Roll back early; the context-manager exit becomes a no-op."""
+        self.database.abort(self.txn)
+
+    # -- driving ------------------------------------------------------------
+
+    def run(self, operation: Generator) -> Any:
+        """Drive one node-manager operation to completion (single-user).
+
+        Returns the operation's result; the simulated time it consumed
+        accumulates in :attr:`elapsed_ms`.
+        """
+        if self.txn.state is not TxnState.ACTIVE:
+            raise TransactionError(
+                f"session transaction {self.txn} is {self.txn.state.value}"
+            )
+        result, elapsed = run_sync(operation)
+        self.elapsed_ms += elapsed
+        return result
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def metrics(self) -> Dict[str, object]:
+        """Per-session counters (lock traffic, I/O, simulated time)."""
+        stats = self.txn.stats
+        return {
+            "state": self.txn.state.value,
+            "isolation": self.txn.isolation.value,
+            "operations": stats.operations,
+            "lock_requests": stats.lock_requests,
+            "covered_skips": stats.covered_skips,
+            "blocked_waits": stats.blocked_waits,
+            "fanout_locks": stats.fanout_locks,
+            "logical_reads": stats.logical_reads,
+            "physical_reads": stats.physical_reads,
+            "nodes_visited": stats.nodes_visited,
+            "elapsed_ms": self.elapsed_ms,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<Session {self.txn.name} txn={self.txn.txn_id} "
+            f"{self.txn.state.value}>"
+        )

@@ -15,10 +15,11 @@ keeps the simulation cheap while the hit/miss behaviour stays faithful.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from dataclasses import dataclass
+from typing import Dict
 
 from repro.errors import StorageError
+from repro.obs import BUFFER_EVICT, BUFFER_FIX, BUFFER_MISS, NULL_TRACER
 from repro.storage.page import DEFAULT_PAGE_SIZE, Page
 
 
@@ -105,7 +106,22 @@ class BufferManager:
         self.page_file = page_file
         self.pool_size = pool_size
         self.stats = IoStatistics()
+        #: Observability tracer; bound by :meth:`bind_observability`.
+        self.tracer = NULL_TRACER
         self._resident: "OrderedDict[int, bool]" = OrderedDict()  # id -> dirty
+
+    def bind_observability(self, obs) -> None:
+        """Attach a tracer and publish the I/O counters into a registry."""
+        self.tracer = obs.tracer
+        obs.metrics.register_collector(self._collect_metrics)
+
+    def _collect_metrics(self, registry) -> None:
+        registry.gauge("buffer.logical_reads").set(self.stats.logical_reads)
+        registry.gauge("buffer.physical_reads").set(self.stats.physical_reads)
+        registry.gauge("buffer.physical_writes").set(self.stats.physical_writes)
+        registry.gauge("buffer.evictions").set(self.stats.evictions)
+        registry.gauge("buffer.hit_ratio").set(round(self.stats.hit_ratio, 6))
+        registry.gauge("buffer.resident_pages").set(len(self._resident))
 
     # -- page access -------------------------------------------------------
 
@@ -115,8 +131,14 @@ class BufferManager:
         if page_id in self._resident:
             dirty = self._resident.pop(page_id)
             self._resident[page_id] = dirty or for_update
+            if self.tracer.enabled:
+                self.tracer.emit(BUFFER_FIX, page=page_id, hit=True,
+                                 for_update=for_update)
         else:
             self.stats.physical_reads += 1
+            if self.tracer.enabled:
+                self.tracer.emit(BUFFER_MISS, page=page_id,
+                                 for_update=for_update)
             self._admit(page_id, dirty=for_update)
         return self.page_file.read(page_id)
 
@@ -158,6 +180,9 @@ class BufferManager:
             self.stats.evictions += 1
             if victim_dirty:
                 self.stats.physical_writes += 1
+            if self.tracer.enabled:
+                self.tracer.emit(BUFFER_EVICT, page=victim_id,
+                                 dirty=victim_dirty)
         self._resident[page_id] = dirty
 
 

@@ -10,7 +10,7 @@ simulation documented in DESIGN.md.
 
 from __future__ import annotations
 
-from bisect import bisect_left, insort
+from bisect import bisect_left
 from typing import Iterator, List, Optional, Tuple
 
 from repro.errors import PageOverflowError, StorageError

@@ -43,6 +43,7 @@ def make_database(
     scale: float = 0.1,
     seed: int = 2006,
     info: Optional[BibInfo] = None,
+    observability=None,
 ) -> tuple:
     """A database plus bib document for one benchmark run."""
     if info is None:
@@ -52,6 +53,7 @@ def make_database(
         lock_depth=lock_depth,
         isolation=isolation,
         document=info.document,
+        observability=observability,
     )
     return database, info
 
@@ -65,10 +67,18 @@ def run_cluster1(
     run_duration_ms: float = 60_000.0,
     seed: int = 42,
     info: Optional[BibInfo] = None,
+    observability=None,
 ) -> RunResult:
-    """One CLUSTER1 run; returns the paper's metrics."""
+    """One CLUSTER1 run; returns the paper's metrics.
+
+    Pass an :class:`~repro.obs.Observability` (or ``True``) to record a
+    deterministic, replayable event trace alongside the metrics; the
+    trace's aggregated counters match the returned
+    :class:`~repro.tamix.metrics.RunResult` exactly.
+    """
     database, info = make_database(
-        protocol, lock_depth, isolation, scale=scale, seed=2006, info=info
+        protocol, lock_depth, isolation, scale=scale, seed=2006, info=info,
+        observability=observability,
     )
     config = TaMixConfig(
         protocol=protocol,

@@ -13,11 +13,10 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.database import Database
-from repro.errors import BenchmarkError, DeadlockAbort, TransactionAborted
-from repro.locking.lock_manager import IsolationLevel
+from repro.errors import BenchmarkError, TransactionAborted
 from repro.sched.simulator import Delay, Simulator
 from repro.tamix.bibgen import BibInfo
 from repro.tamix.metrics import RunResult
@@ -112,8 +111,8 @@ class TaMixCoordinator:
                 # Deadlock victim or lock-wait timeout: roll back, count
                 # the abort, and restart a fresh transaction of the same
                 # type after a backoff (keeping the population active).
-                self.database.abort(txn)
-                kind = "deadlock" if isinstance(abort, DeadlockAbort) else "timeout"
+                kind = abort.reason
+                self.database.abort(txn, reason=kind)
                 self.result.by_type[txn_type].record_abort(kind)
                 yield Delay(rng.uniform(0.0, cfg.restart_backoff_max_ms))
                 continue
@@ -122,7 +121,18 @@ class TaMixCoordinator:
             yield Delay(cfg.wait_after_commit_ms)
 
     def _collect(self) -> None:
-        detector = self.database.locks.detector
+        locks = self.database.locks
+        detector = locks.detector
         self.result.deadlocks = detector.count()
         self.result.deadlocks_by_kind = detector.counts_by_kind()
-        self.result.lock_stats = self.database.locks.lock_statistics()
+        self.result.lock_stats = locks.lock_statistics()
+        self.result.wait_stats = locks.wait_statistics()
+        self.result.wait_histogram = locks.wait_histogram.as_dict()
+        # Publish the run's headline numbers into the metrics registry so
+        # one snapshot carries benchmark + component metrics together.
+        metrics = self.database.obs.metrics
+        metrics.gauge("tamix.committed").set(self.result.committed)
+        metrics.gauge("tamix.aborted").set(self.result.aborted)
+        metrics.gauge("tamix.deadlocks").set(self.result.deadlocks)
+        for kind, count in self.result.deadlocks_by_kind.items():
+            metrics.gauge(f"tamix.deadlocks.{kind}").set(count)

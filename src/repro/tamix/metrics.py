@@ -64,6 +64,10 @@ class RunResult:
     deadlocks: int = 0
     deadlocks_by_kind: Dict[str, int] = field(default_factory=dict)
     lock_stats: Dict[str, int] = field(default_factory=dict)
+    #: Aggregate lock-wait durations (count/total/mean/max, simulated ms).
+    wait_stats: Dict[str, float] = field(default_factory=dict)
+    #: Fixed-bucket wait-time histogram (see repro.obs.metrics.Histogram).
+    wait_histogram: Dict[str, object] = field(default_factory=dict)
 
     # -- the paper's headline numbers ---------------------------------------
 
@@ -75,6 +79,14 @@ class RunResult:
     @property
     def aborted(self) -> int:
         return sum(m.aborted for m in self.by_type.values())
+
+    @property
+    def aborted_by_kind(self) -> Dict[str, int]:
+        """Abort counts split by cause (deadlock victim vs. timeout)."""
+        return {
+            "deadlock": sum(m.deadlock_aborts for m in self.by_type.values()),
+            "timeout": sum(m.timeout_aborts for m in self.by_type.values()),
+        }
 
     def committed_of(self, txn_type: str) -> int:
         return self.by_type[txn_type].committed

@@ -7,7 +7,7 @@ monospace text, so the benchmark results files double as figures.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional, Sequence
+from typing import Mapping, Optional, Sequence
 
 _GLYPHS = "*o+x#@%&"
 

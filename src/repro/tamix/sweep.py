@@ -47,8 +47,17 @@ class CellResult:
     deadlocks: float = 0.0
     runs: int = 0
     by_type: Dict[str, float] = field(default_factory=dict)
+    #: Abort/deadlock-kind breakdown, summed over repetitions.
+    aborted_by_kind: Dict[str, float] = field(default_factory=dict)
+    deadlocks_by_kind: Dict[str, float] = field(default_factory=dict)
+    #: Lock-wait accounting: summed counts, max of maxima, and the
+    #: fixed-bucket wait-time histogram summed bucket-wise.
+    lock_waits: float = 0.0
+    wait_mean_ms: float = 0.0
+    wait_max_ms: float = 0.0
+    wait_histogram: Dict[str, int] = field(default_factory=dict)
 
-    def as_row(self) -> Dict[str, object]:
+    def as_row(self, *, include_histogram: bool = False) -> Dict[str, object]:
         row: Dict[str, object] = {
             "protocol": self.cell.protocol,
             "lock_depth": self.cell.lock_depth,
@@ -57,9 +66,22 @@ class CellResult:
             "committed": round(self.committed, 2),
             "aborted": round(self.aborted, 2),
             "deadlocks": round(self.deadlocks, 2),
+            "aborted_deadlock": round(self.aborted_by_kind.get("deadlock", 0.0), 2),
+            "aborted_timeout": round(self.aborted_by_kind.get("timeout", 0.0), 2),
+            "deadlocks_conversion": round(
+                self.deadlocks_by_kind.get("conversion", 0.0), 2
+            ),
+            "deadlocks_distinct_subtree": round(
+                self.deadlocks_by_kind.get("distinct-subtree", 0.0), 2
+            ),
+            "lock_waits": round(self.lock_waits, 2),
+            "wait_mean_ms": round(self.wait_mean_ms, 3),
+            "wait_max_ms": round(self.wait_max_ms, 3),
         }
         for txn_type, value in sorted(self.by_type.items()):
             row[txn_type] = round(value, 2)
+        if include_histogram:
+            row["wait_histogram"] = dict(self.wait_histogram)
         return row
 
 
@@ -187,7 +209,11 @@ class SweepRunner:
 
     def to_json(self) -> str:
         return json.dumps(
-            [result.as_row() for result in self.sorted_results()], indent=2
+            [
+                result.as_row(include_histogram=True)
+                for result in self.sorted_results()
+            ],
+            indent=2,
         )
 
     def series(self, metric: str = "committed",
@@ -217,4 +243,21 @@ class SweepRunner:
         for txn_type, metrics in outcome.by_type.items():
             previous = slot.by_type.get(txn_type, 0.0)
             slot.by_type[txn_type] = (previous * n + metrics.committed) / (n + 1)
+        for kind, count in outcome.aborted_by_kind.items():
+            previous = slot.aborted_by_kind.get(kind, 0.0)
+            slot.aborted_by_kind[kind] = (previous * n + count) / (n + 1)
+        for kind, count in outcome.deadlocks_by_kind.items():
+            previous = slot.deadlocks_by_kind.get(kind, 0.0)
+            slot.deadlocks_by_kind[kind] = (previous * n + count) / (n + 1)
+        wait = outcome.wait_stats
+        if wait:
+            slot.lock_waits = (slot.lock_waits * n + wait["count"]) / (n + 1)
+            slot.wait_mean_ms = (slot.wait_mean_ms * n + wait["mean_ms"]) / (n + 1)
+            slot.wait_max_ms = max(slot.wait_max_ms, wait["max_ms"])
+        histogram = outcome.wait_histogram
+        if histogram:
+            for bucket, count in histogram["buckets"].items():
+                slot.wait_histogram[bucket] = (
+                    slot.wait_histogram.get(bucket, 0) + count
+                )
         slot.runs = n + 1

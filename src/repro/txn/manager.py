@@ -13,6 +13,7 @@ from typing import Callable, Dict, List, Optional
 from repro.dom.document import Document
 from repro.errors import TransactionError
 from repro.locking.lock_manager import IsolationLevel, LockManager
+from repro.obs import Observability, TXN_ABORT, TXN_BEGIN, TXN_COMMIT
 from repro.txn.transaction import Transaction, TxnState
 
 
@@ -26,14 +27,19 @@ class TransactionManager:
         *,
         clock: Optional[Callable[[], float]] = None,
         wal=None,
+        obs: Optional[Observability] = None,
     ):
         self.document = document
         self.lock_manager = lock_manager
         self.wal = wal
+        self.obs = obs if obs is not None else Observability.disabled()
+        self.tracer = self.obs.tracer
         self._clock = clock or (lambda: 0.0)
         self._active: Dict[int, Transaction] = {}
+        self._begun: int = 0
         self.committed: int = 0
         self.aborted: int = 0
+        self.aborted_by_reason: Dict[str, int] = {}
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -45,9 +51,18 @@ class TransactionManager:
         txn = Transaction(
             name, IsolationLevel.parse(isolation), start_time=self._clock()
         )
+        self._begun += 1
+        # Per-manager label: Transaction's own id is a process-global
+        # counter, which would make otherwise-identical traces differ.
+        txn.label = f"T{self._begun}:{name}"
         self._active[txn.txn_id] = txn
         if self.wal is not None:
             self.wal.log_begin(txn.txn_id)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                TXN_BEGIN, txn=txn.label, name=name,
+                isolation=txn.isolation.value,
+            )
         return txn
 
     def commit(self, txn: Transaction) -> None:
@@ -61,8 +76,21 @@ class TransactionManager:
         txn.undo_log.clear()
         self._active.pop(txn.txn_id, None)
         self.committed += 1
+        self.obs.metrics.counter("txn.committed").inc()
+        if self.tracer.enabled:
+            self.tracer.emit(
+                TXN_COMMIT, txn=txn.label, name=txn.name,
+                duration_ms=round(txn.duration or 0.0, 6),
+            )
 
-    def abort(self, txn: Transaction) -> None:
+    def abort(self, txn: Transaction, *, reason: str = "rollback") -> None:
+        """Roll back and finish ``txn``.
+
+        ``reason`` distinguishes the paper's abort causes -- ``deadlock``
+        (victim choice), ``timeout`` (lock-wait timeout), or an explicit
+        application ``rollback`` -- and lands in both the metrics registry
+        and the trace.
+        """
         if txn.state is TxnState.ABORTED:
             return
         txn.require_active()
@@ -74,6 +102,14 @@ class TransactionManager:
         txn.end_time = self._clock()
         self._active.pop(txn.txn_id, None)
         self.aborted += 1
+        self.aborted_by_reason[reason] = self.aborted_by_reason.get(reason, 0) + 1
+        self.obs.metrics.counter("txn.aborted").inc()
+        self.obs.metrics.counter(f"txn.aborted.{reason}").inc()
+        if self.tracer.enabled:
+            self.tracer.emit(
+                TXN_ABORT, txn=txn.label, name=txn.name, reason=reason,
+                duration_ms=round(txn.duration or 0.0, 6),
+            )
 
     # -- introspection ----------------------------------------------------------
 

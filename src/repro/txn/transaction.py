@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Any, List, Optional, Tuple
 
@@ -58,6 +58,10 @@ class Transaction:
         self.end_time: Optional[float] = None
         self.stats = TransactionStats()
         self.undo_log: List[UndoEntry] = []
+        #: Stable trace identity: state-independent, and re-assigned by the
+        #: transaction manager to a per-database sequence so traces from
+        #: identical runs are byte-for-byte diffable.
+        self.label = f"T{self.txn_id}:{name}"
 
     # -- bookkeeping -------------------------------------------------------
 

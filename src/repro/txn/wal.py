@@ -24,12 +24,12 @@ from __future__ import annotations
 
 import io
 import struct
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import IntEnum
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Sequence, Set, Tuple
 
 from repro.dom.document import Document
-from repro.errors import StorageError, TransactionError
+from repro.errors import StorageError
 from repro.splid import Splid, decode, encode
 from repro.storage.record import NodeRecord
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.dom import Document, build_children, serialize_document
-from repro.splid import Splid
 
 
 @pytest.fixture

@@ -1,8 +1,7 @@
 """Integration tests: concurrent transactions under the simulator."""
 
-import pytest
 
-from repro import Database, DeadlockAbort, IsolationLevel
+from repro import Database, DeadlockAbort
 from repro.core.protocol import Access
 from repro.sched import Delay, Simulator
 

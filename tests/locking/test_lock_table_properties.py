@@ -13,13 +13,11 @@ every step:
   cancelled once its blockers release.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import NODE_SPACE
 from repro.core.tables import TADOM3P_TABLE, URIX_TABLE
-from repro.errors import LockError
 from repro.locking import LockTable
 from repro.splid import Splid
 

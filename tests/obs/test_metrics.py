@@ -1,0 +1,133 @@
+"""Unit tests for the metrics registry (counters, gauges, histograms)."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    WAIT_TIME_BUCKETS_MS,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = Counter("c")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_rejects_decrease(self):
+        counter = Counter("c")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        gauge = Gauge("g")
+        gauge.set(7)
+        gauge.set(3)
+        assert gauge.value == 3
+
+    def test_preserves_int_ness(self):
+        """Mirrored native counters must export as integers, not floats."""
+        gauge = Gauge("g")
+        gauge.set(42)
+        assert isinstance(gauge.value, int)
+        gauge.set(0.5)
+        assert isinstance(gauge.value, float)
+
+
+class TestHistogram:
+    def test_bucket_assignment_is_upper_bound_inclusive(self):
+        hist = Histogram("h", boundaries=(1.0, 10.0, 100.0))
+        hist.observe(0.5)    # le_1
+        hist.observe(1.0)    # le_1 (boundary itself is inclusive)
+        hist.observe(5.0)    # le_10
+        hist.observe(100.0)  # le_100
+        hist.observe(1e9)    # le_inf
+        buckets = hist.as_dict()["buckets"]
+        assert buckets == {"le_1": 2, "le_10": 1, "le_100": 1, "le_inf": 1}
+
+    def test_count_total_mean_max(self):
+        hist = Histogram("h", boundaries=(10.0,))
+        for value in (2.0, 4.0, 12.0):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.total == pytest.approx(18.0)
+        assert hist.mean == pytest.approx(6.0)
+        assert hist.max == pytest.approx(12.0)
+
+    def test_empty_histogram_mean_is_zero(self):
+        assert Histogram("h").mean == 0.0
+
+    def test_default_buckets_are_the_wait_time_ladder(self):
+        assert Histogram("h").boundaries == WAIT_TIME_BUCKETS_MS
+
+    def test_rejects_unsorted_or_duplicate_boundaries(self):
+        with pytest.raises(ValueError):
+            Histogram("h", boundaries=(10.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", boundaries=(1.0, 1.0))
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.histogram("c") is registry.histogram("c")
+
+    def test_name_collision_across_types_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+        with pytest.raises(ValueError):
+            registry.histogram("x")
+
+    def test_histogram_bucket_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", boundaries=(1.0, 2.0))
+        registry.histogram("h", boundaries=(1.0, 2.0))  # same buckets: fine
+        with pytest.raises(ValueError):
+            registry.histogram("h", boundaries=(5.0,))
+
+    def test_collectors_run_at_snapshot_time(self):
+        registry = MetricsRegistry()
+        source = {"value": 1}
+        registry.register_collector(
+            lambda reg: reg.gauge("mirrored").set(source["value"])
+        )
+        assert registry.as_dict()["mirrored"] == 1
+        source["value"] = 9
+        assert registry.as_dict()["mirrored"] == 9
+
+    def test_snapshot_is_sorted_and_json_safe(self):
+        registry = MetricsRegistry()
+        registry.counter("b.count").inc(2)
+        registry.gauge("a.level").set(3)
+        registry.histogram("c.hist", boundaries=(1.0,)).observe(0.5)
+        snapshot = json.loads(registry.to_json())
+        assert snapshot["a.level"] == 3
+        assert snapshot["b.count"] == 2
+        assert snapshot["c.hist"]["count"] == 1
+
+    def test_csv_flattens_histograms(self):
+        registry = MetricsRegistry()
+        registry.counter("ops").inc(7)
+        registry.histogram("wait", boundaries=(1.0,)).observe(2.0)
+        rows = list(csv.reader(io.StringIO(registry.to_csv())))
+        table = dict(rows[1:])
+        assert rows[0] == ["metric", "value"]
+        assert table["ops"] == "7"
+        assert table["wait.count"] == "1"
+        assert table["wait.bucket.le_1"] == "0"
+        assert table["wait.bucket.le_inf"] == "1"

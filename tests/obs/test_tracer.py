@@ -1,0 +1,161 @@
+"""Unit tests for the event tracers (ring buffer, JSONL, null tracer)."""
+
+import pytest
+
+from repro.obs import (
+    LOCK_BLOCK,
+    LOCK_GRANT,
+    LOCK_REQUEST,
+    NULL_TRACER,
+    NullTracer,
+    Observability,
+    RingTracer,
+    TXN_ABORT,
+    TXN_COMMIT,
+    TraceEvent,
+    aggregate,
+    load_jsonl,
+)
+
+
+class TestNullTracer:
+    def test_disabled_and_inert(self):
+        tracer = NullTracer()
+        assert tracer.enabled is False
+        tracer.emit(LOCK_GRANT, txn="t1", node="1.3")  # accepted, discarded
+        assert tracer.events() == []
+        tracer.close()  # idempotent no-op
+
+    def test_shared_instance_is_disabled(self):
+        assert NULL_TRACER.enabled is False
+
+
+class TestRingTracer:
+    def test_sequence_numbers_are_strictly_increasing(self):
+        tracer = RingTracer()
+        for _ in range(5):
+            tracer.emit(LOCK_REQUEST, txn="t1")
+        seqs = [event.seq for event in tracer.events()]
+        assert seqs == [1, 2, 3, 4, 5]
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            RingTracer().emit("lock.frobnicate")
+
+    def test_capacity_evicts_oldest_and_counts_drops(self):
+        tracer = RingTracer(capacity=3)
+        for _ in range(5):
+            tracer.emit(LOCK_REQUEST)
+        assert len(tracer) == 3
+        assert tracer.dropped == 2
+        assert [event.seq for event in tracer.events()] == [3, 4, 5]
+
+    def test_unbounded_capacity_keeps_everything(self):
+        tracer = RingTracer(capacity=None)
+        for _ in range(100):
+            tracer.emit(LOCK_REQUEST)
+        assert len(tracer) == 100
+        assert tracer.dropped == 0
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            RingTracer(capacity=0)
+
+    def test_bound_clock_stamps_timestamps(self):
+        now = {"t": 0.0}
+        tracer = RingTracer(clock=lambda: now["t"])
+        tracer.emit(LOCK_REQUEST)
+        now["t"] = 125.5
+        tracer.emit(LOCK_GRANT)
+        stamps = [event.ts for event in tracer.events()]
+        assert stamps == [0.0, 125.5]
+
+    def test_filtering_by_kind_and_txn(self):
+        tracer = RingTracer()
+        tracer.emit(LOCK_REQUEST, txn="t1")
+        tracer.emit(LOCK_GRANT, txn="t1")
+        tracer.emit(LOCK_REQUEST, txn="t2")
+        assert len(tracer.events(kind=LOCK_REQUEST)) == 2
+        assert len(tracer.events(txn="t1")) == 2
+        assert len(tracer.events(kind=LOCK_GRANT, txn="t2")) == 0
+        assert tracer.counts_by_kind() == {LOCK_REQUEST: 2, LOCK_GRANT: 1}
+
+
+class TestJsonlRoundTrip:
+    def test_dump_and_load_are_lossless(self, tmp_path):
+        tracer = RingTracer()
+        tracer.emit(LOCK_REQUEST, txn="t1", node="1.3.5", mode="SX")
+        tracer.emit(LOCK_BLOCK, txn="t1", node="1.3.5", conversion=False)
+        tracer.emit(TXN_ABORT, txn="t1", reason="deadlock")
+        path = tmp_path / "trace.jsonl"
+        assert tracer.dump_jsonl(path) == 3
+        assert load_jsonl(path) == tracer.events()
+
+    def test_sink_mirror_survives_ring_overflow(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = RingTracer(capacity=2, sink=path)
+        for _ in range(10):
+            tracer.emit(LOCK_REQUEST)
+        tracer.close()
+        assert len(tracer) == 2  # ring kept only the tail...
+        assert len(load_jsonl(path)) == 10  # ...but the sink saw everything
+
+    def test_close_is_idempotent(self, tmp_path):
+        tracer = RingTracer(sink=tmp_path / "trace.jsonl")
+        tracer.close()
+        tracer.close()
+
+
+class TestAggregate:
+    def test_per_kind_and_derived_txn_counters(self):
+        events = [
+            TraceEvent(1, 0.0, TXN_COMMIT, "t1"),
+            TraceEvent(2, 1.0, TXN_ABORT, "t2", {"reason": "deadlock"}),
+            TraceEvent(3, 2.0, TXN_ABORT, "t3", {"reason": "timeout"}),
+            TraceEvent(4, 3.0, TXN_ABORT, "t4", {"reason": "deadlock"}),
+            TraceEvent(5, 4.0, LOCK_BLOCK, "t4"),
+        ]
+        totals = aggregate(events)
+        assert totals["committed"] == 1
+        assert totals["aborted.deadlock"] == 2
+        assert totals["aborted.timeout"] == 1
+        assert totals[TXN_ABORT] == 3
+        assert totals[LOCK_BLOCK] == 1
+
+
+class ExplodingTracer(NullTracer):
+    """A disabled tracer that detonates if any site calls emit anyway."""
+
+    def emit(self, kind, txn=None, **data):
+        raise AssertionError(
+            f"emit({kind!r}) reached a disabled tracer -- an instrumentation "
+            "site is missing its `if tracer.enabled` guard"
+        )
+
+
+class TestZeroCostGuard:
+    def test_disabled_tracer_is_never_called_by_a_workload(self):
+        """Every instrumentation site must guard on ``tracer.enabled``.
+
+        Run a workload that exercises locking, conversion, commit, abort,
+        and buffer traffic with a booby-trapped disabled tracer: any
+        unguarded emit call blows up the test.
+        """
+        from repro import Database
+
+        obs = Observability(tracer=ExplodingTracer())
+        db = Database(protocol="taDOM3+", lock_depth=4, root_element="bib",
+                      observability=obs)
+        db.load(("topic", {"id": "t0"}, [
+            ("book", {"id": "b0"}, [("title", ["Locking"])]),
+        ]))
+        with db.session("reader") as session:
+            book = session.run(session.nodes.get_element_by_id("b0"))
+            session.run(session.nodes.read_subtree(book))
+        try:
+            with db.session("doomed") as session:
+                session.run(session.nodes.rename_element(book, "tome"))
+                raise RuntimeError("force rollback")
+        except RuntimeError:
+            pass
+        assert db.statistics()["committed"] == 1

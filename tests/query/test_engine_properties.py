@@ -1,6 +1,5 @@
 """Property test: locked evaluation == raw oracle on random documents."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -5,9 +5,8 @@ B*-tree-backed document store and a trivial in-memory reference model;
 every navigation primitive must agree after every step.
 """
 
-from typing import Dict, List, Optional
+from typing import List, Optional
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

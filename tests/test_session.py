@@ -1,0 +1,114 @@
+"""Tests for the session-oriented public API (satellite of the
+observability PR): context-manager lifecycle, the transaction-bound node
+view, and per-session metrics."""
+
+import pytest
+
+from repro import Database, IsolationLevel, Session, TransactionError
+from repro.txn.transaction import TxnState
+
+LIBRARY = (
+    "topics",
+    [("topic", {"id": "t0"}, [
+        ("book", {"id": "b0"}, [("title", ["Transaction Processing"])]),
+    ])],
+)
+
+
+@pytest.fixture
+def db():
+    database = Database(protocol="taDOM3+", lock_depth=4, root_element="bib")
+    database.load(LIBRARY)
+    return database
+
+
+class TestLifecycle:
+    def test_clean_exit_commits(self, db):
+        with db.session("reader") as session:
+            assert isinstance(session, Session)
+            assert session.txn.state is TxnState.ACTIVE
+        assert session.txn.state is TxnState.COMMITTED
+        assert db.statistics()["committed"] == 1
+
+    def test_exception_rolls_back_and_reraises(self, db):
+        book = db.document.element_by_id("b0")
+        with pytest.raises(RuntimeError, match="boom"):
+            with db.session("doomed") as session:
+                session.run(session.nodes.rename_element(book, "tome"))
+                assert db.document.name_of(book) == "tome"
+                raise RuntimeError("boom")
+        assert session.txn.state is TxnState.ABORTED
+        # The undo log restored the rename.
+        assert db.document.name_of(book) == "book"
+        assert db.statistics()["aborted"] == 1
+
+    def test_explicit_commit_makes_exit_a_noop(self, db):
+        with db.session() as session:
+            session.run(session.nodes.read_subtree(
+                db.document.element_by_id("b0")))
+            session.commit()
+        assert db.statistics()["committed"] == 1
+
+    def test_explicit_abort_even_on_clean_exit(self, db):
+        with db.session() as session:
+            session.abort()
+        assert db.statistics()["committed"] == 0
+        assert db.statistics()["aborted"] == 1
+
+    def test_abort_reason_is_recorded(self, db):
+        with pytest.raises(RuntimeError):
+            with db.session("doomed"):
+                raise RuntimeError("no reason attribute -> rollback")
+        assert db.transactions.aborted_by_reason == {"rollback": 1}
+
+    def test_run_after_close_raises(self, db):
+        with db.session() as session:
+            session.commit()
+            with pytest.raises(TransactionError):
+                session.run(session.nodes.read_subtree(
+                    db.document.element_by_id("b0")))
+
+
+class TestSessionNodes:
+    def test_operations_are_transaction_bound(self, db):
+        with db.session("reader") as session:
+            book = session.run(session.nodes.get_element_by_id("b0"))
+            entries = session.run(session.nodes.read_subtree(book))
+        assert len(entries) > 1
+        assert session.txn.stats.lock_requests > 0
+
+    def test_bound_callable_keeps_its_name(self, db):
+        with db.session() as session:
+            assert session.nodes.read_subtree.__name__ == "read_subtree"
+
+
+class TestIsolation:
+    def test_isolation_accepts_enum_and_string(self, db):
+        with db.session("a", isolation=IsolationLevel.COMMITTED) as session:
+            assert session.txn.isolation is IsolationLevel.COMMITTED
+        with db.session("b", isolation="uncommitted") as session:
+            assert session.txn.isolation is IsolationLevel.UNCOMMITTED
+
+    def test_default_isolation_is_database_default(self, db):
+        with db.session() as session:
+            assert session.txn.isolation is db.default_isolation
+
+
+class TestMetrics:
+    def test_metrics_snapshot_after_work(self, db):
+        with db.session("reader") as session:
+            book = session.run(session.nodes.get_element_by_id("b0"))
+            session.run(session.nodes.read_subtree(book))
+            metrics = session.metrics
+        assert metrics["state"] == "active"
+        assert metrics["operations"] == 2
+        assert metrics["lock_requests"] > 0
+        assert metrics["elapsed_ms"] >= 0.0
+        after = session.metrics
+        assert after["state"] == "committed"
+
+    def test_repr_shows_name_and_state(self, db):
+        with db.session("probe") as session:
+            pass
+        assert "probe" in repr(session)
+        assert "committed" in repr(session)

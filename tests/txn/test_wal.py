@@ -2,13 +2,10 @@
 
 import random
 
-import pytest
 
 from repro import Database
 from repro.dom.serializer import serialize_document
-from repro.splid import Splid
 from repro.txn.wal import (
-    Checkpoint,
     LogKind,
     WriteAheadLog,
     recover,
