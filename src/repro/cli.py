@@ -67,6 +67,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also write the full result matrix as CSV")
     sweep.add_argument("--json", default=None,
                        help="also write the full result matrix as JSON")
+    sweep.add_argument("--trace-dir", default=None,
+                       help="capture a JSONL event trace per cell run "
+                            "into this directory")
+    sweep.add_argument("--progress", action="store_true",
+                       help="print a live per-cell heartbeat to stderr")
 
     trace = sub.add_parser(
         "trace",
@@ -111,11 +116,32 @@ def build_parser() -> argparse.ArgumentParser:
 
     report = sub.add_parser(
         "report",
-        help="collate benchmarks/results/ into one evaluation report",
+        help="render a sweep.json into a Markdown/HTML report, or "
+             "collate benchmarks/results/ into one evaluation report",
     )
+    report.add_argument("sweep_json", nargs="?", default=None,
+                        help="sweep result file written by "
+                             "`repro sweep --json`; omit for the legacy "
+                             "results-dir collation")
+    report.add_argument("--format", default="md", choices=["md", "html"],
+                        help="sweep report format (default: md)")
+    report.add_argument("--title", default="TaMix sweep report")
     report.add_argument("--results-dir", default="benchmarks/results")
     report.add_argument("--output", default=None,
                         help="write to a file instead of stdout")
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="analyze a JSONL event trace: blocking chains, hotspots, "
+             "critical path",
+    )
+    analyze.add_argument("trace", help="JSONL trace file (from `repro "
+                                       "trace` or `repro sweep --trace-dir`)")
+    analyze.add_argument("--prefix-depth", type=int, default=2,
+                         help="SPLID divisions for subtree hotspot "
+                              "grouping (default: 2)")
+    analyze.add_argument("--top", type=int, default=8,
+                         help="rows per hotspot/chain listing")
 
     return parser
 
@@ -130,6 +156,9 @@ def _add_cell_arguments(parser) -> None:
     parser.add_argument("--scale", type=float, default=0.1)
     parser.add_argument("--seconds", type=float, default=60.0)
     parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--wal", action="store_true",
+                        help="enable write-ahead logging (adds wal.* "
+                             "metrics)")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -146,6 +175,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "query": _cmd_query,
         "stats": _cmd_stats,
         "report": _cmd_report,
+        "analyze": _cmd_analyze,
     }[args.command]
     return handler(args)
 
@@ -205,8 +235,23 @@ def _cmd_sweep(args) -> int:
         run_duration_ms=args.seconds * 1000.0,
         base_seed=args.seed,
     )
-    runner = SweepRunner(spec, workers=args.workers)
-    runner.run()
+    runner = SweepRunner(spec, workers=args.workers,
+                         trace_dir=args.trace_dir)
+    progress = None
+    if args.progress:
+        total = len(list(spec.cells()))
+        state = {"done": 0}
+
+        def progress(cell, outcome):
+            state["done"] += 1
+            print(
+                f"[{state['done']}/{total}] {cell.protocol} "
+                f"d{cell.lock_depth} {cell.isolation} r{cell.run}: "
+                f"committed={outcome.committed} aborted={outcome.aborted}",
+                file=sys.stderr, flush=True,
+            )
+
+    runner.run(progress=progress)
     series = runner.series(metric="committed", isolation=args.isolation)
     depths = sorted(set(args.depths))  # series values come back depth-sorted
     print("protocol   " + "".join(f"d{d:<7}" for d in depths))
@@ -214,11 +259,14 @@ def _cmd_sweep(args) -> int:
         cells = "".join(f"{value:<8g}" for value in series.get(name, []))
         print(f"{name:<11}" + cells)
     if args.csv:
-        Path(args.csv).write_text(runner.to_csv())
+        Path(args.csv).write_text(runner.to_csv(include_histogram=True))
         print(f"wrote {args.csv}")
     if args.json:
         Path(args.json).write_text(runner.to_json())
         print(f"wrote {args.json}")
+    if args.trace_dir:
+        traces = sorted(Path(args.trace_dir).glob("*.jsonl"))
+        print(f"wrote {len(traces)} traces to {args.trace_dir}")
     return 0
 
 
@@ -236,6 +284,7 @@ def _run_observed_cell(args, *, sink=None):
         run_duration_ms=args.seconds * 1000.0,
         seed=args.seed,
         observability=obs,
+        enable_wal=getattr(args, "wal", False),
     )
     obs.close()
     return obs, result
@@ -360,6 +409,18 @@ _REPORT_ORDER = (
 def _cmd_report(args) -> int:
     from pathlib import Path
 
+    if args.sweep_json is not None:
+        from repro.tamix.sweep_report import render_html, render_markdown
+
+        render = render_html if args.format == "html" else render_markdown
+        body = render(args.sweep_json, title=args.title)
+        if args.output:
+            Path(args.output).write_text(body, encoding="utf-8")
+            print(f"wrote {args.output} ({len(body)} bytes)")
+        else:
+            print(body, end="")
+        return 0
+
     results_dir = Path(args.results_dir)
     if not results_dir.is_dir():
         print(f"no results directory at {results_dir}; run "
@@ -390,6 +451,16 @@ def _cmd_report(args) -> int:
         print(f"wrote {args.output} ({len(body)} bytes)")
     else:
         print(body)
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from repro.obs import TraceAnalysis
+
+    analysis = TraceAnalysis.from_jsonl(
+        args.trace, prefix_depth=args.prefix_depth
+    )
+    print(analysis.render_text(top=args.top))
     return 0
 
 

@@ -90,6 +90,7 @@ class Database:
             from repro.txn.wal import WriteAheadLog
 
             self.wal = WriteAheadLog()
+            self.obs.metrics.register_collector(self.wal.collect_metrics)
         self.transactions = TransactionManager(document, self.locks,
                                                wal=self.wal, obs=self.obs)
         self.nodes = NodeManager(document, self.locks, costs, wal=self.wal)

@@ -21,6 +21,7 @@ Responsibilities, mirroring XTC's node manager (Section 3):
 
 from __future__ import annotations
 
+import functools
 from typing import Callable, List, Optional, Tuple, TypeVar
 
 from repro.core.protocol import (
@@ -36,13 +37,35 @@ from repro.locking.lock_manager import IsolationLevel
 from repro.dom.builder import Spec, build_children
 from repro.dom.document import ID_ATTRIBUTE, Document
 from repro.locking.lock_manager import AcquireReport, LockManager
+from repro.obs import SPAN_BEGIN, SPAN_END, txn_label
 from repro.sched.costs import DEFAULT_COSTS, CostModel
 from repro.sched.simulator import Delay
 from repro.splid import Splid
+from repro.storage.buffer import IoStatistics
 from repro.storage.record import NodeKind
 from repro.txn.transaction import Transaction
 
 T = TypeVar("T")
+
+
+def _traced(fn):
+    """Wrap a node-manager operation generator in an ``op`` span.
+
+    With tracing disabled the wrapper costs one attribute check and
+    returns the undecorated generator.  With tracing enabled the span's
+    end event attributes the operation's buffer traffic (logical and
+    physical reads seen by this transaction during the span) and its
+    simulated I/O cost, which the analyzer turns into the per-transaction
+    critical-path breakdown.
+    """
+
+    @functools.wraps(fn)
+    def wrapper(self, txn, *args, **kwargs):
+        if not self.tracer.enabled:
+            return fn(self, txn, *args, **kwargs)
+        return self._op_span(fn.__name__, txn, fn(self, txn, *args, **kwargs))
+
+    return wrapper
 
 
 class NodeManager:
@@ -61,11 +84,15 @@ class NodeManager:
         self.costs = costs
         #: Optional write-ahead log (see :mod:`repro.txn.wal`).
         self.wal = wal
+        #: The lock manager's tracer doubles as the span sink, so one
+        #: ``Observability`` bundle captures both layers in order.
+        self.tracer = locks.tracer
 
     # ------------------------------------------------------------------
     # direct jumps
     # ------------------------------------------------------------------
 
+    @_traced
     def get_element_by_id(self, txn: Transaction, id_value: str):
         """``getElementById``: a direct jump via the ID index.
 
@@ -101,30 +128,35 @@ class NodeManager:
     # navigation
     # ------------------------------------------------------------------
 
+    @_traced
     def get_first_child(self, txn: Transaction, node: Splid):
         return (yield from self._navigate(
             txn, node, EdgeRole.FIRST_CHILD,
             lambda: self.document.store.first_child(node),
         ))
 
+    @_traced
     def get_last_child(self, txn: Transaction, node: Splid):
         return (yield from self._navigate(
             txn, node, EdgeRole.LAST_CHILD,
             lambda: self.document.store.last_child(node),
         ))
 
+    @_traced
     def get_next_sibling(self, txn: Transaction, node: Splid):
         return (yield from self._navigate(
             txn, node, EdgeRole.NEXT_SIBLING,
             lambda: self.document.store.next_sibling(node),
         ))
 
+    @_traced
     def get_previous_sibling(self, txn: Transaction, node: Splid):
         return (yield from self._navigate(
             txn, node, EdgeRole.PREV_SIBLING,
             lambda: self.document.store.previous_sibling(node),
         ))
 
+    @_traced
     def get_parent(self, txn: Transaction, node: Splid):
         txn.require_active()
         txn.stats.operations += 1
@@ -138,6 +170,7 @@ class NodeManager:
         yield from self._end_op(txn)
         return parent
 
+    @_traced
     def get_child_nodes(self, txn: Transaction, node: Splid):
         """``getChildNodes``: one level lock (taDOM) or per-child locks."""
         txn.require_active()
@@ -155,6 +188,7 @@ class NodeManager:
         yield from self._end_op(txn)
         return children
 
+    @_traced
     def get_attributes(self, txn: Transaction, element: Splid):
         """``getAttributes``: level lock on the attribute root."""
         txn.require_active()
@@ -181,6 +215,7 @@ class NodeManager:
     # reading values
     # ------------------------------------------------------------------
 
+    @_traced
     def read_content(self, txn: Transaction, owner: Splid):
         """Value of a text or attribute node."""
         txn.require_active()
@@ -193,6 +228,7 @@ class NodeManager:
         yield from self._end_op(txn)
         return value
 
+    @_traced
     def get_attribute_value(self, txn: Transaction, element: Splid, name: str):
         """Read one attribute by name (locks the attribute level)."""
         attrs = yield from self.get_attributes(txn, element)
@@ -204,6 +240,7 @@ class NodeManager:
                 return (yield from self.read_content(txn, attr))
         return None
 
+    @_traced
     def read_subtree(self, txn: Transaction, root: Splid):
         """Read a whole fragment (the paper's ``getFragment`` access).
 
@@ -251,6 +288,7 @@ class NodeManager:
     # updates
     # ------------------------------------------------------------------
 
+    @_traced
     def update_content(self, txn: Transaction, owner: Splid, text: str):
         """Replace the value of a text/attribute node (IUD: update)."""
         txn.require_active()
@@ -270,6 +308,7 @@ class NodeManager:
         yield from self._end_op(txn)
         return old
 
+    @_traced
     def rename_element(self, txn: Transaction, element: Splid, new_name: str):
         """DOM3 ``renameNode``."""
         txn.require_active()
@@ -288,6 +327,7 @@ class NodeManager:
         yield from self._end_op(txn)
         return old
 
+    @_traced
     def insert_tree(self, txn: Transaction, parent: Splid, spec: Spec):
         """Insert a new element subtree as the last child of ``parent``.
 
@@ -356,6 +396,7 @@ class NodeManager:
         yield from self._end_op(txn)
         return root_label
 
+    @_traced
     def delete_subtree(
         self,
         txn: Transaction,
@@ -612,3 +653,38 @@ class NodeManager:
         txn.stats.logical_reads += delta.logical_reads
         txn.stats.physical_reads += delta.physical_reads
         return result, self.costs.io_cost(delta)
+
+    # ------------------------------------------------------------------
+    # spans
+    # ------------------------------------------------------------------
+
+    def _op_span(self, name: str, txn: Transaction, inner):
+        """Delegate to an operation generator inside an ``op`` span."""
+        label = txn_label(txn)
+        stats = txn.stats
+        logical0 = stats.logical_reads
+        physical0 = stats.physical_reads
+        self.tracer.emit(SPAN_BEGIN, txn=label, cat="op", name=name)
+        try:
+            result = yield from inner
+        except GeneratorExit:
+            # A parked generator collected at the run horizon: emitting
+            # here would stamp garbage-collection time into the trace.
+            raise
+        except BaseException:
+            self._emit_op_end(label, name, stats, logical0, physical0)
+            raise
+        self._emit_op_end(label, name, stats, logical0, physical0)
+        return result
+
+    def _emit_op_end(self, label, name, stats, logical0, physical0):
+        logical = stats.logical_reads - logical0
+        physical = stats.physical_reads - physical0
+        io_ms = self.costs.io_cost(
+            IoStatistics(logical_reads=logical, physical_reads=physical)
+        )
+        self.tracer.emit(
+            SPAN_END, txn=label, cat="op", name=name,
+            logical_reads=logical, physical_reads=physical,
+            io_ms=round(io_ms, 6),
+        )

@@ -37,7 +37,7 @@ from repro.core.protocol import (
     MetaRequest,
     NODE_SPACE,
 )
-from repro.errors import DeadlockAbort, LockError
+from repro.errors import DeadlockAbort, LockError, LockTimeout
 from repro.locking.deadlock import DeadlockDetector
 from repro.locking.lock_table import LockTable
 from repro.obs import (
@@ -49,6 +49,8 @@ from repro.obs import (
     LOCK_REQUEST,
     LOCK_TIMEOUT,
     Observability,
+    SPAN_BEGIN,
+    SPAN_END,
     txn_label,
 )
 from repro.splid import Splid
@@ -347,11 +349,15 @@ class LockManager:
             report.blocked += 1
             ticket = result.ticket
             if trace:
-                self.tracer.emit(
-                    LOCK_BLOCK, txn=txn_label(txn), space=step.space,
-                    key=str(step.key), mode=ticket.mode,
-                    conversion=ticket.is_conversion,
-                )
+                block_data = {
+                    "space": step.space, "key": str(step.key),
+                    "mode": ticket.mode, "conversion": ticket.is_conversion,
+                }
+                if held_before is not None:
+                    # The conversion edge (held -> requested) the wait
+                    # stalls on; the analyzer groups wait time by it.
+                    block_data["from_mode"] = held_before
+                self.tracer.emit(LOCK_BLOCK, txn=txn_label(txn), **block_data)
             event = self.detector.check(ticket, self._active_transactions())
             if event is not None:
                 self.table.cancel_wait(txn)
@@ -361,8 +367,34 @@ class LockManager:
             ticket.timeout_ms = self.wait_timeout_ms
             ticket.cancel = self._make_cancel(txn)
             waited_from = self.clock()
-            yield ticket
+            if trace:
+                self.tracer.emit(
+                    SPAN_BEGIN, txn=txn_label(txn), cat="wait",
+                    name="lock.wait", space=step.space, key=str(step.key),
+                    mode=ticket.mode,
+                )
+            # The wait span must close on the timeout path too, but NOT on
+            # GeneratorExit (a transaction parked at the run horizon is
+            # collected whenever the GC runs -- emitting then would make
+            # traces nondeterministic), so no bare finally here.
+            try:
+                yield ticket
+            except LockTimeout:
+                if trace:
+                    self.tracer.emit(
+                        SPAN_END, txn=txn_label(txn), cat="wait",
+                        name="lock.wait", space=step.space,
+                        key=str(step.key), mode=ticket.mode,
+                        waited_ms=round(self.clock() - waited_from, 6),
+                    )
+                raise
             waited = self.clock() - waited_from
+            if trace:
+                self.tracer.emit(
+                    SPAN_END, txn=txn_label(txn), cat="wait",
+                    name="lock.wait", space=step.space, key=str(step.key),
+                    mode=ticket.mode, waited_ms=round(waited, 6),
+                )
             self.wait_count += 1
             self.wait_time_total += waited
             self.wait_time_max = max(self.wait_time_max, waited)

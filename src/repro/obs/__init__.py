@@ -34,11 +34,19 @@ from repro.obs.events import (  # noqa: F401  (re-exported taxonomy)
     LOCK_RELEASE,
     LOCK_REQUEST,
     LOCK_TIMEOUT,
+    SPAN_BEGIN,
+    SPAN_END,
     TXN_ABORT,
     TXN_BEGIN,
     TXN_COMMIT,
     TraceEvent,
     txn_label,
+)
+from repro.obs.analysis import (
+    Hotspots,
+    TraceAnalysis,
+    WaitRecord,
+    splid_prefix,
 )
 from repro.obs.metrics import (
     Counter,
@@ -47,6 +55,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     WAIT_TIME_BUCKETS_MS,
 )
+from repro.obs.spans import Span, TxnTimeline, build_timelines
 from repro.obs.tracer import (
     NULL_TRACER,
     NullTracer,
@@ -57,6 +66,8 @@ from repro.obs.tracer import (
 
 __all__ = [
     "EVENT_KINDS",
+    "SPAN_BEGIN",
+    "SPAN_END",
     "TraceEvent",
     "txn_label",
     "NullTracer",
@@ -70,6 +81,13 @@ __all__ = [
     "MetricsRegistry",
     "WAIT_TIME_BUCKETS_MS",
     "Observability",
+    "Span",
+    "TxnTimeline",
+    "build_timelines",
+    "TraceAnalysis",
+    "WaitRecord",
+    "Hotspots",
+    "splid_prefix",
 ]
 
 

@@ -1,0 +1,386 @@
+"""Trace analysis: blocking chains, hotspots, critical-path breakdowns.
+
+This is the layer that turns a raw event trace into answers to "why is
+protocol X slow":
+
+* **wait records** -- every blocking lock wait, with the holders that
+  blocked it and the wait-for *chain* at block time (A waits for B, B
+  itself waits for C, ...);
+* **hotspot attribution** -- wait time grouped by SPLID subtree prefix,
+  by requested lock mode, and by conversion edge (``held -> requested``);
+* **critical path** -- per transaction, where the time went: lock wait
+  vs. simulated I/O vs. compute vs. think time between operations.
+
+The analysis is a pure replay: it works identically on an in-memory
+:class:`~repro.obs.tracer.RingTracer` and on events loaded back from a
+JSONL sink (:func:`~repro.obs.tracer.load_jsonl`), which the test suite
+holds to account (round-trip fidelity).
+
+Holder bookkeeping note: ``lock.release`` events with operation scope
+(short read locks under isolation level *committed*) carry only a count,
+not the keys, so holder sets may over-approximate between an operation
+release and the transaction's end.  Blocking chains are derived from the
+holders *at block time*, which the lock table reported precisely, so the
+approximation only widens attribution, never invents a wait.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.obs.events import (
+    LOCK_BLOCK,
+    LOCK_GRANT,
+    LOCK_RELEASE,
+    LOCK_TIMEOUT,
+    SPAN_BEGIN,
+    SPAN_END,
+    TXN_ABORT,
+    TXN_COMMIT,
+    TraceEvent,
+)
+from repro.obs.spans import TxnTimeline, build_timelines
+from repro.obs.tracer import RingTracer, load_jsonl
+
+_SPLID_RE = re.compile(r"\d+(?:\.\d+)*")
+
+
+def splid_prefix(key: str, depth: int = 2) -> Optional[str]:
+    """The leading ``depth`` divisions of the first SPLID in ``key``.
+
+    Works for plain node keys (``1.3.5``) and for edge/level keys whose
+    string form embeds a SPLID (``(Splid(1.3.5), <EdgeRole...>)``).
+    Returns ``None`` when the key carries no SPLID (ID-index keys).
+    """
+    match = _SPLID_RE.search(key)
+    if match is None:
+        return None
+    return ".".join(match.group(0).split(".")[:depth])
+
+
+@dataclass
+class WaitRecord:
+    """One blocking lock wait, reconstructed from the trace."""
+
+    txn: str
+    space: str
+    key: str
+    mode: str
+    begin_ts: float
+    begin_seq: int
+    #: Mode already held when the wait began (conversion edge), if any.
+    from_mode: Optional[str] = None
+    conversion: bool = False
+    #: Holders of the contested resource at block time, sorted.
+    blockers: Tuple[str, ...] = ()
+    #: Wait-for chain at block time: this txn, then the holder it waits
+    #: for, then (if that holder was itself waiting) the next hop, ...
+    chain: Tuple[str, ...] = ()
+    end_ts: Optional[float] = None
+    end_seq: Optional[int] = None
+    timed_out: bool = False
+
+    @property
+    def closed(self) -> bool:
+        return self.end_ts is not None
+
+    @property
+    def waited_ms(self) -> float:
+        if self.end_ts is None:
+            return 0.0
+        return self.end_ts - self.begin_ts
+
+    @property
+    def conversion_edge(self) -> Optional[str]:
+        if self.from_mode is None:
+            return None
+        return f"{self.from_mode}->{self.mode}"
+
+
+@dataclass
+class Hotspots:
+    """Wait time attributed three ways (all closed waits, in ms)."""
+
+    by_prefix: Dict[str, float] = field(default_factory=dict)
+    by_mode: Dict[str, float] = field(default_factory=dict)
+    by_conversion: Dict[str, float] = field(default_factory=dict)
+
+    def top_prefixes(self, limit: int = 10) -> List[Tuple[str, float]]:
+        return sorted(
+            self.by_prefix.items(), key=lambda item: (-item[1], item[0])
+        )[:limit]
+
+
+class TraceAnalysis:
+    """Replay a trace into timelines, wait records, and attributions."""
+
+    def __init__(self, events: Sequence[TraceEvent], *, prefix_depth: int = 2):
+        self.events: Tuple[TraceEvent, ...] = tuple(events)
+        self.prefix_depth = prefix_depth
+        self.timelines: Dict[str, TxnTimeline] = build_timelines(self.events)
+        #: Closed waits in close (grant/timeout) order -- the same order
+        #: the lock manager observed granted waits into its histogram.
+        self.waits: List[WaitRecord] = []
+        #: Waits still open when the trace ended (parked at the horizon).
+        self.open_waits: List[WaitRecord] = []
+        self._replay()
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_tracer(cls, tracer: RingTracer, **kwargs) -> "TraceAnalysis":
+        return cls(tracer.events(), **kwargs)
+
+    @classmethod
+    def from_jsonl(cls, path: Union[str, Path], **kwargs) -> "TraceAnalysis":
+        return cls(load_jsonl(path), **kwargs)
+
+    # -- replay --------------------------------------------------------------
+
+    def _replay(self) -> None:
+        holders: Dict[Tuple[str, str], Dict[str, str]] = {}
+        held_by_txn: Dict[str, set] = {}
+        pending_block: Dict[str, dict] = {}
+        open_by_txn: Dict[str, WaitRecord] = {}
+        last_timeout_seq: Dict[str, int] = {}
+
+        for event in self.events:
+            kind = event.kind
+            label = event.txn
+            if kind == LOCK_GRANT:
+                resource = (str(event.data["space"]), str(event.data["key"]))
+                holders.setdefault(resource, {})[label] = str(event.data["mode"])
+                held_by_txn.setdefault(label, set()).add(resource)
+            elif kind in (TXN_COMMIT, TXN_ABORT):
+                for resource in held_by_txn.pop(label, ()):
+                    owners = holders.get(resource)
+                    if owners is not None:
+                        owners.pop(label, None)
+                        if not owners:
+                            del holders[resource]
+            elif kind == LOCK_BLOCK:
+                resource = (str(event.data["space"]), str(event.data["key"]))
+                owners = holders.get(resource, {})
+                pending_block[label] = {
+                    "blockers": tuple(sorted(
+                        owner for owner in owners if owner != label
+                    )),
+                    "from_mode": event.data.get("from_mode"),
+                    "conversion": bool(event.data.get("conversion", False)),
+                }
+            elif kind == LOCK_TIMEOUT:
+                last_timeout_seq[label] = event.seq
+            elif kind == SPAN_BEGIN and event.data.get("cat") == "wait":
+                block = pending_block.pop(label, {})
+                record = WaitRecord(
+                    txn=label,
+                    space=str(event.data.get("space", "")),
+                    key=str(event.data.get("key", "")),
+                    mode=str(event.data.get("mode", "")),
+                    begin_ts=event.ts,
+                    begin_seq=event.seq,
+                    from_mode=block.get("from_mode"),
+                    conversion=block.get("conversion", False),
+                    blockers=block.get("blockers", ()),
+                )
+                record.chain = self._chain_at_block(record, open_by_txn)
+                open_by_txn[label] = record
+            elif kind == SPAN_END and event.data.get("cat") == "wait":
+                record = open_by_txn.pop(label, None)
+                if record is None:
+                    continue  # begin lost to ring overflow
+                record.end_ts = event.ts
+                record.end_seq = event.seq
+                record.timed_out = (
+                    last_timeout_seq.get(label, -1) > record.begin_seq
+                )
+                self.waits.append(record)
+            elif kind == LOCK_RELEASE:
+                # Operation-scope releases carry no keys (see module
+                # docstring); transaction scope is handled at txn end.
+                pass
+        self.open_waits = list(open_by_txn.values())
+
+    @staticmethod
+    def _chain_at_block(
+        record: WaitRecord, open_by_txn: Dict[str, WaitRecord]
+    ) -> Tuple[str, ...]:
+        """Follow first-blocker links through currently-waiting holders."""
+        chain = [record.txn]
+        seen = {record.txn}
+        current = record
+        while current.blockers:
+            nxt = current.blockers[0]
+            if nxt in seen:
+                break  # deadlock cycle; the detector reports it separately
+            chain.append(nxt)
+            seen.add(nxt)
+            following = open_by_txn.get(nxt)
+            if following is None:
+                break  # the holder is running, chain ends here
+            current = following
+        return tuple(chain)
+
+    # -- derived views -------------------------------------------------------
+
+    @property
+    def granted_waits(self) -> List[WaitRecord]:
+        return [record for record in self.waits if not record.timed_out]
+
+    @property
+    def total_wait_ms(self) -> float:
+        """Sum of granted wait times, in grant order.
+
+        Bit-exact against the lock manager's ``lock.wait_ms`` histogram
+        total for the same run: both sum the identical clock differences
+        in the identical (grant) order.
+        """
+        total = 0.0
+        for record in self.waits:
+            if not record.timed_out:
+                total += record.waited_ms
+        return total
+
+    def matches_histogram(self, histogram: Dict[str, object]) -> bool:
+        """Check this analysis against a ``lock.wait_ms`` histogram dict
+        (the :meth:`~repro.obs.metrics.Histogram.as_dict` shape)."""
+        return (
+            len(self.granted_waits) == int(histogram["count"])
+            and round(self.total_wait_ms, 6) == float(histogram["total"])
+        )
+
+    def hotspots(self) -> Hotspots:
+        spots = Hotspots()
+        for record in self.waits:
+            waited = record.waited_ms
+            prefix = splid_prefix(record.key, self.prefix_depth)
+            group = prefix if prefix is not None else record.space
+            spots.by_prefix[group] = spots.by_prefix.get(group, 0.0) + waited
+            spots.by_mode[record.mode] = (
+                spots.by_mode.get(record.mode, 0.0) + waited
+            )
+            edge = record.conversion_edge
+            if edge is not None:
+                spots.by_conversion[edge] = (
+                    spots.by_conversion.get(edge, 0.0) + waited
+                )
+        return spots
+
+    def blocking_chains(self, min_length: int = 3) -> List[WaitRecord]:
+        """Waits whose block-time wait-for chain had >= ``min_length``
+        members (the convoys worth staring at), longest first."""
+        chains = [
+            record for record in self.waits + self.open_waits
+            if len(record.chain) >= min_length
+        ]
+        chains.sort(key=lambda r: (-len(r.chain), r.begin_seq))
+        return chains
+
+    # -- critical path -------------------------------------------------------
+
+    def critical_path(self, label: str) -> Dict[str, float]:
+        """Where one transaction's wall time went (all values in ms).
+
+        ``total = lock_wait + io + compute + think``: lock wait from the
+        wait spans, I/O from the op spans' buffer attribution, compute as
+        the in-operation remainder, think as the gap between operations
+        (workload pacing, and rollback work for aborted transactions).
+        """
+        line = self.timelines[label]
+        ops_ms = sum(span.duration_ms for span in line.ops())
+        lock_wait = line.lock_wait_ms
+        io = line.io_ms
+        compute = max(0.0, ops_ms - lock_wait - io)
+        think = max(0.0, line.duration_ms - ops_ms)
+        return {
+            "total_ms": line.duration_ms,
+            "lock_wait_ms": lock_wait,
+            "io_ms": io,
+            "compute_ms": compute,
+            "think_ms": think,
+        }
+
+    def critical_path_summary(
+        self, outcomes: Iterable[str] = ("committed",)
+    ) -> Dict[str, float]:
+        """Aggregate critical path over transactions with the given
+        outcomes (default: committed only, the throughput-relevant set)."""
+        wanted = set(outcomes)
+        summary = {
+            "txn_count": 0,
+            "total_ms": 0.0,
+            "lock_wait_ms": 0.0,
+            "io_ms": 0.0,
+            "compute_ms": 0.0,
+            "think_ms": 0.0,
+        }
+        for label, line in self.timelines.items():
+            if line.outcome not in wanted:
+                continue
+            breakdown = self.critical_path(label)
+            summary["txn_count"] += 1
+            for key, value in breakdown.items():
+                summary[key] += value
+        return summary
+
+    # -- rendering -----------------------------------------------------------
+
+    def render_text(self, *, top: int = 8) -> str:
+        """Human-readable single-run analysis (the ``repro analyze``
+        output)."""
+        lines: List[str] = []
+        outcomes = {"committed": 0, "aborted": 0, "running": 0}
+        for line in self.timelines.values():
+            outcomes[line.outcome] = outcomes.get(line.outcome, 0) + 1
+        lines.append(
+            f"trace: {len(self.events)} events, "
+            f"{len(self.timelines)} transactions "
+            f"({outcomes['committed']} committed, {outcomes['aborted']} "
+            f"aborted, {outcomes['running']} running)"
+        )
+        timeouts = len(self.waits) - len(self.granted_waits)
+        lines.append(
+            f"lock waits: {len(self.granted_waits)} granted "
+            f"({self.total_wait_ms:.3f} ms), {timeouts} timed out, "
+            f"{len(self.open_waits)} still waiting at trace end"
+        )
+        spots = self.hotspots()
+        if spots.by_prefix:
+            lines.append(f"hot subtrees (wait ms by SPLID prefix, top {top}):")
+            for prefix, waited in spots.top_prefixes(top):
+                lines.append(f"  {prefix:<16} {waited:10.3f}")
+        if spots.by_mode:
+            lines.append("wait ms by requested mode:")
+            for mode in sorted(
+                spots.by_mode, key=lambda m: (-spots.by_mode[m], m)
+            ):
+                lines.append(f"  {mode:<16} {spots.by_mode[mode]:10.3f}")
+        if spots.by_conversion:
+            lines.append("wait ms by conversion edge:")
+            for edge in sorted(
+                spots.by_conversion,
+                key=lambda e: (-spots.by_conversion[e], e),
+            ):
+                lines.append(f"  {edge:<16} {spots.by_conversion[edge]:10.3f}")
+        chains = self.blocking_chains()
+        if chains:
+            lines.append(f"longest blocking chains (top {top}):")
+            for record in chains[:top]:
+                arrow = " -> ".join(record.chain)
+                lines.append(
+                    f"  [{record.space}:{record.key} {record.mode}] {arrow}"
+                )
+        summary = self.critical_path_summary()
+        if summary["txn_count"]:
+            lines.append(
+                f"critical path over {summary['txn_count']} committed txns: "
+                f"total {summary['total_ms']:.3f} ms = "
+                f"lock-wait {summary['lock_wait_ms']:.3f} "
+                f"+ io {summary['io_ms']:.3f} "
+                f"+ compute {summary['compute_ms']:.3f} "
+                f"+ think {summary['think_ms']:.3f}"
+            )
+        return "\n".join(lines)

@@ -41,6 +41,25 @@ BUFFER_FIX = "buffer.fix"
 BUFFER_MISS = "buffer.miss"
 BUFFER_EVICT = "buffer.evict"
 
+# -- spans --------------------------------------------------------------------
+#: Hierarchical timing spans.  A span is a begin/end pair of events with
+#: the same ``name`` and category ``cat`` on the same transaction; spans
+#: of one transaction are strictly nested (stack discipline), so the
+#: analyzer (:mod:`repro.obs.spans`) can rebuild the tree without ids.
+#: Categories in use:
+#:
+#: * ``op``   -- one node-manager DOM operation (``insert_tree``, ...);
+#:   the end event carries the operation's buffer I/O attribution
+#:   (``logical_reads``/``physical_reads``/``io_ms``);
+#: * ``wait`` -- one blocking lock wait (between ``lock.block`` and the
+#:   grant or timeout); the end event carries ``waited_ms``;
+#: * ``txn``  -- transaction-manager work such as ``rollback``.
+#:
+#: The transaction's *root* span needs no span events: it is delimited by
+#: ``txn.begin`` and ``txn.commit``/``txn.abort``.
+SPAN_BEGIN = "span.begin"
+SPAN_END = "span.end"
+
 #: The complete event vocabulary; tracers reject kinds outside it so that
 #: downstream consumers can rely on a closed taxonomy.
 EVENT_KINDS = frozenset({
@@ -58,6 +77,8 @@ EVENT_KINDS = frozenset({
     BUFFER_FIX,
     BUFFER_MISS,
     BUFFER_EVICT,
+    SPAN_BEGIN,
+    SPAN_END,
 })
 
 

@@ -1,0 +1,185 @@
+"""Per-transaction span timelines reconstructed from a trace.
+
+A *span* is a begin/end pair of :class:`~repro.obs.events.TraceEvent`
+records (kinds ``span.begin``/``span.end``) with the same ``name`` and
+category ``cat`` on the same transaction.  Spans of one transaction are
+strictly nested (stack discipline) -- the lock manager opens its
+``lock.wait`` spans strictly inside the node manager's ``op`` spans, the
+transaction manager's ``rollback`` span runs after the failing operation
+has unwound -- so the tree can be rebuilt with a plain stack and no span
+ids.
+
+The transaction's *root* span carries no span events: it is delimited by
+``txn.begin`` and ``txn.commit``/``txn.abort``.  Transactions still
+parked at the simulation horizon have neither; their timeline stays
+``running`` with an open end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.obs.events import (
+    SPAN_BEGIN,
+    SPAN_END,
+    TXN_ABORT,
+    TXN_BEGIN,
+    TXN_COMMIT,
+    TraceEvent,
+)
+
+
+@dataclass
+class Span:
+    """One reconstructed begin/end interval inside a transaction."""
+
+    txn: str
+    cat: str
+    name: str
+    begin_ts: float
+    begin_seq: int
+    end_ts: Optional[float] = None
+    end_seq: Optional[int] = None
+    depth: int = 0
+    #: Payload of the *end* event (I/O attribution, ``waited_ms``, ...).
+    data: Dict[str, object] = field(default_factory=dict)
+    children: List["Span"] = field(default_factory=list)
+
+    @property
+    def closed(self) -> bool:
+        return self.end_ts is not None
+
+    @property
+    def duration_ms(self) -> float:
+        """Span length from the raw timestamps (0.0 while still open)."""
+        if self.end_ts is None:
+            return 0.0
+        return self.end_ts - self.begin_ts
+
+    def walk(self) -> Iterable["Span"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+@dataclass
+class TxnTimeline:
+    """Everything one transaction did, as a span tree."""
+
+    label: str
+    name: str = ""
+    isolation: str = ""
+    begin_ts: Optional[float] = None
+    end_ts: Optional[float] = None
+    #: ``committed`` / ``aborted`` / ``running`` (no end event observed,
+    #: e.g. parked at the simulation horizon or lost to ring overflow).
+    outcome: str = "running"
+    abort_reason: Optional[str] = None
+    #: Top-level spans, in begin order.
+    spans: List[Span] = field(default_factory=list)
+
+    @property
+    def duration_ms(self) -> float:
+        if self.begin_ts is None or self.end_ts is None:
+            return 0.0
+        return self.end_ts - self.begin_ts
+
+    def all_spans(self) -> List[Span]:
+        out: List[Span] = []
+        for span in self.spans:
+            out.extend(span.walk())
+        return out
+
+    def ops(self) -> List[Span]:
+        """Top-level operation spans (nested helper ops excluded)."""
+        return [span for span in self.spans if span.cat == "op"]
+
+    def wait_spans(self) -> List[Span]:
+        """All closed lock-wait spans, any nesting depth."""
+        return [
+            span for span in self.all_spans()
+            if span.cat == "wait" and span.closed
+        ]
+
+    @property
+    def lock_wait_ms(self) -> float:
+        return sum(span.duration_ms for span in self.wait_spans())
+
+    @property
+    def io_ms(self) -> float:
+        """Simulated I/O cost, from the top-level op spans' attribution.
+
+        Each op end event carries the transaction's buffer-read delta over
+        the whole (possibly nested) operation, so only top-level spans are
+        summed -- a nested op's reads are already inside its parent's
+        delta.
+        """
+        return sum(float(span.data.get("io_ms", 0.0)) for span in self.ops())
+
+
+def build_timelines(events: Iterable[TraceEvent]) -> Dict[str, TxnTimeline]:
+    """Reconstruct per-transaction timelines from a trace.
+
+    Returns timelines keyed by transaction label, in order of first
+    appearance.  Events must be in emission order (as ``RingTracer`` and
+    ``load_jsonl`` both provide).
+    """
+    timelines: Dict[str, TxnTimeline] = {}
+    stacks: Dict[str, List[Span]] = {}
+
+    def timeline(label: str, ts: float) -> TxnTimeline:
+        line = timelines.get(label)
+        if line is None:
+            # First sighting without txn.begin (ring overflow dropped it):
+            # anchor the timeline at the first event we did see.
+            line = timelines[label] = TxnTimeline(label=label, begin_ts=ts)
+        return line
+
+    for event in events:
+        if event.txn is None:
+            continue
+        label = event.txn
+        if event.kind == TXN_BEGIN:
+            line = timelines.get(label)
+            if line is None:
+                line = timelines[label] = TxnTimeline(label=label)
+            line.begin_ts = event.ts
+            line.name = str(event.data.get("name", ""))
+            line.isolation = str(event.data.get("isolation", ""))
+        elif event.kind in (TXN_COMMIT, TXN_ABORT):
+            line = timeline(label, event.ts)
+            line.end_ts = event.ts
+            line.outcome = "committed" if event.kind == TXN_COMMIT else "aborted"
+            if event.kind == TXN_ABORT:
+                line.abort_reason = str(event.data.get("reason", "rollback"))
+            # Anything still open was cut off by the abort path; close it
+            # at the transaction's end so durations stay well-defined.
+            for span in stacks.pop(label, []):
+                span.end_ts = event.ts
+                span.end_seq = event.seq
+        elif event.kind == SPAN_BEGIN:
+            line = timeline(label, event.ts)
+            stack = stacks.setdefault(label, [])
+            span = Span(
+                txn=label,
+                cat=str(event.data.get("cat", "")),
+                name=str(event.data.get("name", "")),
+                begin_ts=event.ts,
+                begin_seq=event.seq,
+                depth=len(stack),
+            )
+            if stack:
+                stack[-1].children.append(span)
+            else:
+                line.spans.append(span)
+            stack.append(span)
+        elif event.kind == SPAN_END:
+            stack = stacks.get(label)
+            if not stack:
+                continue  # begin lost to ring overflow
+            span = stack.pop()
+            span.end_ts = event.ts
+            span.end_seq = event.seq
+            span.data = dict(event.data)
+    return timelines

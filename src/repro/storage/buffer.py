@@ -122,6 +122,7 @@ class BufferManager:
         registry.gauge("buffer.evictions").set(self.stats.evictions)
         registry.gauge("buffer.hit_ratio").set(round(self.stats.hit_ratio, 6))
         registry.gauge("buffer.resident_pages").set(len(self._resident))
+        registry.gauge("buffer.pool_size").set(self.pool_size)
 
     # -- page access -------------------------------------------------------
 

@@ -44,6 +44,7 @@ def make_database(
     seed: int = 2006,
     info: Optional[BibInfo] = None,
     observability=None,
+    enable_wal: bool = False,
 ) -> tuple:
     """A database plus bib document for one benchmark run."""
     if info is None:
@@ -54,6 +55,7 @@ def make_database(
         isolation=isolation,
         document=info.document,
         observability=observability,
+        enable_wal=enable_wal,
     )
     return database, info
 
@@ -68,6 +70,7 @@ def run_cluster1(
     seed: int = 42,
     info: Optional[BibInfo] = None,
     observability=None,
+    enable_wal: bool = False,
 ) -> RunResult:
     """One CLUSTER1 run; returns the paper's metrics.
 
@@ -78,7 +81,7 @@ def run_cluster1(
     """
     database, info = make_database(
         protocol, lock_depth, isolation, scale=scale, seed=2006, info=info,
-        observability=observability,
+        observability=observability, enable_wal=enable_wal,
     )
     config = TaMixConfig(
         protocol=protocol,

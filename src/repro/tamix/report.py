@@ -75,6 +75,45 @@ def bar_chart(
     return "\n".join(lines)
 
 
+def heatmap(
+    grid: Mapping[str, Mapping[object, float]],
+    *,
+    columns: Sequence[object],
+    title: str = "",
+) -> str:
+    """Render a rows x columns intensity grid with shade glyphs.
+
+    ``grid`` maps a row name (protocol) to ``{column: value}`` (e.g. lock
+    depth -> blocking time); shading is normalized to the grid's peak, so
+    the hottest cell is always the darkest glyph.  Used for the sweep
+    report's contention heatmaps.
+    """
+    shades = " .:-=+*#%@"
+    peak = max(
+        (value for row in grid.values() for value in row.values()),
+        default=0.0,
+    )
+    lines = [title] if title else []
+    header = " " * 12 + "".join(f"{str(column):>6}" for column in columns)
+    lines.append(header)
+    for name, row in grid.items():
+        cells = []
+        for column in columns:
+            value = row.get(column)
+            if value is None:
+                cells.append(f"{'':>6}")
+                continue
+            level = 0 if peak <= 0 else int(
+                round((value / peak) * (len(shades) - 1))
+            )
+            cells.append(f"{shades[level] * 3:>6}")
+        lines.append(f"  {str(name):<10}" + "".join(cells))
+    lines.append(
+        f"  scale: ' ' = 0 .. '@' = {peak:.2f} (grid peak)"
+    )
+    return "\n".join(lines)
+
+
 def mode_profile_table(
     profiles: Mapping[str, Mapping[str, int]],
     *,

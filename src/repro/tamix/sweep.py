@@ -19,12 +19,27 @@ import csv
 import io
 import json
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.registry import get_protocol
 from repro.errors import BenchmarkError
+from repro.obs import WAIT_TIME_BUCKETS_MS
 from repro.tamix.cluster import run_cluster1
 from repro.tamix.metrics import RunResult
+
+#: Canonical wait-histogram column order: the fixed bucket boundaries of
+#: :data:`repro.obs.metrics.WAIT_TIME_BUCKETS_MS` plus the overflow
+#: bucket.  Serialization goes through this list so rows from different
+#: protocols (or cells that never waited) always agree on column order.
+HISTOGRAM_BUCKET_ORDER: Tuple[str, ...] = tuple(
+    f"le_{boundary:g}" for boundary in WAIT_TIME_BUCKETS_MS
+) + ("le_inf",)
+
+
+def canonical_histogram(buckets: Dict[str, int]) -> Dict[str, int]:
+    """Bucket counts in canonical order, zero-filled for absent buckets."""
+    return {key: int(buckets.get(key, 0)) for key in HISTOGRAM_BUCKET_ORDER}
 
 
 @dataclass(frozen=True)
@@ -55,6 +70,9 @@ class CellResult:
     lock_waits: float = 0.0
     wait_mean_ms: float = 0.0
     wait_max_ms: float = 0.0
+    #: Total blocking time summed over repetitions (the histogram's
+    #: ``total``) -- what the trace analyzer reconstructs per cell.
+    wait_total_ms: float = 0.0
     wait_histogram: Dict[str, int] = field(default_factory=dict)
 
     def as_row(self, *, include_histogram: bool = False) -> Dict[str, object]:
@@ -77,11 +95,12 @@ class CellResult:
             "lock_waits": round(self.lock_waits, 2),
             "wait_mean_ms": round(self.wait_mean_ms, 3),
             "wait_max_ms": round(self.wait_max_ms, 3),
+            "wait_total_ms": round(self.wait_total_ms, 6),
         }
         for txn_type, value in sorted(self.by_type.items()):
             row[txn_type] = round(value, 2)
         if include_histogram:
-            row["wait_histogram"] = dict(self.wait_histogram)
+            row["wait_histogram"] = canonical_histogram(self.wait_histogram)
         return row
 
 
@@ -114,20 +133,46 @@ class SweepSpec:
                         yield SweepCell(protocol, depth, isolation, run)
 
 
-def _execute_cell(spec: SweepSpec, cell: SweepCell) -> RunResult:
+def trace_filename(cell: SweepCell) -> str:
+    """The JSONL trace filename for one cell run (stable, per-run)."""
+    return (
+        f"{cell.protocol}_d{cell.lock_depth}_{cell.isolation}"
+        f"_r{cell.run}.jsonl"
+    )
+
+
+def _execute_cell(
+    spec: SweepSpec,
+    cell: SweepCell,
+    trace_dir: Union[str, Path, None] = None,
+) -> RunResult:
     """Run one cell (module-level so worker processes can unpickle it).
 
     The per-cell seed depends only on the spec and the cell, never on
-    execution order, which keeps parallel sweeps deterministic.
+    execution order, which keeps parallel sweeps deterministic.  With a
+    ``trace_dir`` the cell records its full event trace straight into
+    ``<trace_dir>/<protocol>_d<depth>_<isolation>_r<run>.jsonl`` (sink
+    mirroring, so no ring capacity limit applies).
     """
-    return run_cluster1(
-        cell.protocol,
-        lock_depth=cell.lock_depth,
-        isolation=cell.isolation,
-        scale=spec.scale,
-        run_duration_ms=spec.run_duration_ms,
-        seed=spec.base_seed + cell.run,
-    )
+    observability = None
+    if trace_dir is not None:
+        from repro.obs import Observability
+
+        sink = Path(trace_dir) / trace_filename(cell)
+        observability = Observability.enabled(capacity=1, sink=sink)
+    try:
+        return run_cluster1(
+            cell.protocol,
+            lock_depth=cell.lock_depth,
+            isolation=cell.isolation,
+            scale=spec.scale,
+            run_duration_ms=spec.run_duration_ms,
+            seed=spec.base_seed + cell.run,
+            observability=observability,
+        )
+    finally:
+        if observability is not None:
+            observability.close()
 
 
 class SweepRunner:
@@ -140,27 +185,60 @@ class SweepRunner:
     execution.
     """
 
-    def __init__(self, spec: SweepSpec, *, workers: int = 1):
+    def __init__(
+        self,
+        spec: SweepSpec,
+        *,
+        workers: int = 1,
+        trace_dir: Union[str, Path, None] = None,
+    ):
         self.spec = spec
         self.workers = max(1, int(workers)) if workers else 1
+        self.trace_dir = None if trace_dir is None else Path(trace_dir)
         self.results: Dict[Tuple[str, int, str], CellResult] = {}
 
     def run(self, *, progress=None) -> List[CellResult]:
         cells = list(self.spec.cells())
-        outcomes = None
+        if self.trace_dir is not None:
+            self.trace_dir.mkdir(parents=True, exist_ok=True)
         if self.workers > 1 and len(cells) > 1:
-            outcomes = self._run_parallel(cells)
-        if outcomes is None:
-            outcomes = ((cell, _execute_cell(self.spec, cell)) for cell in cells)
-        for cell, outcome in outcomes:
+            completed = self._consume(self._iter_parallel(cells), progress)
+            if completed:
+                return self.sorted_results()
+            # The pool died (or could not be created): throw away any
+            # partial aggregation and redo the whole matrix serially, so
+            # the results are indistinguishable from a serial run.
+            self.results = {}
+        self._consume(
+            (
+                (cell, _execute_cell(self.spec, cell, self.trace_dir))
+                for cell in cells
+            ),
+            progress,
+        )
+        return self.sorted_results()
+
+    def _consume(self, outcomes, progress) -> bool:
+        """Aggregate (cell, outcome) pairs as they arrive; ``False`` when
+        the source signalled pool failure by yielding ``None``."""
+        for pair in outcomes:
+            if pair is None:
+                return False
+            cell, outcome = pair
             self._aggregate(cell, outcome)
             if progress is not None:
                 progress(cell, outcome)
-        return self.sorted_results()
+        return True
 
-    def _run_parallel(self, cells: List[SweepCell]):
-        """All (cell, outcome) pairs in matrix order, or ``None`` when no
-        process pool is available."""
+    def _iter_parallel(self, cells: List[SweepCell]):
+        """Yield (cell, outcome) pairs *live*, in matrix order.
+
+        Results are consumed per-future (not gathered), so a ``progress``
+        callback fires as soon as each matrix-order cell is done -- later
+        cells may already have finished in the background.  Yields
+        ``None`` (then stops) when no process pool is available or the
+        pool breaks mid-run.
+        """
         try:
             from concurrent.futures import ProcessPoolExecutor
             from concurrent.futures.process import BrokenProcessPool
@@ -168,19 +246,18 @@ class SweepRunner:
                 max_workers=min(self.workers, len(cells))
             )
         except (ImportError, NotImplementedError, OSError, ValueError):
-            return None
+            yield None
+            return
         try:
             with pool:
                 futures = [
-                    pool.submit(_execute_cell, self.spec, cell)
+                    pool.submit(_execute_cell, self.spec, cell, self.trace_dir)
                     for cell in cells
                 ]
-                return [
-                    (cell, future.result())
-                    for cell, future in zip(cells, futures)
-                ]
+                for cell, future in zip(cells, futures):
+                    yield (cell, future.result())
         except BrokenProcessPool:
-            return None
+            yield None
 
     def sorted_results(self) -> List[CellResult]:
         return [
@@ -190,8 +267,17 @@ class SweepRunner:
 
     # -- persistence ---------------------------------------------------------
 
-    def to_csv(self) -> str:
-        rows = [result.as_row() for result in self.sorted_results()]
+    def to_csv(self, *, include_histogram: bool = False) -> str:
+        rows = []
+        for result in self.sorted_results():
+            row = result.as_row()
+            if include_histogram:
+                # Flattened in canonical bucket order, so the header is
+                # identical whichever protocols (or none) ever waited.
+                buckets = canonical_histogram(result.wait_histogram)
+                for bucket, count in buckets.items():
+                    row[f"wait_{bucket}"] = count
+            rows.append(row)
         if not rows:
             return ""
         fieldnames = list(rows[0])
@@ -256,6 +342,7 @@ class SweepRunner:
             slot.wait_max_ms = max(slot.wait_max_ms, wait["max_ms"])
         histogram = outcome.wait_histogram
         if histogram:
+            slot.wait_total_ms += float(histogram.get("total", 0.0))
             for bucket, count in histogram["buckets"].items():
                 slot.wait_histogram[bucket] = (
                     slot.wait_histogram.get(bucket, 0) + count

@@ -1,0 +1,292 @@
+"""Self-contained experiment reports from persisted sweep results.
+
+``repro sweep --json sweep.json`` persists the experiment matrix;
+``repro report sweep.json`` turns it into a Markdown or HTML report with
+the paper's comparison shapes: per-protocol throughput tables, Fig. 7/9
+style throughput-over-lock-depth curves, and contention heatmaps -- all
+rendered through the ASCII chart helpers in :mod:`repro.tamix.report`.
+
+Determinism is a hard requirement: the report is a pure function of the
+result rows (no timestamps, no environment probes), so the same seeded
+sweep always yields a byte-identical report.
+"""
+
+from __future__ import annotations
+
+import html as html_module
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+
+from repro.tamix.report import heatmap, line_chart
+from repro.tamix.sweep import HISTOGRAM_BUCKET_ORDER
+
+Row = Dict[str, object]
+
+
+def load_rows(source: Union[str, Path, Sequence[Row]]) -> List[Row]:
+    """Result rows from a ``to_json`` file path or an in-memory list."""
+    if isinstance(source, (str, Path)):
+        rows = json.loads(Path(source).read_text(encoding="utf-8"))
+    else:
+        rows = list(source)
+    if not isinstance(rows, list):
+        raise ValueError("sweep results must be a JSON list of cell rows")
+    return rows
+
+
+class _ReportData:
+    """The sweep matrix re-indexed for rendering."""
+
+    def __init__(self, rows: Sequence[Row]):
+        self.rows = list(rows)
+        self.protocols: List[str] = []
+        self.depths: List[int] = []
+        self.isolations: List[str] = []
+        self.by_cell: Dict[Tuple[str, int, str], Row] = {}
+        for row in self.rows:
+            protocol = str(row["protocol"])
+            depth = int(row["lock_depth"])
+            isolation = str(row["isolation"])
+            if protocol not in self.protocols:
+                self.protocols.append(protocol)
+            if depth not in self.depths:
+                self.depths.append(depth)
+            if isolation not in self.isolations:
+                self.isolations.append(isolation)
+            self.by_cell[(protocol, depth, isolation)] = row
+        self.depths.sort()
+
+    def value(self, protocol: str, depth: int, isolation: str,
+              metric: str) -> object:
+        row = self.by_cell.get((protocol, depth, isolation))
+        if row is None:
+            return None
+        return row.get(metric)
+
+    def series(self, isolation: str, metric: str) -> Dict[str, List[float]]:
+        """Per-protocol series over lock depth (missing cells carried
+        forward as the protocol's single depth-unaware value)."""
+        series: Dict[str, List[float]] = {}
+        for protocol in self.protocols:
+            values: List[float] = []
+            last = 0.0
+            for depth in self.depths:
+                value = self.value(protocol, depth, isolation, metric)
+                if value is not None:
+                    last = float(value)  # depth-unaware: constant line
+                values.append(last)
+            series[protocol] = values
+        return series
+
+    def grid(self, isolation: str, metric: str) -> Dict[str, Dict[int, float]]:
+        grid: Dict[str, Dict[int, float]] = {}
+        for protocol in self.protocols:
+            row: Dict[int, float] = {}
+            for depth in self.depths:
+                value = self.value(protocol, depth, isolation, metric)
+                if value is not None:
+                    row[depth] = float(value)
+            grid[protocol] = row
+        return grid
+
+    def protocol_totals(self, isolation: str) -> List[Dict[str, object]]:
+        """One summary line per protocol at the given isolation."""
+        totals = []
+        for protocol in self.protocols:
+            cells = [
+                self.by_cell[key] for key in sorted(self.by_cell)
+                if key[0] == protocol and key[2] == isolation
+            ]
+            if not cells:
+                continue
+            best = max(float(row.get("committed", 0.0)) for row in cells)
+            totals.append({
+                "protocol": protocol,
+                "best_committed": best,
+                "aborted": sum(float(r.get("aborted", 0.0)) for r in cells),
+                "deadlocks": sum(float(r.get("deadlocks", 0.0)) for r in cells),
+                "wait_total_ms": sum(
+                    float(r.get("wait_total_ms", 0.0)) for r in cells
+                ),
+            })
+        return totals
+
+
+def _md_table(header: Sequence[str], body: Sequence[Sequence[object]]) -> str:
+    lines = [
+        "| " + " | ".join(str(cell) for cell in header) + " |",
+        "|" + "|".join(" --- " for _cell in header) + "|",
+    ]
+    for row in body:
+        lines.append("| " + " | ".join(str(cell) for cell in row) + " |")
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def _sections(data: _ReportData) -> List[Tuple[str, str, str]]:
+    """(heading, kind, payload) sections; kind is ``table`` (markdown
+    table text), ``chart`` (preformatted block), or ``text``."""
+    sections: List[Tuple[str, str, str]] = []
+    sections.append((
+        "Experiment matrix",
+        "text",
+        f"protocols: {', '.join(data.protocols)}  \n"
+        f"lock depths: {', '.join(str(d) for d in data.depths)}  \n"
+        f"isolation levels: {', '.join(data.isolations)}  \n"
+        f"cells: {len(data.rows)}",
+    ))
+    for isolation in data.isolations:
+        header = ["protocol"] + [f"d={d}" for d in data.depths]
+        body = []
+        for protocol in data.protocols:
+            body.append([protocol] + [
+                _fmt(data.value(protocol, depth, isolation, "committed"))
+                for depth in data.depths
+            ])
+        sections.append((
+            f"Committed transactions -- isolation {isolation}",
+            "table",
+            _md_table(header, body),
+        ))
+        if len(data.depths) > 1:
+            sections.append((
+                f"Throughput over lock depth -- isolation {isolation}",
+                "chart",
+                line_chart(
+                    data.series(isolation, "committed"),
+                    x_labels=data.depths,
+                    title="committed transactions",
+                ),
+            ))
+        sections.append((
+            f"Contention heatmap (blocking ms) -- isolation {isolation}",
+            "chart",
+            heatmap(
+                data.grid(isolation, "wait_total_ms"),
+                columns=data.depths,
+                title="total lock-wait time (ms)",
+            ),
+        ))
+        totals = data.protocol_totals(isolation)
+        if totals:
+            sections.append((
+                f"Protocol summary -- isolation {isolation}",
+                "table",
+                _md_table(
+                    ["protocol", "best committed", "aborted",
+                     "deadlocks", "blocking ms"],
+                    [
+                        [
+                            t["protocol"], _fmt(t["best_committed"]),
+                            _fmt(t["aborted"]), _fmt(t["deadlocks"]),
+                            _fmt(t["wait_total_ms"]),
+                        ]
+                        for t in totals
+                    ],
+                ),
+            ))
+    histogram_rows = [
+        row for row in data.rows if row.get("wait_histogram")
+    ]
+    if histogram_rows:
+        header = ["protocol", "depth", "isolation"] + list(
+            HISTOGRAM_BUCKET_ORDER
+        )
+        body = []
+        for row in histogram_rows:
+            buckets = row["wait_histogram"]
+            body.append(
+                [row["protocol"], row["lock_depth"], row["isolation"]]
+                + [buckets.get(bucket, 0) for bucket in HISTOGRAM_BUCKET_ORDER]
+            )
+        sections.append((
+            "Wait-time histograms (bucket counts, ms upper bounds)",
+            "table",
+            _md_table(header, body),
+        ))
+    return sections
+
+
+def render_markdown(
+    source: Union[str, Path, Sequence[Row]],
+    *,
+    title: str = "TaMix sweep report",
+) -> str:
+    """The sweep as a self-contained Markdown report (deterministic)."""
+    data = _ReportData(load_rows(source))
+    parts = [f"# {title}", ""]
+    for heading, kind, payload in _sections(data):
+        parts.append(f"## {heading}")
+        parts.append("")
+        if kind == "chart":
+            parts.append("```")
+            parts.append(payload)
+            parts.append("```")
+        else:
+            parts.append(payload)
+        parts.append("")
+    return "\n".join(parts)
+
+
+_HTML_STYLE = (
+    "body{font-family:sans-serif;margin:2em;max-width:72em}"
+    "table{border-collapse:collapse;margin:1em 0}"
+    "td,th{border:1px solid #999;padding:0.25em 0.6em;text-align:right}"
+    "th:first-child,td:first-child{text-align:left}"
+    "pre{background:#f4f4f4;padding:1em;overflow-x:auto}"
+)
+
+
+def _html_table(table_md: str) -> str:
+    lines = [line for line in table_md.splitlines() if line.strip()]
+    out = ["<table>"]
+    for index, line in enumerate(lines):
+        if set(line.replace("|", "").strip()) <= {"-", " "}:
+            continue  # the markdown separator row
+        cells = [cell.strip() for cell in line.strip("|").split("|")]
+        tag = "th" if index == 0 else "td"
+        out.append(
+            "<tr>" + "".join(
+                f"<{tag}>{html_module.escape(cell)}</{tag}>"
+                for cell in cells
+            ) + "</tr>"
+        )
+    out.append("</table>")
+    return "\n".join(out)
+
+
+def render_html(
+    source: Union[str, Path, Sequence[Row]],
+    *,
+    title: str = "TaMix sweep report",
+) -> str:
+    """The sweep as one self-contained HTML page (deterministic)."""
+    data = _ReportData(load_rows(source))
+    escaped_title = html_module.escape(title)
+    parts = [
+        "<!DOCTYPE html>",
+        "<html><head><meta charset=\"utf-8\">",
+        f"<title>{escaped_title}</title>",
+        f"<style>{_HTML_STYLE}</style>",
+        "</head><body>",
+        f"<h1>{escaped_title}</h1>",
+    ]
+    for heading, kind, payload in _sections(data):
+        parts.append(f"<h2>{html_module.escape(heading)}</h2>")
+        if kind == "table":
+            parts.append(_html_table(payload))
+        elif kind == "chart":
+            parts.append(f"<pre>{html_module.escape(payload)}</pre>")
+        else:
+            text = html_module.escape(payload).replace("  \n", "<br>")
+            parts.append(f"<p>{text}</p>")
+    parts.append("</body></html>")
+    return "\n".join(parts) + "\n"

@@ -13,7 +13,14 @@ from typing import Callable, Dict, List, Optional
 from repro.dom.document import Document
 from repro.errors import TransactionError
 from repro.locking.lock_manager import IsolationLevel, LockManager
-from repro.obs import Observability, TXN_ABORT, TXN_BEGIN, TXN_COMMIT
+from repro.obs import (
+    Observability,
+    SPAN_BEGIN,
+    SPAN_END,
+    TXN_ABORT,
+    TXN_BEGIN,
+    TXN_COMMIT,
+)
 from repro.txn.transaction import Transaction, TxnState
 
 
@@ -124,6 +131,23 @@ class TransactionManager:
 
     def _rollback(self, txn: Transaction) -> None:
         """Apply the undo log backwards against the raw document."""
+        trace = self.tracer.enabled
+        if trace:
+            self.tracer.emit(
+                SPAN_BEGIN, txn=txn.label, cat="txn", name="rollback",
+                undo_entries=len(txn.undo_log),
+            )
+        try:
+            self._apply_undo(txn)
+        finally:
+            # Rollback runs synchronously (no yields), so this ``finally``
+            # cannot fire from a garbage-collected generator frame.
+            if trace:
+                self.tracer.emit(
+                    SPAN_END, txn=txn.label, cat="txn", name="rollback",
+                )
+
+    def _apply_undo(self, txn: Transaction) -> None:
         for kind, payload in reversed(txn.undo_log):
             if kind == "insert":
                 if self.document.exists(payload):

@@ -26,7 +26,7 @@ import io
 import struct
 from dataclasses import dataclass
 from enum import IntEnum
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.dom.document import Document
 from repro.errors import StorageError
@@ -115,6 +115,13 @@ class WriteAheadLog:
 
     def __init__(self):
         self._records: List[LogRecord] = []
+        #: Cheap counters for the metrics registry (see
+        #: :meth:`collect_metrics`): total appends, appends per record
+        #: kind, and "flushes" -- the WAL is in-memory, so a flush is the
+        #: write-ahead barrier taken at each COMMIT record.
+        self.appends: int = 0
+        self.flushes: int = 0
+        self.appends_by_kind: Dict[LogKind, int] = {}
 
     def __len__(self) -> int:
         return len(self._records)
@@ -131,13 +138,19 @@ class WriteAheadLog:
     def _append(self, kind: LogKind, txn_id: int, **fields) -> LogRecord:
         record = LogRecord(len(self._records) + 1, kind, txn_id, **fields)
         self._records.append(record)
+        self.appends += 1
+        self.appends_by_kind[kind] = self.appends_by_kind.get(kind, 0) + 1
         return record
 
     def log_begin(self, txn_id: int) -> LogRecord:
         return self._append(LogKind.BEGIN, txn_id)
 
     def log_commit(self, txn_id: int) -> LogRecord:
-        return self._append(LogKind.COMMIT, txn_id)
+        record = self._append(LogKind.COMMIT, txn_id)
+        # Write-ahead barrier: a commit record must be durable before the
+        # transaction's locks are released.
+        self.flushes += 1
+        return record
 
     def log_abort(self, txn_id: int) -> LogRecord:
         return self._append(LogKind.ABORT, txn_id)
@@ -175,6 +188,16 @@ class WriteAheadLog:
         return self._append(
             LogKind.RENAME, txn_id, target=target, old=old, new=new
         )
+
+    # -- metrics -------------------------------------------------------------
+
+    def collect_metrics(self, registry) -> None:
+        """Snapshot-time collector for a :class:`MetricsRegistry`."""
+        registry.gauge("wal.appends").set(self.appends)
+        registry.gauge("wal.flushes").set(self.flushes)
+        registry.gauge("wal.last_lsn").set(self.last_lsn)
+        for kind, count in self.appends_by_kind.items():
+            registry.gauge(f"wal.records.{kind.name.lower()}").set(count)
 
     # -- serialization ----------------------------------------------------------
 

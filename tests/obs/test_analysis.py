@@ -1,0 +1,184 @@
+"""The trace analyzer: round-trip fidelity, blocking chains, hotspot
+attribution, critical path, and the histogram acceptance check."""
+
+import pytest
+
+from repro.obs import Observability, TraceAnalysis
+from tests.obs.test_spans import run_timeout_scenario
+from tests.obs.test_trace_integration import run_scripted_deadlock
+
+
+def wait_fingerprint(analysis):
+    """Everything the analyzer derives per wait, comparison-ready."""
+    return [
+        (
+            record.txn, record.space, record.key, record.mode,
+            record.from_mode, record.conversion, record.blockers,
+            record.chain, record.waited_ms, record.timed_out,
+        )
+        for record in analysis.waits
+    ]
+
+
+class TestRoundTripFidelity:
+    """JSONL dump -> load_jsonl -> analyzer must produce identical
+    results as the in-memory RingTracer path."""
+
+    @pytest.fixture(scope="class")
+    def pair(self, tmp_path_factory):
+        from repro.tamix.cluster import run_cluster1
+
+        sink = tmp_path_factory.mktemp("ana") / "cell.jsonl"
+        obs = Observability.enabled(capacity=None, sink=sink)
+        run_cluster1(
+            "taDOM3+", lock_depth=4, scale=0.05,
+            run_duration_ms=6_000.0, seed=11, observability=obs,
+        )
+        obs.close()
+        return (
+            TraceAnalysis.from_tracer(obs.tracer),
+            TraceAnalysis.from_jsonl(sink),
+        )
+
+    def test_events_round_trip(self, pair):
+        ring, jsonl = pair
+        assert ring.events == jsonl.events
+
+    def test_identical_wait_records_and_chains(self, pair):
+        ring, jsonl = pair
+        assert wait_fingerprint(ring) == wait_fingerprint(jsonl)
+        assert ring.total_wait_ms == jsonl.total_wait_ms
+        assert len(ring.waits) > 0, "fixture must actually wait"
+
+    def test_identical_hotspots_and_rendering(self, pair):
+        ring, jsonl = pair
+        assert ring.hotspots() == jsonl.hotspots()
+        assert ring.render_text() == jsonl.render_text()
+
+    def test_identical_timelines(self, pair):
+        ring, jsonl = pair
+        assert list(ring.timelines) == list(jsonl.timelines)
+        for label in ring.timelines:
+            assert (ring.critical_path(label)
+                    == jsonl.critical_path(label))
+
+
+class TestSweepHistogramAcceptance:
+    """Acceptance: on a seeded two-protocol sweep, the analyzer's
+    reconstructed blocking time equals each cell's histogram sum."""
+
+    @pytest.fixture(scope="class")
+    def sweep(self, tmp_path_factory):
+        from repro.tamix.sweep import SweepRunner, SweepSpec, trace_filename
+
+        trace_dir = tmp_path_factory.mktemp("traces")
+        spec = SweepSpec(
+            protocols=("taDOM2", "taDOM3+"),
+            lock_depths=(4,),
+            isolations=("repeatable",),
+            runs_per_cell=1,
+            scale=0.05,
+            run_duration_ms=6_000.0,
+            base_seed=11,
+        )
+        runner = SweepRunner(spec, trace_dir=trace_dir)
+        results = runner.run()
+        return spec, trace_dir, results, trace_filename
+
+    def test_blocking_time_matches_histogram_per_cell(self, sweep):
+        spec, trace_dir, results, trace_filename = sweep
+        nonzero = 0
+        for result in results:
+            analysis = TraceAnalysis.from_jsonl(
+                trace_dir / trace_filename(result.cell)
+            )
+            buckets = result.wait_histogram
+            assert len(analysis.granted_waits) == sum(buckets.values())
+            assert round(analysis.total_wait_ms, 6) == result.wait_total_ms
+            nonzero += bool(analysis.granted_waits)
+        assert nonzero > 0, "seeded sweep must produce real lock waits"
+
+    def test_matches_histogram_helper(self, sweep):
+        _spec, trace_dir, results, trace_filename = sweep
+        for result in results:
+            analysis = TraceAnalysis.from_jsonl(
+                trace_dir / trace_filename(result.cell)
+            )
+            histogram = {
+                "count": sum(result.wait_histogram.values()),
+                "total": result.wait_total_ms,
+            }
+            assert analysis.matches_histogram(histogram)
+
+
+class TestBlockingChains:
+    def test_survivor_chain_names_the_deadlock_victim(self):
+        # The victim aborts at request time (the upgrade closes the
+        # cycle), so the surviving txn owns the only wait record and
+        # its chain points at the victim it was blocked behind.
+        events, outcomes = run_scripted_deadlock()
+        analysis = TraceAnalysis(events)
+        victim = next(n for n, o in outcomes.items() if o == "deadlock")
+        survivor = next(n for n, o in outcomes.items() if o == "committed")
+        chains = [r.chain for r in analysis.waits + analysis.open_waits]
+        assert any(
+            survivor in chain[0] and any(victim in hop for hop in chain[1:])
+            for chain in chains
+        )
+
+    def test_conversion_edge_attribution(self):
+        events, _outcomes = run_scripted_deadlock()
+        spots = TraceAnalysis(events).hotspots()
+        # The scripted scenario stalls on a shared->exclusive upgrade.
+        assert spots.by_conversion
+        assert all("->" in edge for edge in spots.by_conversion)
+
+    def test_hotspot_groups_sum_to_total_closed_wait_time(self):
+        events, _outcomes = run_scripted_deadlock()
+        analysis = TraceAnalysis(events)
+        closed_total = sum(r.waited_ms for r in analysis.waits)
+        spots = analysis.hotspots()
+        assert sum(spots.by_prefix.values()) == pytest.approx(closed_total)
+        assert sum(spots.by_mode.values()) == pytest.approx(closed_total)
+
+
+class TestTimeoutAccounting:
+    def test_timed_out_waits_are_excluded_from_granted_total(self):
+        obs, _outcomes = run_timeout_scenario()
+        analysis = TraceAnalysis.from_tracer(obs.tracer)
+        assert len(analysis.waits) == 1
+        record = analysis.waits[0]
+        assert record.timed_out
+        assert record.waited_ms == 100.0
+        assert analysis.granted_waits == []
+        assert analysis.total_wait_ms == 0.0
+        # ... but the timeout still shows up in hotspot attribution.
+        assert sum(analysis.hotspots().by_mode.values()) == 100.0
+
+
+class TestCriticalPath:
+    def test_breakdown_components_sum_to_total(self):
+        events, _outcomes = run_scripted_deadlock()
+        analysis = TraceAnalysis(events)
+        for label, line in analysis.timelines.items():
+            if line.outcome != "committed":
+                continue
+            path = analysis.critical_path(label)
+            assert path["total_ms"] == pytest.approx(
+                path["lock_wait_ms"] + path["io_ms"]
+                + path["compute_ms"] + path["think_ms"]
+            )
+
+    def test_summary_counts_committed_only(self):
+        events, outcomes = run_scripted_deadlock()
+        analysis = TraceAnalysis(events)
+        summary = analysis.critical_path_summary()
+        committed = sum(1 for o in outcomes.values() if o == "committed")
+        assert summary["txn_count"] == committed
+        assert summary["total_ms"] > 0.0
+
+    def test_render_text_mentions_the_headline_numbers(self):
+        events, _outcomes = run_scripted_deadlock()
+        text = TraceAnalysis(events).render_text()
+        assert "transactions" in text
+        assert "critical path" in text

@@ -1,0 +1,219 @@
+"""The span layer: begin/end pairing, nesting, closure on every exit
+path, I/O attribution, and the zero-cost-when-disabled contract."""
+
+import gc
+
+from repro import Database
+from repro.errors import LockTimeout
+from repro.obs import (
+    Observability,
+    SPAN_BEGIN,
+    SPAN_END,
+    build_timelines,
+)
+from repro.sched import Delay, Simulator
+
+LIBRARY = (
+    "topics",
+    [("topic", {"id": "t0"}, [
+        ("book", {"id": "b0"}, [
+            ("title", ["Transaction Processing"]),
+            ("history", [("lend", {"person": "p1"}, [])]),
+        ]),
+    ])],
+)
+
+
+def make_db(**kwargs):
+    obs = Observability.enabled()
+    db = Database(protocol="taDOM2", root_element="bib",
+                  observability=obs, **kwargs)
+    db.load(LIBRARY)
+    return db, obs
+
+
+class TestOpSpans:
+    def test_every_begin_has_a_matching_end(self):
+        db, obs = make_db()
+        txn = db.begin("reader")
+        book = db.document.element_by_id("b0")
+        db.run(db.nodes.read_subtree(txn, book))
+        db.run(db.nodes.get_child_nodes(txn, book))
+        db.commit(txn)
+        begins = obs.tracer.events(SPAN_BEGIN)
+        ends = obs.tracer.events(SPAN_END)
+        assert len(begins) == len(ends) == 2
+        assert [e.data["name"] for e in begins] == [
+            "read_subtree", "get_child_nodes",
+        ]
+        assert all(e.data["cat"] == "op" for e in begins)
+
+    def test_nested_ops_keep_stack_discipline(self):
+        db, obs = make_db()
+        txn = db.begin("reader")
+        book = db.document.element_by_id("b0")
+        db.run(db.nodes.get_attribute_value(txn, book, "id"))
+        db.commit(txn)
+        timelines = build_timelines(obs.tracer.events())
+        line = timelines[txn.label]
+        # get_attribute_value delegates to get_attributes (and possibly
+        # read_content): exactly one top-level span, nested children.
+        assert [s.name for s in line.spans] == ["get_attribute_value"]
+        nested = [s.name for s in line.spans[0].children]
+        assert "get_attributes" in nested
+        assert all(s.depth == 1 for s in line.spans[0].children)
+        assert all(s.closed for s in line.all_spans())
+
+    def test_op_end_carries_io_attribution(self):
+        db, obs = make_db()
+        txn = db.begin("reader")
+        book = db.document.element_by_id("b0")
+        db.run(db.nodes.read_subtree(txn, book))
+        db.commit(txn)
+        end = obs.tracer.events(SPAN_END)[-1]
+        assert end.data["logical_reads"] == txn.stats.logical_reads
+        assert end.data["physical_reads"] == txn.stats.physical_reads
+        assert end.data["io_ms"] >= 0.0
+
+    def test_failing_op_still_closes_its_span(self):
+        db, obs = make_db()
+        txn = db.begin("writer")
+        book = db.document.element_by_id("b0")
+        db.run(db.nodes.delete_subtree(txn, book))
+        db.abort(txn)
+        timelines = build_timelines(obs.tracer.events())
+        line = timelines[txn.label]
+        assert line.outcome == "aborted"
+        assert all(span.closed for span in line.all_spans())
+
+    def test_rollback_emits_a_txn_span(self):
+        db, obs = make_db()
+        txn = db.begin("writer")
+        book = db.document.element_by_id("b0")
+        db.run(db.nodes.rename_element(txn, book, "tome"))
+        db.abort(txn)
+        spans = [
+            e for e in obs.tracer.events(SPAN_BEGIN)
+            if e.data["cat"] == "txn"
+        ]
+        assert [e.data["name"] for e in spans] == ["rollback"]
+
+    def test_disabled_tracer_returns_undecorated_generator(self):
+        db = Database(protocol="taDOM2", root_element="bib")
+        db.load(LIBRARY)
+        txn = db.begin("reader")
+        generator = db.nodes.get_parent(
+            txn, db.document.element_by_id("b0")
+        )
+        # With tracing off the wrapper must hand back the raw operation
+        # generator -- no _op_span frame, no per-yield overhead.
+        assert generator.gi_code.co_name == "get_parent"
+        generator.close()
+
+
+def run_timeout_scenario():
+    """holder grabs the subtree and parks; waiter times out at 100 ms."""
+    obs = Observability.enabled()
+    db = Database(protocol="taDOM2", lock_depth=0, root_element="bib",
+                  observability=obs, wait_timeout_ms=100.0)
+    db.load(LIBRARY)
+    sim = Simulator()
+    db.set_clock(lambda: sim.now)
+    outcomes = {}
+
+    def holder():
+        txn = db.begin("holder")
+        book = db.document.element_by_id("b0")
+        yield from db.nodes.read_subtree(txn, book)
+        yield Delay(10_000.0)
+        db.commit(txn)
+        outcomes["holder"] = "committed"
+
+    def waiter():
+        txn = db.begin("waiter")
+        yield Delay(5.0)
+        book = db.document.element_by_id("b0")
+        try:
+            yield from db.nodes.delete_subtree(txn, book)
+            db.commit(txn)
+            outcomes["waiter"] = "committed"
+        except LockTimeout as exc:
+            db.abort(txn, reason=exc.reason)
+            outcomes["waiter"] = "timeout"
+
+    sim.spawn(holder())
+    sim.spawn(waiter())
+    sim.run()
+    return obs, outcomes
+
+
+class TestTimeoutClosure:
+    def test_wait_span_closes_on_timeout(self):
+        obs, outcomes = run_timeout_scenario()
+        assert outcomes == {"holder": "committed", "waiter": "timeout"}
+        waits = [
+            e for e in obs.tracer.events(SPAN_END)
+            if e.data.get("cat") == "wait"
+        ]
+        assert len(waits) == 1
+        assert waits[0].data["waited_ms"] == 100.0
+        timelines = build_timelines(obs.tracer.events())
+        assert timelines[waits[0].txn].outcome == "aborted"
+        assert all(
+            span.closed
+            for span in timelines[waits[0].txn].all_spans()
+        )
+
+
+def run_parked_scenario():
+    """holder keeps the subtree lock forever; waiter parks at the horizon."""
+    obs = Observability.enabled()
+    db = Database(protocol="taDOM2", lock_depth=0, root_element="bib",
+                  observability=obs, wait_timeout_ms=None)
+    db.load(LIBRARY)
+    sim = Simulator()
+    db.set_clock(lambda: sim.now)
+
+    def holder():
+        txn = db.begin("holder")
+        book = db.document.element_by_id("b0")
+        yield from db.nodes.read_subtree(txn, book)
+        # Never commits: the generator just ends, locks stay held.
+
+    def waiter():
+        txn = db.begin("waiter")
+        yield Delay(5.0)
+        book = db.document.element_by_id("b0")
+        yield from db.nodes.delete_subtree(txn, book)
+        db.commit(txn)
+
+    sim.spawn(holder())
+    sim.spawn(waiter())
+    sim.run()
+    return obs, sim, db
+
+
+class TestHorizonParking:
+    def test_parked_spans_stay_open_with_running_outcome(self):
+        obs, sim, _db = run_parked_scenario()
+        timelines = build_timelines(obs.tracer.events())
+        waiter = next(
+            line for line in timelines.values() if "waiter" in line.label
+        )
+        assert waiter.outcome == "running"
+        open_spans = [s for s in waiter.all_spans() if not s.closed]
+        assert {s.cat for s in open_spans} == {"op", "wait"}
+
+    def test_collecting_parked_generators_emits_nothing(self):
+        """GeneratorExit at GC time must not stamp wall-clock span ends
+        into the trace (determinism would be gone)."""
+        obs, sim, _db = run_parked_scenario()
+        before = len(obs.tracer.events())
+        del sim  # drops the parked waiter generator
+        gc.collect()
+        assert len(obs.tracer.events()) == before
+
+    def test_parked_run_is_deterministic(self):
+        first, sim1, _ = run_parked_scenario()
+        second, sim2, _ = run_parked_scenario()
+        assert first.tracer.events() == second.tracer.events()

@@ -1,0 +1,152 @@
+"""Sweep report generation: determinism, canonical histogram columns,
+and the Markdown/HTML renderers."""
+
+import csv
+import io
+import json
+
+from repro.tamix.sweep import (
+    CellResult,
+    HISTOGRAM_BUCKET_ORDER,
+    SweepCell,
+    SweepRunner,
+    SweepSpec,
+    canonical_histogram,
+)
+from repro.tamix.sweep_report import (
+    load_rows,
+    render_html,
+    render_markdown,
+)
+
+ROWS = [
+    {
+        "protocol": "taDOM2", "lock_depth": 0, "isolation": "repeatable",
+        "runs": 1, "committed": 40.0, "aborted": 3.0, "deadlocks": 1.0,
+        "wait_total_ms": 812.5,
+        "wait_histogram": {"le_100": 2, "le_1000": 1},
+    },
+    {
+        "protocol": "taDOM2", "lock_depth": 4, "isolation": "repeatable",
+        "runs": 1, "committed": 55.0, "aborted": 1.0, "deadlocks": 0.0,
+        "wait_total_ms": 120.25,
+        "wait_histogram": {"le_250": 1},
+    },
+    {
+        "protocol": "taDOM3+", "lock_depth": 0, "isolation": "repeatable",
+        "runs": 1, "committed": 44.0, "aborted": 2.0, "deadlocks": 1.0,
+        "wait_total_ms": 600.0,
+        "wait_histogram": {},
+    },
+    {
+        "protocol": "taDOM3+", "lock_depth": 4, "isolation": "repeatable",
+        "runs": 1, "committed": 61.0, "aborted": 0.0, "deadlocks": 0.0,
+        "wait_total_ms": 45.125,
+        "wait_histogram": {"le_50": 1},
+    },
+]
+
+
+class TestRenderDeterminism:
+    def test_markdown_is_byte_identical_across_calls(self):
+        assert render_markdown(ROWS) == render_markdown(ROWS)
+
+    def test_html_is_byte_identical_across_calls(self):
+        assert render_html(ROWS) == render_html(ROWS)
+
+    def test_rendering_from_file_equals_in_memory(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps(ROWS), encoding="utf-8")
+        assert render_markdown(path) == render_markdown(ROWS)
+        assert load_rows(path) == ROWS
+
+
+class TestMarkdownReport:
+    def test_contains_the_paper_comparison_shapes(self):
+        text = render_markdown(ROWS, title="contest")
+        assert text.startswith("# contest")
+        assert "## Experiment matrix" in text
+        assert "Committed transactions -- isolation repeatable" in text
+        assert "Throughput over lock depth" in text
+        assert "Contention heatmap" in text
+        assert "| taDOM3+ | 44.00 | 61.00 |" in text
+
+    def test_histogram_table_uses_canonical_bucket_order(self):
+        text = render_markdown(ROWS)
+        header_line = next(
+            line for line in text.splitlines() if "| le_1 |" in line
+        )
+        buckets = [
+            cell.strip() for cell in header_line.strip("|").split("|")
+        ][3:]
+        assert buckets == list(HISTOGRAM_BUCKET_ORDER)
+
+    def test_single_depth_sweep_skips_the_line_chart(self):
+        rows = [row for row in ROWS if row["lock_depth"] == 4]
+        text = render_markdown(rows)
+        assert "Throughput over lock depth" not in text
+        assert "Contention heatmap" in text
+
+
+class TestHtmlReport:
+    def test_is_a_self_contained_page_with_tables(self):
+        page = render_html(ROWS, title="a <contest> & more")
+        assert page.startswith("<!DOCTYPE html>")
+        assert page.endswith("</html>\n")
+        assert "<style>" in page
+        assert "<table>" in page and "<pre>" in page
+        assert "a &lt;contest&gt; &amp; more" in page
+        assert "<contest>" not in page.replace(
+            "<title>", "").replace("</title>", "")
+
+
+class TestCanonicalHistogram:
+    def test_order_and_zero_fill(self):
+        buckets = canonical_histogram({"le_inf": 2, "le_5": 1})
+        assert list(buckets) == list(HISTOGRAM_BUCKET_ORDER)
+        assert buckets["le_5"] == 1
+        assert buckets["le_inf"] == 2
+        assert buckets["le_100"] == 0
+
+    def test_as_row_histogram_keys_are_stable_even_when_empty(self):
+        result = CellResult(cell=SweepCell("taDOM2", 0, "repeatable", 0))
+        row = result.as_row(include_histogram=True)
+        assert list(row["wait_histogram"]) == list(HISTOGRAM_BUCKET_ORDER)
+
+    def test_csv_header_has_canonical_wait_columns(self):
+        spec = SweepSpec(
+            protocols=("taDOM2", "taDOM3+"),
+            lock_depths=(0,),
+            run_duration_ms=100.0,
+            scale=0.05,
+        )
+        runner = SweepRunner(spec)
+        for cell in spec.cells():  # no need to simulate: empty results
+            runner.results[
+                (cell.protocol, cell.lock_depth, cell.isolation)
+            ] = CellResult(cell=cell, runs=1)
+        text = runner.to_csv(include_histogram=True)
+        header = next(csv.reader(io.StringIO(text)))
+        expected = [f"wait_{bucket}" for bucket in HISTOGRAM_BUCKET_ORDER]
+        assert [col for col in header if col.startswith("wait_le_")] == expected
+
+
+class TestHeatmapRenderer:
+    def test_peak_cell_gets_the_darkest_glyph(self):
+        from repro.tamix.report import heatmap
+
+        text = heatmap(
+            {"taDOM2": {0: 812.5, 4: 120.25}, "taDOM3+": {0: 600.0}},
+            columns=[0, 4],
+            title="blocking",
+        )
+        assert text.splitlines()[0] == "blocking"
+        assert "@@@" in text
+        assert "scale: ' ' = 0 .. '@' = 812.50" in text
+
+    def test_missing_cells_render_blank(self):
+        from repro.tamix.report import heatmap
+
+        text = heatmap({"single": {0: 1.0}}, columns=[0, 4])
+        row = next(line for line in text.splitlines() if "single" in line)
+        assert row.rstrip().endswith("@@@")

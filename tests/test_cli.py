@@ -143,3 +143,91 @@ class TestParser:
     def test_unknown_protocol_rejected(self):
         with pytest.raises(SystemExit):
             main(["cluster1", "--protocol", "nope"])
+
+
+class TestSweepObservability:
+    @pytest.fixture(scope="class")
+    def sweep_run(self, tmp_path_factory):
+        import json
+
+        base = tmp_path_factory.mktemp("sweepcli")
+        traces = base / "traces"
+        sweep_json = base / "sweep.json"
+        code = main([
+            "sweep", "--protocols", "taDOM2", "taDOM3+",
+            "--depths", "0", "4", "--scale", "0.02", "--seconds", "8",
+            "--json", str(sweep_json), "--trace-dir", str(traces),
+            "--progress",
+        ])
+        assert code == 0
+        assert json.loads(sweep_json.read_text())
+        return base, traces, sweep_json
+
+    def test_progress_heartbeat_on_stderr(self, sweep_run, capsys):
+        # The class fixture ran under the first test's capture; re-run a
+        # tiny sweep here so this test owns its own streams.
+        code = main([
+            "sweep", "--protocols", "taDOM2", "--depths", "0",
+            "--scale", "0.02", "--seconds", "4", "--progress",
+        ])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "[1/1] taDOM2 d0" in err
+        assert "committed=" in err
+
+    def test_trace_dir_gets_one_file_per_cell(self, sweep_run):
+        _base, traces, _sweep_json = sweep_run
+        names = sorted(p.name for p in traces.glob("*.jsonl"))
+        assert names == [
+            "taDOM2_d0_repeatable_r0.jsonl",
+            "taDOM2_d4_repeatable_r0.jsonl",
+            "taDOM3+_d0_repeatable_r0.jsonl",
+            "taDOM3+_d4_repeatable_r0.jsonl",
+        ]
+
+    def test_report_markdown_is_deterministic(self, sweep_run, tmp_path):
+        _base, _traces, sweep_json = sweep_run
+        first = tmp_path / "a.md"
+        second = tmp_path / "b.md"
+        assert main(["report", str(sweep_json),
+                     "--output", str(first)]) == 0
+        assert main(["report", str(sweep_json),
+                     "--output", str(second)]) == 0
+        assert first.read_bytes() == second.read_bytes()
+        assert "# TaMix sweep report" in first.read_text()
+
+    def test_report_html(self, sweep_run, tmp_path):
+        _base, _traces, sweep_json = sweep_run
+        target = tmp_path / "report.html"
+        assert main(["report", str(sweep_json), "--format", "html",
+                     "--output", str(target)]) == 0
+        page = target.read_text()
+        assert page.startswith("<!DOCTYPE html>")
+        assert "taDOM3+" in page
+
+    def test_report_to_stdout(self, sweep_run, capsys):
+        _base, _traces, sweep_json = sweep_run
+        assert main(["report", str(sweep_json)]) == 0
+        assert "## Experiment matrix" in capsys.readouterr().out
+
+    def test_analyze_trace(self, sweep_run, capsys):
+        _base, traces, _sweep_json = sweep_run
+        trace = traces / "taDOM3+_d4_repeatable_r0.jsonl"
+        assert main(["analyze", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "transactions" in out
+        assert "lock waits" in out
+
+
+class TestWalMetrics:
+    def test_wal_gauges_appear_in_metrics_dump(self, capsys):
+        code = main([
+            "metrics", "--protocol", "taDOM2", "--scale", "0.02",
+            "--seconds", "4", "--wal",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "wal.appends" in out
+        assert "wal.flushes" in out
+        assert "buffer.pool_size" in out
+        assert "buffer.hit_ratio" in out
