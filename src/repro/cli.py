@@ -6,7 +6,9 @@
     python -m repro cluster1 --protocol taDOM3+ --lock-depth 4
     python -m repro cluster2
     python -m repro sweep --figure 9 --depths 0 2 4 6
+    python -m repro sweep --depths 2 4 --verify
     python -m repro trace --protocol taDOM2 --output trace.jsonl
+    python -m repro verify traces/ --crash
     python -m repro metrics --protocol taDOM3+ --format json
     python -m repro query document.xml "//book[@year='1993']/title/text()"
     python -m repro stats document.xml
@@ -72,6 +74,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "into this directory")
     sweep.add_argument("--progress", action="store_true",
                        help="print a live per-cell heartbeat to stderr")
+    sweep.add_argument("--verify", action="store_true",
+                       help="record op.access traces and run the "
+                            "repro.verify history oracle on every cell "
+                            "(uses a temp dir unless --trace-dir is set)")
 
     trace = sub.add_parser(
         "trace",
@@ -83,6 +89,9 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--verify", action="store_true",
                        help="replay the written trace and check its "
                             "aggregated counters against the run metrics")
+    trace.add_argument("--access-events", action="store_true",
+                       help="also record op.access/run.info events so "
+                            "`repro verify` can check the trace")
 
     metrics = sub.add_parser(
         "metrics",
@@ -130,6 +139,26 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--output", default=None,
                         help="write to a file instead of stdout")
 
+    verify = sub.add_parser(
+        "verify",
+        help="check recorded traces with the history oracle "
+             "(serializability, lock conformance, two-phase) and/or run "
+             "the WAL crash-point fault-injection suite",
+    )
+    verify.add_argument("target", nargs="?", default=None,
+                        help="a JSONL trace (recorded with op.access "
+                             "events) or a directory of traces; omit to "
+                             "run only the crash suite")
+    verify.add_argument("--protocol", default=None, choices=ALL_PROTOCOLS,
+                        help="override the trace's run.info protocol")
+    verify.add_argument("--lock-depth", type=int, default=None,
+                        help="override the trace's run.info lock depth")
+    verify.add_argument("--crash", action="store_true",
+                        help="also run the crash-point fault-injection "
+                             "suite against the WAL")
+    verify.add_argument("--max-violations", type=int, default=10,
+                        help="violations printed per trace (default: 10)")
+
     analyze = sub.add_parser(
         "analyze",
         help="analyze a JSONL event trace: blocking chains, hotspots, "
@@ -176,6 +205,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "stats": _cmd_stats,
         "report": _cmd_report,
         "analyze": _cmd_analyze,
+        "verify": _cmd_verify,
     }[args.command]
     return handler(args)
 
@@ -235,8 +265,16 @@ def _cmd_sweep(args) -> int:
         run_duration_ms=args.seconds * 1000.0,
         base_seed=args.seed,
     )
+    trace_dir = args.trace_dir
+    scratch = None
+    if args.verify and trace_dir is None:
+        import tempfile
+
+        scratch = tempfile.TemporaryDirectory(prefix="repro-verify-")
+        trace_dir = scratch.name
     runner = SweepRunner(spec, workers=args.workers,
-                         trace_dir=args.trace_dir)
+                         trace_dir=trace_dir,
+                         access_events=args.verify)
     progress = None
     if args.progress:
         total = len(list(spec.cells()))
@@ -267,6 +305,20 @@ def _cmd_sweep(args) -> int:
     if args.trace_dir:
         traces = sorted(Path(args.trace_dir).glob("*.jsonl"))
         print(f"wrote {len(traces)} traces to {args.trace_dir}")
+    if args.verify:
+        from repro.verify import verify_trace
+
+        failed = False
+        for trace in sorted(Path(trace_dir).glob("*.jsonl")):
+            report = verify_trace(trace)
+            print(f"verify {trace.name}: {report.summary()}")
+            for violation in report.violations[:10]:
+                print(f"  {violation}")
+            failed = failed or not report.ok
+        if scratch is not None:
+            scratch.cleanup()
+        if failed:
+            return 1
     return 0
 
 
@@ -275,7 +327,10 @@ def _run_observed_cell(args, *, sink=None):
     from repro.obs import Observability
     from repro.tamix.cluster import run_cluster1 as run_cell
 
-    obs = Observability.enabled(capacity=None, sink=sink)
+    obs = Observability.enabled(
+        capacity=None, sink=sink,
+        access_events=getattr(args, "access_events", False),
+    )
     result = run_cell(
         args.protocol,
         lock_depth=args.lock_depth,
@@ -452,6 +507,42 @@ def _cmd_report(args) -> int:
     else:
         print(body)
     return 0
+
+
+def _cmd_verify(args) -> int:
+    from pathlib import Path
+
+    from repro.verify import run_crash_suite, verify_trace
+
+    if args.target is None and not args.crash:
+        print("nothing to do: pass a trace (or trace directory) and/or "
+              "--crash", file=sys.stderr)
+        return 2
+    failed = False
+    if args.target is not None:
+        target = Path(args.target)
+        traces = sorted(target.glob("*.jsonl")) if target.is_dir() else [target]
+        if not traces:
+            print(f"no .jsonl traces in {target}", file=sys.stderr)
+            return 2
+        for trace in traces:
+            report = verify_trace(
+                trace, protocol=args.protocol, lock_depth=args.lock_depth
+            )
+            print(f"{trace.name}: {report.summary()}")
+            for violation in report.violations[:args.max_violations]:
+                print(f"  {violation}")
+            failed = failed or not report.ok
+    if args.crash:
+        crash = run_crash_suite(
+            protocol=args.protocol or "taDOM3+",
+            lock_depth=args.lock_depth if args.lock_depth is not None else 4,
+        )
+        print(f"crash suite: {crash.summary()}")
+        for failure in crash.failures[:args.max_violations]:
+            print(f"  {failure}")
+        failed = failed or not crash.ok
+    return 1 if failed else 0
 
 
 def _cmd_analyze(args) -> int:

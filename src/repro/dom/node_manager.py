@@ -37,7 +37,7 @@ from repro.locking.lock_manager import IsolationLevel
 from repro.dom.builder import Spec, build_children
 from repro.dom.document import ID_ATTRIBUTE, Document
 from repro.locking.lock_manager import AcquireReport, LockManager
-from repro.obs import SPAN_BEGIN, SPAN_END, txn_label
+from repro.obs import OP_ACCESS, SPAN_BEGIN, SPAN_END, txn_label
 from repro.sched.costs import DEFAULT_COSTS, CostModel
 from repro.sched.simulator import Delay
 from repro.splid import Splid
@@ -87,6 +87,9 @@ class NodeManager:
         #: The lock manager's tracer doubles as the span sink, so one
         #: ``Observability`` bundle captures both layers in order.
         self.tracer = locks.tracer
+        #: Trace one ``op.access`` event per meta request (history-oracle
+        #: input, see :mod:`repro.verify`); off unless the bundle opts in.
+        self._access_events = locks.obs.access_events and self.tracer.enabled
 
     # ------------------------------------------------------------------
     # direct jumps
@@ -545,7 +548,32 @@ class NodeManager:
         """Issue one meta-lock request and settle its consequences."""
         report = yield from self.locks.acquire(txn, request)
         yield from self._settle(txn, report)
+        if self._access_events:
+            self._emit_access(txn, request)
         return report
+
+    def _emit_access(self, txn: Transaction, request: MetaRequest) -> None:
+        """Trace the settled meta request as one logical data access.
+
+        Emitted *after* the request's locks were granted: conflicting
+        accesses therefore appear in the trace in the order the lock
+        protocol serialized them, which is what makes the recorded
+        history checkable (see :mod:`repro.verify.oracle`).
+        """
+        data = {
+            "op": request.op.value,
+            "target": str(request.target),
+            "access": request.access.value,
+        }
+        if request.role is not None:
+            data["role"] = request.role.value
+        if request.children:
+            data["children"] = [str(child) for child in request.children]
+        if request.affected:
+            data["affected"] = [str(node) for node in request.affected]
+        if request.id_value is not None:
+            data["id_value"] = request.id_value
+        self.tracer.emit(OP_ACCESS, txn=txn_label(txn), **data)
 
     def _settle(self, txn: Transaction, report: AcquireReport):
         txn.stats.lock_requests += report.lock_requests

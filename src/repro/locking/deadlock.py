@@ -19,6 +19,18 @@ from repro.locking.lock_table import LockTable, WaitTicket
 from repro.obs import DEADLOCK_DETECTED, NULL_TRACER, txn_label
 
 
+def _txn_order(txn: object) -> str:
+    """Stable ordering key for transactions.
+
+    Sorting by ``id`` (CPython object addresses) made cycle discovery
+    order, victim cycles, and ``wait_edges`` snapshots vary across
+    processes, breaking the byte-identical seeded-run guarantee.  The
+    trace label (``T<n>:<name>``, or ``str`` for bare tokens) is stable
+    within a run and identical across repeated seeded runs.
+    """
+    return txn_label(txn)
+
+
 @dataclass(frozen=True)
 class DeadlockEvent:
     """One detected deadlock, as recorded by the detector.
@@ -78,8 +90,11 @@ class DeadlockDetector:
         conversion = self._cycle_has_conversion(cycle)
         wait_edges = tuple(
             (waiter, blocker)
-            for waiter, blockers in self.table.wait_edges().items()
-            for blocker in sorted(blockers, key=id)
+            for waiter, blockers in sorted(
+                self.table.wait_edges().items(),
+                key=lambda item: _txn_order(item[0]),
+            )
+            for blocker in sorted(blockers, key=_txn_order)
         )
         waiting_modes = []
         for txn in cycle:  # cycle[0] is the requester; its ticket is live
@@ -125,31 +140,40 @@ class DeadlockDetector:
 
     def _find_cycle(self, start: object) -> Optional[Sequence[object]]:
         """DFS from ``start`` through the wait-for graph, looking for a
-        path back to ``start``."""
+        path back to ``start``.
+
+        Iterative: long wait chains at high MPL would blow Python's
+        recursion limit mid-detection, aborting the wrong transaction
+        with a ``RecursionError`` instead of choosing a deadlock victim.
+        """
         path: List[object] = [start]
         on_path: Set[object] = {start}
         visited: Set[object] = set()
+        stack: List = [self._blockers_of(start)]
 
-        def visit(txn: object) -> Optional[Sequence[object]]:
-            ticket = self.table.waiting_ticket(txn)
-            if ticket is None:
-                return None
-            for blocker in sorted(self.table.blockers_of(ticket), key=id):
-                if blocker == start:
-                    return list(path)
-                if blocker in on_path or blocker in visited:
-                    continue
-                path.append(blocker)
-                on_path.add(blocker)
-                found = visit(blocker)
-                if found is not None:
-                    return found
-                on_path.discard(blocker)
-                path.pop()
-            visited.add(txn)
-            return None
+        while stack:
+            frame = stack[-1]
+            if not frame:
+                visited.add(path[-1])
+                stack.pop()
+                on_path.discard(path.pop())
+                continue
+            blocker = frame.pop(0)
+            if blocker == start:
+                return list(path)
+            if blocker in on_path or blocker in visited:
+                continue
+            path.append(blocker)
+            on_path.add(blocker)
+            stack.append(self._blockers_of(blocker))
+        return None
 
-        return visit(start)
+    def _blockers_of(self, txn: object) -> List[object]:
+        """The transactions ``txn`` waits on, in stable label order."""
+        ticket = self.table.waiting_ticket(txn)
+        if ticket is None:
+            return []
+        return sorted(self.table.blockers_of(ticket), key=_txn_order)
 
     def _cycle_has_conversion(self, cycle: Sequence[object]) -> bool:
         for txn in cycle:

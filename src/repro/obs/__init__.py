@@ -34,6 +34,8 @@ from repro.obs.events import (  # noqa: F401  (re-exported taxonomy)
     LOCK_RELEASE,
     LOCK_REQUEST,
     LOCK_TIMEOUT,
+    OP_ACCESS,
+    RUN_INFO,
     SPAN_BEGIN,
     SPAN_END,
     TXN_ABORT,
@@ -66,6 +68,8 @@ from repro.obs.tracer import (
 
 __all__ = [
     "EVENT_KINDS",
+    "OP_ACCESS",
+    "RUN_INFO",
     "SPAN_BEGIN",
     "SPAN_END",
     "TraceEvent",
@@ -98,9 +102,17 @@ class Observability:
         self,
         tracer: Optional["NullTracer | RingTracer"] = None,
         metrics: Optional[MetricsRegistry] = None,
+        *,
+        access_events: bool = False,
     ):
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: When set, the node manager also traces one ``op.access`` event
+        #: per logical data access (and the TaMix coordinator a
+        #: ``run.info`` manifest) -- the inputs of the history oracle in
+        #: :mod:`repro.verify`.  Off by default so existing traces stay
+        #: byte-identical.
+        self.access_events = access_events
 
     @classmethod
     def disabled(cls) -> "Observability":
@@ -113,9 +125,10 @@ class Observability:
         capacity: Optional[int] = 65_536,
         *,
         sink: Union[str, Path, None] = None,
+        access_events: bool = False,
     ) -> "Observability":
         """Ring-buffer tracing (``capacity=None`` keeps every event)."""
-        return cls(RingTracer(capacity, sink=sink))
+        return cls(RingTracer(capacity, sink=sink), access_events=access_events)
 
     @property
     def tracing(self) -> bool:

@@ -31,6 +31,22 @@ LOCK_TIMEOUT = "lock.timeout"
 # -- deadlock detector --------------------------------------------------------
 DEADLOCK_DETECTED = "deadlock.detected"
 
+# -- data accesses (verification) ---------------------------------------------
+#: One logical data access by a DOM operation, emitted *after* the
+#: operation's locks were granted (so the order of conflicting accesses
+#: in the trace is the order the lock protocol serialized them in).
+#: Payload: ``op``, ``target`` (SPLID), ``access`` (read/write), ``role``
+#: (node/subtree/edge/...), plus optional ``children``/``affected``
+#: SPLID lists for structure operations.  Only emitted when the
+#: observability bundle enables ``access_events`` -- the history oracle
+#: (:mod:`repro.verify`) needs them, ordinary traces stay lean.
+OP_ACCESS = "op.access"
+
+#: Run manifest emitted once at the start of a coordinated benchmark run:
+#: protocol, lock depth, isolation, seed.  Lets ``repro verify`` check a
+#: trace without being told the configuration it was recorded under.
+RUN_INFO = "run.info"
+
 # -- transaction lifecycle ----------------------------------------------------
 TXN_BEGIN = "txn.begin"
 TXN_COMMIT = "txn.commit"
@@ -71,6 +87,8 @@ EVENT_KINDS = frozenset({
     LOCK_RELEASE,
     LOCK_TIMEOUT,
     DEADLOCK_DETECTED,
+    OP_ACCESS,
+    RUN_INFO,
     TXN_BEGIN,
     TXN_COMMIT,
     TXN_ABORT,

@@ -17,6 +17,7 @@ from typing import Dict
 
 from repro.database import Database
 from repro.errors import BenchmarkError, TransactionAborted
+from repro.obs import RUN_INFO
 from repro.sched.simulator import Delay, Simulator
 from repro.tamix.bibgen import BibInfo
 from repro.tamix.metrics import RunResult
@@ -76,6 +77,7 @@ class TaMixCoordinator:
     def run(self) -> RunResult:
         sim = Simulator()
         self.database.set_clock(lambda: sim.now)
+        self._emit_run_info()
         rng = random.Random(self.config.seed)
         slot = 0
         for _client in range(self.config.clients):
@@ -94,6 +96,21 @@ class TaMixCoordinator:
         return self.result
 
     # -- internals -----------------------------------------------------------
+
+    def _emit_run_info(self) -> None:
+        """Trace the run manifest so a recorded history is self-describing
+        (``repro verify`` reads protocol/depth/isolation/seed from it)."""
+        obs = self.database.obs
+        if not (obs.access_events and obs.tracer.enabled):
+            return
+        obs.tracer.emit(
+            RUN_INFO,
+            protocol=self.config.protocol,
+            lock_depth=self.config.lock_depth,
+            isolation=self.config.isolation,
+            seed=self.config.seed,
+            run_duration_ms=self.config.run_duration_ms,
+        )
 
     def _slot(self, sim: Simulator, txn_type: str, rng: random.Random):
         """One continuously active transaction slot."""

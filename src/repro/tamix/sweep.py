@@ -145,6 +145,7 @@ def _execute_cell(
     spec: SweepSpec,
     cell: SweepCell,
     trace_dir: Union[str, Path, None] = None,
+    access_events: bool = False,
 ) -> RunResult:
     """Run one cell (module-level so worker processes can unpickle it).
 
@@ -152,14 +153,18 @@ def _execute_cell(
     execution order, which keeps parallel sweeps deterministic.  With a
     ``trace_dir`` the cell records its full event trace straight into
     ``<trace_dir>/<protocol>_d<depth>_<isolation>_r<run>.jsonl`` (sink
-    mirroring, so no ring capacity limit applies).
+    mirroring, so no ring capacity limit applies).  ``access_events``
+    additionally records the ``op.access``/``run.info`` stream the
+    :mod:`repro.verify` history oracle checks.
     """
     observability = None
     if trace_dir is not None:
         from repro.obs import Observability
 
         sink = Path(trace_dir) / trace_filename(cell)
-        observability = Observability.enabled(capacity=1, sink=sink)
+        observability = Observability.enabled(
+            capacity=1, sink=sink, access_events=access_events
+        )
     try:
         return run_cluster1(
             cell.protocol,
@@ -191,10 +196,12 @@ class SweepRunner:
         *,
         workers: int = 1,
         trace_dir: Union[str, Path, None] = None,
+        access_events: bool = False,
     ):
         self.spec = spec
         self.workers = max(1, int(workers)) if workers else 1
         self.trace_dir = None if trace_dir is None else Path(trace_dir)
+        self.access_events = bool(access_events)
         self.results: Dict[Tuple[str, int, str], CellResult] = {}
 
     def run(self, *, progress=None) -> List[CellResult]:
@@ -211,7 +218,8 @@ class SweepRunner:
             self.results = {}
         self._consume(
             (
-                (cell, _execute_cell(self.spec, cell, self.trace_dir))
+                (cell, _execute_cell(self.spec, cell, self.trace_dir,
+                                     self.access_events))
                 for cell in cells
             ),
             progress,
@@ -251,7 +259,8 @@ class SweepRunner:
         try:
             with pool:
                 futures = [
-                    pool.submit(_execute_cell, self.spec, cell, self.trace_dir)
+                    pool.submit(_execute_cell, self.spec, cell,
+                                self.trace_dir, self.access_events)
                     for cell in cells
                 ]
                 for cell, future in zip(cells, futures):

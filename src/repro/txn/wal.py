@@ -138,9 +138,12 @@ class WriteAheadLog:
     def _append(self, kind: LogKind, txn_id: int, **fields) -> LogRecord:
         record = LogRecord(len(self._records) + 1, kind, txn_id, **fields)
         self._records.append(record)
+        self._count(kind)
+        return record
+
+    def _count(self, kind: LogKind) -> None:
         self.appends += 1
         self.appends_by_kind[kind] = self.appends_by_kind.get(kind, 0) + 1
-        return record
 
     def log_begin(self, txn_id: int) -> LogRecord:
         return self._append(LogKind.BEGIN, txn_id)
@@ -217,7 +220,26 @@ class WriteAheadLog:
             if record is None:
                 break
             log._records.append(record)
+            # Rebuild the metrics counters the byte image does not carry;
+            # otherwise a recovered log reports appends == 0 and the
+            # post-recovery ``wal.*`` gauges lie.
+            log._count(record.kind)
+            if record.kind is LogKind.COMMIT:
+                log.flushes += 1
         return log
+
+    def prefix(self, last_lsn: int) -> bytes:
+        """Byte image of the log truncated after ``last_lsn``.
+
+        This is the 'disk' a crash at LSN boundary ``last_lsn`` leaves
+        behind: every record with ``lsn <= last_lsn``, nothing after.
+        Used by the fault-injection harness to simulate crashes between
+        appends.
+        """
+        out = io.BytesIO()
+        for record in self._records[:last_lsn]:
+            _write_record(out, record)
+        return out.getvalue()
 
 
 def _write_str(out: io.BytesIO, text: str) -> None:

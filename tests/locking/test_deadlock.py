@@ -93,3 +93,75 @@ class TestClassification:
         counts = detector.counts_by_kind()
         assert counts == {"conversion": 0, "distinct-subtree": 1}
         assert detector.count() == 1
+
+
+class TestDeterminism:
+    """The detector must not depend on object addresses or insertion order."""
+
+    def _build(self, table, t1, t2, zz, mm):
+        """A 2-cycle (t1 <-> t2) plus extra waiters zz/mm on NODE_A."""
+        table.request(t1, NODE_SPACE, NODE_A, "SX")
+        table.request(t2, NODE_SPACE, NODE_B, "SX")
+        table.request(zz, NODE_SPACE, NODE_A, "NR")
+        table.request(mm, NODE_SPACE, NODE_A, "NR")
+        table.request(t1, NODE_SPACE, NODE_B, "NR")
+        return table.request(t2, NODE_SPACE, NODE_A, "NR")
+
+    def test_wait_edges_sorted_by_label(self, table, detector):
+        blocked = self._build(table, "t1", "t2", "zz", "mm")
+        event = detector.check(blocked.ticket)
+        assert event is not None
+        assert event.wait_edges == (
+            ("mm", "t1"), ("mm", "zz"),
+            ("t1", "t2"),
+            ("t2", "mm"), ("t2", "t1"), ("t2", "zz"),
+            ("zz", "t1"),
+        )
+
+    def test_wait_edges_independent_of_object_creation_order(self):
+        """Sorting by object address made the snapshot depend on which
+        transaction happened to be allocated first; sorting by label must
+        not (same requests, opposite allocation order, identical event)."""
+
+        class Txn:
+            def __init__(self, label):
+                self.label = label
+
+        events = []
+        for creation_order in (("t1", "t2", "zz", "mm"),
+                               ("mm", "zz", "t2", "t1")):
+            txns = {label: Txn(label) for label in creation_order}
+            table = LockTable({NODE_SPACE: TADOM2_TABLE})
+            detector = DeadlockDetector(table)
+            blocked = self._build(
+                table, txns["t1"], txns["t2"], txns["zz"], txns["mm"]
+            )
+            events.append(detector.check(blocked.ticket))
+
+        def labelled(event):
+            return (
+                event.victim.label,
+                tuple(t.label for t in event.cycle),
+                tuple((w.label, b.label) for w, b in event.wait_edges),
+                event.waiting_modes,
+            )
+
+        assert events[0] is not None and events[1] is not None
+        assert labelled(events[0]) == labelled(events[1])
+
+    def test_deep_wait_chain_has_no_recursion_error(self, table, detector):
+        """A wait chain far past the default recursion limit must still
+        resolve to a deadlock victim (iterative DFS regression)."""
+        count = 2000
+        nodes = [S(f"1.{2 * i + 3}") for i in range(count)]
+        table.request("t0000", NODE_SPACE, nodes[0], "SX")
+        for i in range(1, count):
+            txn = f"t{i:04d}"
+            table.request(txn, NODE_SPACE, nodes[i], "SX")
+            blocked = table.request(txn, NODE_SPACE, nodes[i - 1], "NR")
+            assert detector.check(blocked.ticket) is None
+        closing = table.request("t0000", NODE_SPACE, nodes[-1], "NR")
+        event = detector.check(closing.ticket, active_transactions=count)
+        assert event is not None
+        assert event.victim == "t0000"
+        assert len(event.cycle) == count

@@ -8,7 +8,9 @@ multi-worker sweep has to reproduce the serial sweep byte-for-byte
 optimizations).
 """
 
+from repro.obs import txn_label
 from repro.splid import Splid
+from repro.tamix import TaMixConfig, TaMixCoordinator, generate_bib, make_database
 from repro.tamix.cluster import run_cluster1
 from repro.tamix.sweep import SweepRunner, SweepSpec
 
@@ -42,6 +44,48 @@ def test_same_seed_same_counters_cold_vs_warm_intern_cache():
     # Second run reuses every label the first one interned.
     warm = counters(run_cluster1("taDOM3+", **RUN_KW))
     assert cold == warm
+
+
+def test_same_seed_identical_deadlock_event_logs():
+    """Repeated seeded runs must record byte-identical deadlock events.
+
+    The detector used to sort wait-for edges by object address; this
+    compares the full event log (cycle, wait-edge snapshot, waiting
+    modes) of two identical high-contention runs."""
+
+    def deadlock_log():
+        info = generate_bib(scale=0.01, seed=99)  # tiny doc: max contention
+        database, info = make_database("taDOM3+", 4, "repeatable", info=info)
+        config = TaMixConfig(
+            protocol="taDOM3+",
+            lock_depth=4,
+            isolation="repeatable",
+            run_duration_ms=40_000.0,
+            seed=7,
+        )
+        TaMixCoordinator(database, info, config).run()
+        return [
+            (
+                txn_label(event.victim),
+                tuple(txn_label(txn) for txn in event.cycle),
+                event.conversion,
+                event.resource[0],
+                str(event.resource[1]),
+                event.active_transactions,
+                event.locks_held,
+                tuple(
+                    (txn_label(waiter), txn_label(blocker))
+                    for waiter, blocker in event.wait_edges
+                ),
+                event.waiting_modes,
+            )
+            for event in database.locks.detector.events
+        ]
+
+    first = deadlock_log()
+    second = deadlock_log()
+    assert first, "stress configuration produced no deadlocks to compare"
+    assert first == second
 
 
 def test_serial_and_parallel_sweep_agree():

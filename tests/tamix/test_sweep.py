@@ -100,3 +100,28 @@ class TestParallelRunner:
         assert SweepRunner(small_spec(), workers=0).workers == 1
         assert SweepRunner(small_spec(), workers=-3).workers == 1
         assert SweepRunner(small_spec(), workers=4).workers == 4
+
+
+class TestAccessEventTraces:
+    def test_traces_carry_access_events_and_verify(self, tmp_path):
+        from repro.tamix.sweep import trace_filename
+        from repro.verify import verify_trace
+
+        spec = small_spec(lock_depths=(4,))
+        runner = SweepRunner(spec, trace_dir=tmp_path, access_events=True)
+        runner.run()
+        trace = tmp_path / trace_filename(list(spec.cells())[0])
+        report = verify_trace(trace)
+        assert report.ok
+        assert report.accesses_checked > 0
+
+    def test_access_events_off_by_default(self, tmp_path):
+        from repro.obs import OP_ACCESS, load_jsonl
+        from repro.tamix.sweep import trace_filename
+
+        spec = small_spec(lock_depths=(4,))
+        runner = SweepRunner(spec, trace_dir=tmp_path)
+        runner.run()
+        trace = tmp_path / trace_filename(list(spec.cells())[0])
+        kinds = {event.kind for event in load_jsonl(trace)}
+        assert OP_ACCESS not in kinds

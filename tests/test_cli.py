@@ -231,3 +231,46 @@ class TestWalMetrics:
         assert "wal.flushes" in out
         assert "buffer.pool_size" in out
         assert "buffer.hit_ratio" in out
+
+
+class TestVerifyCommand:
+    def test_sweep_verify_passes(self, capsys):
+        code = main([
+            "sweep", "--protocols", "taDOM3+", "--depths", "4",
+            "--scale", "0.02", "--seconds", "8", "--verify",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "verify taDOM3+_d4_repeatable_r0.jsonl: PASS" in out
+        assert "conformance=ok" in out
+
+    def test_verify_trace_with_access_events(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert main([
+            "trace", "--protocol", "taDOM2", "--scale", "0.02",
+            "--seconds", "8", "--access-events", "--output", str(trace),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["verify", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "PASS protocol=taDOM2" in out
+        assert "conformance=ok" in out
+
+    def test_verify_crash_suite(self, capsys):
+        assert main(["verify", "--crash"]) == 0
+        out = capsys.readouterr().out
+        assert "crash suite: PASS" in out
+
+    def test_verify_wrong_protocol_fails(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert main([
+            "trace", "--protocol", "taDOM3+", "--scale", "0.02",
+            "--seconds", "8", "--access-events", "--output", str(trace),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["verify", str(trace), "--protocol", "Node2PL"]) == 1
+        assert "conformance=violated" in capsys.readouterr().out
+
+    def test_verify_without_target_or_crash(self, capsys):
+        assert main(["verify"]) == 2
+        assert "nothing to do" in capsys.readouterr().err

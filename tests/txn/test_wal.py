@@ -109,6 +109,72 @@ class TestLogRecords:
             assert original.entries == reloaded.entries
             assert original.old == reloaded.old
 
+    def test_from_bytes_rebuilds_metrics_counters(self):
+        """Regression: a round-tripped log reported ``appends == 0`` and
+        empty ``appends_by_kind``, so post-recovery wal.* gauges lied."""
+        db = make_db()
+        txn = db.begin("t")
+        history = db.document.elements_by_name("history")[0]
+        db.run(db.nodes.insert_tree(txn, history, ("lend", {"person": "p9"}, [])))
+        title = db.document.elements_by_name("title")[0]
+        text = db.document.store.first_child(title)
+        db.run(db.nodes.update_content(txn, text, "New"))
+        db.commit(txn)
+        aborter = db.begin("a")
+        db.abort(aborter)
+
+        loaded = WriteAheadLog.from_bytes(db.wal.to_bytes())
+        assert loaded.appends == db.wal.appends == len(db.wal)
+        assert loaded.appends_by_kind == db.wal.appends_by_kind
+        assert loaded.flushes == db.wal.flushes == 1
+
+    def test_prefix_is_truncated_byte_image(self):
+        db = make_db()
+        txn = db.begin("t")
+        history = db.document.elements_by_name("history")[0]
+        db.run(db.nodes.insert_tree(txn, history, ("lend", {"person": "p9"}, [])))
+        db.commit(txn)
+        assert db.wal.prefix(db.wal.last_lsn) == db.wal.to_bytes()
+        assert db.wal.prefix(0) == b""
+        for lsn in range(len(db.wal) + 1):
+            partial = WriteAheadLog.from_bytes(db.wal.prefix(lsn))
+            assert len(partial) == lsn
+            assert [r.kind for r in partial.records()] == [
+                r.kind for r in db.wal.records()[:lsn]
+            ]
+
+    def test_truncated_stream_raises_storage_error(self):
+        """A torn log tail must surface as StorageError at every byte
+        offset -- never a bare ``struct.error`` from the codec."""
+        import struct
+
+        from repro.errors import StorageError
+
+        db = make_db()
+        txn = db.begin("t")
+        history = db.document.elements_by_name("history")[0]
+        db.run(db.nodes.insert_tree(txn, history, ("lend", {"person": "p9"}, [])))
+        title = db.document.elements_by_name("title")[0]
+        text = db.document.store.first_child(title)
+        db.run(db.nodes.update_content(txn, text, "torn"))
+        db.commit(txn)
+        data = db.wal.to_bytes()
+        boundaries = {len(db.wal.prefix(lsn)) for lsn in range(len(db.wal) + 1)}
+        for cut in range(len(data)):
+            if cut in boundaries:
+                # A clean record boundary is a valid (shorter) log.
+                assert len(WriteAheadLog.from_bytes(data[:cut])) < len(db.wal)
+                continue
+            try:
+                WriteAheadLog.from_bytes(data[:cut])
+            except StorageError:
+                continue
+            except struct.error as exc:  # pragma: no cover - the regression
+                raise AssertionError(
+                    f"struct.error leaked at offset {cut}: {exc}"
+                )
+            raise AssertionError(f"truncation at offset {cut} went unnoticed")
+
 
 class TestCheckpoints:
     def test_restore_is_exact(self):
@@ -237,6 +303,68 @@ class TestRecovery:
         recovered = recover_with_undo(checkpoint, db.wal)
         recovered_title = recovered.elements_by_name("title")[0]
         assert recovered.text_of_element(recovered_title) == "TP Concepts"
+
+    def test_delete_redo_on_absent_subtree_is_noop(self):
+        """A checkpoint with a stale LSN replays the whole log, so a
+        DELETE may target a subtree the image already lacks; redo must
+        skip it instead of crashing."""
+        db = make_db()
+        txn = db.begin("t")
+        book = db.document.element_by_id("b1")
+        db.run(db.nodes.delete_subtree(txn, book))
+        db.commit(txn)
+        # Checkpoint taken without the WAL: lsn stays 0, the image
+        # already reflects the delete, and recovery redoes it again.
+        checkpoint = take_checkpoint(db.document)
+        assert checkpoint.lsn == 0
+        recovered = recover(checkpoint, db.wal)
+        assert recovered.element_by_id("b1") is None
+        assert document_image(recovered) == document_image(db.document)
+
+    def test_undo_with_interleaved_winner_loser_around_checkpoint(self):
+        """Fuzzy checkpoint with winner and loser ops interleaved on both
+        sides of the checkpoint LSN: redo applies only the winner's
+        post-checkpoint ops, undo rolls back only the loser's
+        pre-checkpoint ops."""
+        db = make_db()
+        winner = db.begin("winner")
+        loser = db.begin("loser")
+        # Winner writes before the checkpoint (captured by the image).
+        b0_title = db.document.elements_by_name("title")[0]
+        b0_text = db.document.store.first_child(b0_title)
+        db.run(db.nodes.update_content(winner, b0_text, "W1"))
+        # Loser writes before the checkpoint (captured, must be undone).
+        b1 = db.document.element_by_id("b1")
+        b1_title = db.document.store.first_child(b1)
+        b1_text = db.document.store.first_child(b1_title)
+        db.run(db.nodes.update_content(loser, b1_text, "L1"))
+
+        checkpoint = take_checkpoint(db.document, db.wal)
+
+        # Winner continues after the checkpoint and commits.
+        history = db.document.elements_by_name("history")[0]
+        db.run(db.nodes.insert_tree(
+            winner, history, ("lend", {"person": "p2"}, [])
+        ))
+        db.commit(winner)
+        # Loser also continues after the checkpoint, then the crash hits.
+        topic = db.document.element_by_id("t0")
+        db.run(db.nodes.rename_element(loser, topic, "stolen"))
+
+        recovered = recover_with_undo(checkpoint, db.wal)
+        # Winner's effects survive on both sides of the checkpoint.
+        titles = recovered.elements_by_name("title")
+        assert recovered.text_of_element(titles[0]) == "W1"
+        lends = recovered.elements_by_name("lend")
+        assert any(
+            recovered.attribute_value(lend, "person") == "p2"
+            for lend in lends
+        )
+        # Loser's pre-checkpoint write is rolled back...
+        assert recovered.text_of_element(titles[1]) == "Handbook"
+        # ...and its post-checkpoint rename was never replayed.
+        assert recovered.elements_by_name("topic")
+        assert not recovered.elements_by_name("stolen")
 
     def test_recovery_with_names_unknown_at_checkpoint(self):
         """Regression: elements whose tag names were first interned after

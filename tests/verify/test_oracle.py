@@ -1,0 +1,178 @@
+"""History-oracle tests: real traced runs pass; corrupted, mismatched,
+or hand-crafted bad histories are flagged."""
+
+import pytest
+
+from repro.errors import BenchmarkError
+from repro.obs import (
+    LOCK_RELEASE,
+    OP_ACCESS,
+    RUN_INFO,
+    TXN_BEGIN,
+    TXN_COMMIT,
+    Observability,
+    TraceEvent,
+)
+from repro.tamix import TaMixConfig, TaMixCoordinator, generate_bib, make_database
+from repro.verify import RunHistory, verify_history, verify_trace
+
+
+def _traced_run(protocol="taDOM3+", lock_depth=4, *, sink=None):
+    info = generate_bib(scale=0.01, seed=99)
+    obs = Observability.enabled(capacity=None, sink=sink, access_events=True)
+    db, info = make_database(protocol, lock_depth, "repeatable",
+                             info=info, observability=obs)
+    config = TaMixConfig(protocol=protocol, lock_depth=lock_depth,
+                         isolation="repeatable", run_duration_ms=30_000.0,
+                         seed=7)
+    TaMixCoordinator(db, info, config).run()
+    events = list(db.obs.tracer.events())
+    obs.close()
+    return events
+
+
+@pytest.fixture(scope="module")
+def tadom_events():
+    return _traced_run()
+
+
+class TestRealRuns:
+    def test_tadom_run_passes_all_checks(self, tadom_events):
+        report = verify_history(RunHistory.from_events(tadom_events))
+        assert report.ok, [str(v) for v in report.violations[:5]]
+        assert report.accesses_checked > 0
+        assert report.steps_checked > 0
+        assert report.checks == {
+            "conformance": "ok",
+            "serializability": "ok",
+            "two-phase": "ok",
+        }
+
+    def test_report_is_deterministic(self, tadom_events):
+        history = RunHistory.from_events(tadom_events)
+        first = verify_history(history)
+        second = verify_history(history)
+        assert first.summary() == second.summary()
+        assert first.violations == second.violations
+
+    def test_wrong_protocol_is_flagged(self, tadom_events):
+        report = verify_history(
+            RunHistory.from_events(tadom_events), protocol="Node2PL"
+        )
+        assert not report.ok
+        assert report.checks["conformance"] == "violated"
+
+    def test_wrong_lock_depth_is_flagged(self, tadom_events):
+        report = verify_history(
+            RunHistory.from_events(tadom_events), lock_depth=0
+        )
+        assert not report.ok
+        assert report.checks["conformance"] == "violated"
+
+    def test_verify_trace_reads_jsonl(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        _traced_run(sink=path)
+        report = verify_trace(path)
+        assert report.ok
+        assert report.protocol == "taDOM3+"
+        assert report.accesses_checked > 0
+
+
+class TestRunHistory:
+    def test_manifest_carries_configuration(self, tadom_events):
+        history = RunHistory.from_events(tadom_events)
+        config = history.configuration()
+        assert config["protocol"] == "taDOM3+"
+        assert config["lock_depth"] == 4
+        assert history.committed_transactions()
+
+    def test_overrides_beat_manifest(self, tadom_events):
+        history = RunHistory.from_events(tadom_events)
+        config = history.configuration(protocol="taDOM2", lock_depth=1)
+        assert config["protocol"] == "taDOM2"
+        assert config["lock_depth"] == 1
+
+    def test_missing_manifest_is_an_error(self):
+        history = RunHistory.from_events([])
+        with pytest.raises(BenchmarkError):
+            history.configuration()
+        with pytest.raises(BenchmarkError):
+            verify_history(history)
+
+
+def _event(seq, kind, txn=None, **data):
+    return TraceEvent(seq, float(seq), kind, txn, data)
+
+
+def _access(seq, txn, op, target):
+    return _event(seq, OP_ACCESS, txn,
+                  op=op, target=target, access="navigation")
+
+
+class TestSyntheticHistories:
+    """Hand-crafted bad histories: the oracle must not be vacuous."""
+
+    def _manifest(self):
+        return _event(0, RUN_INFO, protocol="taDOM3+", lock_depth=4,
+                      isolation="repeatable", seed=0)
+
+    def test_write_write_cycle_is_not_serializable(self):
+        # T1 and T2 write content of A and B in opposite orders -- the
+        # classic non-serializable interleaving.
+        events = [
+            self._manifest(),
+            _event(1, TXN_BEGIN, "T1:w", name="w", isolation="repeatable"),
+            _event(2, TXN_BEGIN, "T2:w", name="w", isolation="repeatable"),
+            _access(3, "T1:w", "write_content", "1.3.3"),
+            _access(4, "T2:w", "write_content", "1.3.3"),
+            _access(5, "T2:w", "write_content", "1.5.3"),
+            _access(6, "T1:w", "write_content", "1.5.3"),
+            _event(7, TXN_COMMIT, "T1:w"),
+            _event(8, TXN_COMMIT, "T2:w"),
+        ]
+        report = verify_history(RunHistory.from_events(events))
+        assert report.checks["serializability"] == "violated"
+        assert any(v.check == "serializability" for v in report.violations)
+
+    def test_serial_writes_are_serializable(self):
+        events = [
+            self._manifest(),
+            _event(1, TXN_BEGIN, "T1:w", name="w", isolation="repeatable"),
+            _access(2, "T1:w", "write_content", "1.3.3"),
+            _event(3, TXN_COMMIT, "T1:w"),
+            _event(4, TXN_BEGIN, "T2:w", name="w", isolation="repeatable"),
+            _access(5, "T2:w", "write_content", "1.3.3"),
+            _event(6, TXN_COMMIT, "T2:w"),
+        ]
+        report = verify_history(RunHistory.from_events(events))
+        assert report.checks["serializability"] == "ok"
+
+    def test_uncovered_access_violates_conformance(self):
+        events = [
+            self._manifest(),
+            _event(1, TXN_BEGIN, "T1:w", name="w", isolation="repeatable"),
+            _access(2, "T1:w", "write_content", "1.3.3"),
+            _event(3, TXN_COMMIT, "T1:w"),
+        ]
+        report = verify_history(RunHistory.from_events(events))
+        assert report.checks["conformance"] == "violated"
+
+    def test_operation_release_violates_two_phase(self):
+        events = [
+            self._manifest(),
+            _event(1, TXN_BEGIN, "T1:w", name="w", isolation="repeatable"),
+            _event(2, LOCK_RELEASE, "T1:w", scope="operation", count=1),
+            _event(3, TXN_COMMIT, "T1:w"),
+        ]
+        report = verify_history(RunHistory.from_events(events))
+        assert report.checks["two-phase"] == "violated"
+
+    def test_isolation_none_skips_conformance(self):
+        events = [
+            self._manifest(),
+            _event(1, TXN_BEGIN, "T1:w", name="w", isolation="none"),
+            _access(2, "T1:w", "write_content", "1.3.3"),
+            _event(3, TXN_COMMIT, "T1:w"),
+        ]
+        report = verify_history(RunHistory.from_events(events))
+        assert report.checks["conformance"] == "skipped"
