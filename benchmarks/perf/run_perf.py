@@ -277,6 +277,82 @@ def bench_obs(scale: int) -> Dict[str, object]:
     }
 
 
+def bench_storage(scale: int) -> Dict[str, Dict[str, float]]:
+    """Buffer-manager fix throughput: the page-access hot path.
+
+    ``fix`` carries the chaos-engine hook (one ``is not None`` check when
+    no engine is installed), so this layer is the regression tripwire for
+    the zero-cost-when-disabled contract of :mod:`repro.chaos`.
+    """
+    from repro.storage.buffer import make_buffered_store
+
+    loops = scale * 40
+
+    def run_hits() -> int:
+        buffer = make_buffered_store(pool_size=256)
+        pages = [buffer.allocate().page_id for _ in range(128)]
+        n = 0
+        for _ in range(loops):
+            for page_id in pages:
+                buffer.fix(page_id)
+                n += 1
+        return n
+
+    def run_miss_evict() -> int:
+        buffer = make_buffered_store(pool_size=64)
+        pages = [buffer.allocate().page_id for _ in range(256)]
+        n = 0
+        for _ in range(max(1, loops // 4)):
+            for page_id in pages:
+                buffer.fix(page_id)
+                n += 1
+        return n
+
+    return {
+        "fix_hit": ops_per_sec(run_hits),
+        "fix_miss_evict": ops_per_sec(run_miss_evict),
+    }
+
+
+def bench_chaos(scale: int) -> Dict[str, object]:
+    """Chaos-hook overhead on the buffer fix path.
+
+    Reports fix throughput with no engine installed (``chaos is None``,
+    the default everywhere) vs. an installed engine whose schedule is
+    empty, plus the resulting machine-independent ratio.  The absolute
+    no-hook number is enforced by ``--compare`` through the ``storage``
+    layer; the ratio pins what installing an idle engine costs.
+    """
+    from repro.chaos import ChaosEngine, FaultSchedule
+    from repro.storage.buffer import make_buffered_store
+
+    loops = scale * 40
+
+    def fixes(engine) -> Callable[[], int]:
+        buffer = make_buffered_store(pool_size=256)
+        pages = [buffer.allocate().page_id for _ in range(128)]
+        buffer.chaos = engine
+
+        def run() -> int:
+            n = 0
+            for _ in range(loops):
+                for page_id in pages:
+                    buffer.fix(page_id)
+                    n += 1
+            return n
+        return run
+
+    no_hook = ops_per_sec(fixes(None))
+    empty = ops_per_sec(fixes(ChaosEngine(FaultSchedule(), seed=1)))
+    return {
+        "fix_no_hook": no_hook,
+        "fix_empty_engine": empty,
+        "hook_overhead_ratio": round(
+            no_hook["ops_per_sec"] / empty["ops_per_sec"], 3
+        ) if empty["ops_per_sec"] else None,
+    }
+
+
 # -- layer 3: end-to-end ------------------------------------------------------
 
 
@@ -342,7 +418,9 @@ def run_all(*, quick: bool = False, workers: int = 2) -> Dict[str, object]:
         },
         "splid": bench_splid(scale),
         "locks": bench_locks(scale),
+        "storage": bench_storage(scale),
         "obs": bench_obs(scale),
+        "chaos": bench_chaos(scale),
         "cluster1_cell": bench_cluster1(quick),
         "sweep": bench_sweep(quick, workers),
     }
@@ -360,9 +438,12 @@ def compare_reports(
     metrics absent from the baseline (new benchmarks) are skipped.
     """
     failures: List[str] = []
-    for layer in ("splid", "locks"):
+    for layer in ("splid", "locks", "storage"):
         base_layer = baseline.get(layer) or {}
-        for name, stats in current[layer].items():  # type: ignore[union-attr]
+        layer_stats = current.get(layer) or {}
+        for name, stats in layer_stats.items():  # type: ignore[union-attr]
+            if not isinstance(stats, dict):
+                continue
             base = (base_layer.get(name) or {}).get("ops_per_sec")
             if not base:
                 continue
@@ -396,7 +477,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     output.write_text(json.dumps(report, indent=2) + "\n")
 
     print(f"wrote {output}")
-    for layer in ("splid", "locks"):
+    for layer in ("splid", "locks", "storage"):
         for name, stats in report[layer].items():  # type: ignore[union-attr]
             print(f"  {layer}.{name:<22} {stats['ops_per_sec']:>14,.0f} ops/s")
     cell = report["cluster1_cell"]
@@ -410,6 +491,8 @@ def main(argv: Optional[List[str]] = None) -> int:
               f"{par:>10.3f} s (deterministic={sweep.get('deterministic')})")
     ratio = report["obs"]["tracing_overhead_ratio"]  # type: ignore[index]
     print(f"  tracing overhead ratio    {ratio:>10} x (disabled / ring)")
+    chaos_ratio = report["chaos"]["hook_overhead_ratio"]  # type: ignore[index]
+    print(f"  chaos hook overhead       {chaos_ratio:>10} x (no hook / idle engine)")
 
     if args.compare:
         baseline = json.loads(Path(args.compare).read_text())

@@ -29,14 +29,23 @@ See ``examples/quickstart.py`` for a complete runnable tour.
 
 The names exported here -- :class:`Database`, :class:`Session`,
 :class:`IsolationLevel`, :func:`list_protocols`, the exception
-hierarchy, and the observability surface (:class:`Observability`) --
-are the stable public API; everything else (node-manager wiring,
-transaction-manager internals, lock-table machinery) is subject to
-change between releases.
+hierarchy (including the :class:`TransientError`/:class:`PermanentError`
+classification), the observability surface (:class:`Observability`),
+and the chaos surface (:class:`ChaosEngine`, :class:`FaultSchedule`,
+:class:`RetryPolicy`; see ``docs/robustness.md``) -- are the stable
+public API; everything else (node-manager wiring, transaction-manager
+internals, lock-table machinery) is subject to change between releases.
 """
 
 __version__ = "1.0.0"
 
+from repro.chaos import (
+    ChaosEngine,
+    FaultRule,
+    FaultSchedule,
+    RetryPolicy,
+    load_schedule,
+)
 from repro.core.registry import ALL_PROTOCOLS, get_protocol, protocol_names
 from repro.database import Database
 from repro.errors import (
@@ -44,11 +53,15 @@ from repro.errors import (
     DocumentError,
     LockError,
     LockTimeout,
+    PermanentError,
     ReproError,
     SplidError,
     StorageError,
     TransactionAborted,
     TransactionError,
+    TransientError,
+    is_permanent,
+    is_transient,
 )
 from repro.locking.lock_manager import IsolationLevel
 from repro.obs import Observability
@@ -67,14 +80,23 @@ __all__ = [
     "evaluate_raw",
     "parse_path",
     "ALL_PROTOCOLS",
+    "ChaosEngine",
     "Database",
     "DeadlockAbort",
+    "FaultRule",
+    "FaultSchedule",
     "IsolationLevel",
     "LockTimeout",
     "Observability",
+    "PermanentError",
+    "RetryPolicy",
     "Session",
+    "TransientError",
     "get_protocol",
+    "is_permanent",
+    "is_transient",
     "list_protocols",
+    "load_schedule",
     "protocol_names",
     "DocumentError",
     "LockError",

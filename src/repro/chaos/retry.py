@@ -1,0 +1,127 @@
+"""Retry and admission policies for fault-tolerant execution.
+
+:class:`RetryPolicy` decides *whether* and *how long* to back off before
+retrying a transiently failed unit of work (a transaction restart after
+:class:`~repro.errors.DeadlockAbort`/:class:`~repro.errors.LockTimeout`,
+or a single page access inside the chaos engine).  Backoff is bounded
+exponential with deterministic jitter: the caller supplies the seeded
+``random.Random`` so the whole run stays reproducible.
+
+:class:`AdmissionController` implements coordinator-level graceful
+degradation: when the number of work items currently in restart state
+crosses ``max_pressure``, new arrivals are queued (up to
+``max_queue_waits`` backoffs) and then shed.  Decisions are purely a
+function of observed pressure, so seeded runs reproduce them exactly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with deterministic jitter.
+
+    ``backoff_ms(attempt, rng)`` returns the delay before retry number
+    ``attempt`` (1-based): ``min(max_backoff_ms, base_backoff_ms *
+    multiplier ** (attempt - 1))``, scaled by a jitter factor drawn
+    uniformly from [1 - jitter, 1].  ``max_restarts`` caps transaction
+    restarts per work item; ``max_attempts`` caps low-level access
+    retries inside the chaos engine.
+    """
+
+    max_restarts: int = 8
+    max_attempts: int = 3
+    base_backoff_ms: float = 2.0
+    multiplier: float = 2.0
+    max_backoff_ms: float = 64.0
+    jitter: float = 0.5
+
+    def __post_init__(self):
+        if self.max_restarts < 0 or self.max_attempts < 1:
+            raise ValueError("max_restarts must be >= 0 and max_attempts >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        if self.base_backoff_ms < 0 or self.max_backoff_ms < 0 or self.multiplier < 1.0:
+            raise ValueError("backoff parameters must be non-negative, multiplier >= 1")
+
+    def backoff_ms(self, attempt: int, rng: random.Random) -> float:
+        """Backoff before retry ``attempt`` (1-based), with jitter."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        raw = min(self.max_backoff_ms, self.base_backoff_ms * self.multiplier ** (attempt - 1))
+        if self.jitter == 0.0:
+            return raw
+        return raw * (1.0 - self.jitter * rng.random())
+
+    def allows_restart(self, restarts_done: int) -> bool:
+        return restarts_done < self.max_restarts
+
+
+#: Admission decisions, in the order they are tried.
+ADMIT = "admit"
+QUEUE = "queue"
+SHED = "shed"
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Configuration of coordinator-level admission control.
+
+    Immutable so it can sit in a :class:`~repro.tamix.TaMixConfig` and be
+    shared across runs; the per-run state lives in the
+    :class:`AdmissionController` built from it.
+    """
+
+    max_pressure: int = 4
+    max_queue_waits: int = 3
+    queue_backoff_ms: float = 10.0
+
+    def __post_init__(self):
+        if self.max_pressure < 1:
+            raise ValueError("max_pressure must be >= 1")
+        if self.max_queue_waits < 0 or self.queue_backoff_ms < 0:
+            raise ValueError("max_queue_waits and queue_backoff_ms must be >= 0")
+
+    def controller(self) -> "AdmissionController":
+        return AdmissionController(self)
+
+
+class AdmissionController:
+    """Shed or queue new work when restart pressure is high.
+
+    *Pressure* counts work items currently in restart state (first abort
+    seen, not yet committed or given up on).  ``admit()`` returns
+    ``"admit"`` below ``policy.max_pressure``; at or above it, a work
+    item may wait out up to ``policy.max_queue_waits`` backoffs
+    (``"queue"``) before being shed (``"shed"``).  Queue waits are
+    tracked per work item via the count the caller passes back in, so
+    one hot item cannot starve the rest of the arrival stream.
+    """
+
+    def __init__(self, policy: AdmissionPolicy = AdmissionPolicy()):
+        self.policy = policy
+        self.pressure = 0
+        self.sheds = 0
+        self.queue_waits = 0
+
+    def admit(self, waits_so_far: int = 0) -> str:
+        """Decide for one arrival; callers track ``waits_so_far`` per item."""
+        if self.pressure < self.policy.max_pressure:
+            return ADMIT
+        if waits_so_far < self.policy.max_queue_waits:
+            self.queue_waits += 1
+            return QUEUE
+        self.sheds += 1
+        return SHED
+
+    def enter_restart(self):
+        """A work item saw its first abort and is now restarting."""
+        self.pressure += 1
+
+    def leave_restart(self):
+        """A restarting work item committed or was given up on."""
+        if self.pressure > 0:
+            self.pressure -= 1

@@ -1,0 +1,204 @@
+"""Seeded chaos runs: a TaMix workload under fault injection, verified.
+
+:func:`run_chaos` builds a WAL-backed bib database, takes a base
+checkpoint, installs a :class:`~repro.chaos.engine.ChaosEngine`, and
+runs a CLUSTER1-style workload with the retry/admission layer enabled.
+After the run it detaches the engine (verification must be fault-free),
+rolls back every in-flight transaction, and checks the invariants the
+PR-4 oracle defines:
+
+* **serializability** -- the committed schedule recorded in the run's
+  event trace passes :func:`repro.verify.verify_trace` (conflict
+  serializability + lock-protocol conformance + two-phase discipline);
+* **recovery** -- replaying the WAL over the base checkpoint yields a
+  document bit-identical (:func:`repro.verify.canonical_image`) to the
+  live post-rollback document;
+* **durability accounting** -- the WAL carries exactly one COMMIT record
+  per committed transaction (no lost commits).
+
+The report's :meth:`~ChaosRunReport.fingerprint` digests the fault log,
+retry counters, and final image, so two invocations with the same seed
+can be compared for exact determinism (``repro chaos
+--check-determinism``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from tempfile import TemporaryDirectory
+from typing import List, Optional, Union
+
+from ..obs import Observability
+from ..tamix.cluster import CLUSTER1_MIX, make_database
+from ..tamix.coordinator import TaMixConfig, TaMixCoordinator
+from ..tamix.metrics import RunResult
+from ..txn.wal import LogKind, recover, take_checkpoint
+from ..verify import canonical_image, verify_trace
+from .engine import ChaosEngine
+from .retry import AdmissionPolicy, RetryPolicy
+from .schedule import FaultSchedule
+
+
+@dataclass
+class ChaosRunReport:
+    """The outcome and verification verdicts of one chaos run."""
+
+    seed: int
+    schedule_name: str
+    result: RunResult
+    #: Per-site observed injection rate (fired faults / operations).
+    injection_rates: dict = field(default_factory=dict)
+    #: Per-(site, kind) fault counters.
+    faults: dict = field(default_factory=dict)
+    restarts: int = 0
+    sheds: int = 0
+    #: SHA-256 digest over fault log + final image + counters.
+    fingerprint: str = ""
+    oracle_ok: bool = False
+    oracle_violations: List[str] = field(default_factory=list)
+    accesses_checked: int = 0
+    recovery_ok: bool = False
+    commits_in_wal: int = 0
+    committed: int = 0
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "schedule": self.schedule_name,
+            "ok": self.ok,
+            "committed": self.committed,
+            "aborted": self.result.aborted,
+            "aborted_by_kind": self.result.aborted_by_kind,
+            "restarts": self.restarts,
+            "sheds": self.sheds,
+            "faults": dict(sorted(self.faults.items())),
+            "injection_rates": {
+                site: round(rate, 6)
+                for site, rate in sorted(self.injection_rates.items())
+            },
+            "oracle_ok": self.oracle_ok,
+            "accesses_checked": self.accesses_checked,
+            "recovery_ok": self.recovery_ok,
+            "commits_in_wal": self.commits_in_wal,
+            "violations": list(self.violations),
+            "fingerprint": self.fingerprint,
+        }
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else "FAILED"
+        faults = sum(self.faults.values())
+        return (
+            f"chaos[{self.schedule_name} seed={self.seed}] {status}: "
+            f"committed={self.committed} aborted={self.result.aborted} "
+            f"restarts={self.restarts} sheds={self.sheds} "
+            f"faults={faults} oracle={'ok' if self.oracle_ok else 'FAIL'} "
+            f"recovery={'ok' if self.recovery_ok else 'FAIL'} "
+            f"fingerprint={self.fingerprint[:16]}"
+        )
+
+
+def run_chaos(
+    schedule: FaultSchedule,
+    seed: int = 7,
+    *,
+    protocol: str = "taDOM3+",
+    lock_depth: int = 4,
+    isolation: str = "repeatable",
+    scale: float = 0.05,
+    run_duration_ms: float = 8_000.0,
+    trace_path: Union[str, Path, None] = None,
+    retry: Optional[RetryPolicy] = None,
+    admission: Optional[AdmissionPolicy] = None,
+) -> ChaosRunReport:
+    """One seeded, verified chaos run.  See the module docstring."""
+    retry = retry if retry is not None else RetryPolicy()
+    admission = admission if admission is not None else AdmissionPolicy()
+    with TemporaryDirectory(prefix="repro-chaos-") as tmp:
+        trace = Path(trace_path) if trace_path is not None else (
+            Path(tmp) / "chaos_trace.jsonl"
+        )
+        obs = Observability.enabled(capacity=1, sink=trace, access_events=True)
+        database, info = make_database(
+            protocol, lock_depth, isolation, scale=scale,
+            observability=obs, enable_wal=True,
+        )
+        # Base checkpoint before any faults: recovery replays the WAL of
+        # the *whole* chaotic run over this clean image.
+        base = take_checkpoint(database.document, database.wal)
+
+        engine = ChaosEngine(schedule, seed, retry=retry, obs=obs)
+        engine.install(database)
+        config = TaMixConfig(
+            protocol=protocol,
+            lock_depth=lock_depth,
+            isolation=isolation,
+            run_duration_ms=run_duration_ms,
+            mix=dict(CLUSTER1_MIX),
+            seed=seed,
+            retry=retry,
+            admission=admission,
+        )
+        result = TaMixCoordinator(database, info, config).run()
+
+        # Verification is fault-free: detach the engine, then roll back
+        # every in-flight transaction so the live document holds exactly
+        # the committed effects (in-flight txns are recovery losers).
+        engine.uninstall()
+        for txn in list(database.transactions.active_transactions()):
+            database.abort(txn, reason="rollback")
+        obs.close()
+
+        report = ChaosRunReport(
+            seed=seed,
+            schedule_name=schedule.name or "<inline>",
+            result=result,
+            injection_rates=engine.injection_rates(),
+            faults=dict(engine.faults),
+            restarts=result.restarts,
+            sheds=result.sheds,
+            committed=database.transactions.committed,
+        )
+
+        oracle = verify_trace(trace)
+        report.oracle_ok = oracle.ok
+        report.accesses_checked = oracle.accesses_checked
+        if not oracle.ok:
+            report.oracle_violations = [str(v) for v in oracle.violations]
+            report.violations.append(
+                f"history oracle found {len(oracle.violations)} violation(s)"
+            )
+
+        live_image = canonical_image(database.document)
+        recovered_image = canonical_image(recover(base, database.wal))
+        report.recovery_ok = recovered_image == live_image
+        if not report.recovery_ok:
+            report.violations.append(
+                "recovered document differs from live committed state"
+            )
+
+        report.commits_in_wal = sum(
+            1 for record in database.wal.records()
+            if record.kind is LogKind.COMMIT
+        )
+        if report.commits_in_wal != report.committed:
+            report.violations.append(
+                f"WAL holds {report.commits_in_wal} COMMIT records but "
+                f"{report.committed} transactions committed"
+            )
+
+        digest = hashlib.sha256()
+        digest.update(engine.fingerprint().encode())
+        digest.update(live_image)
+        digest.update(str(report.committed).encode())
+        digest.update(str(result.aborted).encode())
+        digest.update(str(result.restarts).encode())
+        digest.update(str(result.sheds).encode())
+        report.fingerprint = digest.hexdigest()
+        return report

@@ -78,6 +78,47 @@ def build_parser() -> argparse.ArgumentParser:
                        help="record op.access traces and run the "
                             "repro.verify history oracle on every cell "
                             "(uses a temp dir unless --trace-dir is set)")
+    sweep.add_argument("--journal", default=None,
+                       help="append every finished cell to this JSONL "
+                            "journal (enables --resume)")
+    sweep.add_argument("--resume", action="store_true",
+                       help="aggregate cells already in --journal instead "
+                            "of re-running them (byte-identical to an "
+                            "uninterrupted run)")
+    sweep.add_argument("--stop-after", type=int, default=None,
+                       help="stop after N freshly executed cells (for "
+                            "testing --resume round trips)")
+    sweep.add_argument("--cell-timeout", type=float, default=None,
+                       help="per-cell timeout in seconds for parallel "
+                            "execution (timed-out cells re-run serially)")
+    sweep.add_argument("--cell-retries", type=int, default=1,
+                       help="extra serial attempts for a failing cell "
+                            "(default: 1)")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run a seeded workload under a fault schedule and verify "
+             "invariants (serializability, bit-identical recovery, no "
+             "lost commits)",
+    )
+    chaos.add_argument("--protocol", default="taDOM3+", choices=ALL_PROTOCOLS)
+    chaos.add_argument("--lock-depth", type=int, default=4)
+    chaos.add_argument("--isolation", default="repeatable",
+                       choices=["none", "uncommitted", "committed",
+                                "repeatable", "serializable"])
+    chaos.add_argument("--seed", type=int, default=7)
+    chaos.add_argument("--schedule", default="ci-small",
+                       help="built-in schedule name or JSON schedule file "
+                            "(default: ci-small)")
+    chaos.add_argument("--scale", type=float, default=0.05)
+    chaos.add_argument("--seconds", type=float, default=8.0)
+    chaos.add_argument("--trace", default=None,
+                       help="keep the run's JSONL event trace at this path")
+    chaos.add_argument("--json", default=None,
+                       help="write the chaos report as JSON to this file")
+    chaos.add_argument("--check-determinism", action="store_true",
+                       help="run twice and require identical fault points, "
+                            "retry counts, and final verified state")
 
     trace = sub.add_parser(
         "trace",
@@ -206,6 +247,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "report": _cmd_report,
         "analyze": _cmd_analyze,
         "verify": _cmd_verify,
+        "chaos": _cmd_chaos,
     }[args.command]
     return handler(args)
 
@@ -274,7 +316,11 @@ def _cmd_sweep(args) -> int:
         trace_dir = scratch.name
     runner = SweepRunner(spec, workers=args.workers,
                          trace_dir=trace_dir,
-                         access_events=args.verify)
+                         access_events=args.verify,
+                         journal=args.journal,
+                         resume=args.resume,
+                         cell_timeout_s=args.cell_timeout,
+                         cell_retries=args.cell_retries)
     progress = None
     if args.progress:
         total = len(list(spec.cells()))
@@ -289,7 +335,10 @@ def _cmd_sweep(args) -> int:
                 file=sys.stderr, flush=True,
             )
 
-    runner.run(progress=progress)
+    runner.run(progress=progress, stop_after=args.stop_after)
+    if args.resume and runner.resumed_cells:
+        print(f"resumed {runner.resumed_cells} cell(s) from {args.journal}",
+              file=sys.stderr)
     series = runner.series(metric="committed", isolation=args.isolation)
     depths = sorted(set(args.depths))  # series values come back depth-sorted
     print("protocol   " + "".join(f"d{d:<7}" for d in depths))
@@ -543,6 +592,51 @@ def _cmd_verify(args) -> int:
             print(f"  {failure}")
         failed = failed or not crash.ok
     return 1 if failed else 0
+
+
+def _cmd_chaos(args) -> int:
+    import json as json_module
+    from pathlib import Path
+
+    from repro.chaos import load_schedule, run_chaos
+
+    schedule = load_schedule(args.schedule)
+
+    def one_run():
+        return run_chaos(
+            schedule,
+            seed=args.seed,
+            protocol=args.protocol,
+            lock_depth=args.lock_depth,
+            isolation=args.isolation,
+            scale=args.scale,
+            run_duration_ms=args.seconds * 1000.0,
+            trace_path=args.trace,
+        )
+
+    report = one_run()
+    print(report.summary())
+    for site, rate in sorted(report.injection_rates.items()):
+        ops = report.faults
+        fired = sum(v for k, v in ops.items() if k.startswith(site + ":"))
+        print(f"  {site:<14} rate={rate:7.4f}  faults={fired}")
+    for violation in report.violations:
+        print(f"  VIOLATION: {violation}")
+    for violation in report.oracle_violations[:10]:
+        print(f"    {violation}")
+    if args.check_determinism:
+        second = one_run()
+        identical = second.fingerprint == report.fingerprint
+        print(f"  determinism: {'ok' if identical else 'MISMATCH'} "
+              f"({report.fingerprint[:16]} vs {second.fingerprint[:16]})")
+        if not identical:
+            return 1
+    if args.json:
+        Path(args.json).write_text(
+            json_module.dumps(report.to_dict(), indent=2) + "\n"
+        )
+        print(f"wrote {args.json}")
+    return 0 if report.ok else 1
 
 
 def _cmd_analyze(args) -> int:

@@ -5,6 +5,21 @@ applications can catch library failures with a single ``except`` clause.
 Transaction-visible failures (deadlock aborts, explicit rollbacks) derive
 from :class:`TransactionAborted` because they terminate the issuing
 transaction rather than the whole system.
+
+Orthogonally to the subsystem hierarchy, errors are classified by
+**retryability** through two mixins:
+
+* :class:`TransientError` -- the condition may clear on its own; retrying
+  the same work (after a backoff) is a reasonable reaction.  Deadlock
+  victims, lock-wait timeouts, and injected transient storage faults are
+  transient: the paper's TaMix coordinator restarts such transactions.
+* :class:`PermanentError` -- retrying the identical call cannot succeed
+  (configuration mistakes, API misuse, exhausted retry budgets, hard
+  storage failures).  Callers should surface these, not loop on them.
+
+Errors carrying neither mixin (notably the :class:`StorageError` base
+used by the WAL codec for torn log images) make no retryability promise;
+:func:`is_transient`/:func:`is_permanent` both answer ``False`` for them.
 """
 
 from __future__ import annotations
@@ -14,19 +29,64 @@ class ReproError(Exception):
     """Base class of all errors raised by the repro library."""
 
 
-class SplidError(ReproError):
+class TransientError(Exception):
+    """Mixin: the failure may clear; retrying after a backoff is sane.
+
+    Not a :class:`ReproError` itself -- concrete classes mix it into
+    their subsystem branch (``class LockTimeout(TransactionAborted,
+    TransientError)``), so ``except ReproError`` still catches
+    everything while ``except TransientError`` selects the retryable
+    subset.
+    """
+
+
+class PermanentError(Exception):
+    """Mixin: retrying the identical call cannot succeed."""
+
+
+def is_transient(error: BaseException) -> bool:
+    """Is ``error`` classified as retryable?"""
+    return isinstance(error, TransientError)
+
+
+def is_permanent(error: BaseException) -> bool:
+    """Is ``error`` classified as not-retryable?"""
+    return isinstance(error, PermanentError)
+
+
+class SplidError(ReproError, PermanentError):
     """Malformed SPLID label or impossible label operation."""
 
 
 class StorageError(ReproError):
-    """Low-level storage failure (page, B-tree, or container invariant)."""
+    """Low-level storage failure (page, B-tree, or container invariant).
+
+    The base class makes no retryability promise -- the WAL/checkpoint
+    codecs raise it for torn images (see :mod:`repro.verify.faults`),
+    where "retry" is not a meaningful reaction.  The chaos engine's
+    injected faults use the classified subtypes below.
+    """
+
+
+class TransientStorageError(StorageError, TransientError):
+    """A storage access failed but may succeed when retried.
+
+    Raised by the chaos engine (:mod:`repro.chaos`) for injected
+    transient page-I/O faults, including a transient fault that
+    persisted past the storage retry budget -- the *transaction* can
+    still be restarted even when the single access could not be.
+    """
+
+
+class PermanentStorageError(StorageError, PermanentError):
+    """A storage access failed and retrying cannot help (hard fault)."""
 
 
 class PageOverflowError(StorageError):
     """A record does not fit a page even after a split."""
 
 
-class DocumentError(ReproError):
+class DocumentError(ReproError, PermanentError):
     """Structural error in a taDOM document (unknown node, bad kind, ...)."""
 
 
@@ -34,11 +94,11 @@ class NodeNotFound(DocumentError):
     """The addressed node does not exist (anymore) in the document."""
 
 
-class VocabularyError(StorageError):
+class VocabularyError(StorageError, PermanentError):
     """Unknown vocabulary surrogate or exhausted surrogate space."""
 
 
-class LockError(ReproError):
+class LockError(ReproError, PermanentError):
     """Lock-manager protocol violation (not a lock conflict)."""
 
 
@@ -48,6 +108,17 @@ class UnknownProtocolError(LockError):
 
 class TransactionError(ReproError):
     """Misuse of the transaction API (e.g. operating on a finished txn)."""
+
+
+class RollbackError(TransactionError, PermanentError):
+    """Rollback could not be completed (undo hit a non-retryable fault).
+
+    :meth:`repro.txn.manager.TransactionManager.abort` retries undo
+    entries that fail transiently; when an entry fails permanently (or
+    exhausts the retry budget) it raises this instead of returning with
+    a half-rolled-back document.  The transaction stays ACTIVE and keeps
+    its locks, so the damaged subtree remains isolated until recovery.
+    """
 
 
 class TransactionAborted(TransactionError):
@@ -64,12 +135,13 @@ class TransactionAborted(TransactionError):
     reason = "rollback"
 
 
-class DeadlockAbort(TransactionAborted):
+class DeadlockAbort(TransactionAborted, TransientError):
     """The transaction was chosen as a deadlock victim.
 
     The deadlock detector attaches the cycle it found so that TaMix can
     classify the deadlock (conversion deadlock vs. distinct-subtree
     deadlock), mirroring the paper's XTCdeadlockDetector analysis.
+    Transient: restarting the victim is the standard reaction.
     """
 
     reason = "deadlock"
@@ -79,14 +151,14 @@ class DeadlockAbort(TransactionAborted):
         self.cycle = tuple(cycle)
 
 
-class LockTimeout(TransactionAborted):
+class LockTimeout(TransactionAborted, TransientError):
     """The transaction waited longer than the lock-wait timeout.
 
     Long waits behind coarse locks (e.g. Node2PL's parent-level M locks)
     are aborted rather than stalling the system indefinitely; TaMix counts
     these among the aborted transactions.  Both runtimes (the simulator
     and the threaded driver) raise it with the contested resource
-    attached.
+    attached.  Transient: the lock holder will eventually finish.
     """
 
     reason = "timeout"
@@ -102,5 +174,17 @@ class LockTimeout(TransactionAborted):
         self.timeout_ms = timeout_ms
 
 
-class BenchmarkError(ReproError):
+class AdmissionRejected(TransactionError, TransientError):
+    """Admission control shed the transaction under restart pressure.
+
+    Transient by definition: the system is degrading gracefully and the
+    same work can be resubmitted once pressure falls.
+    """
+
+
+class ChaosError(ReproError, PermanentError):
+    """A fault schedule or chaos-engine configuration is invalid."""
+
+
+class BenchmarkError(ReproError, PermanentError):
     """A TaMix benchmark was configured inconsistently."""

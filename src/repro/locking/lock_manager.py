@@ -133,6 +133,8 @@ class LockManager:
         self.lock_depth = lock_depth
         self.wait_timeout_ms = wait_timeout_ms
         self.timeouts = 0
+        #: Fault-injection engine (repro.chaos); None means zero overhead.
+        self.chaos = None
         self.obs = obs if obs is not None else Observability.disabled()
         self.tracer = self.obs.tracer
         #: Tracer state never changes after construction, so the hot path
@@ -335,6 +337,10 @@ class LockManager:
             report.skipped_covered += 1
             return
         report.lock_requests += 1
+        if self.chaos is not None:
+            # May raise LockTimeout/DeadlockAbort; before the request
+            # event so aborted steps leave no dangling lock.request.
+            self.chaos.lock_request(txn, step)
         # Tracing cost when disabled: the instant-grant path below pays
         # two checks of this cached flag and nothing else.
         trace = self._tracing

@@ -22,9 +22,11 @@ from pathlib import Path
 from typing import Callable, Optional, Union
 
 from repro.obs.events import (  # noqa: F401  (re-exported taxonomy)
+    ADMISSION_DECISION,
     BUFFER_EVICT,
     BUFFER_FIX,
     BUFFER_MISS,
+    CHAOS_FAULT,
     DEADLOCK_DETECTED,
     EVENT_KINDS,
     LOCK_BLOCK,
@@ -41,6 +43,7 @@ from repro.obs.events import (  # noqa: F401  (re-exported taxonomy)
     TXN_ABORT,
     TXN_BEGIN,
     TXN_COMMIT,
+    TXN_RETRY,
     TraceEvent,
     txn_label,
 )
@@ -70,6 +73,9 @@ __all__ = [
     "EVENT_KINDS",
     "OP_ACCESS",
     "RUN_INFO",
+    "CHAOS_FAULT",
+    "TXN_RETRY",
+    "ADMISSION_DECISION",
     "SPAN_BEGIN",
     "SPAN_END",
     "TraceEvent",

@@ -57,6 +57,20 @@ BUFFER_FIX = "buffer.fix"
 BUFFER_MISS = "buffer.miss"
 BUFFER_EVICT = "buffer.evict"
 
+# -- robustness (chaos engine, retry layer, admission control) ----------------
+#: One injected fault fired by the chaos engine (:mod:`repro.chaos`).
+#: Payload: ``site`` (page.read/page.write/lock.acquire), ``fault``
+#: (transient/permanent/torn/latency/timeout/deadlock), ``op`` (1-based
+#: per-site operation index), plus site detail (``page`` or ``resource``).
+CHAOS_FAULT = "chaos.fault"
+#: The TaMix coordinator restarting a work item after a transient abort.
+#: Payload: ``reason`` (deadlock/timeout/storage), ``restart`` (1-based
+#: restart count for this work item), ``backoff_ms``.
+TXN_RETRY = "txn.retry"
+#: An admission-control decision under restart pressure.  Payload:
+#: ``decision`` (admit/queue/shed), ``pressure``, ``waits``.
+ADMISSION_DECISION = "admission.decision"
+
 # -- spans --------------------------------------------------------------------
 #: Hierarchical timing spans.  A span is a begin/end pair of events with
 #: the same ``name`` and category ``cat`` on the same transaction; spans
@@ -95,6 +109,9 @@ EVENT_KINDS = frozenset({
     BUFFER_FIX,
     BUFFER_MISS,
     BUFFER_EVICT,
+    CHAOS_FAULT,
+    TXN_RETRY,
+    ADMISSION_DECISION,
     SPAN_BEGIN,
     SPAN_END,
 })

@@ -35,7 +35,9 @@ class CostModel:
 
     def io_cost(self, delta: IoStatistics) -> float:
         hits = delta.logical_reads - delta.physical_reads
-        return hits * self.buffer_hit_ms + delta.physical_reads * self.buffer_miss_ms
+        return (hits * self.buffer_hit_ms
+                + delta.physical_reads * self.buffer_miss_ms
+                + delta.fault_delay_ms)
 
     def lock_cost(self, requests: int, covered: int = 0) -> float:
         return requests * self.lock_request_ms + covered * self.lock_covered_ms

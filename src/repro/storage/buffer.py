@@ -31,6 +31,9 @@ class IoStatistics:
     physical_reads: int = 0
     physical_writes: int = 0
     evictions: int = 0
+    #: Simulated milliseconds added by injected latency faults and fault
+    #: retries (repro.chaos); charged by the cost model like extra I/O time.
+    fault_delay_ms: float = 0.0
 
     def snapshot(self) -> "IoStatistics":
         return IoStatistics(
@@ -38,6 +41,7 @@ class IoStatistics:
             self.physical_reads,
             self.physical_writes,
             self.evictions,
+            self.fault_delay_ms,
         )
 
     def delta_since(self, earlier: "IoStatistics") -> "IoStatistics":
@@ -46,6 +50,7 @@ class IoStatistics:
             self.physical_reads - earlier.physical_reads,
             self.physical_writes - earlier.physical_writes,
             self.evictions - earlier.evictions,
+            self.fault_delay_ms - earlier.fault_delay_ms,
         )
 
     @property
@@ -108,6 +113,8 @@ class BufferManager:
         self.stats = IoStatistics()
         #: Observability tracer; bound by :meth:`bind_observability`.
         self.tracer = NULL_TRACER
+        #: Fault-injection engine (repro.chaos); None means zero overhead.
+        self.chaos = None
         self._resident: "OrderedDict[int, bool]" = OrderedDict()  # id -> dirty
 
     def bind_observability(self, obs) -> None:
@@ -129,6 +136,10 @@ class BufferManager:
     def fix(self, page_id: int, *, for_update: bool = False) -> Page:
         """Access a page, updating LRU order and I/O counters."""
         self.stats.logical_reads += 1
+        if self.chaos is not None:
+            delay = self.chaos.page_read(page_id)
+            if delay:
+                self.stats.fault_delay_ms += delay
         if page_id in self._resident:
             dirty = self._resident.pop(page_id)
             self._resident[page_id] = dirty or for_update
@@ -164,6 +175,10 @@ class BufferManager:
         for page_id, dirty in self._resident.items():
             if dirty:
                 self.stats.physical_writes += 1
+                if self.chaos is not None:
+                    delay = self.chaos.page_write(page_id)
+                    if delay:
+                        self.stats.fault_delay_ms += delay
                 self._resident[page_id] = False
 
     def is_resident(self, page_id: int) -> bool:
@@ -181,6 +196,10 @@ class BufferManager:
             self.stats.evictions += 1
             if victim_dirty:
                 self.stats.physical_writes += 1
+                if self.chaos is not None:
+                    delay = self.chaos.page_write(victim_id)
+                    if delay:
+                        self.stats.fault_delay_ms += delay
             if self.tracer.enabled:
                 self.tracer.emit(BUFFER_EVICT, page=victim_id,
                                  dirty=victim_dirty)

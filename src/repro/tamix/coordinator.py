@@ -13,11 +13,12 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional
 
+from repro.chaos.retry import ADMIT, QUEUE, AdmissionPolicy, RetryPolicy
 from repro.database import Database
-from repro.errors import BenchmarkError, TransactionAborted
-from repro.obs import RUN_INFO
+from repro.errors import BenchmarkError, TransactionAborted, TransientError
+from repro.obs import ADMISSION_DECISION, RUN_INFO, TXN_RETRY
 from repro.sched.simulator import Delay, Simulator
 from repro.tamix.bibgen import BibInfo
 from repro.tamix.metrics import RunResult
@@ -48,6 +49,13 @@ class TaMixConfig:
         }
     )
     seed: int = 42
+    #: Restart policy for aborted work items.  ``None`` (the default)
+    #: keeps the legacy behaviour -- uniform random backoff, unlimited
+    #: restarts -- and draws the exact same RNG sequence as before this
+    #: field existed, so seeded legacy runs stay bit-identical.
+    retry: Optional[RetryPolicy] = None
+    #: Admission control under restart pressure; ``None`` disables it.
+    admission: Optional[AdmissionPolicy] = None
 
     @property
     def wait_after_operation(self) -> float:
@@ -67,6 +75,7 @@ class TaMixCoordinator:
         self.database = database
         self.info = info
         self.config = config
+        self._admission = None
         self.result = RunResult(
             protocol=config.protocol,
             lock_depth=config.lock_depth,
@@ -78,6 +87,10 @@ class TaMixCoordinator:
         sim = Simulator()
         self.database.set_clock(lambda: sim.now)
         self._emit_run_info()
+        self._admission = (
+            self.config.admission.controller()
+            if self.config.admission is not None else None
+        )
         rng = random.Random(self.config.seed)
         slot = 0
         for _client in range(self.config.clients):
@@ -113,28 +126,86 @@ class TaMixCoordinator:
         )
 
     def _slot(self, sim: Simulator, txn_type: str, rng: random.Random):
-        """One continuously active transaction slot."""
+        """One continuously active transaction slot.
+
+        Without a retry policy this is the paper's loop verbatim (abort
+        -> uniform backoff -> fresh transaction, unlimited restarts).
+        With ``config.retry`` set, restarts use bounded exponential
+        backoff with a per-work-item budget, and ``config.admission``
+        gates *new* work items (queue, then shed) while many slots are
+        restarting.
+        """
         cfg = self.config
         program = TRANSACTION_TYPES[txn_type]
+        retry = cfg.retry
+        admission = self._admission
+        tracer = self.database.tracer
         yield Delay(rng.uniform(0.0, cfg.initial_wait_max_ms))
+        restarts = 0      # restarts of the current work item
+        queue_waits = 0   # admission queue waits of the current arrival
         while sim.now < cfg.run_duration_ms:
+            if admission is not None and restarts == 0:
+                decision = admission.admit(queue_waits)
+                if decision is not ADMIT and tracer.enabled:
+                    tracer.emit(
+                        ADMISSION_DECISION, decision=decision,
+                        pressure=admission.pressure, waits=queue_waits,
+                    )
+                if decision is QUEUE:
+                    queue_waits += 1
+                    yield Delay(admission.policy.queue_backoff_ms)
+                    continue
+                if decision is not ADMIT:  # SHED
+                    self.result.sheds += 1
+                    queue_waits = 0
+                    yield Delay(cfg.wait_after_commit_ms)
+                    continue
+                queue_waits = 0
             txn = self.database.begin(txn_type, cfg.isolation)
             started = sim.now
             try:
                 yield from program(
                     self.database.nodes, txn, rng, self.info, cfg
                 )
-            except TransactionAborted as abort:
-                # Deadlock victim or lock-wait timeout: roll back, count
-                # the abort, and restart a fresh transaction of the same
-                # type after a backoff (keeping the population active).
-                kind = abort.reason
+            except (TransactionAborted, TransientError) as failure:
+                # Deadlock victim, lock-wait timeout, or injected
+                # transient storage fault: roll back, count the abort,
+                # and restart a fresh transaction of the same type after
+                # a backoff (keeping the population active).
+                kind = getattr(failure, "reason", None) or "storage"
                 self.database.abort(txn, reason=kind)
                 self.result.by_type[txn_type].record_abort(kind)
-                yield Delay(rng.uniform(0.0, cfg.restart_backoff_max_ms))
+                if retry is None:
+                    yield Delay(rng.uniform(0.0, cfg.restart_backoff_max_ms))
+                    continue
+                if restarts == 0 and admission is not None:
+                    admission.enter_restart()
+                if not retry.allows_restart(restarts):
+                    # Budget exhausted: give up on this work item and
+                    # move on to a fresh one after the commit wait.
+                    self.database.obs.metrics.counter(
+                        "txn.restart_budget_exhausted").inc()
+                    if admission is not None:
+                        admission.leave_restart()
+                    restarts = 0
+                    yield Delay(cfg.wait_after_commit_ms)
+                    continue
+                restarts += 1
+                self.result.restarts += 1
+                backoff = retry.backoff_ms(restarts, rng)
+                if tracer.enabled:
+                    tracer.emit(
+                        TXN_RETRY, txn=txn.label, reason=kind,
+                        restart=restarts, backoff_ms=round(backoff, 6),
+                    )
+                yield Delay(backoff)
                 continue
             self.database.commit(txn)
             self.result.by_type[txn_type].record_commit(sim.now - started)
+            if restarts > 0:
+                restarts = 0
+                if admission is not None:
+                    admission.leave_restart()
             yield Delay(cfg.wait_after_commit_ms)
 
     def _collect(self) -> None:
@@ -153,3 +224,8 @@ class TaMixCoordinator:
         metrics.gauge("tamix.deadlocks").set(self.result.deadlocks)
         for kind, count in self.result.deadlocks_by_kind.items():
             metrics.gauge(f"tamix.deadlocks.{kind}").set(count)
+        if self.config.retry is not None:
+            metrics.gauge("tamix.restarts").set(self.result.restarts)
+        if self._admission is not None:
+            metrics.gauge("tamix.sheds").set(self._admission.sheds)
+            metrics.gauge("tamix.queue_waits").set(self._admission.queue_waits)

@@ -1,0 +1,135 @@
+"""The sweep journal: durable per-cell results for ``sweep --resume``.
+
+A journal is a JSONL file.  Line 1 is a header carrying a fingerprint of
+the :class:`~repro.tamix.sweep.SweepSpec`; every further line is one
+completed cell with its full :class:`~repro.tamix.metrics.RunResult`
+image (:meth:`RunResult.as_journal`).  The runner appends a line the
+moment a cell finishes, so a killed sweep loses at most the cell that
+was in flight.
+
+Resume is *bit-identical*: ``as_journal`` is lossless, Python floats
+survive JSON round trips exactly, and the runner aggregates journaled
+and fresh outcomes in matrix order -- so a resumed sweep's CSV/JSON
+output equals an uninterrupted run's byte for byte.
+
+A journal recorded under one spec refuses to resume another
+(:class:`~repro.errors.BenchmarkError`); a torn final line (the process
+died mid-write) is ignored and that cell re-runs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.errors import BenchmarkError
+from repro.tamix.metrics import RunResult
+
+JOURNAL_VERSION = 1
+
+
+def spec_fingerprint(spec) -> Dict[str, object]:
+    """The spec fields that determine every cell's inputs and seed."""
+    return {
+        "protocols": list(spec.protocols),
+        "lock_depths": list(spec.lock_depths),
+        "isolations": list(spec.isolations),
+        "runs_per_cell": spec.runs_per_cell,
+        "scale": spec.scale,
+        "run_duration_ms": spec.run_duration_ms,
+        "base_seed": spec.base_seed,
+    }
+
+
+class SweepJournal:
+    """Append-only record of completed sweep cells."""
+
+    def __init__(self, path: Union[str, Path], spec):
+        self.path = Path(path)
+        self.spec_dict = spec_fingerprint(spec)
+        self._handle = None
+
+    # -- reading ------------------------------------------------------------
+
+    def load(self) -> Dict[object, RunResult]:
+        """Completed cells from an existing journal file ({} if absent).
+
+        Keys are :class:`~repro.tamix.sweep.SweepCell` instances.  Raises
+        :class:`BenchmarkError` when the journal belongs to a different
+        spec.  A torn trailing line is skipped silently.
+        """
+        from repro.tamix.sweep import SweepCell
+
+        if not self.path.exists():
+            return {}
+        done: Dict[object, RunResult] = {}
+        with open(self.path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        if not lines:
+            return {}
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError:
+            raise BenchmarkError(
+                f"sweep journal {self.path} has a corrupt header"
+            ) from None
+        if header.get("kind") != "header":
+            raise BenchmarkError(f"{self.path} is not a sweep journal")
+        if header.get("version") != JOURNAL_VERSION:
+            raise BenchmarkError(
+                f"sweep journal {self.path} has version "
+                f"{header.get('version')}, expected {JOURNAL_VERSION}"
+            )
+        if header.get("spec") != self.spec_dict:
+            raise BenchmarkError(
+                f"sweep journal {self.path} was recorded for a different "
+                f"sweep spec; refusing to resume"
+            )
+        for line in lines[1:]:
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                break  # torn tail: the process died mid-write
+            if record.get("kind") != "cell":
+                continue
+            cell = SweepCell(**record["cell"])
+            done[cell] = RunResult.from_journal(record["result"])
+        return done
+
+    # -- writing ------------------------------------------------------------
+
+    def open_for_append(self, *, fresh: bool) -> None:
+        """Start writing; ``fresh`` truncates and rewrites the header."""
+        if fresh or not self.path.exists():
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "w", encoding="utf-8")
+            self._write({
+                "kind": "header",
+                "version": JOURNAL_VERSION,
+                "spec": self.spec_dict,
+            })
+        else:
+            self._handle = open(self.path, "a", encoding="utf-8")
+
+    def record(self, cell, result: RunResult) -> None:
+        """Durably append one completed cell."""
+        self._write({
+            "kind": "cell",
+            "cell": {
+                "protocol": cell.protocol,
+                "lock_depth": cell.lock_depth,
+                "isolation": cell.isolation,
+                "run": cell.run,
+            },
+            "result": result.as_journal(),
+        })
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def _write(self, record: dict) -> None:
+        self._handle.write(json.dumps(record) + "\n")
+        self._handle.flush()

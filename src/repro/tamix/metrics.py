@@ -22,6 +22,7 @@ class TypeMetrics:
     aborted: int = 0
     deadlock_aborts: int = 0
     timeout_aborts: int = 0
+    storage_aborts: int = 0
     durations: List[float] = field(default_factory=list)
 
     def record_commit(self, duration_ms: float) -> None:
@@ -32,8 +33,31 @@ class TypeMetrics:
         self.aborted += 1
         if kind == "deadlock":
             self.deadlock_aborts += 1
+        elif kind == "storage":
+            self.storage_aborts += 1
         else:
             self.timeout_aborts += 1
+
+    def as_journal(self) -> Dict[str, object]:
+        return {
+            "committed": self.committed,
+            "aborted": self.aborted,
+            "deadlock_aborts": self.deadlock_aborts,
+            "timeout_aborts": self.timeout_aborts,
+            "storage_aborts": self.storage_aborts,
+            "durations": list(self.durations),
+        }
+
+    @classmethod
+    def from_journal(cls, data: Dict[str, object]) -> "TypeMetrics":
+        return cls(
+            committed=int(data["committed"]),
+            aborted=int(data["aborted"]),
+            deadlock_aborts=int(data["deadlock_aborts"]),
+            timeout_aborts=int(data["timeout_aborts"]),
+            storage_aborts=int(data.get("storage_aborts", 0)),
+            durations=[float(d) for d in data["durations"]],
+        )
 
     @property
     def avg_duration(self) -> Optional[float]:
@@ -68,6 +92,10 @@ class RunResult:
     wait_stats: Dict[str, float] = field(default_factory=dict)
     #: Fixed-bucket wait-time histogram (see repro.obs.metrics.Histogram).
     wait_histogram: Dict[str, object] = field(default_factory=dict)
+    #: Transaction restarts performed by the retry policy (0 without one).
+    restarts: int = 0
+    #: Work items shed by admission control (0 without a controller).
+    sheds: int = 0
 
     # -- the paper's headline numbers ---------------------------------------
 
@@ -82,10 +110,11 @@ class RunResult:
 
     @property
     def aborted_by_kind(self) -> Dict[str, int]:
-        """Abort counts split by cause (deadlock victim vs. timeout)."""
+        """Abort counts split by cause (deadlock/timeout/storage fault)."""
         return {
             "deadlock": sum(m.deadlock_aborts for m in self.by_type.values()),
             "timeout": sum(m.timeout_aborts for m in self.by_type.values()),
+            "storage": sum(m.storage_aborts for m in self.by_type.values()),
         }
 
     def committed_of(self, txn_type: str) -> int:
@@ -111,6 +140,50 @@ class RunResult:
             "aborted": self.aborted,
             "deadlocks": self.deadlocks,
         }
+
+    def as_journal(self) -> Dict[str, object]:
+        """Lossless JSON-safe image of this result (sweep journal rows).
+
+        Floats survive JSON round trips exactly (repr-based encoding), so
+        a result rebuilt by :meth:`from_journal` aggregates to the same
+        bytes as the original -- the basis of ``repro sweep --resume``.
+        """
+        return {
+            "protocol": self.protocol,
+            "lock_depth": self.lock_depth,
+            "isolation": self.isolation,
+            "run_duration_ms": self.run_duration_ms,
+            "by_type": {
+                name: metrics.as_journal()
+                for name, metrics in sorted(self.by_type.items())
+            },
+            "deadlocks": self.deadlocks,
+            "deadlocks_by_kind": dict(self.deadlocks_by_kind),
+            "lock_stats": dict(self.lock_stats),
+            "wait_stats": dict(self.wait_stats),
+            "wait_histogram": dict(self.wait_histogram),
+            "restarts": self.restarts,
+            "sheds": self.sheds,
+        }
+
+    @classmethod
+    def from_journal(cls, data: Dict[str, object]) -> "RunResult":
+        result = cls(
+            protocol=str(data["protocol"]),
+            lock_depth=int(data["lock_depth"]),
+            isolation=str(data["isolation"]),
+            run_duration_ms=float(data["run_duration_ms"]),
+            deadlocks=int(data["deadlocks"]),
+            deadlocks_by_kind=dict(data["deadlocks_by_kind"]),
+            lock_stats=dict(data["lock_stats"]),
+            wait_stats=dict(data["wait_stats"]),
+            wait_histogram=dict(data["wait_histogram"]),
+            restarts=int(data.get("restarts", 0)),
+            sheds=int(data.get("sheds", 0)),
+        )
+        for name, metrics in data["by_type"].items():
+            result.by_type[name] = TypeMetrics.from_journal(metrics)
+        return result
 
     def summary(self) -> str:
         per_type = "  ".join(

@@ -86,6 +86,7 @@ class CellResult:
             "deadlocks": round(self.deadlocks, 2),
             "aborted_deadlock": round(self.aborted_by_kind.get("deadlock", 0.0), 2),
             "aborted_timeout": round(self.aborted_by_kind.get("timeout", 0.0), 2),
+            "aborted_storage": round(self.aborted_by_kind.get("storage", 0.0), 2),
             "deadlocks_conversion": round(
                 self.deadlocks_by_kind.get("conversion", 0.0), 2
             ),
@@ -188,6 +189,16 @@ class SweepRunner:
     results match a serial run exactly.  When a pool cannot be created
     (restricted environments) the runner silently falls back to serial
     execution.
+
+    Fault tolerance: when the pool breaks mid-sweep, every cell whose
+    result already arrived is *kept* and only the unfinished remainder
+    re-runs serially (cells are deterministic, so a rerun of a lost
+    in-flight cell reproduces its result exactly).  ``cell_timeout_s``
+    bounds each parallel cell; a serial (re-)execution that raises is
+    retried up to ``cell_retries`` extra times.  With a ``journal``
+    path every finished cell is appended to a JSONL journal, and
+    ``resume=True`` aggregates journaled cells instead of re-running
+    them -- producing byte-identical CSV/JSON to an uninterrupted run.
     """
 
     def __init__(
@@ -197,46 +208,102 @@ class SweepRunner:
         workers: int = 1,
         trace_dir: Union[str, Path, None] = None,
         access_events: bool = False,
+        journal: Union[str, Path, None] = None,
+        resume: bool = False,
+        cell_timeout_s: Optional[float] = None,
+        cell_retries: int = 1,
     ):
         self.spec = spec
         self.workers = max(1, int(workers)) if workers else 1
         self.trace_dir = None if trace_dir is None else Path(trace_dir)
         self.access_events = bool(access_events)
+        self.journal_path = None if journal is None else Path(journal)
+        self.resume = bool(resume)
+        if self.resume and self.journal_path is None:
+            raise BenchmarkError("resume requires a journal path")
+        self.cell_timeout_s = cell_timeout_s
+        self.cell_retries = max(0, int(cell_retries))
         self.results: Dict[Tuple[str, int, str], CellResult] = {}
+        #: Cells taken from the journal on the last ``run`` (resume).
+        self.resumed_cells = 0
 
-    def run(self, *, progress=None) -> List[CellResult]:
+    def run(self, *, progress=None, stop_after: Optional[int] = None
+            ) -> List[CellResult]:
+        """Execute the matrix; ``stop_after`` caps *freshly executed*
+        cells (for testing resume -- journaled cells don't count)."""
         cells = list(self.spec.cells())
+        self.results = {}
+        self.resumed_cells = 0
         if self.trace_dir is not None:
             self.trace_dir.mkdir(parents=True, exist_ok=True)
-        if self.workers > 1 and len(cells) > 1:
-            completed = self._consume(self._iter_parallel(cells), progress)
-            if completed:
-                return self.sorted_results()
-            # The pool died (or could not be created): throw away any
-            # partial aggregation and redo the whole matrix serially, so
-            # the results are indistinguishable from a serial run.
-            self.results = {}
-        self._consume(
-            (
-                (cell, _execute_cell(self.spec, cell, self.trace_dir,
-                                     self.access_events))
-                for cell in cells
-            ),
-            progress,
-        )
+        journal = None
+        done: Dict[SweepCell, RunResult] = {}
+        if self.journal_path is not None:
+            from repro.tamix.journal import SweepJournal
+
+            journal = SweepJournal(self.journal_path, self.spec)
+            if self.resume:
+                done = journal.load()
+            journal.open_for_append(fresh=not self.resume)
+        try:
+            pending = [cell for cell in cells if cell not in done]
+            if stop_after is not None:
+                pending = pending[:max(0, stop_after)]
+            pending_set = set(pending)
+            fresh = self._pending_outcomes(pending)
+            # Merge journaled and fresh outcomes in matrix order, so the
+            # aggregation (incremental averaging) orders identically to
+            # an uninterrupted run -- the basis of byte-identical resume.
+            for cell in cells:
+                if cell in done:
+                    outcome = done[cell]
+                    self.resumed_cells += 1
+                elif cell in pending_set:
+                    outcome = next(fresh)[1]
+                    if journal is not None:
+                        journal.record(cell, outcome)
+                else:
+                    continue  # cut off by stop_after
+                self._aggregate(cell, outcome)
+                if progress is not None:
+                    progress(cell, outcome)
+        finally:
+            if journal is not None:
+                journal.close()
         return self.sorted_results()
 
-    def _consume(self, outcomes, progress) -> bool:
-        """Aggregate (cell, outcome) pairs as they arrive; ``False`` when
-        the source signalled pool failure by yielding ``None``."""
-        for pair in outcomes:
-            if pair is None:
-                return False
-            cell, outcome = pair
-            self._aggregate(cell, outcome)
-            if progress is not None:
-                progress(cell, outcome)
-        return True
+    def _pending_outcomes(self, pending: List[SweepCell]):
+        """Yield ``(cell, outcome)`` for every pending cell, in order.
+
+        Parallel execution handles as many cells as the pool survives
+        for; the remainder (including the cell that was in flight when
+        the pool broke or timed out) runs serially with bounded retry.
+        Unlike the pre-journal behaviour, completed parallel results are
+        never discarded.
+        """
+        remaining = pending
+        if self.workers > 1 and len(remaining) > 1:
+            delivered = 0
+            for pair in self._iter_parallel(remaining):
+                if pair is None:
+                    break
+                yield pair
+                delivered += 1
+            remaining = remaining[delivered:]
+        for cell in remaining:
+            yield (cell, self._execute_with_retry(cell))
+
+    def _execute_with_retry(self, cell: SweepCell) -> RunResult:
+        attempts = 1 + self.cell_retries
+        for attempt in range(1, attempts + 1):
+            try:
+                return _execute_cell(self.spec, cell, self.trace_dir,
+                                     self.access_events)
+            except BenchmarkError:
+                raise  # misconfiguration: retrying cannot help
+            except Exception:
+                if attempt == attempts:
+                    raise
 
     def _iter_parallel(self, cells: List[SweepCell]):
         """Yield (cell, outcome) pairs *live*, in matrix order.
@@ -244,11 +311,14 @@ class SweepRunner:
         Results are consumed per-future (not gathered), so a ``progress``
         callback fires as soon as each matrix-order cell is done -- later
         cells may already have finished in the background.  Yields
-        ``None`` (then stops) when no process pool is available or the
-        pool breaks mid-run.
+        ``None`` (then stops) when no process pool is available, the pool
+        breaks mid-run, or a cell exceeds ``cell_timeout_s`` -- the
+        caller falls back to serial execution for the cells not yet
+        delivered.
         """
         try:
             from concurrent.futures import ProcessPoolExecutor
+            from concurrent.futures import TimeoutError as FutureTimeout
             from concurrent.futures.process import BrokenProcessPool
             pool = ProcessPoolExecutor(
                 max_workers=min(self.workers, len(cells))
@@ -257,16 +327,27 @@ class SweepRunner:
             yield None
             return
         try:
-            with pool:
-                futures = [
-                    pool.submit(_execute_cell, self.spec, cell,
-                                self.trace_dir, self.access_events)
-                    for cell in cells
-                ]
-                for cell, future in zip(cells, futures):
-                    yield (cell, future.result())
-        except BrokenProcessPool:
-            yield None
+            futures = [
+                pool.submit(_execute_cell, self.spec, cell,
+                            self.trace_dir, self.access_events)
+                for cell in cells
+            ]
+            for cell, future in zip(cells, futures):
+                try:
+                    yield (cell, future.result(timeout=self.cell_timeout_s))
+                except BrokenProcessPool:
+                    yield None
+                    return
+                except FutureTimeout:
+                    yield None
+                    return
+                except Exception:
+                    # A deterministic in-cell failure: the serial retry
+                    # path decides whether it is fatal.
+                    yield None
+                    return
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
 
     def sorted_results(self) -> List[CellResult]:
         return [

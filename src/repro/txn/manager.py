@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional
 
 from repro.dom.document import Document
-from repro.errors import TransactionError
+from repro.errors import RollbackError, TransactionError, TransientError
 from repro.locking.lock_manager import IsolationLevel, LockManager
 from repro.obs import (
     Observability,
@@ -97,6 +97,12 @@ class TransactionManager:
         (victim choice), ``timeout`` (lock-wait timeout), or an explicit
         application ``rollback`` -- and lands in both the metrics registry
         and the trace.
+
+        Rollback is all-or-nothing: undo entries that fail transiently
+        (injected storage faults) are retried a bounded number of times;
+        if an entry cannot be undone, :class:`~repro.errors.RollbackError`
+        is raised and the transaction stays ACTIVE with all locks held --
+        the document is never left half-rolled-back and unprotected.
         """
         if txn.state is TxnState.ABORTED:
             return
@@ -147,19 +153,44 @@ class TransactionManager:
                     SPAN_END, txn=txn.label, cat="txn", name="rollback",
                 )
 
+    #: Attempts per undo entry before rollback gives up on a transient
+    #: fault.  Undo entries are idempotent (restore re-puts the same
+    #: SPLIDs, delete is existence-guarded, content/rename set absolute
+    #: values), so re-running a partially applied entry is safe.
+    UNDO_RETRY_ATTEMPTS = 3
+
     def _apply_undo(self, txn: Transaction) -> None:
         for kind, payload in reversed(txn.undo_log):
-            if kind == "insert":
-                if self.document.exists(payload):
-                    self.document.delete_subtree(payload)
-            elif kind == "delete":
-                self.document.restore_subtree(payload)
-            elif kind == "content":
-                splid, old = payload
-                self.document.update_string(splid, old)
-            elif kind == "rename":
-                splid, old = payload
-                self.document.rename_element(splid, old)
-            else:
-                raise TransactionError(f"unknown undo entry {kind!r}")
+            self._undo_entry(kind, payload)
         txn.undo_log.clear()
+
+    def _undo_entry(self, kind: str, payload) -> None:
+        for attempt in range(1, self.UNDO_RETRY_ATTEMPTS + 1):
+            try:
+                self._undo_once(kind, payload)
+                return
+            except TransientError as exc:
+                if attempt == self.UNDO_RETRY_ATTEMPTS:
+                    raise RollbackError(
+                        f"undo of {kind!r} still failing after "
+                        f"{attempt} attempts: {exc}"
+                    ) from exc
+            except TransactionError:
+                raise
+            except Exception as exc:
+                raise RollbackError(f"undo of {kind!r} failed: {exc}") from exc
+
+    def _undo_once(self, kind: str, payload) -> None:
+        if kind == "insert":
+            if self.document.exists(payload):
+                self.document.delete_subtree(payload)
+        elif kind == "delete":
+            self.document.restore_subtree(payload)
+        elif kind == "content":
+            splid, old = payload
+            self.document.update_string(splid, old)
+        elif kind == "rename":
+            splid, old = payload
+            self.document.rename_element(splid, old)
+        else:
+            raise TransactionError(f"unknown undo entry {kind!r}")

@@ -1,0 +1,89 @@
+"""Unit tests for retry backoff and admission control."""
+
+import random
+
+import pytest
+
+from repro.chaos.retry import (
+    ADMIT,
+    QUEUE,
+    SHED,
+    AdmissionPolicy,
+    RetryPolicy,
+)
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially_without_jitter(self):
+        policy = RetryPolicy(base_backoff_ms=2.0, multiplier=2.0,
+                             max_backoff_ms=64.0, jitter=0.0)
+        rng = random.Random(0)
+        assert [policy.backoff_ms(n, rng) for n in (1, 2, 3, 4)] == \
+            [2.0, 4.0, 8.0, 16.0]
+
+    def test_backoff_capped(self):
+        policy = RetryPolicy(base_backoff_ms=2.0, multiplier=2.0,
+                             max_backoff_ms=10.0, jitter=0.0)
+        assert policy.backoff_ms(50, random.Random(0)) == 10.0
+
+    def test_jitter_stays_in_band_and_is_seed_deterministic(self):
+        policy = RetryPolicy(jitter=0.5)
+        values = [policy.backoff_ms(3, random.Random(7)) for _ in range(5)]
+        assert len(set(values)) == 1  # same seed, same jitter
+        raw = min(policy.max_backoff_ms,
+                  policy.base_backoff_ms * policy.multiplier ** 2)
+        for _ in range(100):
+            value = policy.backoff_ms(3, random.Random(_))
+            assert raw * 0.5 <= value <= raw
+
+    def test_attempt_is_one_based(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().backoff_ms(0, random.Random(0))
+
+    def test_restart_budget(self):
+        policy = RetryPolicy(max_restarts=2)
+        assert policy.allows_restart(0)
+        assert policy.allows_restart(1)
+        assert not policy.allows_restart(2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+
+
+class TestAdmissionControl:
+    def test_admits_below_pressure(self):
+        controller = AdmissionPolicy(max_pressure=2).controller()
+        controller.enter_restart()
+        assert controller.admit() == ADMIT
+
+    def test_queues_then_sheds_at_pressure(self):
+        controller = AdmissionPolicy(max_pressure=1, max_queue_waits=2).controller()
+        controller.enter_restart()
+        assert controller.admit(waits_so_far=0) == QUEUE
+        assert controller.admit(waits_so_far=1) == QUEUE
+        assert controller.admit(waits_so_far=2) == SHED
+        assert controller.queue_waits == 2
+        assert controller.sheds == 1
+
+    def test_pressure_release_readmits(self):
+        controller = AdmissionPolicy(max_pressure=1).controller()
+        controller.enter_restart()
+        assert controller.admit() == QUEUE
+        controller.leave_restart()
+        assert controller.admit() == ADMIT
+
+    def test_pressure_never_negative(self):
+        controller = AdmissionPolicy().controller()
+        controller.leave_restart()
+        assert controller.pressure == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionPolicy(max_pressure=0)
+        with pytest.raises(ValueError):
+            AdmissionPolicy(queue_backoff_ms=-1.0)

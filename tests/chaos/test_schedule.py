@@ -1,0 +1,124 @@
+"""Unit tests for fault schedules (validation, serialization, builtins)."""
+
+import pytest
+
+from repro.chaos.schedule import (
+    BUILTIN_SCHEDULES,
+    KINDS_BY_SITE,
+    SITES,
+    FaultRule,
+    FaultSchedule,
+    load_schedule,
+    schedule_names,
+)
+from repro.errors import ChaosError
+
+
+class TestFaultRuleValidation:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ChaosError):
+            FaultRule("page.mmap", "transient", probability=0.1)
+
+    def test_kind_must_match_site(self):
+        # torn writes exist; torn reads do not.
+        with pytest.raises(ChaosError):
+            FaultRule("page.read", "torn", probability=0.1)
+        with pytest.raises(ChaosError):
+            FaultRule("lock.acquire", "transient", probability=0.1)
+
+    def test_probability_range(self):
+        with pytest.raises(ChaosError):
+            FaultRule("page.read", "transient", probability=1.5)
+        with pytest.raises(ChaosError):
+            FaultRule("page.read", "transient", probability=-0.1)
+
+    def test_rule_that_never_fires_rejected(self):
+        with pytest.raises(ChaosError):
+            FaultRule("page.read", "transient")
+
+    def test_at_ops_must_be_positive_ints(self):
+        with pytest.raises(ChaosError):
+            FaultRule("page.read", "transient", at_ops=(0,))
+        with pytest.raises(ChaosError):
+            FaultRule("page.read", "transient", at_ops=(1.5,))
+
+    def test_at_ops_sorted(self):
+        rule = FaultRule("page.read", "transient", at_ops=(9, 2, 5))
+        assert rule.at_ops == (2, 5, 9)
+
+    def test_latency_needs_latency_ms(self):
+        with pytest.raises(ChaosError):
+            FaultRule("page.read", "latency", probability=0.1)
+        rule = FaultRule("page.read", "latency", probability=0.1, latency_ms=3.0)
+        assert rule.latency_ms == 3.0
+
+
+class TestSerialization:
+    def test_rule_round_trip(self):
+        rule = FaultRule("page.write", "torn", probability=0.02, at_ops=(7,))
+        assert FaultRule.from_dict(rule.to_dict()) == rule
+
+    def test_rule_rejects_unknown_fields(self):
+        with pytest.raises(ChaosError):
+            FaultRule.from_dict({"site": "page.read", "kind": "transient",
+                                 "probability": 0.1, "severity": "high"})
+
+    def test_rule_missing_field(self):
+        with pytest.raises(ChaosError):
+            FaultRule.from_dict({"site": "page.read"})
+
+    def test_schedule_json_round_trip(self):
+        schedule = FaultSchedule(rules=(
+            FaultRule("page.read", "latency", probability=0.5, latency_ms=2.0),
+            FaultRule("lock.acquire", "deadlock", at_ops=(3,)),
+        ), name="rt")
+        assert FaultSchedule.from_json(schedule.to_json()) == schedule
+
+    def test_schedule_rejects_non_rules(self):
+        with pytest.raises(ChaosError):
+            FaultSchedule(rules=({"site": "page.read"},))
+
+    def test_schedule_from_bad_json(self):
+        with pytest.raises(ChaosError):
+            FaultSchedule.from_json("{not json")
+        with pytest.raises(ChaosError):
+            FaultSchedule.from_json("[1, 2]")
+
+    def test_rules_for_filters_by_site(self):
+        schedule = load_schedule("ci-small")
+        for site in SITES:
+            assert all(r.site == site for r in schedule.rules_for(site))
+
+    def test_empty_schedule_is_falsy(self):
+        assert not FaultSchedule()
+        assert load_schedule("ci-small")
+
+
+class TestBuiltins:
+    def test_builtins_are_valid_and_named(self):
+        for name, schedule in BUILTIN_SCHEDULES.items():
+            assert schedule.name == name
+            assert schedule.rules
+            for rule in schedule.rules:
+                assert rule.kind in KINDS_BY_SITE[rule.site]
+
+    def test_schedule_names_sorted(self):
+        names = schedule_names()
+        assert list(names) == sorted(names)
+        assert "ci-small" in names
+
+    def test_load_by_name(self):
+        assert load_schedule("ci-small") is BUILTIN_SCHEDULES["ci-small"]
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "faults.json"
+        schedule = FaultSchedule(
+            rules=(FaultRule("page.read", "transient", probability=0.1),),
+            name="custom",
+        )
+        path.write_text(schedule.to_json(), encoding="utf-8")
+        assert load_schedule(str(path)) == schedule
+
+    def test_load_unknown_raises(self, tmp_path):
+        with pytest.raises(ChaosError):
+            load_schedule(str(tmp_path / "missing.json"))

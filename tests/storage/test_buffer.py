@@ -85,6 +85,39 @@ class TestResidency:
             buffer.fix(page.page_id)
 
 
+class TestAllDirtyEviction:
+    def test_fix_miss_with_every_frame_dirty(self, buffer):
+        """Eviction when all frames are dirty: the miss must still be
+        admitted, writing back (not dropping) the LRU dirty victim."""
+        pages = [buffer.allocate() for _ in range(5)]  # all enter dirty
+        assert not buffer.is_resident(pages[0].page_id)
+        writes_before = buffer.stats.physical_writes
+        page = buffer.fix(pages[0].page_id)            # miss: evicts pages[1]
+        assert page is pages[0]
+        assert buffer.is_resident(pages[0].page_id)
+        assert not buffer.is_resident(pages[1].page_id)
+        assert buffer.stats.physical_writes == writes_before + 1
+        assert buffer.resident_count == 4
+
+    def test_all_dirty_eviction_fires_chaos_write_hook(self, buffer):
+        from repro.chaos import ChaosEngine, FaultRule, FaultSchedule
+
+        engine = ChaosEngine(FaultSchedule(rules=(
+            FaultRule("page.write", "latency", probability=1.0,
+                      latency_ms=5.0),
+        )), seed=1)
+        buffer.chaos = engine
+        for _ in range(5):                             # forces dirty evictions
+            buffer.allocate()
+        assert engine.ops["page.write"] >= 1
+        assert buffer.stats.fault_delay_ms >= 5.0
+
+    def test_uninstalled_chaos_costs_nothing(self, buffer):
+        assert buffer.chaos is None
+        buffer.allocate()
+        assert buffer.stats.fault_delay_ms == 0.0
+
+
 class TestStatistics:
     def test_flush_writes_dirty_pages(self, buffer):
         buffer.allocate()

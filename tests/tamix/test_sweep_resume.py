@@ -1,0 +1,168 @@
+"""Fault tolerance of the sweep runner: pool breakage, journal, resume."""
+
+import json
+
+import pytest
+
+from repro.errors import BenchmarkError
+from repro.tamix.sweep import SweepRunner, SweepSpec, _execute_cell
+
+
+def small_spec(**overrides):
+    defaults = dict(
+        protocols=("taDOM2", "taDOM3+"),
+        lock_depths=(0, 4),
+        isolations=("repeatable",),
+        runs_per_cell=1,
+        scale=0.02,
+        run_duration_ms=4_000.0,
+    )
+    defaults.update(overrides)
+    return SweepSpec(**defaults)
+
+
+@pytest.fixture(scope="module")
+def baseline_json():
+    """The uninterrupted serial run every scenario must reproduce."""
+    runner = SweepRunner(small_spec())
+    runner.run()
+    return runner.to_json()
+
+
+class TestPoolFailureSalvage:
+    def test_broken_pool_keeps_delivered_cells(self, baseline_json,
+                                               monkeypatch):
+        """Kill the 'pool' after two delivered cells: the two delivered
+        results must be kept and only the remaining cells re-executed."""
+        spec = small_spec()
+        cells = list(spec.cells())
+        runner = SweepRunner(spec, workers=2)
+
+        def dying_pool(self, pending):
+            for cell in pending[:2]:
+                yield (cell, _execute_cell(spec, cell))
+            yield None  # the pool broke with the rest in flight
+
+        executed = []
+        real_execute = SweepRunner._execute_with_retry
+
+        def counting_execute(self, cell):
+            executed.append(cell)
+            return real_execute(self, cell)
+
+        monkeypatch.setattr(SweepRunner, "_iter_parallel", dying_pool)
+        monkeypatch.setattr(SweepRunner, "_execute_with_retry",
+                            counting_execute)
+        runner.run()
+        assert executed == cells[2:]          # salvaged cells not re-run
+        assert runner.to_json() == baseline_json
+
+    def test_immediately_broken_pool_falls_back_serial(self, baseline_json,
+                                                       monkeypatch):
+        monkeypatch.setattr(SweepRunner, "_iter_parallel",
+                            lambda self, pending: iter([None]))
+        runner = SweepRunner(small_spec(), workers=2)
+        runner.run()
+        assert runner.to_json() == baseline_json
+
+
+class TestCellRetry:
+    def test_transient_cell_failure_retried(self, monkeypatch):
+        calls = {"n": 0}
+
+        def flaky(spec, cell, trace_dir=None, access_events=False):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise OSError("worker died")
+            return _execute_cell(spec, cell, trace_dir, access_events)
+
+        monkeypatch.setattr("repro.tamix.sweep._execute_cell", flaky)
+        spec = small_spec(protocols=("taDOM3+",), lock_depths=(0,))
+        runner = SweepRunner(spec, cell_retries=1)
+        results = runner.run()
+        assert calls["n"] == 2
+        assert len(results) == 1
+
+    def test_retries_exhausted_reraises(self, monkeypatch):
+        def always_fails(spec, cell, trace_dir=None, access_events=False):
+            raise OSError("worker died")
+
+        monkeypatch.setattr("repro.tamix.sweep._execute_cell", always_fails)
+        runner = SweepRunner(small_spec(protocols=("taDOM3+",),
+                                        lock_depths=(0,)), cell_retries=2)
+        with pytest.raises(OSError):
+            runner.run()
+
+    def test_benchmark_error_not_retried(self, monkeypatch):
+        calls = {"n": 0}
+
+        def misconfigured(spec, cell, trace_dir=None, access_events=False):
+            calls["n"] += 1
+            raise BenchmarkError("bad spec")
+
+        monkeypatch.setattr("repro.tamix.sweep._execute_cell", misconfigured)
+        runner = SweepRunner(small_spec(protocols=("taDOM3+",),
+                                        lock_depths=(0,)), cell_retries=3)
+        with pytest.raises(BenchmarkError):
+            runner.run()
+        assert calls["n"] == 1
+
+
+class TestJournalResume:
+    def test_interrupt_and_resume_byte_identical(self, baseline_json,
+                                                 tmp_path):
+        journal = tmp_path / "sweep.journal"
+        partial = SweepRunner(small_spec(), journal=journal)
+        partial.run(stop_after=2)             # "killed" after two cells
+        assert len(json.loads(partial.to_json())) == 2
+
+        resumed = SweepRunner(small_spec(), journal=journal, resume=True)
+        resumed.run()
+        assert resumed.resumed_cells == 2
+        assert resumed.to_json() == baseline_json
+
+    def test_resume_of_complete_journal_runs_nothing(self, baseline_json,
+                                                     tmp_path, monkeypatch):
+        journal = tmp_path / "sweep.journal"
+        SweepRunner(small_spec(), journal=journal).run()
+
+        def boom(spec, cell, trace_dir=None, access_events=False):
+            raise AssertionError("no cell should re-run")
+
+        monkeypatch.setattr("repro.tamix.sweep._execute_cell", boom)
+        resumed = SweepRunner(small_spec(), journal=journal, resume=True)
+        resumed.run()
+        assert resumed.resumed_cells == 4
+        assert resumed.to_json() == baseline_json
+
+    def test_torn_trailing_line_ignored(self, baseline_json, tmp_path):
+        journal = tmp_path / "sweep.journal"
+        partial = SweepRunner(small_spec(), journal=journal)
+        partial.run(stop_after=2)
+        with open(journal, "a", encoding="utf-8") as handle:
+            handle.write('{"kind": "cell", "cell": {"proto')  # died mid-write
+        resumed = SweepRunner(small_spec(), journal=journal, resume=True)
+        resumed.run()
+        assert resumed.resumed_cells == 2
+        assert resumed.to_json() == baseline_json
+
+    def test_journal_spec_mismatch_refused(self, tmp_path):
+        journal = tmp_path / "sweep.journal"
+        SweepRunner(small_spec(), journal=journal).run(stop_after=1)
+        other = SweepRunner(small_spec(base_seed=99), journal=journal,
+                            resume=True)
+        with pytest.raises(BenchmarkError):
+            other.run()
+
+    def test_resume_requires_journal(self):
+        with pytest.raises(BenchmarkError):
+            SweepRunner(small_spec(), resume=True)
+
+    def test_progress_fires_for_journaled_cells_in_matrix_order(self,
+                                                                tmp_path):
+        journal = tmp_path / "sweep.journal"
+        SweepRunner(small_spec(), journal=journal).run(stop_after=2)
+        seen = []
+        resumed = SweepRunner(small_spec(), journal=journal, resume=True)
+        resumed.run(progress=lambda cell, outcome: seen.append(cell))
+        assert seen == list(small_spec().cells())

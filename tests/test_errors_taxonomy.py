@@ -1,0 +1,104 @@
+"""The transient/permanent error classification (repro.errors mixins)."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    AdmissionRejected,
+    BenchmarkError,
+    ChaosError,
+    DeadlockAbort,
+    DocumentError,
+    LockError,
+    LockTimeout,
+    PageOverflowError,
+    PermanentError,
+    PermanentStorageError,
+    ReproError,
+    RollbackError,
+    SplidError,
+    StorageError,
+    TransactionAborted,
+    TransientError,
+    TransientStorageError,
+    VocabularyError,
+    is_permanent,
+    is_transient,
+)
+
+TRANSIENT = [
+    DeadlockAbort("victim"),
+    LockTimeout("slow"),
+    TransientStorageError("flaky page"),
+    AdmissionRejected("shed"),
+]
+
+PERMANENT = [
+    PermanentStorageError("dead page"),
+    RollbackError("undo failed"),
+    SplidError("bad label"),
+    DocumentError("no such node"),
+    VocabularyError("unknown surrogate"),
+    LockError("protocol misuse"),
+    ChaosError("bad schedule"),
+    BenchmarkError("bad spec"),
+]
+
+UNCLASSIFIED = [
+    StorageError("torn log image"),
+    PageOverflowError("record too large"),
+    TransactionAborted("plain abort"),
+]
+
+
+class TestClassification:
+    @pytest.mark.parametrize("error", TRANSIENT,
+                             ids=lambda e: type(e).__name__)
+    def test_transient(self, error):
+        assert is_transient(error)
+        assert not is_permanent(error)
+        assert isinstance(error, ReproError)
+
+    @pytest.mark.parametrize("error", PERMANENT,
+                             ids=lambda e: type(e).__name__)
+    def test_permanent(self, error):
+        assert is_permanent(error)
+        assert not is_transient(error)
+        assert isinstance(error, ReproError)
+
+    @pytest.mark.parametrize("error", UNCLASSIFIED,
+                             ids=lambda e: type(e).__name__)
+    def test_unclassified_makes_no_promise(self, error):
+        """StorageError stays neutral: the WAL torn-tail contract raises
+        it where 'retry' is meaningless (see repro.verify.faults)."""
+        assert not is_transient(error)
+        assert not is_permanent(error)
+
+    def test_classification_is_exclusive(self):
+        """No concrete repro error carries both mixins."""
+
+        def subclasses(cls):
+            for sub in cls.__subclasses__():
+                yield sub
+                yield from subclasses(sub)
+
+        for cls in subclasses(ReproError):
+            assert not (issubclass(cls, TransientError)
+                        and issubclass(cls, PermanentError)), cls
+
+
+class TestAbortReasons:
+    def test_reason_tokens(self):
+        assert TransactionAborted("x").reason == "rollback"
+        assert DeadlockAbort("x").reason == "deadlock"
+        assert LockTimeout("x").reason == "timeout"
+
+    def test_one_except_clause_still_catches_everything(self):
+        for error in TRANSIENT + PERMANENT + UNCLASSIFIED:
+            with pytest.raises(ReproError):
+                raise error
+
+    def test_mixins_exported_at_top_level(self):
+        assert repro.TransientError is TransientError
+        assert repro.is_transient is is_transient
+        assert repro.is_permanent is is_permanent

@@ -1,0 +1,125 @@
+"""Abort under injected undo-time faults: all-or-nothing rollback.
+
+``TransactionManager.abort`` must either complete the rollback (retrying
+transiently failing undo entries) or raise ``RollbackError`` with the
+transaction still ACTIVE and its locks held -- never return with the
+document half-rolled-back and unprotected.
+"""
+
+import pytest
+
+from repro.core import get_protocol
+from repro.dom import Document, build_children
+from repro.errors import (
+    PermanentStorageError,
+    RollbackError,
+    TransactionError,
+    TransientStorageError,
+    is_permanent,
+)
+from repro.locking import LockManager
+from repro.txn import TransactionManager, TxnState
+
+
+@pytest.fixture
+def setup():
+    document = Document(root_element="bib")
+    build_children(document, document.root, [
+        ("book", {"id": "b1"}, [("title", ["TP"])]),
+    ])
+    locks = LockManager(get_protocol("taDOM3+"))
+    manager = TransactionManager(document, locks)
+    return document, manager
+
+
+def rename_with_undo(document, txn, id_value, new_name):
+    element = document.element_by_id(id_value)
+    old = document.rename_element(element, new_name)
+    txn.log_undo("rename", (element, old))
+    return element
+
+
+class Flaky:
+    """Wraps a bound method to fail ``failures`` times, then delegate."""
+
+    def __init__(self, real, failures, exc_type=TransientStorageError):
+        self.real = real
+        self.failures = failures
+        self.exc_type = exc_type
+        self.calls = 0
+
+    def __call__(self, *args, **kwargs):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.exc_type(f"injected undo fault #{self.calls}")
+        return self.real(*args, **kwargs)
+
+
+class TestTransientUndoFaults:
+    def test_rollback_retries_through_transient_faults(self, setup,
+                                                       monkeypatch):
+        document, manager = setup
+        txn = manager.begin()
+        book = rename_with_undo(document, txn, "b1", "tome")
+        flaky = Flaky(document.rename_element, failures=2)
+        monkeypatch.setattr(document, "rename_element", flaky)
+        manager.abort(txn)
+        assert txn.state is TxnState.ABORTED
+        assert document.name_of(book) == "book"      # fully rolled back
+        assert flaky.calls == 3                      # 2 failures + success
+        assert manager.aborted == 1
+
+    def test_exhausted_transient_budget_raises_permanent(self, setup,
+                                                         monkeypatch):
+        document, manager = setup
+        txn = manager.begin()
+        rename_with_undo(document, txn, "b1", "tome")
+        budget = TransactionManager.UNDO_RETRY_ATTEMPTS
+        flaky = Flaky(document.rename_element, failures=budget)
+        monkeypatch.setattr(document, "rename_element", flaky)
+        with pytest.raises(RollbackError) as excinfo:
+            manager.abort(txn)
+        assert is_permanent(excinfo.value)
+        assert flaky.calls == budget
+
+
+class TestPermanentUndoFaults:
+    def test_permanent_fault_never_half_rolls_back(self, setup, monkeypatch):
+        """Two undo entries; the second (in undo order) hits a hard fault.
+        The transaction must stay ACTIVE, keep its undo log, and a later
+        abort -- once the fault clears -- must complete the rollback."""
+        document, manager = setup
+        txn = manager.begin()
+        book = rename_with_undo(document, txn, "b1", "tome")
+        title = document.elements_by_name("title")[0]
+        text = next(iter(document.store.children(title)))
+        old_title = document.update_string(text, "CC")
+        txn.log_undo("content", (text, old_title))
+
+        # Undo runs in reverse: "content" succeeds, then "rename" dies hard.
+        flaky = Flaky(document.rename_element, failures=1,
+                      exc_type=PermanentStorageError)
+        monkeypatch.setattr(document, "rename_element", flaky)
+        with pytest.raises(RollbackError):
+            manager.abort(txn)
+        assert flaky.calls == 1                      # no pointless retries
+        assert txn.state is TxnState.ACTIVE          # not half-finished
+        assert txn.undo_log                          # kept for a later abort
+        assert manager.aborted == 0
+        assert document.name_of(book) == "tome"      # damage still isolated
+
+        # The fault clears; a second abort completes (undo is idempotent).
+        monkeypatch.setattr(document, "rename_element", flaky.real)
+        manager.abort(txn)
+        assert txn.state is TxnState.ABORTED
+        assert document.name_of(book) == "book"
+        assert document.store.get(
+            document.store.string_child(text)).text_content == "TP"
+
+    def test_unknown_undo_kind_is_a_transaction_error(self, setup):
+        _document, manager = setup
+        txn = manager.begin()
+        txn.log_undo("teleport", None)
+        with pytest.raises(TransactionError):
+            manager.abort(txn)
+        assert txn.state is TxnState.ACTIVE
