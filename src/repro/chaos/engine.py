@@ -106,6 +106,18 @@ class ChaosEngine:
         self.obs = obs
         self.tracer = obs.tracer
 
+    def wants(self, site: str) -> bool:
+        """Does the schedule target ``site`` at all?
+
+        Hook installers (``BufferManager.chaos`` / ``LockManager.chaos``)
+        consult this so rule-less sites keep their plain fast path: an
+        engine scheduled only against storage leaves the lock grant path
+        untouched, and vice versa.  A skipped site never reaches
+        ``_decide``, so its op counter stays at zero -- fault decisions
+        are unaffected because each site owns a private RNG.
+        """
+        return bool(self._rules.get(site))
+
     # -- decision core --------------------------------------------------------
 
     def _decide(self, site: str):

@@ -135,6 +135,81 @@ class ModeTable:
             )
             for m in modes
         }
+        self._build_flat_tables()
+
+    def _build_flat_tables(self) -> None:
+        """Flatten the dict-based matrices into integer tables.
+
+        The grant path (``repro.locking``) works on mode *indices*: a
+        compatibility probe is one shift-and-mask against a per-requested-
+        mode bitmask of compatible held modes, and a conversion is two
+        reads from flattened ``n x n`` arrays.  Strings survive only at
+        the API boundary (``GrantResult.mode``, tickets, tracing).
+        """
+        modes = self.modes
+        n = len(modes)
+        #: Total mode count (row stride of the flattened matrices).
+        self.mode_count = n
+        #: mode name -> dense index (the order of :attr:`modes`).
+        self.mode_index: Dict[str, int] = {m: i for i, m in enumerate(modes)}
+        index = self.mode_index
+        #: ``compat_mask[r]``: bit ``h`` set iff a *held* mode ``h`` is
+        #: compatible with a new request for mode ``r`` (paper matrix
+        #: orientation: row = held, column = requested).
+        compat_mask = [0] * n
+        for (held, requested), ok in self._compat.items():
+            if ok:
+                compat_mask[index[requested]] |= 1 << index[held]
+        self.compat_mask = tuple(compat_mask)
+        #: ``conv_result[h * n + r]`` / ``conv_child[h * n + r]``: the
+        #: conversion matrix in index form; child is -1 when the cell has
+        #: no fan-out.
+        conv_result = [0] * (n * n)
+        conv_child = [-1] * (n * n)
+        for (held, requested), conv in self._convert.items():
+            flat = index[held] * n + index[requested]
+            conv_result[flat] = index[conv.result]
+            if conv.child_mode is not None:
+                conv_child[flat] = index[conv.child_mode]
+        self.conv_result = tuple(conv_result)
+        self.conv_child = tuple(conv_child)
+        #: ``subsume_mask[h]``: bit ``r`` set iff holding ``h`` already
+        #: grants everything a request for ``r`` needs.
+        subsume_mask = [0] * n
+        for held, requested in self._subsumes:
+            subsume_mask[index[held]] |= 1 << index[requested]
+        self.subsume_mask = tuple(subsume_mask)
+        #: Bitmask forms of :attr:`write_modes` / :attr:`pure_read_modes`.
+        self.write_mask = sum(1 << index[m] for m in self.write_modes)
+        self.pure_read_mask = sum(1 << index[m] for m in self.pure_read_modes)
+        #: :attr:`anchor_flags` in index order.
+        self.anchor_flags_idx = tuple(self.anchor_flags[m] for m in modes)
+        self.anchor_any_idx = tuple(any(self.anchor_flags[m]) for m in modes)
+        #: Lock-escalation targets: the least mode granting a whole-subtree
+        #: read / write (``None`` when the protocol has no subtree modes,
+        #: which disables escalation for it).
+        self.escalation_read_mode = _least_covering(
+            modes, self.coverage, frozenset({"subtree_read"})
+        )
+        self.escalation_write_mode = _least_covering(
+            modes, self.coverage, frozenset({"subtree_write"})
+        )
+        # Which requested modes have *monotone* coverage under this
+        # table's lattice?  Bit r is set iff subsumption is reflexive for
+        # r and every conversion away from a mode that subsumed r still
+        # subsumes r.  For such a request, a lock that once covered it
+        # keeps covering it for as long as the transaction releases
+        # nothing -- conversions only widen coverage -- which lets the
+        # lock manager memoize verified ancestor-chain prefixes (see
+        # LockManager._batch_fast).  Not table-global on purpose: taDOM's
+        # LR -> CX conversion legitimately drops level-read coverage, but
+        # the intention modes used on ancestor paths stay monotone.
+        mono = sum(1 << i for i in range(n) if (subsume_mask[i] >> i) & 1)
+        for (held, _requested), conv in self._convert.items():
+            held_covers = subsume_mask[index[held]]
+            lost = held_covers & ~subsume_mask[index[conv.result]]
+            mono &= ~lost
+        self.chain_mono_mask = mono
 
     # -- queries -------------------------------------------------------------
 

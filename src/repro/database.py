@@ -57,6 +57,7 @@ class Database:
         wait_timeout_ms: Optional[float] = 10_000.0,
         enable_wal: bool = False,
         observability: Union[Observability, bool, None] = None,
+        escalation_threshold: Optional[int] = None,
     ):
         if isinstance(protocol, str):
             protocol = get_protocol(protocol)
@@ -84,6 +85,7 @@ class Database:
             wait_timeout_ms=wait_timeout_ms,
             active_transactions=lambda: self.transactions.active_count,
             obs=self.obs,
+            escalation_threshold=escalation_threshold,
         )
         self.wal = None
         if enable_wal:

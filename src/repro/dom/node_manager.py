@@ -90,6 +90,17 @@ class NodeManager:
         #: Trace one ``op.access`` event per meta request (history-oracle
         #: input, see :mod:`repro.verify`); off unless the bundle opts in.
         self._access_events = locks.obs.access_events and self.tracer.enabled
+        if not self.tracer.enabled:
+            # Static dispatch: with tracing off, bind the undecorated
+            # operation generators directly on the instance so every call
+            # skips the ``_traced`` wrapper frame and its guard entirely.
+            # Enabledness is latched at construction (tracers are wired
+            # before the node manager exists); subclass overrides of an
+            # operation are left untouched.
+            cls = type(self)
+            for name, wrapper, plain in _TRACED_OPS:
+                if getattr(cls, name, None) is wrapper:
+                    setattr(self, name, plain.__get__(self))
 
     # ------------------------------------------------------------------
     # direct jumps
@@ -716,3 +727,13 @@ class NodeManager:
             logical_reads=logical, physical_reads=physical,
             io_ms=round(io_ms, 6),
         )
+
+
+#: ``(name, wrapper, undecorated)`` for every ``@_traced`` operation.
+#: ``NodeManager.__init__`` binds the undecorated generator functions on
+#: the instance when tracing is disabled (zero-cost-when-disabled).
+_TRACED_OPS = tuple(
+    (name, member, member.__wrapped__)
+    for name, member in vars(NodeManager).items()
+    if callable(member) and hasattr(member, "__wrapped__")
+)

@@ -39,7 +39,7 @@ from repro.core.protocol import (
 )
 from repro.errors import DeadlockAbort, LockError, LockTimeout
 from repro.locking.deadlock import DeadlockDetector
-from repro.locking.lock_table import LockTable
+from repro.locking.lock_table import LockTable, _Entry
 from repro.obs import (
     LOCK_BLOCK,
     LOCK_CONVERT,
@@ -88,7 +88,7 @@ class IsolationLevel(Enum):
             raise LockError(f"unknown isolation level {value!r}") from None
 
 
-@dataclass
+@dataclass(slots=True)
 class AcquireReport:
     """What one meta request cost and demanded."""
 
@@ -109,6 +109,39 @@ class _TxnLockState:
     subtree_read_anchors: Set[Splid] = field(default_factory=set)
     subtree_write_anchors: Set[Splid] = field(default_factory=set)
     level_read_anchors: Set[Splid] = field(default_factory=set)
+    #: parent -> granted node requests below it (escalation trigger).
+    child_grants: Dict[Splid, int] = field(default_factory=dict)
+    #: Parents that saw at least one write-mode child grant.
+    child_write_parents: Set[Splid] = field(default_factory=set)
+    #: Ancestor-chain prefixes verified held-and-covering this
+    #: generation (cleared whenever the transaction releases anything);
+    #: see LockManager._batch_fast.
+    prefix_done: Set[tuple] = field(default_factory=set)
+    #: (resource, mode index) pairs proven anchor-covered.  Valid while
+    #: anchors only grow; any anchor *discard* (mode conversion losing
+    #: coverage, selective release) clears the memo wholesale.
+    covered_memo: Set[tuple] = field(default_factory=set)
+
+
+class _PreparedPlan:
+    """A lock plan resolved for the batched fast path.
+
+    ``steps`` holds per-step (step, mode table, mode index, resource
+    key) tuples.  ``prefix_key``/``prefix_len`` describe the plan's
+    leading root-down ancestor chain when it is eligible for the
+    per-transaction prefix memo (all NODE_SPACE, strict parent-child
+    chain, every requested mode monotone under the table's conversion
+    lattice -- :attr:`ModeTable.chain_mono_mask`).  Sibling requests
+    share the same ancestor chain, so the key is derived from the
+    deepest chain resource plus the chain's mode indices.
+    """
+
+    __slots__ = ("steps", "prefix_len", "prefix_key")
+
+    def __init__(self, steps: list, prefix_len: int, prefix_key):
+        self.steps = steps
+        self.prefix_len = prefix_len
+        self.prefix_key = prefix_key
 
 
 #: Bound on the per-manager plan cache (complete lock plans keyed by
@@ -128,19 +161,31 @@ class LockManager:
         wait_timeout_ms: Optional[float] = 10_000.0,
         active_transactions: Optional[Callable[[], int]] = None,
         obs: Optional[Observability] = None,
+        escalation_threshold: Optional[int] = None,
     ):
         self.protocol = protocol
         self.lock_depth = lock_depth
         self.wait_timeout_ms = wait_timeout_ms
         self.timeouts = 0
-        #: Fault-injection engine (repro.chaos); None means zero overhead.
-        self.chaos = None
         self.obs = obs if obs is not None else Observability.disabled()
         self.tracer = self.obs.tracer
         #: Tracer state never changes after construction, so the hot path
         #: reads this cached flag instead of chasing tracer.enabled.
         self._tracing = self.tracer.enabled
         self.table = LockTable(protocol.tables())
+        #: space -> ModeTable, resolved once for the batched grant loop.
+        self._space_tables = dict(protocol.tables())
+        #: Node -> subtree escalation after this many granted child
+        #: requests under one parent; None disables the policy (the
+        #: default, keeping seeded runs byte-identical with PR 5).
+        self.escalation_threshold = escalation_threshold
+        #: Subtree locks taken by the escalation policy.
+        self.escalations = 0
+        #: Fault-injection hook (repro.chaos): bound per-call method, or
+        #: None -- the zero-cost-when-disabled dispatch (see the chaos
+        #: property below).
+        self._chaos = None
+        self._chaos_lock = None
         self.detector = DeadlockDetector(self.table, tracer=self.tracer)
         #: Blocking-wait durations (simulated ms) in fixed buckets -- the
         #: per-cell wait histogram of the sweep reports.  Observing is a
@@ -154,7 +199,20 @@ class LockManager:
         #: protocol, and MetaRequest is frozen/hashable -- so identical
         #: requests (re-reads of the same node, repeated traversal steps)
         #: reuse the derived plan instead of re-running protocol.plan().
-        self._plan_cache: Dict[Tuple[MetaRequest, int], LockPlan] = {}
+        #: The cache lives on the *protocol instance*, one dict per
+        #: lock_depth so requests key it directly: fresh managers over
+        #: the same protocol (sweep cells, benchmark rounds) start warm.
+        caches = getattr(protocol, "_plan_caches", None)
+        if caches is None:
+            caches = {}
+            try:
+                protocol._plan_caches = caches
+            except AttributeError:
+                pass  # unwritable protocol object: fall back to per-manager
+        cache = caches.get(lock_depth)
+        if cache is None:
+            cache = caches[lock_depth] = {}
+        self._plan_cache: Dict[MetaRequest, tuple] = cache
         self._active_transactions = active_transactions or (lambda: 0)
         #: Clock for wait-time accounting (bound by Database.set_clock).
         self.clock: Callable[[], float] = lambda: 0.0
@@ -164,6 +222,44 @@ class LockManager:
         self.wait_count = 0
         self.wait_time_total = 0.0
         self.wait_time_max = 0.0
+        #: Stable hot-path bindings for _batch_fast, bound once: these
+        #: objects are created here and never reassigned afterwards.
+        self._hot = (
+            self.table._entries,
+            self.table._entries.get,
+            self.table._pool,
+            self.table._held,
+            self.table.grant_fast,
+            self._states.get,
+            self._anchor_covered,
+            self._note_grant,
+            self.mode_usage,
+        )
+
+    # -- chaos hook dispatch ----------------------------------------------------
+
+    @property
+    def chaos(self):
+        """Fault-injection engine (repro.chaos), or None.
+
+        Assigning an engine binds its ``lock_request`` hook only when the
+        engine actually has rules for the ``lock.acquire`` site
+        (:meth:`~repro.chaos.engine.ChaosEngine.wants`), so an installed
+        but idle engine costs the grant path nothing.
+        """
+        return self._chaos
+
+    @chaos.setter
+    def chaos(self, engine) -> None:
+        self._chaos = engine
+        if engine is None:
+            self._chaos_lock = None
+            return
+        wants = getattr(engine, "wants", None)
+        if wants is None or wants("lock.acquire"):
+            self._chaos_lock = engine.lock_request
+        else:
+            self._chaos_lock = None
 
     # -- the meta-synchronization entry point ----------------------------------
 
@@ -175,17 +271,26 @@ class LockManager:
         victim; returns an :class:`AcquireReport`.
         """
         report = AcquireReport()
-        isolation = self._isolation_of(txn)
-        plan = self._plan_for(request)
-        report.traverse_individually = plan.traverse_individually
-        report.scan_ids = plan.scan_ids
+        isolation = getattr(txn, "isolation", IsolationLevel.REPEATABLE)
+        plan, prepared = self._plan_for(request)
+        if plan.traverse_individually:
+            report.traverse_individually = True
+        if plan.scan_ids is not None:
+            report.scan_ids = plan.scan_ids
         if isolation is IsolationLevel.NONE:
             return report
         if isolation is IsolationLevel.UNCOMMITTED and request.is_read:
             return report
 
-        for step in plan.steps:
-            yield from self._acquire_step(txn, step, report)
+        if self._tracing:
+            for step in plan.steps:
+                yield from self._acquire_step(txn, step, report)
+        else:
+            pos = self._batch_fast(txn, prepared, report, 0)
+            while pos >= 0:
+                yield from self._request_and_wait(txn, prepared.steps[pos][0],
+                                                 report)
+                pos = self._batch_fast(txn, prepared, report, pos + 1)
         return report
 
     def acquire_children(
@@ -193,18 +298,172 @@ class LockManager:
     ):
         """Generator: execute a conversion fan-out (CX_NR-style)."""
         report = AcquireReport()
-        for child in children:
-            step = LockStep(NODE_SPACE, child, child_mode)
-            yield from self._acquire_step(txn, step, report)
+        steps = [LockStep(NODE_SPACE, child, child_mode) for child in children]
+        if self._tracing:
+            for step in steps:
+                yield from self._acquire_step(txn, step, report)
+        else:
+            prepared = self._prepare_steps(steps)
+            pos = self._batch_fast(txn, prepared, report, 0)
+            while pos >= 0:
+                yield from self._request_and_wait(txn, prepared.steps[pos][0],
+                                                 report)
+                pos = self._batch_fast(txn, prepared, report, pos + 1)
         return report
 
     def acquire_steps(self, txn: object, steps: Iterable[LockStep]):
         """Generator: execute explicit lock steps (e.g. the *-2PL group's
         IDX locks collected by a pre-delete subtree scan)."""
         report = AcquireReport()
-        for step in steps:
-            yield from self._acquire_step(txn, step, report)
+        if self._tracing:
+            for step in steps:
+                yield from self._acquire_step(txn, step, report)
+        else:
+            prepared = self._prepare_steps(steps)
+            pos = self._batch_fast(txn, prepared, report, 0)
+            while pos >= 0:
+                yield from self._request_and_wait(txn, prepared.steps[pos][0],
+                                                 report)
+                pos = self._batch_fast(txn, prepared, report, pos + 1)
         return report
+
+    def _batch_fast(self, txn: object, pp: _PreparedPlan,
+                    report: AcquireReport, start: int) -> int:
+        """One lock-table pass over a plan's steps (the untraced fast path).
+
+        The per-step generator machinery of :meth:`_acquire_step` is
+        replaced by a flat, yield-free loop over the lock table's
+        integer-mode primitives: covered steps are skipped, instantly
+        grantable steps go through :meth:`LockTable.grant_fast`
+        (index-and-mask only, no :class:`GrantResult` allocation).  Only
+        a step that would actually block stops the loop: its index is
+        returned -- already counted and chaos-hooked -- and the caller
+        runs the ticket/wait machinery for it, then resumes the loop at
+        the next step.  Returns -1 once every step is processed.
+        Decision order per step -- coverage check, chaos hook, table
+        request -- is identical to the per-step path, so seeded runs are
+        byte-identical either way.
+
+        The *prefix memo*: once this transaction has walked a plan's
+        ancestor chain with every step granted or held-subsume-covered,
+        the chain's key goes into ``state.prefix_done``.  Sibling plans
+        share the chain, and mode monotonicity (the chain eligibility
+        condition, :attr:`ModeTable.chain_mono_mask`) guarantees a
+        re-check could only find the steps covered again until the
+        transaction releases something (which clears the memo) -- so a
+        memo hit skips the per-level probes outright with behaviour
+        identical to checking.  Anchor-based coverage is *not* monotone
+        (conversions can drop anchors), so a chain verified that way is
+        not memoized.
+        """
+        prepared = pp.steps
+        lock_table = self.table
+        # Hot path: the loop works on the table's internals directly --
+        # one entry probe serves the coverage check, the inlined fresh
+        # grant, and the grant_fast fallback alike.  The stable locals
+        # are unpacked from one prebuilt tuple (see __init__) instead of
+        # a dozen attribute loads and bound-method allocations per call.
+        (entries, entries_get, pool, held_map, grant_fast,
+         states_get, anchor_covered, note_grant, mode_usage) = self._hot
+        fanouts = report.fanouts
+        hook = self._chaos_lock
+        track_children = self.escalation_threshold is not None
+        prefix_len = pp.prefix_len
+        memo_store = False
+        if start == 0 and prefix_len:
+            state = states_get(txn)
+            if state is not None and pp.prefix_key in state.prefix_done:
+                report.skipped_covered += prefix_len
+                start = prefix_len
+            else:
+                memo_store = True
+        held_set = None
+        fresh = 0
+        try:
+            for pos in range(start, len(prepared)):
+                step, table, midx, resource = prepared[pos]
+                # Transaction-local lock cache + coverage-cache anchors.
+                entry = entries_get(resource)
+                held_idx = -1
+                if entry is not None:
+                    held_idx = entry.granted.get(txn, -1)
+                    if (held_idx >= 0
+                            and (table.subsume_mask[held_idx] >> midx) & 1):
+                        report.skipped_covered += 1
+                        continue
+                state = states_get(txn)
+                if (state is not None
+                        and (state.subtree_read_anchors
+                             or state.subtree_write_anchors
+                             or state.level_read_anchors)):
+                    memo_key = (resource, midx)
+                    if memo_key in state.covered_memo:
+                        report.skipped_covered += 1
+                        if pos < prefix_len:
+                            memo_store = False
+                        continue
+                    if anchor_covered(state, step, table, midx):
+                        state.covered_memo.add(memo_key)
+                        report.skipped_covered += 1
+                        if pos < prefix_len:
+                            memo_store = False  # anchor coverage is not monotone
+                        continue
+                report.lock_requests += 1
+                if hook is not None:
+                    # May raise LockTimeout/DeadlockAbort; before the table
+                    # request so aborted steps leave no dangling lock.
+                    hook(txn, step)
+                if entry is None:
+                    # Inlined grant_fast entry-miss path: an uncontended
+                    # fresh grant of exactly the requested mode.  Stats
+                    # are accumulated locally and flushed on every exit.
+                    entry = pool.pop() if pool else _Entry()
+                    entries[resource] = entry
+                    entry.granted[txn] = midx
+                    if held_set is None:
+                        held_set = held_map.get(txn)
+                        if held_set is None:
+                            held_set = held_map[txn] = set()
+                    held_set.add(resource)
+                    fresh += 1
+                    granted_mode = table.modes[midx]
+                    usage_key = (step.space, granted_mode)
+                    mode_usage[usage_key] = mode_usage.get(usage_key, 0) + 1
+                    # A fresh grant of an anchor-less mode (intention and
+                    # plain node locks) has no coverage-cache effect: the
+                    # key cannot appear in any anchor set, so the
+                    # add/discard bookkeeping is a no-op and is skipped.
+                    if track_children or table.anchor_any_idx[midx]:
+                        note_grant(txn, step.space, step.key, granted_mode)
+                    continue
+                code = grant_fast(txn, resource, midx, table, entry=entry)
+                if code < 0:
+                    # Would block (or queue behind a waiter): hand the step
+                    # back for the full ticket/wait path.
+                    return pos
+                gidx = code & 0xFF
+                granted_mode = table.modes[gidx]
+                usage_key = (step.space, granted_mode)
+                mode_usage[usage_key] = mode_usage.get(usage_key, 0) + 1
+                child_idx = (code >> 8) - 1
+                if child_idx >= 0:
+                    key = step.key
+                    fanouts.append((key if isinstance(key, Splid) else key[0],
+                                    table.modes[child_idx]))
+                # Conversions (held_idx >= 0) may drop anchors of the old
+                # mode, so they always refresh the coverage cache.
+                if held_idx >= 0 or track_children or table.anchor_any_idx[gidx]:
+                    note_grant(txn, step.space, step.key, granted_mode)
+        finally:
+            if fresh:
+                lock_table.requests += fresh
+                lock_table.instant_grants += fresh
+        if memo_store:
+            state = states_get(txn)
+            if state is None:
+                state = self._states[txn] = _TxnLockState()
+            state.prefix_done.add(pp.prefix_key)
+        return -1
 
     # -- lifecycle ----------------------------------------------------------------
 
@@ -315,18 +574,58 @@ class LockManager:
 
     # -- internals --------------------------------------------------------------------
 
-    def _plan_for(self, request: MetaRequest) -> LockPlan:
-        """Cached protocol.plan(): the plan is derived once per distinct
-        (request, lock_depth) pair and treated as read-only thereafter."""
-        cache_key = (request, self.lock_depth)
-        plan = self._plan_cache.get(cache_key)
-        if plan is None:
+    def _plan_for(self, request: MetaRequest) -> Tuple[LockPlan, list]:
+        """Cached protocol.plan(), prepared for the batched fast path.
+
+        The plan is derived once per distinct (request, lock_depth) pair
+        and treated as read-only thereafter.  Alongside it the cache
+        stores the *prepared* step list -- per step the resolved mode
+        table, dense mode index, and resource key -- so the hot loop
+        never touches the string-keyed table/mode registries.
+        """
+        cached = self._plan_cache.get(request)
+        if cached is None:
             plan = self.protocol.plan(request, self.lock_depth)
+            cached = (plan, self._prepare_steps(plan.steps))
             if len(self._plan_cache) >= PLAN_CACHE_CAPACITY:
                 for stale in list(self._plan_cache)[:_PLAN_EVICT_BATCH]:
                     del self._plan_cache[stale]
-            self._plan_cache[cache_key] = plan
-        return plan
+            self._plan_cache[request] = cached
+        return cached
+
+    def _prepare_steps(self, steps: Iterable[LockStep]) -> _PreparedPlan:
+        """Resolve (table, mode index, resource key) once per step."""
+        prepared = []
+        for step in steps:
+            table = self._space_tables.get(step.space)
+            if table is None:
+                raise LockError(f"no mode table for lock space {step.space!r}")
+            midx = table.mode_index.get(step.mode)
+            if midx is None:
+                raise LockError(f"mode {step.mode} not in table {table.name}")
+            prepared.append((step, table, midx, (step.space, step.key)))
+        # Maximal memo-eligible prefix: NODE_SPACE steps forming a strict
+        # root-down parent chain, every mode monotone under conversions.
+        prefix_len = 0
+        for i, (step, table, midx, _resource) in enumerate(prepared):
+            if (step.space != NODE_SPACE
+                    or not isinstance(step.key, Splid)
+                    or not (table.chain_mono_mask >> midx) & 1):
+                break
+            if i > 0 and step.key.parent != prepared[i - 1][0].key:
+                break
+            prefix_len = i + 1
+        # The final step is the request's own target -- unique per plan,
+        # so including it would make the memo key unshareable between
+        # sibling requests.  The memo covers the ancestor chain only.
+        prefix_len = min(prefix_len, len(prepared) - 1)
+        if prefix_len >= 2:
+            prefix_key = (prepared[prefix_len - 1][3],
+                          tuple(item[2] for item in prepared[:prefix_len]))
+        else:
+            prefix_len = 0
+            prefix_key = None
+        return _PreparedPlan(prepared, prefix_len, prefix_key)
 
     @staticmethod
     def _isolation_of(txn: object) -> IsolationLevel:
@@ -337,12 +636,16 @@ class LockManager:
             report.skipped_covered += 1
             return
         report.lock_requests += 1
-        if self.chaos is not None:
+        hook = self._chaos_lock
+        if hook is not None:
             # May raise LockTimeout/DeadlockAbort; before the request
             # event so aborted steps leave no dangling lock.request.
-            self.chaos.lock_request(txn, step)
-        # Tracing cost when disabled: the instant-grant path below pays
-        # two checks of this cached flag and nothing else.
+            hook(txn, step)
+        yield from self._request_and_wait(txn, step, report)
+
+    def _request_and_wait(self, txn: object, step: LockStep,
+                          report: AcquireReport):
+        """The ticket/wait machinery for one uncovered, uncounted step."""
         trace = self._tracing
         if trace:
             held_before = self.table.mode_held(txn, (step.space, step.key))
@@ -450,31 +753,96 @@ class LockManager:
     def _note_grant(self, txn: object, space: str, key: object, mode: str) -> None:
         if space not in (NODE_SPACE, EDGE_SPACE) or not isinstance(key, Splid):
             return
-        subtree_write, subtree_read, level_read = (
-            self.table.table_for(space).anchor_flags[mode]
-        )
-        state = self._states.setdefault(txn, _TxnLockState())
+        table = self._space_tables[space]
+        subtree_write, subtree_read, level_read = table.anchor_flags[mode]
+        state = self._states.get(txn)
+        if state is None:
+            state = self._states[txn] = _TxnLockState()
         # Conversions can *lose* coverage (LR -> CX drops the level read,
         # compensated by the NR child fan-out), so anchors are kept in
-        # exact sync with the currently held mode.
+        # exact sync with the currently held mode.  Losing an anchor also
+        # invalidates everything the covered memo proved against it.
         if subtree_write:
             state.subtree_write_anchors.add(key)
-        else:
-            state.subtree_write_anchors.discard(key)
+        elif key in state.subtree_write_anchors:
+            state.subtree_write_anchors.remove(key)
+            state.covered_memo.clear()
         if subtree_read:
             state.subtree_read_anchors.add(key)
-        else:
-            state.subtree_read_anchors.discard(key)
+        elif key in state.subtree_read_anchors:
+            state.subtree_read_anchors.remove(key)
+            state.covered_memo.clear()
         if level_read:
             state.level_read_anchors.add(key)
-        else:
-            state.level_read_anchors.discard(key)
+        elif key in state.level_read_anchors:
+            state.level_read_anchors.remove(key)
+            state.covered_memo.clear()
+        if self.escalation_threshold is not None and space == NODE_SPACE:
+            parent = key.parent
+            if parent is not None:
+                count = state.child_grants.get(parent, 0) + 1
+                state.child_grants[parent] = count
+                if mode in table.write_modes:
+                    state.child_write_parents.add(parent)
+                if count >= self.escalation_threshold:
+                    self._try_escalate(txn, state, parent, table)
+
+    def _try_escalate(self, txn: object, state: _TxnLockState,
+                      parent: Splid, table) -> None:
+        """Opportunistic node -> subtree escalation on ``parent``.
+
+        Taking the subtree lock goes through the normal conversion
+        machinery but is strictly non-blocking (``grant_fast``): if the
+        subtree mode is not instantly compatible with the other holders,
+        the transaction simply keeps its node-level locks.  Escalation
+        only ever *adds* a lock -- child locks are not released, which
+        keeps the two-phase discipline trivially intact -- so it is safe
+        under every isolation level; what it buys is that every later
+        request below ``parent`` becomes a coverage-cache hit.
+        """
+        write = parent in state.child_write_parents
+        mode = table.escalation_write_mode if write else table.escalation_read_mode
+        if mode is None:
+            return  # protocol has no subtree modes: never escalates
+        anchors = (state.subtree_write_anchors if write
+                   else state.subtree_read_anchors)
+        if self._anchored(anchors, parent, None):
+            return  # already covered by an equal-or-higher anchor
+        code = self.table.grant_fast(
+            txn, (NODE_SPACE, parent), table.mode_index[mode], table,
+            reject_fanout=True,
+        )
+        if code < 0:
+            return  # contended (or fan-out conversion): stay node-level
+        granted_mode = table.modes[code & 0xFF]
+        self.escalations += 1
+        usage_key = (NODE_SPACE, granted_mode)
+        self.mode_usage[usage_key] = self.mode_usage.get(usage_key, 0) + 1
+        if self._tracing:
+            # The escalated lock is a real acquisition: trace it as a
+            # grant too, so the history oracle's lock replay sees the
+            # coverage that lets later child requests be skipped.
+            self.tracer.emit(
+                LOCK_GRANT, txn=txn_label(txn), space=NODE_SPACE,
+                key=str(parent), mode=granted_mode, waited_ms=0.0,
+            )
+            self.tracer.emit(
+                LOCK_ESCALATE, txn=txn_label(txn), node=str(parent),
+                to_mode=granted_mode, reason="threshold",
+            )
+        # Recurses through _note_grant: the parent's own grant counts
+        # toward the grandparent, so hot subtrees escalate bottom-up.
+        self._note_grant(txn, NODE_SPACE, parent, granted_mode)
 
     def _refresh_state(self, txn: object, state: _TxnLockState) -> None:
         """Rebuild anchors after selective releases (committed isolation)."""
         state.subtree_read_anchors.clear()
         state.subtree_write_anchors.clear()
         state.level_read_anchors.clear()
+        state.child_grants.clear()
+        state.child_write_parents.clear()
+        state.prefix_done.clear()
+        state.covered_memo.clear()
         for resource in self.table.held_resources(txn):
             space, key = resource
             mode = self.table.mode_held(txn, resource)
@@ -483,27 +851,38 @@ class LockManager:
 
     def _is_covered(self, txn: object, step: LockStep) -> bool:
         table = self.table.table_for(step.space)
-        held = self.table.mode_held(txn, (step.space, step.key))
-        if held is not None and table.subsumes(held, step.mode):
+        held_idx = self.table.held_index(txn, (step.space, step.key))
+        midx = table.mode_index.get(step.mode)
+        if midx is None:
+            raise LockError(f"mode {step.mode} not in table {table.name}")
+        if held_idx >= 0 and (table.subsume_mask[held_idx] >> midx) & 1:
             # Transaction-local lock cache: the held mode already grants
             # everything the request needs -- no lock-table access.
             return True
         state = self._states.get(txn)
         if state is None:
             return False
-        if step.space == NODE_SPACE and isinstance(step.key, Splid):
-            node: Splid = step.key
+        return self._anchor_covered(state, step, table, midx)
+
+    def _anchor_covered(self, state: _TxnLockState, step: LockStep,
+                        table, midx: int) -> bool:
+        """Is the step covered by a subtree/level anchor in ``state``?"""
+        key = step.key
+        if step.space == NODE_SPACE:
+            if not isinstance(key, Splid):
+                return False
+            node: Splid = key
             edge_parent = None
         elif step.space == EDGE_SPACE:
-            node = step.key[0]
+            node = key[0]
             edge_parent = node.parent
         else:
             return False
-        if step.mode in table.write_modes:
+        if (table.write_mask >> midx) & 1:
             return self._anchored(state.subtree_write_anchors, node, edge_parent)
         if self._anchored(state.subtree_read_anchors, node, edge_parent):
             return True
-        if step.mode in table.pure_read_modes:
+        if (table.pure_read_mask >> midx) & 1:
             parent = node.parent
             if parent is not None and parent in state.level_read_anchors:
                 return True

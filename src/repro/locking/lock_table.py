@@ -15,17 +15,38 @@ Semantics (Section 2.3 / [9]):
   with any current holder *or* any earlier waiter (no starvation);
 * releasing locks drains the queue in order, stopping at the first
   request that still cannot be granted.
+
+Hot-path representation
+-----------------------
+Granted modes are stored as dense integer indices into the space's
+:class:`~repro.core.modes.ModeTable` (see ``ModeTable.mode_index`` and the
+flat ``compat_mask``/``conv_result``/``conv_child`` tables), so a grant
+decision is a couple of index-and-mask operations.  Entries come from a
+bounded free list (:data:`_POOL_CAPACITY`): once warmed up, the steady
+state allocates no per-resource objects at all.  Strings appear only at
+the API boundary -- :class:`GrantResult`, :class:`WaitTicket`,
+:meth:`LockTable.mode_held` and :meth:`LockTable.holders` speak mode
+names exactly as before.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.core.modes import ModeTable
 from repro.errors import LockError
 
 ResourceKey = Tuple[str, object]  # (lock space, key)
+
+#: Upper bound on the entry free list.  Large enough that a TaMix run
+#: recycles entries instead of allocating, small enough that a burst of
+#: unique resources cannot pin unbounded memory afterwards.
+_POOL_CAPACITY = 4_096
+
+# Sentinel distinguishing "caller did not look the entry up" from a
+# known-absent resource (``None``) in :meth:`LockTable.grant_fast`.
+_MISSING = object()
 
 
 def _release_order(resource: ResourceKey):
@@ -70,6 +91,8 @@ class WaitTicket:
     #: Withdraws the request from the lock table (set by the lock manager,
     #: called by the driver when the timeout fires).
     cancel: Optional[Callable[[], None]] = None
+    #: Dense index of :attr:`mode` in the space's mode table (internal).
+    mode_idx: int = -1
 
     def _fire(self) -> None:
         self.granted = True
@@ -77,7 +100,7 @@ class WaitTicket:
             self.on_grant(self)
 
 
-@dataclass
+@dataclass(slots=True)
 class GrantResult:
     """Outcome of a lock request."""
 
@@ -92,10 +115,19 @@ class GrantResult:
     noop: bool = False
 
 
-@dataclass
 class _Entry:
-    granted: Dict[object, str] = field(default_factory=dict)
-    queue: List[WaitTicket] = field(default_factory=list)
+    """Per-resource lock state: holder -> mode index, plus the queue.
+
+    Plain ``__slots__`` class (not a dataclass) so the free list can
+    recycle instances without re-running generated ``__init__`` field
+    machinery.
+    """
+
+    __slots__ = ("granted", "queue")
+
+    def __init__(self):
+        self.granted: Dict[object, int] = {}
+        self.queue: List[WaitTicket] = []
 
 
 class LockTable:
@@ -106,6 +138,8 @@ class LockTable:
         self._entries: Dict[ResourceKey, _Entry] = {}
         self._held: Dict[object, Set[ResourceKey]] = {}
         self._waiting: Dict[object, WaitTicket] = {}
+        #: Free list of recycled entries (slab allocator, bounded).
+        self._pool: List[_Entry] = []
         # statistics
         self.requests = 0
         self.instant_grants = 0
@@ -125,11 +159,27 @@ class LockTable:
 
     def mode_held(self, txn: object, resource: ResourceKey) -> Optional[str]:
         entry = self._entries.get(resource)
-        return None if entry is None else entry.granted.get(txn)
+        if entry is None:
+            return None
+        idx = entry.granted.get(txn)
+        if idx is None:
+            return None
+        return self._tables[resource[0]].modes[idx]
+
+    def held_index(self, txn: object, resource: ResourceKey) -> int:
+        """Mode index held by ``txn`` on ``resource``; -1 when none."""
+        entry = self._entries.get(resource)
+        if entry is None:
+            return -1
+        idx = entry.granted.get(txn)
+        return -1 if idx is None else idx
 
     def holders(self, resource: ResourceKey) -> Dict[object, str]:
         entry = self._entries.get(resource)
-        return {} if entry is None else dict(entry.granted)
+        if entry is None:
+            return {}
+        modes = self._tables[resource[0]].modes
+        return {txn: modes[idx] for txn, idx in entry.granted.items()}
 
     def held_resources(self, txn: object) -> Set[ResourceKey]:
         return set(self._held.get(txn, ()))
@@ -140,6 +190,14 @@ class LockTable:
     def lock_count(self) -> int:
         return sum(len(e.granted) for e in self._entries.values())
 
+    def entry_count(self) -> int:
+        """Live (granted or queued) resource entries in the table."""
+        return len(self._entries)
+
+    def free_entries(self) -> int:
+        """Recycled entries currently parked on the free list."""
+        return len(self._pool)
+
     # -- wait-for graph (for the deadlock detector) ------------------------------
 
     def blockers_of(self, ticket: WaitTicket) -> Set[object]:
@@ -148,11 +206,12 @@ class LockTable:
         if entry is None:
             return set()
         table = self.table_for(ticket.resource[0])
+        mask = table.compat_mask[ticket.mode_idx]
         blockers: Set[object] = set()
-        for holder, held_mode in entry.granted.items():
+        for holder, held_idx in entry.granted.items():
             if holder == ticket.txn:
                 continue
-            if not table.compatible(held_mode, ticket.mode):
+            if not (mask >> held_idx) & 1:
                 blockers.add(holder)
         if not ticket.is_conversion:
             for ahead in entry.queue:
@@ -175,54 +234,153 @@ class LockTable:
         """Request ``mode`` on ``(space, key)`` for ``txn``."""
         if txn in self._waiting:
             raise LockError(f"{txn} already waiting; cannot issue new request")
-        table = self.table_for(space)
-        if mode not in table:
+        table = self._tables.get(space)
+        if table is None:
+            raise LockError(f"no mode table for lock space {space!r}")
+        midx = table.mode_index.get(mode)
+        if midx is None:
             raise LockError(f"mode {mode} not in table {table.name}")
         resource: ResourceKey = (space, key)
-        entry = self._entries.setdefault(resource, _Entry())
         self.requests += 1
 
-        held = entry.granted.get(txn)
-        if held is not None:
-            conversion = table.convert(held, mode)
-            if conversion.result == held:
+        entry = self._entries.get(resource)
+        if entry is None:
+            # Uncontended fresh resource: grant without any matrix probe.
+            pool = self._pool
+            entry = pool.pop() if pool else _Entry()
+            self._entries[resource] = entry
+            entry.granted[txn] = midx
+            self._note_held(txn, resource)
+            self.instant_grants += 1
+            return GrantResult(granted=True, mode=mode)
+
+        granted = entry.granted
+        modes = table.modes
+        held_idx = granted.get(txn)
+        if held_idx is not None:
+            flat = held_idx * table.mode_count + midx
+            result_idx = table.conv_result[flat]
+            child_idx = table.conv_child[flat]
+            child = modes[child_idx] if child_idx >= 0 else None
+            if result_idx == held_idx:
                 # Mode unchanged: no compatibility check needed.  A child
                 # action may still apply (e.g. held CX + requested LR
                 # demands NR on every child even though CX stays).
                 self.instant_grants += 1
                 return GrantResult(
-                    granted=True, mode=held,
-                    child_mode=conversion.child_mode,
-                    noop=conversion.child_mode is None,
+                    granted=True, mode=modes[held_idx],
+                    child_mode=child, noop=child is None,
                 )
             self.conversions += 1
-            if self._compatible_with_others(entry, table, txn, conversion.result):
-                entry.granted[txn] = conversion.result
+            mask = table.compat_mask[result_idx]
+            blocked = False
+            for holder, holder_idx in granted.items():
+                if holder != txn and not (mask >> holder_idx) & 1:
+                    blocked = True
+                    break
+            if not blocked:
+                granted[txn] = result_idx
                 self.instant_grants += 1
                 return GrantResult(
-                    granted=True, mode=conversion.result,
-                    child_mode=conversion.child_mode,
+                    granted=True, mode=modes[result_idx], child_mode=child,
                 )
             ticket = WaitTicket(
-                txn, resource, conversion.result,
-                is_conversion=True, child_mode=conversion.child_mode,
+                txn, resource, modes[result_idx],
+                is_conversion=True, child_mode=child, mode_idx=result_idx,
             )
             self._enqueue_conversion(entry, ticket)
             self._waiting[txn] = ticket
             self.waits += 1
             return GrantResult(granted=False, ticket=ticket)
 
-        if not entry.queue and self._compatible_with_others(entry, table, txn, mode):
-            entry.granted[txn] = mode
-            self._held.setdefault(txn, set()).add(resource)
-            self.instant_grants += 1
-            return GrantResult(granted=True, mode=mode)
+        if not entry.queue:
+            mask = table.compat_mask[midx]
+            blocked = False
+            for holder_idx in granted.values():
+                if not (mask >> holder_idx) & 1:
+                    blocked = True
+                    break
+            if not blocked:
+                granted[txn] = midx
+                self._note_held(txn, resource)
+                self.instant_grants += 1
+                return GrantResult(granted=True, mode=mode)
 
-        ticket = WaitTicket(txn, resource, mode, is_conversion=False)
+        ticket = WaitTicket(txn, resource, mode, is_conversion=False,
+                            mode_idx=midx)
         entry.queue.append(ticket)
         self._waiting[txn] = ticket
         self.waits += 1
         return GrantResult(granted=False, ticket=ticket)
+
+    def grant_fast(self, txn: object, resource: ResourceKey, midx: int,
+                   table: ModeTable, reject_fanout: bool = False,
+                   entry: object = _MISSING) -> int:
+        """Batched-path primitive: grant instantly or refuse.
+
+        Returns -1 when the request cannot be granted on the spot (the
+        caller falls back to :meth:`request`, which queues a ticket) or
+        when ``reject_fanout`` is set and the conversion would demand a
+        child fan-out.  On success returns the grant encoded as
+        ``result_idx | (child_idx + 1) << 8``.  Statistics are counted
+        exactly as :meth:`request` would -- refused calls count nothing,
+        so the fallback's own accounting keeps the totals identical.
+
+        ``entry`` lets a caller that already looked the resource up (the
+        batched coverage check) skip the second dict probe; pass the
+        entry or ``None`` for a known-absent resource.
+        """
+        if txn in self._waiting:
+            raise LockError(f"{txn} already waiting; cannot issue new request")
+        if entry is _MISSING:
+            entry = self._entries.get(resource)
+        if entry is None:
+            pool = self._pool
+            entry = pool.pop() if pool else _Entry()
+            self._entries[resource] = entry
+            entry.granted[txn] = midx
+            held = self._held.get(txn)
+            if held is None:
+                held = self._held[txn] = set()
+            held.add(resource)
+            self.requests += 1
+            self.instant_grants += 1
+            return midx
+        granted = entry.granted
+        held_idx = granted.get(txn)
+        if held_idx is not None:
+            flat = held_idx * table.mode_count + midx
+            result_idx = table.conv_result[flat]
+            child_idx = table.conv_child[flat]
+            if reject_fanout and child_idx >= 0:
+                return -1
+            if result_idx == held_idx:
+                self.requests += 1
+                self.instant_grants += 1
+                return held_idx | (child_idx + 1) << 8
+            mask = table.compat_mask[result_idx]
+            for holder, holder_idx in granted.items():
+                if holder != txn and not (mask >> holder_idx) & 1:
+                    return -1
+            granted[txn] = result_idx
+            self.requests += 1
+            self.conversions += 1
+            self.instant_grants += 1
+            return result_idx | (child_idx + 1) << 8
+        if entry.queue:
+            return -1
+        mask = table.compat_mask[midx]
+        for holder_idx in granted.values():
+            if not (mask >> holder_idx) & 1:
+                return -1
+        granted[txn] = midx
+        held = self._held.get(txn)
+        if held is None:
+            held = self._held[txn] = set()
+        held.add(resource)
+        self.requests += 1
+        self.instant_grants += 1
+        return midx
 
     def cancel_wait(self, txn: object) -> None:
         """Withdraw a waiting request (deadlock victim about to abort)."""
@@ -249,23 +407,35 @@ class LockTable:
 
     def release_all(self, txn: object) -> None:
         self.cancel_wait(txn)
-        for resource in sorted(self._held.pop(txn, ()), key=_release_order):
-            entry = self._entries.get(resource)
-            if entry is not None and txn in entry.granted:
-                del entry.granted[txn]
+        entries = self._entries
+        pool = self._pool
+        held = self._held.pop(txn, ())
+        if self._waiting:
+            # Waiters exist somewhere: release in deterministic order so
+            # the cascade of drains (and thus grant order) is seeded-run
+            # stable.  With no waiters every drain is a no-op and the
+            # release order is unobservable, so the sort is skipped.
+            held = sorted(held, key=_release_order)
+        for resource in held:
+            entry = entries.get(resource)
+            if entry is None or txn not in entry.granted:
+                continue
+            del entry.granted[txn]
+            if not entry.granted and not entry.queue:
+                # Nothing left to drain: recycle the entry directly.
+                del entries[resource]
+                if len(pool) < _POOL_CAPACITY:
+                    pool.append(entry)
+            else:
                 self._drain(resource)
 
     # -- internals -----------------------------------------------------------------
 
-    @staticmethod
-    def _compatible_with_others(
-        entry: _Entry, table: ModeTable, txn: object, mode: str
-    ) -> bool:
-        return all(
-            table.compatible(held_mode, mode)
-            for holder, held_mode in entry.granted.items()
-            if holder != txn
-        )
+    def _note_held(self, txn: object, resource: ResourceKey) -> None:
+        held = self._held.get(txn)
+        if held is None:
+            held = self._held[txn] = set()
+        held.add(resource)
 
     @staticmethod
     def _enqueue_conversion(entry: _Entry, ticket: WaitTicket) -> None:
@@ -279,16 +449,27 @@ class LockTable:
         entry = self._entries.get(resource)
         if entry is None:
             return
-        table = self.table_for(resource[0])
-        while entry.queue:
-            ticket = entry.queue[0]
-            if not self._compatible_with_others(entry, table, ticket.txn, ticket.mode):
+        table = self._tables[resource[0]]
+        granted = entry.granted
+        queue = entry.queue
+        while queue:
+            ticket = queue[0]
+            mask = table.compat_mask[ticket.mode_idx]
+            blocked = False
+            for holder, holder_idx in granted.items():
+                if holder != ticket.txn and not (mask >> holder_idx) & 1:
+                    blocked = True
+                    break
+            if blocked:
                 break
-            entry.queue.pop(0)
-            entry.granted[ticket.txn] = ticket.mode
+            queue.pop(0)
+            granted[ticket.txn] = ticket.mode_idx
             if not ticket.is_conversion:
-                self._held.setdefault(ticket.txn, set()).add(resource)
+                self._note_held(ticket.txn, resource)
             self._waiting.pop(ticket.txn, None)
             ticket._fire()
-        if not entry.granted and not entry.queue:
+        if not granted and not queue:
+            # Empty entry: back onto the free list instead of the GC.
             del self._entries[resource]
+            if len(self._pool) < _POOL_CAPACITY:
+                self._pool.append(entry)

@@ -59,9 +59,15 @@ class RingTracer:
         *,
         clock: Optional[Callable[[], float]] = None,
         sink: Union[str, Path, None] = None,
+        enabled: bool = True,
     ):
         if capacity is not None and capacity < 1:
             raise ValueError(f"tracer capacity must be >= 1, got {capacity}")
+        # Instance attribute shadows the class default, so a ring tracer
+        # can be constructed dormant (``enabled=False``): sites see the
+        # same False their guard would see from the null tracer, and the
+        # perf harness uses this to price the guard itself.
+        self.enabled = enabled
         self.capacity = capacity
         self.clock: Callable[[], float] = clock or (lambda: 0.0)
         self._ring: "deque[TraceEvent]" = deque(maxlen=capacity)

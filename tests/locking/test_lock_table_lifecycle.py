@@ -1,0 +1,91 @@
+"""Lock-table entry lifecycle: slab reuse and leak regression.
+
+The grant path backs table entries with a bounded free list
+(``_POOL_CAPACITY``): releasing the last holder of a resource returns
+the entry object to the pool, and later grants pop it back instead of
+allocating.  A table that has seen traffic must drain back to its empty
+baseline -- entries leaking across transactions would grow the steady
+state without bound.
+"""
+
+from repro.core import MetaOp, MetaRequest, get_protocol
+from repro.locking import IsolationLevel, LockManager
+from repro.locking.lock_table import _POOL_CAPACITY
+from repro.sched.simulator import run_sync
+from repro.splid import Splid
+from repro.txn import Transaction
+
+
+def S(text):
+    return Splid.parse(text)
+
+
+def acquire(manager, txn, request):
+    report, _elapsed = run_sync(manager.acquire(txn, request))
+    return report
+
+
+class TestFreeListReuse:
+    def test_release_returns_entries_to_the_pool(self):
+        manager = LockManager(get_protocol("taDOM3+"), lock_depth=7)
+        txn = Transaction("t", IsolationLevel.REPEATABLE)
+        acquire(manager, txn, MetaRequest(MetaOp.READ_NODE, S("1.3.3.5")))
+        held = manager.table.entry_count()
+        assert held > 0
+        manager.release_transaction(txn)
+        assert manager.table.entry_count() == 0
+        assert manager.table.free_entries() == held
+
+    def test_fresh_grants_reuse_pooled_entries(self):
+        manager = LockManager(get_protocol("taDOM3+"), lock_depth=7)
+        t1 = Transaction("t1", IsolationLevel.REPEATABLE)
+        acquire(manager, t1, MetaRequest(MetaOp.READ_NODE, S("1.3.3.5")))
+        recycled = manager.table.entry_count()
+        manager.release_transaction(t1)
+        assert manager.table.free_entries() == recycled
+        # The next transaction's fresh grants must come from the pool,
+        # not the allocator.
+        t2 = Transaction("t2", IsolationLevel.REPEATABLE)
+        acquire(manager, t2, MetaRequest(MetaOp.READ_NODE, S("1.5.3.7")))
+        assert manager.table.free_entries() == max(
+            0, recycled - manager.table.entry_count()
+        )
+        manager.release_transaction(t2)
+
+    def test_pool_is_bounded(self):
+        manager = LockManager(get_protocol("taDOM3+"), lock_depth=8)
+        txn = Transaction("big", IsolationLevel.REPEATABLE)
+        # More distinct resources than the pool keeps.
+        for top in range(3, 103, 2):
+            for leaf in range(3, 203, 2):
+                acquire(manager, txn, MetaRequest(
+                    MetaOp.READ_NODE, Splid((1, top, leaf))))
+        assert manager.table.entry_count() > _POOL_CAPACITY
+        manager.release_transaction(txn)
+        assert manager.table.entry_count() == 0
+        assert manager.table.free_entries() <= _POOL_CAPACITY
+
+
+class TestLeakRegression:
+    def test_table_drains_to_baseline_after_seeded_tamix_run(self):
+        """After a full seeded TaMix run every transaction has committed
+        or aborted, so the table must be back at its empty baseline: no
+        entries, no held-resource indexes, no waiters."""
+        from repro.tamix.cluster import CLUSTER1_MIX, make_database
+        from repro.tamix.coordinator import TaMixConfig, TaMixCoordinator
+
+        database, info = make_database("taDOM3+", 4, "repeatable", scale=0.05)
+        config = TaMixConfig(
+            protocol="taDOM3+", lock_depth=4, isolation="repeatable",
+            run_duration_ms=4000.0, mix=dict(CLUSTER1_MIX), seed=42,
+        )
+        result = TaMixCoordinator(database, info, config).run()
+        assert result.committed > 0
+        # Transactions still in flight at the run horizon hold locks by
+        # design; roll them back so every holder has released.
+        for txn in database.transactions.active_transactions():
+            database.abort(txn, reason="horizon")
+        table = database.locks.table
+        assert table.entry_count() == 0
+        assert table.lock_count() == 0
+        assert table.free_entries() > 0
