@@ -213,6 +213,79 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--top", type=int, default=8,
                          help="rows per hotspot/chain listing")
 
+    serve = sub.add_parser(
+        "serve",
+        help="serve a bib database over the wire protocol (asyncio)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7420,
+                       help="TCP port (0 picks a free one; default: 7420)")
+    serve.add_argument("--protocol", default="taDOM3+", choices=ALL_PROTOCOLS)
+    serve.add_argument("--lock-depth", type=int, default=4)
+    serve.add_argument("--isolation", default="repeatable",
+                       choices=["none", "uncommitted", "committed",
+                                "repeatable", "serializable"])
+    serve.add_argument("--scale", type=float, default=0.1,
+                       help="bib document scale (default: 0.1)")
+    serve.add_argument("--seed", type=int, default=2006)
+    serve.add_argument("--wait-timeout-ms", type=float, default=5000.0,
+                       help="lock-wait timeout, wall ms (default: 5000)")
+    serve.add_argument("--admission", action="store_true",
+                       help="shed BEGINs under restart pressure "
+                            "(AdmissionController at the network edge)")
+    serve.add_argument("--max-pressure", type=int, default=8,
+                       help="admission pressure threshold (default: 8)")
+    serve.add_argument("--wal", action="store_true",
+                       help="enable write-ahead logging")
+    serve.add_argument("--max-seconds", type=float, default=None,
+                       help="stop after this uptime (CI smoke); "
+                            "default: serve until Ctrl-C")
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="open-loop TaMix load generator (live TCP or deterministic "
+             "simulation)",
+    )
+    loadgen.add_argument("--connect", default=None, metavar="HOST:PORT",
+                         help="drive a live server (default: deterministic "
+                              "in-process simulation)")
+    loadgen.add_argument("--sim", action="store_true",
+                         help="force the deterministic in-process mode "
+                              "(the default when --connect is absent)")
+    loadgen.add_argument("--clients", type=int, default=100,
+                         help="concurrent simulated clients (default: 100)")
+    loadgen.add_argument("--duration-ms", type=float, default=10_000.0,
+                         help="arrival window, ms (default: 10000)")
+    loadgen.add_argument("--rate", type=float, default=100.0,
+                         help="total offered load, txn/s (default: 100)")
+    loadgen.add_argument("--arrival", default="poisson",
+                         choices=["poisson", "uniform"])
+    loadgen.add_argument("--think-ms", type=float, default=5.0,
+                         help="mean think time per visited node "
+                              "(default: 5)")
+    loadgen.add_argument("--think-dist", default="exponential",
+                         choices=["fixed", "uniform", "exponential"])
+    loadgen.add_argument("--zipf", type=float, default=1.1, metavar="S",
+                         help="zipf exponent for document hotspots "
+                              "(0 = uniform; default: 1.1)")
+    loadgen.add_argument("--seed", type=int, default=2006)
+    loadgen.add_argument("--pool-size", type=int, default=0,
+                         help="live-mode socket cap (0 = min(clients, 64))")
+    loadgen.add_argument("--no-retry", action="store_true",
+                         help="give up on the first abort/shed instead of "
+                              "retrying client-side")
+    loadgen.add_argument("--protocol", default="taDOM3+",
+                         choices=ALL_PROTOCOLS,
+                         help="sim mode: lock protocol (default: taDOM3+)")
+    loadgen.add_argument("--lock-depth", type=int, default=4,
+                         help="sim mode: lock depth (default: 4)")
+    loadgen.add_argument("--scale", type=float, default=0.1,
+                         help="sim mode: bib document scale (default: 0.1)")
+    loadgen.add_argument("--admission", action="store_true",
+                         help="sim mode: shed under restart pressure")
+    loadgen.add_argument("--output", default=None, metavar="FILE",
+                         help="write the JSON report here (default: stdout)")
+
     return parser
 
 
@@ -248,6 +321,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "analyze": _cmd_analyze,
         "verify": _cmd_verify,
         "chaos": _cmd_chaos,
+        "serve": _cmd_serve,
+        "loadgen": _cmd_loadgen,
     }[args.command]
     return handler(args)
 
@@ -646,6 +721,85 @@ def _cmd_analyze(args) -> int:
         args.trace, prefix_depth=args.prefix_depth
     )
     print(analysis.render_text(top=args.top))
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    import json as json_module
+
+    from repro.chaos.retry import AdmissionPolicy
+    from repro.net.server import ServerConfig, run_server
+
+    admission = None
+    if args.admission:
+        admission = AdmissionPolicy(max_pressure=args.max_pressure)
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        protocol=args.protocol,
+        lock_depth=args.lock_depth,
+        isolation=args.isolation,
+        scale=args.scale,
+        seed=args.seed,
+        wait_timeout_ms=args.wait_timeout_ms,
+        enable_wal=args.wal,
+        admission=admission,
+    )
+
+    def ready(server, host, port):
+        info = server.server_info()
+        print(f"serving {info['protocol']} depth={info['lock_depth']} "
+              f"{info['isolation']} ({info['nodes']} nodes) "
+              f"on {host}:{port}", flush=True)
+
+    server = run_server(config, ready=ready, max_seconds=args.max_seconds)
+    print(json_module.dumps(server.stats(), sort_keys=True, indent=2))
+    return 0
+
+
+def _cmd_loadgen(args) -> int:
+    from pathlib import Path
+
+    from repro.chaos.retry import AdmissionPolicy, RetryPolicy
+    from repro.net.loadgen import LoadGenConfig, render_report, run
+
+    if args.connect and args.sim:
+        print("--connect and --sim are mutually exclusive", file=sys.stderr)
+        return 2
+    if args.connect:
+        host, _sep, port = args.connect.rpartition(":")
+        if not host or not port.isdigit():
+            print(f"bad --connect {args.connect!r} (want HOST:PORT)",
+                  file=sys.stderr)
+            return 2
+        mode, host, port = "live", host, int(port)
+    else:
+        mode, host, port = "sim", "127.0.0.1", 7420
+    config = LoadGenConfig(
+        mode=mode,
+        clients=args.clients,
+        duration_ms=args.duration_ms,
+        rate_tps=args.rate,
+        arrival=args.arrival,
+        think_ms=args.think_ms,
+        think_dist=args.think_dist,
+        zipf_s=args.zipf,
+        seed=args.seed,
+        retry=None if args.no_retry else RetryPolicy(),
+        host=host,
+        port=port,
+        pool_size=args.pool_size,
+        protocol=args.protocol,
+        lock_depth=args.lock_depth,
+        scale=args.scale,
+        admission=AdmissionPolicy() if args.admission else None,
+    )
+    rendered = render_report(run(config))
+    if args.output:
+        Path(args.output).write_text(rendered + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(rendered)
     return 0
 
 

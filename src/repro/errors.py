@@ -182,6 +182,44 @@ class AdmissionRejected(TransactionError, TransientError):
     """
 
 
+class ProtocolError(ReproError):
+    """Corrupt, truncated, or out-of-contract wire-protocol traffic.
+
+    Mirrors the WAL torn-tail contract: the base class makes no
+    retryability promise, because a torn frame says nothing about
+    whether the *connection* is still usable.  Servers drop the
+    connection on it; clients must not blindly retry on the same socket.
+    """
+
+
+class UnsupportedWireVersion(ProtocolError, PermanentError):
+    """The peer speaks a wire-protocol version this side does not."""
+
+
+class RemoteError(ReproError):
+    """An error the server reported without a locally known class.
+
+    Carries the remote exception class name (``code``) and the
+    taxonomy the server attached; the transient/permanent subclasses
+    below keep :func:`is_transient`/:func:`is_permanent` faithful even
+    for codes this client version has never heard of.
+    """
+
+    def __init__(self, message: str, *, code: str = "RemoteError",
+                 reason: str = ""):
+        super().__init__(message)
+        self.code = code
+        self.reason = reason
+
+
+class TransientRemoteError(RemoteError, TransientError):
+    """A remote error the server classified as retryable."""
+
+
+class PermanentRemoteError(RemoteError, PermanentError):
+    """A remote error the server classified as not-retryable."""
+
+
 class ChaosError(ReproError, PermanentError):
     """A fault schedule or chaos-engine configuration is invalid."""
 

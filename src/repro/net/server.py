@@ -1,0 +1,618 @@
+"""The front door: an asyncio socket server around one :class:`Database`.
+
+One server process owns one database (document + lock manager + WAL) and
+serves the wire protocol of :mod:`repro.net.wire`.  Concurrency comes
+from the same substrate as the simulator and the threaded runtime: every
+node-manager operation is a generator yielding
+:class:`~repro.sched.simulator.Delay` and
+:class:`~repro.locking.lock_table.WaitTicket` effects, and the server
+drives them on the asyncio event loop -- everything between two yields
+runs atomically on the single loop thread, which is exactly the
+latch-protected atomicity the lock table expects (see DESIGN.md and
+:mod:`repro.sched.threaded`).
+
+Overload protection is the PR 5 story wired to the network edge: a
+:class:`~repro.chaos.retry.AdmissionController` gates BEGIN frames
+(queue with backoff, then shed with a typed
+:class:`~repro.errors.AdmissionRejected` ERROR frame that clients know
+is transient), and every transient abort (deadlock victim, lock-wait
+timeout) is reported with its taxonomy so the client-side
+:class:`~repro.chaos.retry.RetryPolicy` can restart the transaction.
+
+Latency SLOs: the server clocks every transaction from BEGIN to COMMIT
+and every request frame from read to reply, per transaction-type name,
+and reports p50/p99/p999 (nearest-rank, see
+:func:`repro.tamix.metrics.latency_slo`) through STATS frames and
+:meth:`LockServer.stats`.  With tracing enabled each request is wrapped
+in an ``rpc`` span, nesting the node manager's ``op`` and ``lock.wait``
+spans exactly like embedded runs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.chaos.retry import ADMIT, QUEUE, AdmissionPolicy
+from repro.core.protocol import Access
+from repro.database import Database
+from repro.errors import (
+    ProtocolError,
+    ReproError,
+    TransactionError,
+    AdmissionRejected,
+    UnsupportedWireVersion,
+    is_transient,
+)
+from repro.locking.lock_table import WaitTicket
+from repro.net import wire
+from repro.obs import SPAN_BEGIN, SPAN_END, txn_label
+from repro.query import QueryProcessor
+from repro.sched.simulator import Delay, SimulationError
+from repro.tamix.bibgen import BibInfo, generate_bib
+from repro.tamix.metrics import latency_slo
+from repro.txn.transaction import Transaction, TxnState
+
+#: Node-manager operations a CALL frame may name.  Everything else is a
+#: protocol error -- the wire surface is the session surface, not the
+#: whole object graph.
+NODE_OPS = frozenset({
+    "get_element_by_id",
+    "get_first_child",
+    "get_last_child",
+    "get_next_sibling",
+    "get_previous_sibling",
+    "get_parent",
+    "get_child_nodes",
+    "get_attributes",
+    "read_content",
+    "get_attribute_value",
+    "read_subtree",
+    "update_content",
+    "rename_element",
+    "insert_tree",
+    "delete_subtree",
+})
+
+
+def dispatch_call(nodes, txn: Transaction, name: str, args: Tuple[Any, ...]):
+    """A node-manager operation generator for one CALL frame.
+
+    ``delete_subtree``'s :class:`~repro.core.protocol.Access` argument
+    crosses the wire as its string value ("navigation"/"jump").
+    """
+    if name not in NODE_OPS:
+        raise ProtocolError(f"unknown operation {name!r}")
+    if name == "delete_subtree" and len(args) == 2 and isinstance(args[1], str):
+        try:
+            args = (args[0], Access(args[1]))
+        except ValueError:
+            raise ProtocolError(f"unknown access kind {args[1]!r}") from None
+    try:
+        return getattr(nodes, name)(txn, *args)
+    except TypeError as exc:
+        raise ProtocolError(f"bad arguments for {name}: {exc}") from None
+
+
+class SloTracker:
+    """Per-transaction-type latency samples with SLO percentiles."""
+
+    def __init__(self):
+        self._samples: Dict[str, List[float]] = {}
+        self.committed = 0
+        self.aborted = 0
+        self.aborted_by_reason: Dict[str, int] = {}
+
+    def record_commit(self, txn_type: str, latency_ms: float) -> None:
+        self.committed += 1
+        self._samples.setdefault(txn_type, []).append(latency_ms)
+
+    def record_abort(self, reason: str) -> None:
+        self.aborted += 1
+        self.aborted_by_reason[reason] = (
+            self.aborted_by_reason.get(reason, 0) + 1
+        )
+
+    def slo(self) -> Dict[str, Dict[str, float]]:
+        """{txn_type: {count, p50_ms, p99_ms, p999_ms}} plus ``_overall``."""
+        report = {
+            name: latency_slo(samples)
+            for name, samples in sorted(self._samples.items())
+        }
+        pooled: List[float] = []
+        for samples in self._samples.values():
+            pooled.extend(samples)
+        report["_overall"] = latency_slo(pooled)
+        return report
+
+
+@dataclass
+class ServerConfig:
+    """Everything one ``repro serve`` invocation needs."""
+
+    host: str = "127.0.0.1"
+    port: int = 7420
+    protocol: str = "taDOM3+"
+    lock_depth: int = 4
+    isolation: str = "repeatable"
+    #: Bib document scale for the built-in workload document.
+    scale: float = 0.1
+    seed: int = 2006
+    #: Real-milliseconds lock-wait timeout (the database clock is wall
+    #: time on a live server).
+    wait_timeout_ms: Optional[float] = 5_000.0
+    #: Real seconds slept per simulated millisecond of ``Delay`` cost
+    #: (0.0 -- the default -- never sleeps: cost-model delays are
+    #: simulation artifacts, the hardware sets the pace).
+    time_scale: float = 0.0
+    enable_wal: bool = False
+    observability: Any = None
+    #: Admission control for BEGIN frames; ``None`` admits everything.
+    admission: Optional[AdmissionPolicy] = None
+    escalation_threshold: Optional[int] = None
+
+
+class _Connection:
+    """Per-connection state: negotiated version, open transactions."""
+
+    __slots__ = ("name", "version", "txns", "started", "in_restart")
+
+    def __init__(self):
+        self.name = "?"
+        self.version = None
+        self.txns: Dict[int, Tuple[Transaction, str, float]] = {}
+        self.started = 0.0
+        self.in_restart = False
+
+
+class LockServer:
+    """Serves one database over the wire protocol."""
+
+    def __init__(
+        self,
+        database: Database,
+        *,
+        config: Optional[ServerConfig] = None,
+        info: Optional[BibInfo] = None,
+    ):
+        self.config = config or ServerConfig()
+        self.database = database
+        self.info = info
+        self.nodes = database.nodes
+        self.query = QueryProcessor(database.nodes)
+        self.slo = SloTracker()
+        self.admission = (
+            self.config.admission.controller()
+            if self.config.admission is not None else None
+        )
+        self.protocol_errors = 0
+        self.sheds = 0
+        self.requests = 0
+        self.connections = 0
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._t0 = time.monotonic()
+        database.set_clock(self._now_ms)
+
+    @classmethod
+    def from_config(cls, config: ServerConfig) -> "LockServer":
+        """Build a server plus its bib workload document from scratch."""
+        info = generate_bib(scale=config.scale, seed=config.seed)
+        database = Database(
+            protocol=config.protocol,
+            lock_depth=config.lock_depth,
+            isolation=config.isolation,
+            document=info.document,
+            wait_timeout_ms=config.wait_timeout_ms,
+            enable_wal=config.enable_wal,
+            observability=config.observability,
+            escalation_threshold=config.escalation_threshold,
+        )
+        return cls(database, config=config, info=info)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _now_ms(self) -> float:
+        return (time.monotonic() - self._t0) * 1000.0
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start accepting; returns the bound (host, port)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        return sockname[0], sockname[1]
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    @property
+    def port(self) -> int:
+        if self._server is None:
+            raise ReproError("server is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    # -- stats ---------------------------------------------------------------
+
+    def server_info(self) -> Dict[str, Any]:
+        """The WELCOME/INFO payload: identity plus workload handles."""
+        document = self.database.document
+        payload: Dict[str, Any] = {
+            "protocol": self.database.protocol.name,
+            "lock_depth": self.database.lock_depth,
+            "isolation": self.database.default_isolation.value,
+            "root": document.name_of(document.root),
+            "nodes": int(document.statistics()["nodes"]),
+        }
+        if self.info is not None:
+            payload["book_ids"] = list(self.info.book_ids)
+            payload["topic_ids"] = list(self.info.topic_ids)
+            payload["person_ids"] = list(self.info.person_ids)
+        return payload
+
+    def stats(self) -> Dict[str, Any]:
+        """The STATS payload: SLO percentiles and overload counters."""
+        return {
+            "slo": self.slo.slo(),
+            "committed": self.slo.committed,
+            "aborted": self.slo.aborted,
+            "aborted_by_reason": dict(sorted(
+                self.slo.aborted_by_reason.items()
+            )),
+            "sheds": self.sheds,
+            "protocol_errors": self.protocol_errors,
+            "requests": self.requests,
+            "connections": self.connections,
+            "active_txns": self.database.transactions.active_count,
+        }
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        self.connections += 1
+        conn = _Connection()
+        try:
+            await self._serve_connection(conn, reader, writer)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # peer vanished mid-frame: nothing left to tell it
+        except ProtocolError as exc:
+            self.protocol_errors += 1
+            await self._try_send(writer, wire.encode_error(exc))
+        finally:
+            self._abandon(conn)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    def _abandon(self, conn: _Connection) -> None:
+        """Roll back whatever a vanished connection left active."""
+        for txn, _name, _started in conn.txns.values():
+            if txn.state is TxnState.ACTIVE:
+                self.database.abort(txn, reason="rollback")
+        conn.txns.clear()
+        if conn.in_restart and self.admission is not None:
+            self.admission.leave_restart()
+            conn.in_restart = False
+
+    async def _read_frame(self, reader) -> Tuple[int, Tuple[Any, ...]]:
+        header = await reader.readexactly(4)
+        length, _total = wire.split_frame(header)
+        payload = await reader.readexactly(length)
+        return wire.decode_frame(header + payload)
+
+    async def _try_send(self, writer, frame: bytes) -> None:
+        try:
+            writer.write(frame)
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+
+    async def _serve_connection(self, conn, reader, writer) -> None:
+        # Handshake first: exactly one HELLO, version-checked.
+        try:
+            opcode, body = await self._read_frame(reader)
+        except asyncio.IncompleteReadError:
+            return
+        if opcode != wire.OP_HELLO or len(body) != 2:
+            raise ProtocolError("expected HELLO (version, client_name)")
+        version, client_name = body
+        if version != wire.WIRE_VERSION:
+            raise UnsupportedWireVersion(
+                f"client speaks wire version {version}, "
+                f"server speaks {wire.WIRE_VERSION}"
+            )
+        conn.version = int(version)
+        conn.name = str(client_name)
+        writer.write(wire.encode_frame(
+            wire.OP_WELCOME, wire.WIRE_VERSION, self.server_info()
+        ))
+        await writer.drain()
+        while True:
+            try:
+                opcode, body = await self._read_frame(reader)
+            except asyncio.IncompleteReadError:
+                return  # clean EOF between frames
+            self.requests += 1
+            reply = await self._handle_frame(conn, opcode, body)
+            if reply is None:
+                return
+            writer.write(reply)
+            await writer.drain()
+
+    async def _handle_frame(self, conn, opcode: int, body) -> Optional[bytes]:
+        """One request frame -> one reply frame (None closes the link)."""
+        if opcode == wire.OP_PING:
+            return wire.encode_frame(wire.OP_PONG)
+        if opcode == wire.OP_INFO:
+            return wire.encode_frame(
+                wire.OP_RESULT, self.server_info(), 0.0
+            )
+        if opcode == wire.OP_STATS:
+            return wire.encode_frame(wire.OP_RESULT, self.stats(), 0.0)
+        if opcode == wire.OP_BEGIN:
+            return await self._handle_begin(conn, body)
+        if opcode == wire.OP_COMMIT:
+            return self._handle_commit(conn, body)
+        if opcode == wire.OP_ABORT:
+            return self._handle_abort(conn, body)
+        if opcode in (wire.OP_CALL, wire.OP_QUERY):
+            return await self._handle_work(conn, opcode, body)
+        raise ProtocolError(
+            f"unexpected opcode 0x{opcode:02x} "
+            f"({wire.OPCODE_NAMES.get(opcode, '?')})"
+        )
+
+    async def _handle_begin(self, conn, body) -> bytes:
+        if len(body) != 2:
+            raise ProtocolError("BEGIN needs (name, isolation)")
+        name, isolation = str(body[0]), body[1]
+        if self.admission is not None and not conn.in_restart:
+            waits = 0
+            while True:
+                decision = self.admission.admit(waits)
+                if decision is ADMIT:
+                    break
+                if decision is QUEUE:
+                    waits += 1
+                    await asyncio.sleep(
+                        self.admission.policy.queue_backoff_ms / 1000.0
+                    )
+                    continue
+                self.sheds += 1  # SHED
+                return wire.encode_error(AdmissionRejected(
+                    f"admission control shed {name!r} "
+                    f"(pressure {self.admission.pressure})"
+                ))
+        try:
+            txn = self.database.begin(
+                name, None if isolation is None else str(isolation)
+            )
+        except ReproError as exc:
+            return wire.encode_error(exc)
+        conn.txns[txn.txn_id] = (txn, name, self._now_ms())
+        return wire.encode_frame(wire.OP_BEGUN, txn.txn_id)
+
+    def _conn_txn(self, conn, txn_id) -> Tuple[Transaction, str, float]:
+        entry = conn.txns.get(txn_id)
+        if entry is None:
+            raise ProtocolError(
+                f"transaction {txn_id} is not open on this connection"
+            )
+        return entry
+
+    def _handle_commit(self, conn, body) -> bytes:
+        if len(body) != 1:
+            raise ProtocolError("COMMIT needs (txn_id,)")
+        txn, name, started = self._conn_txn(conn, body[0])
+        try:
+            self.database.commit(txn)
+        except ReproError as exc:
+            return wire.encode_error(exc)
+        del conn.txns[txn.txn_id]
+        self.slo.record_commit(name, self._now_ms() - started)
+        if conn.in_restart and self.admission is not None:
+            self.admission.leave_restart()
+            conn.in_restart = False
+        return wire.encode_frame(wire.OP_DONE, self._now_ms() - started)
+
+    def _handle_abort(self, conn, body) -> bytes:
+        if len(body) != 2:
+            raise ProtocolError("ABORT needs (txn_id, reason)")
+        txn, _name, started = self._conn_txn(conn, body[0])
+        reason = str(body[1]) or "rollback"
+        try:
+            self.database.abort(txn, reason=reason)
+        except ReproError as exc:
+            return wire.encode_error(exc)
+        del conn.txns[txn.txn_id]
+        self.slo.record_abort(reason)
+        return wire.encode_frame(wire.OP_DONE, self._now_ms() - started)
+
+    async def _handle_work(self, conn, opcode: int, body) -> bytes:
+        if opcode == wire.OP_CALL:
+            if len(body) != 3:
+                raise ProtocolError("CALL needs (txn_id, op, args)")
+            txn_id, name, args = body
+            if not isinstance(args, tuple):
+                raise ProtocolError("CALL args must be a tuple")
+        else:
+            if len(body) != 2:
+                raise ProtocolError("QUERY needs (txn_id, path)")
+            txn_id, name, args = body[0], "query", (str(body[1]),)
+        txn, txn_name, _started = self._conn_txn(conn, txn_id)
+        if opcode == wire.OP_CALL:
+            generator = dispatch_call(self.nodes, txn, str(name), args)
+        else:
+            generator = self.query.evaluate(txn, args[0])
+        tracer = self.database.tracer
+        traced = tracer.enabled
+        if traced:
+            tracer.emit(SPAN_BEGIN, txn=txn_label(txn), cat="rpc", name=name)
+        request_t0 = self._now_ms()
+        try:
+            value = await self._drive(generator)
+        except (ReproError, ValueError, TypeError, AttributeError) as exc:
+            # Non-Repro failures are bad arguments reaching the kernel
+            # (a string where a Splid belongs, ...): the server must
+            # report them typed and keep serving, not drop the link.
+            if traced:
+                tracer.emit(
+                    SPAN_END, txn=txn_label(txn), cat="rpc", name=name,
+                    error=type(exc).__name__,
+                )
+            return self._work_failed(conn, txn, txn_name, exc)
+        cost_ms = self._now_ms() - request_t0
+        if traced:
+            tracer.emit(
+                SPAN_END, txn=txn_label(txn), cat="rpc", name=name,
+                service_ms=cost_ms,
+            )
+        return wire.encode_frame(wire.OP_RESULT, value, cost_ms)
+
+    def _work_failed(self, conn, txn, txn_name, exc: Exception) -> bytes:
+        """Roll back a failed operation's transaction and report typed.
+
+        Transient failures (deadlock victim, lock timeout) additionally
+        raise the admission controller's restart pressure until this
+        connection commits again -- the coordinator-side bookkeeping of
+        PR 5, moved server-side.
+        """
+        reason = str(getattr(exc, "reason", "") or "")
+        if not reason:
+            reason = "storage" if isinstance(exc, ReproError) else "error"
+        if txn.state is TxnState.ACTIVE:
+            try:
+                self.database.abort(txn, reason=reason)
+            except ReproError:
+                pass  # the original failure is the interesting one
+        conn.txns.pop(txn.txn_id, None)
+        self.slo.record_abort(reason)
+        if is_transient(exc) and self.admission is not None \
+                and not conn.in_restart:
+            self.admission.enter_restart()
+            conn.in_restart = True
+        return wire.encode_error(exc)
+
+    # -- effect driving ------------------------------------------------------
+
+    async def _drive(self, generator) -> Any:
+        """Drive one operation generator on the event loop.
+
+        Mirrors :class:`~repro.sched.threaded.ThreadedRuntime._loop`:
+        ``Delay`` sleeps scaled wall time (or just yields the loop),
+        ``WaitTicket`` parks on an :class:`asyncio.Event` that the lock
+        table's grant callback sets, honouring the wait timeout.
+        """
+        time_scale = self.config.time_scale
+        send_value: Any = None
+        throw_value: Optional[BaseException] = None
+        while True:
+            try:
+                if throw_value is not None:
+                    error, throw_value = throw_value, None
+                    effect = generator.throw(error)
+                else:
+                    effect = generator.send(send_value)
+            except StopIteration as stop:
+                return stop.value
+            send_value = None
+            if isinstance(effect, Delay):
+                if time_scale > 0.0 and effect.ms > 0.0:
+                    await asyncio.sleep(effect.ms * time_scale)
+            elif isinstance(effect, WaitTicket):
+                throw_value = await self._await_ticket(effect)
+            else:
+                raise SimulationError(f"unexpected effect {effect!r}")
+
+    async def _await_ticket(self, ticket: WaitTicket):
+        """Park on a blocked lock request; returns an error to throw."""
+        if ticket.granted:
+            return None
+        event = asyncio.Event()
+        ticket.on_grant = lambda _ticket: event.set()
+        timeout_s = None
+        if ticket.timeout_ms is not None:
+            # The database clock is wall milliseconds, so the ticket's
+            # timeout is too (no time_scale here).
+            timeout_s = max(ticket.timeout_ms / 1000.0, 0.001)
+        try:
+            await asyncio.wait_for(event.wait(), timeout_s)
+            return None
+        except asyncio.TimeoutError:
+            if ticket.granted:
+                return None
+            if ticket.cancel is not None:
+                ticket.cancel()
+            from repro.errors import LockTimeout
+
+            return LockTimeout(
+                f"lock wait timed out on {ticket.resource} (server)",
+                resource=ticket.resource,
+                timeout_ms=ticket.timeout_ms,
+            )
+
+
+async def _serve_async(server: LockServer, *, ready=None,
+                       max_seconds: Optional[float] = None) -> None:
+    host, port = await server.start()
+    if ready is not None:
+        ready(server, host, port)
+    # Graceful shutdown on SIGTERM/SIGINT.  A handler is essential for
+    # scripted runs: a process backgrounded by a non-interactive shell
+    # (CI smoke jobs) inherits SIGINT ignored, and SIGTERM's default
+    # action would skip the final stats report.
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    installed = []
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+            installed.append(signum)
+        except (NotImplementedError, RuntimeError, ValueError):
+            pass  # non-main thread or platform without loop signals
+    try:
+        task = asyncio.ensure_future(server.serve_forever())
+        try:
+            await asyncio.wait_for(stop.wait(), max_seconds)
+        except asyncio.TimeoutError:
+            pass  # fixed uptime reached (CI smoke)
+        finally:
+            task.cancel()
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+    finally:
+        for signum in installed:
+            loop.remove_signal_handler(signum)
+        await server.stop()
+
+
+def run_server(config: ServerConfig, *, ready=None,
+               max_seconds: Optional[float] = None) -> LockServer:
+    """Blocking entry point: build, bind, and serve until interrupted.
+
+    ``ready(server, host, port)`` fires once the socket is bound;
+    ``max_seconds`` stops the server after a fixed uptime (CI smoke),
+    ``None`` serves until Ctrl-C.  Returns the server (with its final
+    stats) after shutdown either way.
+    """
+    server = LockServer.from_config(config)
+    try:
+        asyncio.run(_serve_async(server, ready=ready, max_seconds=max_seconds))
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    return server

@@ -1,0 +1,456 @@
+"""The wire protocol: length-prefixed binary frames for the lock server.
+
+Layout of one frame on the wire::
+
+    u32 big-endian payload length  |  u8 opcode  |  body bytes
+
+The body is a single value in the tagged binary encoding below -- by
+convention a tuple, so a frame is ``(opcode, *fields)``.  The codec
+covers exactly the types that cross the session API: ``None``, bools,
+ints, floats, strings, bytes, lists, tuples, dicts,
+:class:`~repro.splid.Splid` labels, and
+:class:`~repro.storage.record.NodeRecord` values.  Anything else is a
+programming error and refused at encode time.
+
+Integrity mirrors the WAL torn-tail contract (see
+:mod:`repro.verify.faults`): *every* truncated or overlong image raises
+:class:`~repro.errors.ProtocolError` -- a decoder that "mostly" reads a
+torn frame would turn a dropped TCP segment into silent data corruption.
+
+Version negotiation is a one-byte handshake: the client's HELLO carries
+the highest version it speaks, the server answers WELCOME with the
+version chosen (currently: exactly :data:`WIRE_VERSION`) or an ERROR
+frame carrying :class:`~repro.errors.UnsupportedWireVersion`.
+
+ERROR frames carry the PR 5 transient/permanent taxonomy::
+
+    (code, taxonomy, reason, message)
+
+``code`` is the server-side exception class name, ``taxonomy`` one of
+``transient`` / ``permanent`` / ``unclassified``, ``reason`` the abort
+token ("deadlock", "timeout", ...) when there is one.  The client
+rebuilds a *typed* exception from the registry below, so retry loops
+branch on ``except TransientError`` exactly as they do embedded.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Dict, Tuple, Type
+
+from repro.errors import (
+    AdmissionRejected,
+    BenchmarkError,
+    ChaosError,
+    DeadlockAbort,
+    DocumentError,
+    LockError,
+    LockTimeout,
+    NodeNotFound,
+    PermanentRemoteError,
+    PermanentStorageError,
+    ProtocolError,
+    RemoteError,
+    RollbackError,
+    StorageError,
+    TransactionAborted,
+    TransactionError,
+    TransientRemoteError,
+    TransientStorageError,
+    UnknownProtocolError,
+    UnsupportedWireVersion,
+    is_permanent,
+    is_transient,
+)
+from repro.query.parser import QueryError
+from repro.splid import Splid
+from repro.storage.record import NodeKind, NodeRecord
+
+#: The one wire-protocol version this build speaks.
+WIRE_VERSION = 1
+
+#: Refuse frames above this payload size (a torn length prefix must not
+#: make the reader allocate gigabytes).
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+
+# ---------------------------------------------------------------------------
+# opcodes
+# ---------------------------------------------------------------------------
+
+#: Connection management.
+OP_HELLO = 0x01      # (version:int, client_name:str)
+OP_WELCOME = 0x02    # (version:int, server_info:dict)
+OP_PING = 0x03       # ()
+OP_PONG = 0x04       # ()
+
+#: Transaction lifecycle.
+OP_BEGIN = 0x10      # (name:str, isolation:str)
+OP_BEGUN = 0x11      # (txn_id:int)
+OP_COMMIT = 0x12     # (txn_id:int)
+OP_ABORT = 0x13      # (txn_id:int, reason:str)
+OP_DONE = 0x14       # (cost_ms:float)
+
+#: Work.
+OP_CALL = 0x20       # (txn_id:int, op_name:str, args:tuple)
+OP_QUERY = 0x21      # (txn_id:int, path:str)
+OP_RESULT = 0x22     # (value, cost_ms:float)
+OP_INFO = 0x30       # ()
+OP_STATS = 0x31      # ()
+
+#: Failure.
+OP_ERROR = 0x60      # (code:str, taxonomy:str, reason:str, message:str)
+
+OPCODE_NAMES = {
+    OP_HELLO: "HELLO", OP_WELCOME: "WELCOME", OP_PING: "PING",
+    OP_PONG: "PONG", OP_BEGIN: "BEGIN", OP_BEGUN: "BEGUN",
+    OP_COMMIT: "COMMIT", OP_ABORT: "ABORT", OP_DONE: "DONE",
+    OP_CALL: "CALL", OP_QUERY: "QUERY", OP_RESULT: "RESULT",
+    OP_INFO: "INFO", OP_STATS: "STATS", OP_ERROR: "ERROR",
+}
+
+
+# ---------------------------------------------------------------------------
+# tagged value codec
+# ---------------------------------------------------------------------------
+
+_T_NONE = 0x00
+_T_TRUE = 0x01
+_T_FALSE = 0x02
+_T_INT = 0x03
+_T_FLOAT = 0x04
+_T_STR = 0x05
+_T_BYTES = 0x06
+_T_LIST = 0x07
+_T_TUPLE = 0x08
+_T_DICT = 0x09
+_T_SPLID = 0x0A
+_T_RECORD = 0x0B
+
+_FLOAT = struct.Struct(">d")
+
+
+def _write_varint(out: bytearray, value: int) -> None:
+    """Unsigned LEB128."""
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _write_signed(out: bytearray, value: int) -> None:
+    """Zigzag + LEB128 (small magnitudes stay small either sign)."""
+    _write_varint(out, value * 2 if value >= 0 else -value * 2 - 1)
+
+
+class _Reader:
+    """Bounded cursor over one frame body; every read checks the end."""
+
+    __slots__ = ("data", "pos", "end")
+
+    def __init__(self, data: bytes, start: int = 0, end: int = -1):
+        self.data = data
+        self.pos = start
+        self.end = len(data) if end < 0 else end
+
+    def take(self, count: int) -> bytes:
+        if count < 0 or self.pos + count > self.end:
+            raise ProtocolError(
+                f"torn frame: wanted {count} bytes at offset {self.pos}, "
+                f"only {self.end - self.pos} left"
+            )
+        chunk = self.data[self.pos:self.pos + count]
+        self.pos += count
+        return chunk
+
+    def byte(self) -> int:
+        if self.pos >= self.end:
+            raise ProtocolError(f"torn frame: no byte at offset {self.pos}")
+        value = self.data[self.pos]
+        self.pos += 1
+        return value
+
+    def varint(self) -> int:
+        shift = 0
+        value = 0
+        while True:
+            byte = self.byte()
+            value |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return value
+            shift += 7
+            if shift > 70:
+                raise ProtocolError("malformed varint (too long)")
+
+    def signed(self) -> int:
+        raw = self.varint()
+        return (raw >> 1) ^ -(raw & 1)
+
+    @property
+    def exhausted(self) -> bool:
+        return self.pos >= self.end
+
+
+def _encode_value(out: bytearray, value: Any) -> None:
+    if value is None:
+        out.append(_T_NONE)
+    elif value is True:
+        out.append(_T_TRUE)
+    elif value is False:
+        out.append(_T_FALSE)
+    elif isinstance(value, int):
+        out.append(_T_INT)
+        _write_signed(out, value)
+    elif isinstance(value, float):
+        out.append(_T_FLOAT)
+        out += _FLOAT.pack(value)
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        out.append(_T_STR)
+        _write_varint(out, len(raw))
+        out += raw
+    elif isinstance(value, (bytes, bytearray)):
+        out.append(_T_BYTES)
+        _write_varint(out, len(value))
+        out += value
+    elif isinstance(value, Splid):
+        out.append(_T_SPLID)
+        divisions = value.divisions
+        _write_varint(out, len(divisions))
+        for division in divisions:
+            _write_varint(out, division)
+    elif isinstance(value, NodeRecord):
+        out.append(_T_RECORD)
+        out.append(int(value.kind))
+        _write_varint(out, value.name_surrogate)
+        _write_varint(out, len(value.content))
+        out += value.content
+    elif isinstance(value, list):
+        out.append(_T_LIST)
+        _write_varint(out, len(value))
+        for item in value:
+            _encode_value(out, item)
+    elif isinstance(value, tuple):
+        out.append(_T_TUPLE)
+        _write_varint(out, len(value))
+        for item in value:
+            _encode_value(out, item)
+    elif isinstance(value, dict):
+        out.append(_T_DICT)
+        _write_varint(out, len(value))
+        for key, item in value.items():
+            _encode_value(out, key)
+            _encode_value(out, item)
+    else:
+        raise ProtocolError(
+            f"type {type(value).__name__} is not wire-encodable"
+        )
+
+
+def _decode_value(reader: _Reader) -> Any:
+    tag = reader.byte()
+    if tag == _T_NONE:
+        return None
+    if tag == _T_TRUE:
+        return True
+    if tag == _T_FALSE:
+        return False
+    if tag == _T_INT:
+        return reader.signed()
+    if tag == _T_FLOAT:
+        return _FLOAT.unpack(reader.take(8))[0]
+    if tag == _T_STR:
+        raw = reader.take(reader.varint())
+        try:
+            return raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"malformed string payload: {exc}") from None
+    if tag == _T_BYTES:
+        return bytes(reader.take(reader.varint()))
+    if tag == _T_SPLID:
+        count = reader.varint()
+        if count == 0 or count > 4096:
+            raise ProtocolError(f"implausible SPLID division count {count}")
+        try:
+            return Splid(tuple(reader.varint() for _i in range(count)))
+        except Exception as exc:
+            raise ProtocolError(f"malformed SPLID on the wire: {exc}") from None
+    if tag == _T_RECORD:
+        kind_byte = reader.byte()
+        try:
+            kind = NodeKind(kind_byte)
+        except ValueError:
+            raise ProtocolError(f"unknown node kind {kind_byte}") from None
+        surrogate = reader.varint()
+        content = bytes(reader.take(reader.varint()))
+        return NodeRecord(kind, surrogate, content)
+    if tag == _T_LIST:
+        return [_decode_value(reader) for _i in range(reader.varint())]
+    if tag == _T_TUPLE:
+        return tuple(_decode_value(reader) for _i in range(reader.varint()))
+    if tag == _T_DICT:
+        return {
+            _decode_value(reader): _decode_value(reader)
+            for _i in range(reader.varint())
+        }
+    raise ProtocolError(f"unknown value tag 0x{tag:02x}")
+
+
+def encode_value(value: Any) -> bytes:
+    """One value in the tagged encoding (without any frame header)."""
+    out = bytearray()
+    _encode_value(out, value)
+    return bytes(out)
+
+
+def decode_value(data: bytes) -> Any:
+    """Inverse of :func:`encode_value`; refuses trailing garbage."""
+    reader = _Reader(data)
+    value = _decode_value(reader)
+    if not reader.exhausted:
+        raise ProtocolError(
+            f"{reader.end - reader.pos} trailing bytes after value"
+        )
+    return value
+
+
+# ---------------------------------------------------------------------------
+# frames
+# ---------------------------------------------------------------------------
+
+_LENGTH = struct.Struct(">I")
+
+
+def encode_frame(opcode: int, *fields: Any) -> bytes:
+    """One complete frame: length prefix, opcode byte, tuple body."""
+    if not 0 <= opcode <= 0xFF:
+        raise ProtocolError(f"opcode {opcode} out of range")
+    out = bytearray(5)          # length placeholder + opcode
+    out[4] = opcode
+    _encode_value(out, tuple(fields))
+    payload = len(out) - 4
+    if payload > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame payload {payload} exceeds limit")
+    out[0:4] = _LENGTH.pack(payload)
+    return bytes(out)
+
+
+def decode_frame(data: bytes) -> Tuple[int, Tuple[Any, ...]]:
+    """Decode one complete frame (length prefix included).
+
+    Raises :class:`~repro.errors.ProtocolError` for *any* torn image:
+    short header, short payload, trailing bytes, or a body that is not
+    a tuple.
+    """
+    if len(data) < 5:
+        raise ProtocolError(f"torn frame: {len(data)} bytes, header needs 5")
+    (length,) = _LENGTH.unpack(data[:4])
+    if length < 1:
+        raise ProtocolError("torn frame: zero-length payload")
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame payload {length} exceeds limit")
+    if len(data) != 4 + length:
+        raise ProtocolError(
+            f"torn frame: header promises {length} payload bytes, "
+            f"got {len(data) - 4}"
+        )
+    opcode = data[4]
+    reader = _Reader(data, 5)
+    body = _decode_value(reader)
+    if not reader.exhausted:
+        raise ProtocolError(
+            f"{reader.end - reader.pos} trailing bytes after frame body"
+        )
+    if not isinstance(body, tuple):
+        raise ProtocolError(
+            f"frame body must be a tuple, got {type(body).__name__}"
+        )
+    return opcode, body
+
+
+def split_frame(buffer: bytes) -> Tuple[int, int]:
+    """(payload_length, total_frame_length) once the header is complete.
+
+    Returns ``(-1, -1)`` while fewer than 4 bytes are buffered.  Raises
+    on implausible lengths so a corrupted stream fails fast.
+    """
+    if len(buffer) < 4:
+        return -1, -1
+    (length,) = _LENGTH.unpack(buffer[:4])
+    if length < 1 or length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"implausible frame length {length}")
+    return length, 4 + length
+
+
+# ---------------------------------------------------------------------------
+# typed errors over the wire
+# ---------------------------------------------------------------------------
+
+#: Exception classes a server may name in an ERROR frame and the client
+#: rebuilds typed.  Constructors must accept a single message argument.
+ERROR_REGISTRY: Dict[str, Type[Exception]] = {
+    cls.__name__: cls
+    for cls in (
+        AdmissionRejected,
+        BenchmarkError,
+        ChaosError,
+        DeadlockAbort,
+        DocumentError,
+        LockError,
+        LockTimeout,
+        NodeNotFound,
+        PermanentStorageError,
+        ProtocolError,
+        QueryError,
+        RollbackError,
+        StorageError,
+        TransactionAborted,
+        TransactionError,
+        TransientStorageError,
+        UnknownProtocolError,
+        UnsupportedWireVersion,
+    )
+}
+
+
+def taxonomy_of(error: BaseException) -> str:
+    """The retryability class an ERROR frame advertises."""
+    if is_transient(error):
+        return "transient"
+    if is_permanent(error):
+        return "permanent"
+    return "unclassified"
+
+
+def encode_error(error: BaseException) -> bytes:
+    """An ERROR frame describing ``error`` (code, taxonomy, reason, msg)."""
+    return encode_frame(
+        OP_ERROR,
+        type(error).__name__,
+        taxonomy_of(error),
+        str(getattr(error, "reason", "") or ""),
+        str(error),
+    )
+
+
+def decode_error(fields: Tuple[Any, ...]) -> Exception:
+    """Rebuild a typed exception from an ERROR frame body."""
+    if len(fields) != 4:
+        raise ProtocolError(f"ERROR frame needs 4 fields, got {len(fields)}")
+    code, taxonomy, reason, message = (str(field) for field in fields)
+    cls = ERROR_REGISTRY.get(code)
+    if cls is not None:
+        error = cls(message)
+    elif taxonomy == "transient":
+        error = TransientRemoteError(message, code=code, reason=reason)
+    elif taxonomy == "permanent":
+        error = PermanentRemoteError(message, code=code, reason=reason)
+    else:
+        error = RemoteError(message, code=code, reason=reason)
+    if reason and not getattr(error, "reason", None):
+        error.reason = reason
+    return error

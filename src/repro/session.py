@@ -26,10 +26,22 @@ from __future__ import annotations
 
 from typing import Any, Dict, Generator, Optional, Union
 
-from repro.errors import TransactionError
+from repro.errors import (
+    DeadlockAbort,
+    LockTimeout,
+    TransactionAborted,
+    TransactionError,
+)
 from repro.locking.lock_manager import IsolationLevel
 from repro.sched.simulator import run_sync
 from repro.txn.transaction import Transaction, TxnState
+
+#: Abort-reason tokens -> the typed exception the session raises when a
+#: finished transaction is used again (same tokens the tracer records).
+_ABORT_EXCEPTIONS = {
+    "deadlock": DeadlockAbort,
+    "timeout": LockTimeout,
+}
 
 
 class SessionNodes:
@@ -38,15 +50,21 @@ class SessionNodes:
     Attribute access returns the node-manager operation with the
     session's transaction pre-bound as the first argument, so callers
     write ``session.nodes.read_subtree(node)`` instead of threading the
-    transaction handle through every call.
+    transaction handle through every call.  Bound methods are cached per
+    session (repeated access returns the identical callable), and
+    ``__dir__`` lists the operations for introspection/tab-completion.
     """
 
-    __slots__ = ("_session",)
+    __slots__ = ("_session", "_cache")
 
     def __init__(self, session: "Session"):
         self._session = session
+        self._cache: Dict[str, object] = {}
 
     def __getattr__(self, name: str):
+        cached = self._cache.get(name)
+        if cached is not None:
+            return cached
         target = getattr(self._session.database.nodes, name)
         if not callable(target):
             return target
@@ -56,7 +74,16 @@ class SessionNodes:
             return target(txn, *args, **kwargs)
 
         bound.__name__ = name
+        self._cache[name] = bound
         return bound
+
+    def __dir__(self):
+        operations = [
+            name for name in dir(self._session.database.nodes)
+            if not name.startswith("_")
+            and callable(getattr(self._session.database.nodes, name))
+        ]
+        return sorted(set(object.__dir__(self)) | set(operations))
 
 
 class Session:
@@ -98,19 +125,57 @@ class Session:
 
     # -- driving ------------------------------------------------------------
 
-    def run(self, operation: Generator) -> Any:
+    def run(self, operation: Generator, *, with_cost: bool = False) -> Any:
         """Drive one node-manager operation to completion (single-user).
 
-        Returns the operation's result; the simulated time it consumed
-        accumulates in :attr:`elapsed_ms`.
+        Run-call contract: ``Database.run`` always returns ``(value,
+        cost_ms)``; ``Session.run`` returns the value alone and
+        accumulates the simulated cost in :attr:`elapsed_ms` -- pass
+        ``with_cost=True`` for the ``(value, cost_ms)`` pair without
+        changing sessions' default ergonomics.  (``RemoteSession.run``
+        honours the same keyword, with the server-measured service time
+        as the cost.)
+
+        Using a finished session raises *typed*: the transaction's
+        abort-reason token maps back to
+        :class:`~repro.errors.DeadlockAbort` /
+        :class:`~repro.errors.LockTimeout` (generic aborts raise
+        :class:`~repro.errors.TransactionAborted`), so callers and retry
+        policies can branch on the cause without string matching.
         """
-        if self.txn.state is not TxnState.ACTIVE:
-            raise TransactionError(
-                f"session transaction {self.txn} is {self.txn.state.value}"
-            )
+        self._require_active()
         result, elapsed = run_sync(operation)
         self.elapsed_ms += elapsed
+        if with_cost:
+            return result, elapsed
         return result
+
+    def _require_active(self) -> None:
+        state = self.txn.state
+        if state is TxnState.ACTIVE:
+            return
+        if state is TxnState.ABORTED:
+            reason = self.txn.abort_reason or "rollback"
+            exc_class = _ABORT_EXCEPTIONS.get(reason, TransactionAborted)
+            error = exc_class(
+                f"session transaction {self.txn} was aborted "
+                f"(reason: {reason})"
+            )
+            error.reason = reason
+            raise error
+        raise TransactionError(
+            f"session transaction {self.txn} is {state.value}"
+        )
+
+    def query(self, path: str) -> Generator:
+        """An XPath evaluation for :meth:`run` (lock-guarded).
+
+        ``session.run(session.query("/bib/topics"))`` works identically
+        on embedded and remote sessions.
+        """
+        from repro.query import QueryProcessor
+
+        return QueryProcessor(self.database.nodes).evaluate(self.txn, path)
 
     # -- introspection -------------------------------------------------------
 

@@ -11,7 +11,39 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
+
+#: The latency SLO percentiles reported per transaction type.
+SLO_PERCENTILES = (("p50_ms", 50.0), ("p99_ms", 99.0), ("p999_ms", 99.9))
+
+
+def nearest_rank(sorted_values: Sequence[float], q: float) -> float:
+    """The q-th percentile by the nearest-rank method (deterministic).
+
+    ``sorted_values`` must be non-empty and ascending.  Nearest rank --
+    ``ceil(q/100 * n)`` -- is exact-arithmetic on the observed samples
+    (no interpolation), so seeded runs report byte-identical SLOs.
+    """
+    if not sorted_values:
+        raise ValueError("percentile of an empty sample")
+    if not 0.0 < q <= 100.0:
+        raise ValueError(f"percentile {q} out of (0, 100]")
+    rank = -(-q * len(sorted_values) // 100)  # ceil without floats
+    return sorted_values[int(rank) - 1]
+
+
+def latency_slo(durations: Sequence[float]) -> Dict[str, float]:
+    """SLO summary of a latency sample: count + p50/p99/p999 (ms).
+
+    Empty samples yield a count of 0 and no percentile keys, so reports
+    never print percentiles fabricated from nothing.
+    """
+    slo: Dict[str, float] = {"count": len(durations)}
+    if durations:
+        ordered = sorted(durations)
+        for key, q in SLO_PERCENTILES:
+            slo[key] = nearest_rank(ordered, q)
+    return slo
 
 
 @dataclass
@@ -73,6 +105,17 @@ class TypeMetrics:
     def max_duration(self) -> Optional[float]:
         return max(self.durations) if self.durations else None
 
+    def percentile(self, q: float) -> Optional[float]:
+        """Nearest-rank latency percentile over the recorded durations."""
+        if not self.durations:
+            return None
+        return nearest_rank(sorted(self.durations), q)
+
+    @property
+    def latency_slo(self) -> Dict[str, float]:
+        """count + p50/p99/p999 commit latency, ms (see :func:`latency_slo`)."""
+        return latency_slo(self.durations)
+
 
 @dataclass
 class RunResult:
@@ -116,6 +159,25 @@ class RunResult:
             "timeout": sum(m.timeout_aborts for m in self.by_type.values()),
             "storage": sum(m.storage_aborts for m in self.by_type.values()),
         }
+
+    @property
+    def latency_slo(self) -> Dict[str, Dict[str, float]]:
+        """Per-transaction-type latency SLO percentiles, plus ``_overall``.
+
+        Keys are transaction types (sorted), values ``{"count", "p50_ms",
+        "p99_ms", "p999_ms"}``; the ``_overall`` entry pools every
+        committed transaction's duration.  This is what the lock server
+        reports per SLO window and what the sweep reports tabulate.
+        """
+        slo = {
+            name: metrics.latency_slo
+            for name, metrics in sorted(self.by_type.items())
+        }
+        pooled: List[float] = []
+        for metrics in self.by_type.values():
+            pooled.extend(metrics.durations)
+        slo["_overall"] = latency_slo(pooled)
+        return slo
 
     def committed_of(self, txn_type: str) -> int:
         return self.by_type[txn_type].committed

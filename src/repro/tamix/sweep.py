@@ -26,7 +26,7 @@ from repro.core.registry import get_protocol
 from repro.errors import BenchmarkError
 from repro.obs import WAIT_TIME_BUCKETS_MS
 from repro.tamix.cluster import run_cluster1
-from repro.tamix.metrics import RunResult
+from repro.tamix.metrics import RunResult, latency_slo
 
 #: Canonical wait-histogram column order: the fixed bucket boundaries of
 #: :data:`repro.obs.metrics.WAIT_TIME_BUCKETS_MS` plus the overflow
@@ -74,6 +74,9 @@ class CellResult:
     #: ``total``) -- what the trace analyzer reconstructs per cell.
     wait_total_ms: float = 0.0
     wait_histogram: Dict[str, int] = field(default_factory=dict)
+    #: Commit latencies pooled across repetitions and transaction types
+    #: (simulated ms) -- the sample behind the row's SLO percentiles.
+    latencies: List[float] = field(default_factory=list)
 
     def as_row(self, *, include_histogram: bool = False) -> Dict[str, object]:
         row: Dict[str, object] = {
@@ -98,6 +101,9 @@ class CellResult:
             "wait_max_ms": round(self.wait_max_ms, 3),
             "wait_total_ms": round(self.wait_total_ms, 6),
         }
+        slo = latency_slo(self.latencies)
+        for key in ("p50_ms", "p99_ms", "p999_ms"):
+            row[key] = round(slo.get(key, 0.0), 3)
         for txn_type, value in sorted(self.by_type.items()):
             row[txn_type] = round(value, 2)
         if include_histogram:
@@ -419,6 +425,7 @@ class SweepRunner:
         for txn_type, metrics in outcome.by_type.items():
             previous = slot.by_type.get(txn_type, 0.0)
             slot.by_type[txn_type] = (previous * n + metrics.committed) / (n + 1)
+            slot.latencies.extend(metrics.durations)
         for kind, count in outcome.aborted_by_kind.items():
             previous = slot.aborted_by_kind.get(kind, 0.0)
             slot.aborted_by_kind[kind] = (previous * n + count) / (n + 1)

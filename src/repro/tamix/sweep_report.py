@@ -175,6 +175,26 @@ def _sections(data: _ReportData) -> List[Tuple[str, str, str]]:
                 title="total lock-wait time (ms)",
             ),
         ))
+        slo_body = []
+        for protocol in data.protocols:
+            for depth in data.depths:
+                row = data.by_cell.get((protocol, depth, isolation))
+                if row is None or "p50_ms" not in row:
+                    continue
+                slo_body.append([
+                    protocol, depth,
+                    _fmt(row.get("p50_ms")), _fmt(row.get("p99_ms")),
+                    _fmt(row.get("p999_ms")),
+                ])
+        if slo_body:
+            sections.append((
+                f"Commit-latency SLO percentiles -- isolation {isolation}",
+                "table",
+                _md_table(
+                    ["protocol", "depth", "p50 ms", "p99 ms", "p999 ms"],
+                    slo_body,
+                ),
+            ))
         totals = data.protocol_totals(isolation)
         if totals:
             sections.append((

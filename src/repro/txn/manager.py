@@ -112,6 +112,7 @@ class TransactionManager:
             self.wal.log_abort(txn.txn_id)
         self.lock_manager.release_transaction(txn)
         txn.state = TxnState.ABORTED
+        txn.abort_reason = reason
         txn.end_time = self._clock()
         self._active.pop(txn.txn_id, None)
         self.aborted += 1

@@ -58,6 +58,10 @@ class Transaction:
         self.end_time: Optional[float] = None
         self.stats = TransactionStats()
         self.undo_log: List[UndoEntry] = []
+        #: Why the transaction aborted ("deadlock", "timeout",
+        #: "rollback", ...); None while it has not aborted.  The session
+        #: layer maps it back to the typed TransactionAborted subclass.
+        self.abort_reason: Optional[str] = None
         #: Stable trace identity: state-independent, and re-assigned by the
         #: transaction manager to a per-database sequence so traces from
         #: identical runs are byte-for-byte diffable.

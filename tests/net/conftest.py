@@ -1,0 +1,67 @@
+"""Shared fixtures for the wire-protocol tests: a live asyncio server
+running on a background thread, bound to an ephemeral port."""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.net.server import LockServer, ServerConfig
+
+
+class ServerHandle:
+    """A :class:`LockServer` on its own thread + event loop.
+
+    ``handle.port`` is the bound ephemeral port; ``handle.server`` is
+    the live server object (its counters are safe to *read* from the
+    test thread once traffic has drained).
+    """
+
+    def __init__(self, config: ServerConfig):
+        self.server = LockServer.from_config(config)
+        self.port = None
+        self._ready = threading.Event()
+        self._stop = None
+        self._loop = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        if not self._ready.wait(10):
+            raise RuntimeError("server failed to start within 10s")
+
+    def _run(self):
+        asyncio.run(self._main())
+
+    async def _main(self):
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        _host, port = await self.server.start()
+        self.port = port
+        self._ready.set()
+        task = asyncio.ensure_future(self.server.serve_forever())
+        await self._stop.wait()
+        task.cancel()
+        try:
+            await task
+        except asyncio.CancelledError:
+            pass
+        await self.server.stop()
+
+    def shutdown(self):
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(10)
+
+
+def make_server(**overrides) -> ServerHandle:
+    config = ServerConfig(port=0, scale=0.05, seed=2006,
+                          wait_timeout_ms=1_000.0)
+    for key, value in overrides.items():
+        setattr(config, key, value)
+    return ServerHandle(config)
+
+
+@pytest.fixture(scope="module")
+def live_server():
+    handle = make_server()
+    yield handle
+    handle.shutdown()

@@ -1,0 +1,76 @@
+"""Embedded-vs-remote equivalence: the same scripted session against an
+in-process :class:`Database` and a live server over the wire must see
+identical values (SPLIDs, subtree entries, query results, serialized
+XML), since the remote path round-trips everything through the codec."""
+
+import pytest
+
+from repro import Database
+from repro.net.client import RemoteDatabase
+from repro.tamix.bibgen import generate_bib
+
+
+@pytest.fixture(scope="module")
+def embedded():
+    # the very document the live_server fixture builds (same scale/seed)
+    info = generate_bib(scale=0.05, seed=2006)
+    database = Database(
+        protocol="taDOM3+", lock_depth=4, document=info.document,
+        wait_timeout_ms=1_000.0,
+    )
+    return database, info
+
+
+@pytest.fixture
+def remote(live_server):
+    handle = RemoteDatabase("127.0.0.1", live_server.port, pool_size=2)
+    yield handle
+    handle.close()
+
+
+def scripted_session(db, book_id, topic_id):
+    """One read-only tour, identical for Session and RemoteSession."""
+    out = {}
+    with db.session("tour") as session:
+        book = session.run(session.nodes.get_element_by_id(book_id))
+        out["book"] = book
+        out["subtree"] = session.run(session.nodes.read_subtree(book))
+        out["first_child"] = session.run(session.nodes.get_first_child(book))
+        out["content"] = session.run(session.nodes.read_content(book))
+        out["query"] = session.run(
+            session.query(f"id('{topic_id}')")
+        )
+    return out
+
+
+class TestEquivalence:
+    def test_scripted_session_sees_identical_values(self, embedded, remote):
+        database, info = embedded
+        book_id, topic_id = info.book_ids[0], info.topic_ids[0]
+        local = scripted_session(database, book_id, topic_id)
+        served = scripted_session(remote, book_id, topic_id)
+        assert local["book"] == served["book"]
+        assert local["subtree"] == served["subtree"]
+        assert local["first_child"] == served["first_child"]
+        assert local["content"] == served["content"]
+        assert local["query"] == served["query"]
+
+    def test_session_surfaces_match(self, embedded, remote):
+        database, info = embedded
+        book_id = info.book_ids[0]
+        with database.session("a") as local, remote.session("b") as served:
+            # the one-constructor-change contract: same node operations,
+            # same run keyword, same lifecycle methods
+            for name in ("read_subtree", "get_element_by_id", "read_content"):
+                assert name in dir(local.nodes)
+                assert name in dir(served.nodes)
+            lv, lc = local.run(
+                local.nodes.get_element_by_id(book_id), with_cost=True
+            )
+            rv, rc = served.run(
+                served.nodes.get_element_by_id(book_id), with_cost=True
+            )
+            assert lv == rv
+            assert lc >= 0.0 and rc >= 0.0
+            local.abort()
+            served.abort()

@@ -1,0 +1,54 @@
+"""The consolidated front door: ``repro.__all__`` resolves, and
+``repro.connect`` picks the right deployment from a URL."""
+
+import pytest
+
+import repro
+from repro import Database
+from repro.net.client import RemoteDatabase
+
+
+class TestAll:
+    def test_every_exported_name_resolves(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_no_duplicates(self):
+        assert len(repro.__all__) == len(set(repro.__all__))
+
+    def test_headline_names_are_exported(self):
+        for name in ("Database", "RemoteDatabase", "connect", "Session",
+                     "RemoteSession", "LockServer", "ServerConfig",
+                     "RetryPolicy", "AdmissionPolicy", "DeadlockAbort",
+                     "LockTimeout", "is_transient", "is_permanent"):
+            assert name in repro.__all__
+
+
+class TestConnect:
+    def test_embedded_default(self):
+        db = repro.connect()
+        assert isinstance(db, Database)
+
+    def test_embedded_with_protocol_path(self):
+        db = repro.connect("embedded://taDOM2", root_element="bib")
+        assert isinstance(db, Database)
+        assert db.protocol.name == "taDOM2"
+
+    def test_embedded_kwargs_pass_through(self):
+        db = repro.connect("embedded://", protocol="Node2PL", lock_depth=2)
+        assert db.protocol.name == "Node2PL"
+        assert db.lock_depth == 2
+
+    def test_tcp_builds_remote_handle_without_dialing(self):
+        # the pool dials lazily, so a dead endpoint is fine to construct
+        db = repro.connect("tcp://127.0.0.1:1", pool_size=1)
+        assert isinstance(db, RemoteDatabase)
+        db.close()
+
+    def test_tcp_bad_port_rejected(self):
+        with pytest.raises(ValueError):
+            repro.connect("tcp://localhost:not-a-port")
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            repro.connect("gopher://old-school")

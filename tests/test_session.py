@@ -81,6 +81,63 @@ class TestSessionNodes:
         with db.session() as session:
             assert session.nodes.read_subtree.__name__ == "read_subtree"
 
+    def test_bound_methods_are_cached(self, db):
+        with db.session() as session:
+            assert session.nodes.read_subtree is session.nodes.read_subtree
+            assert (session.nodes.get_element_by_id
+                    is session.nodes.get_element_by_id)
+
+    def test_dir_lists_node_operations(self, db):
+        with db.session() as session:
+            listing = dir(session.nodes)
+        assert "read_subtree" in listing
+        assert "get_element_by_id" in listing
+        assert "update_content" in listing
+
+
+class TestRunContract:
+    def test_with_cost_returns_value_and_cost(self, db):
+        with db.session() as session:
+            value, cost = session.run(
+                session.nodes.get_element_by_id("b0"), with_cost=True
+            )
+            assert value == db.document.element_by_id("b0")
+            assert cost >= 0.0
+            assert session.elapsed_ms == cost
+
+    def test_database_run_always_returns_the_pair(self, db):
+        txn = db.begin("pair")
+        value, cost = db.run(db.nodes.get_element_by_id(txn, "b0"))
+        assert value == db.document.element_by_id("b0")
+        assert cost >= 0.0
+        db.commit(txn)
+
+    def test_deadlock_abort_reason_raises_typed(self, db):
+        from repro import DeadlockAbort
+
+        session = db.session("victim")
+        db.abort(session.txn, reason="deadlock")
+        with pytest.raises(DeadlockAbort) as excinfo:
+            session.run(session.nodes.get_element_by_id("b0"))
+        assert excinfo.value.reason == "deadlock"
+
+    def test_timeout_abort_reason_raises_typed(self, db):
+        from repro import LockTimeout
+
+        session = db.session("slow")
+        db.abort(session.txn, reason="timeout")
+        with pytest.raises(LockTimeout) as excinfo:
+            session.run(session.nodes.get_element_by_id("b0"))
+        assert excinfo.value.reason == "timeout"
+
+    def test_plain_rollback_raises_transaction_aborted(self, db):
+        from repro import TransactionAborted
+
+        session = db.session("plain")
+        db.abort(session.txn)
+        with pytest.raises(TransactionAborted):
+            session.run(session.nodes.get_element_by_id("b0"))
+
 
 class TestIsolation:
     def test_isolation_accepts_enum_and_string(self, db):
