@@ -455,6 +455,79 @@ def bench_chaos(scale: int) -> Dict[str, object]:
     }
 
 
+def bench_telemetry(scale: int) -> Dict[str, object]:
+    """Telemetry-plane cost: sampler ticks and the request-path guard.
+
+    ``window_tick`` is the sampler's per-window work (typed snapshot,
+    counter/histogram diffs, SLO summary) over a realistically populated
+    registry -- it runs once per second on a live server, so thousands
+    per second here means the sampler is wall-clock noise.
+    ``note_overhead_ratio`` pins the zero-cost-when-disabled contract:
+    the server's per-request accounting with telemetry disabled (a
+    single ``plane is not None`` check) against the same body without
+    the check, target 1.0.
+    """
+    from repro.net.server import SloTracker
+    from repro.obs import MetricsRegistry, WindowedSeries
+
+    loops = max(200, scale * 60)
+
+    def run_ticks() -> int:
+        registry = MetricsRegistry()
+        counter = registry.counter("server.requests")
+        hist = registry.histogram("server.request_ms")
+        gauges = [registry.gauge(f"server.g{i}") for i in range(6)]
+        pending: Dict[str, list] = {"samples": []}
+
+        def drain() -> list:
+            out = pending["samples"]
+            pending["samples"] = []
+            return out
+
+        series = WindowedSeries(registry, window_ms=1.0, capacity=120)
+        series.add_sampler("request_ms", drain)
+        n = 0
+        for i in range(loops):
+            counter.inc(16)
+            for gauge in gauges:
+                gauge.set(i)
+            for value in (0.3, 1.2, 7.5, 40.0, 260.0):
+                hist.observe(value)
+                pending["samples"].append(value)
+            series.tick()
+            n += 1
+        return n
+
+    reps = max(20_000, scale * 6_000)
+
+    def request_accounting(with_guard: bool) -> Callable[[], int]:
+        def run() -> int:
+            plane = None
+            requests = 0
+            by_opcode: Dict[str, int] = {}
+            tracker = SloTracker()
+            n = 0
+            for i in range(reps):
+                requests += 1
+                by_opcode["CALL"] = by_opcode.get("CALL", 0) + 1
+                tracker.record_commit("TAchapter", 1.0 + (i & 7))
+                if with_guard and plane is not None:
+                    plane.note_request("CALL", 1.0)  # pragma: no cover
+                n += 1
+            return n
+        return run
+
+    plain, guarded, ratio = interleaved_ops(
+        request_accounting(False), request_accounting(True),
+    )
+    return {
+        "window_tick": ops_per_sec(run_ticks),
+        "request_accounting_plain": plain,
+        "request_accounting_guarded": guarded,
+        "note_overhead_ratio": ratio,
+    }
+
+
 # -- layer 3: end-to-end ------------------------------------------------------
 
 
@@ -523,6 +596,7 @@ def run_all(*, quick: bool = False, workers: int = 2) -> Dict[str, object]:
         "storage": bench_storage(scale),
         "obs": bench_obs(scale),
         "chaos": bench_chaos(scale),
+        "telemetry": bench_telemetry(scale),
         "cluster1_cell": bench_cluster1(quick),
         "sweep": bench_sweep(quick, workers),
     }
@@ -602,6 +676,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(f"  tracing enabled ratio     {enabled_ratio:>10} x (plain / ring)")
     chaos_ratio = report["chaos"]["hook_overhead_ratio"]  # type: ignore[index]
     print(f"  chaos hook overhead       {chaos_ratio:>10} x (no hook / idle engine)")
+    tick = report["telemetry"]["window_tick"]  # type: ignore[index]
+    print(f"  telemetry.window_tick     {tick['ops_per_sec']:>14,.0f} ops/s")
+    note_ratio = report["telemetry"]["note_overhead_ratio"]  # type: ignore[index]
+    print(f"  telemetry note overhead   {note_ratio:>10} x (plain / disabled guard)")
 
     if args.compare:
         baseline = json.loads(Path(args.compare).read_text())
@@ -620,6 +698,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             for name, value in (
                 ("obs.tracing_overhead_ratio", ratio),
                 ("chaos.hook_overhead_ratio", chaos_ratio),
+                ("telemetry.note_overhead_ratio", note_ratio),
             )
             if value is None or value > args.max_overhead_ratio
         ]

@@ -286,6 +286,53 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--output", default=None, metavar="FILE",
                          help="write the JSON report here (default: stdout)")
 
+    telemetry = sub.add_parser(
+        "telemetry",
+        help="scrape a server's windowed telemetry series (or render one "
+             "from a deterministic sim run)",
+    )
+    telemetry.add_argument("--connect", default=None, metavar="HOST:PORT",
+                           help="scrape a live server (default: run the "
+                                "seeded in-process simulation and render "
+                                "its series -- byte-identical per seed)")
+    telemetry.add_argument("--prom", action="store_true",
+                           help="Prometheus text exposition of the "
+                                "cumulative snapshot instead of JSON")
+    telemetry.add_argument("--json", action="store_true",
+                           help="force JSON output (the default)")
+    telemetry.add_argument("--output", default=None, metavar="FILE",
+                           help="write to a file instead of stdout")
+    telemetry.add_argument("--seed", type=int, default=2006,
+                           help="sim mode: loadgen seed (default: 2006)")
+    telemetry.add_argument("--scale", type=float, default=0.05,
+                           help="sim mode: bib document scale")
+    telemetry.add_argument("--clients", type=int, default=20,
+                           help="sim mode: simulated clients (default: 20)")
+    telemetry.add_argument("--duration-ms", type=float, default=4_000.0,
+                           help="sim mode: arrival window, simulated ms")
+    telemetry.add_argument("--rate", type=float, default=200.0,
+                           help="sim mode: offered load, txn/s")
+    telemetry.add_argument("--window-ms", type=float, default=1_000.0,
+                           help="sim mode: telemetry window, simulated ms")
+    telemetry.add_argument("--protocol", default="taDOM3+",
+                           choices=ALL_PROTOCOLS,
+                           help="sim mode: lock protocol")
+    telemetry.add_argument("--lock-depth", type=int, default=4,
+                           help="sim mode: lock depth")
+
+    top = sub.add_parser(
+        "top",
+        help="live terminal dashboard over a server's telemetry stream "
+             "(SUBSCRIBE)",
+    )
+    top.add_argument("--connect", required=True, metavar="HOST:PORT",
+                     help="the server to watch")
+    top.add_argument("--windows", type=int, default=0, metavar="N",
+                     help="stop after N windows (default: until Ctrl-C)")
+    top.add_argument("--no-clear", action="store_true",
+                     help="append each window instead of redrawing "
+                          "(useful for logs/pipes)")
+
     return parser
 
 
@@ -323,6 +370,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "chaos": _cmd_chaos,
         "serve": _cmd_serve,
         "loadgen": _cmd_loadgen,
+        "telemetry": _cmd_telemetry,
+        "top": _cmd_top,
     }[args.command]
     return handler(args)
 
@@ -800,6 +849,147 @@ def _cmd_loadgen(args) -> int:
         print(f"wrote {args.output}")
     else:
         print(rendered)
+    return 0
+
+
+def _parse_connect(value: str):
+    """``HOST:PORT`` -> ``(host, port)`` or ``None`` on bad input."""
+    host, _sep, port = value.rpartition(":")
+    if not host or not port.isdigit():
+        return None
+    return host, int(port)
+
+
+def _cmd_telemetry(args) -> int:
+    import json as json_module
+    from pathlib import Path
+
+    from repro.obs import render_prometheus
+
+    if args.connect:
+        from repro.net.client import RemoteDatabase
+
+        target = _parse_connect(args.connect)
+        if target is None:
+            print(f"bad --connect {args.connect!r} (want HOST:PORT)",
+                  file=sys.stderr)
+            return 2
+        with RemoteDatabase(*target, client_name="repro-telemetry") as db:
+            payload = db.telemetry()
+    else:
+        from repro.net.loadgen import LoadGenConfig, run_sim
+
+        report = run_sim(LoadGenConfig(
+            mode="sim",
+            clients=args.clients,
+            duration_ms=args.duration_ms,
+            rate_tps=args.rate,
+            seed=args.seed,
+            scale=args.scale,
+            protocol=args.protocol,
+            lock_depth=args.lock_depth,
+            telemetry_window_ms=args.window_ms,
+        ))
+        payload = report["telemetry"]
+    if args.prom:
+        body = render_prometheus(payload.get("snapshot") or {})
+    else:
+        body = json_module.dumps(payload, sort_keys=True, indent=2) + "\n"
+    if args.output:
+        Path(args.output).write_text(body)
+        print(f"wrote {args.output} ({len(body)} bytes)")
+    else:
+        print(body, end="")
+    return 0
+
+
+def _render_top_window(window, prev=None) -> str:
+    """One dashboard frame from a closed telemetry window."""
+    counters = window.get("counters") or {}
+    gauges = window.get("gauges") or {}
+    histograms = window.get("histograms") or {}
+    slo = (window.get("slo") or {}).get("request_ms") or {}
+    duration_ms = window["t_end_ms"] - window["t_start_ms"]
+    duration_s = max(duration_ms / 1000.0, 1e-9)
+    committed = counters.get("server.committed", 0)
+    aborted = counters.get("server.aborted", 0)
+    requests = counters.get("server.requests", 0)
+    lines = [
+        f"repro top -- window #{window['index']} "
+        f"[{window['t_start_ms']:.0f}..{window['t_end_ms']:.0f} ms]",
+        f"  throughput   {committed / duration_s:8.1f} commit/s   "
+        f"{requests / duration_s:8.1f} req/s",
+    ]
+    if slo.get("count"):
+        lines.append(
+            f"  request SLO  p50={slo.get('p50_ms', 0.0):7.2f} ms  "
+            f"p99={slo.get('p99_ms', 0.0):7.2f}  "
+            f"p999={slo.get('p999_ms', 0.0):7.2f}  "
+            f"(n={slo['count']})"
+        )
+    else:
+        lines.append("  request SLO  (no requests this window)")
+    reasons = ", ".join(
+        f"{name.split('.', 2)[2]}={count}"
+        for name, count in sorted(counters.items())
+        if name.startswith("server.aborted.") and count
+    ) or "none"
+    lines.append(f"  aborts       {aborted:<6} [{reasons}]")
+    hit_ratio = gauges.get("buffer.hit_ratio")
+    if hit_ratio is not None:
+        lines.append(f"  buffer       hit-rate {100.0 * hit_ratio:5.1f}%")
+    # Lock counters are collector-mirrored gauges (cumulative totals), so
+    # contention per window is the delta against the previous frame.
+    prev_gauges = (prev or {}).get("gauges") or {}
+    lock_reqs = gauges.get("lock.requests")
+    if lock_reqs is not None:
+        reqs = lock_reqs - prev_gauges.get("lock.requests", 0)
+        waits = gauges.get("lock.waits", 0) - prev_gauges.get("lock.waits", 0)
+        pct = 100.0 * waits / reqs if reqs > 0 else 0.0
+        lines.append(
+            f"  locks        {reqs:<8} requests  {waits:<6} waits "
+            f"({pct:.1f}% contended)"
+        )
+    lag = histograms.get("server.loop_lag_ms") or {}
+    if lag.get("count"):
+        lines.append(
+            f"  loop lag     mean {lag['total'] / lag['count']:6.2f} ms "
+            f"over {lag['count']} probe(s)"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_top(args) -> int:
+    from repro.net.client import RemoteDatabase
+
+    target = _parse_connect(args.connect)
+    if target is None:
+        print(f"bad --connect {args.connect!r} (want HOST:PORT)",
+              file=sys.stderr)
+        return 2
+    remaining = args.windows if args.windows > 0 else None
+    prev = None
+    try:
+        with RemoteDatabase(*target, client_name="repro-top") as db:
+            while remaining is None or remaining > 0:
+                # SUBSCRIBE streams in bounded batches so an open-ended
+                # watch never asks the server for an unbounded stream.
+                batch = 1000 if remaining is None else min(remaining, 1000)
+                streamed = 0
+                for window in db.subscribe(batch):
+                    streamed += 1
+                    frame = _render_top_window(window, prev)
+                    prev = window
+                    if args.no_clear:
+                        print(frame, flush=True)
+                    else:
+                        print(f"\x1b[2J\x1b[H{frame}", flush=True)
+                if remaining is not None:
+                    remaining -= streamed
+                if streamed == 0:
+                    break  # server stopped streaming (shutdown)
+    except KeyboardInterrupt:
+        pass
     return 0
 
 

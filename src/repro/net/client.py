@@ -139,6 +139,33 @@ class WireConnection:
         opcode, _body = self.request(wire.OP_PING)
         return opcode == wire.OP_PONG
 
+    def stream(self, opcode: int, *fields: Any):
+        """One request frame -> a *stream* of reply bodies (SUBSCRIBE).
+
+        Yields each frame body until the server sends DONE; an ERROR
+        frame is raised typed, and framing failures close the
+        connection just like :meth:`request`.  Abandoning the generator
+        mid-stream leaves server frames in flight, so the caller must
+        close (not reuse) the connection in that case.
+        """
+        if self.closed:
+            raise ProtocolError("connection is closed")
+        try:
+            self._sock.sendall(wire.encode_frame(opcode, *fields))
+            while True:
+                header = self._read_exactly(4)
+                length, _total = wire.split_frame(header)
+                payload = self._read_exactly(length)
+                reply_op, body = wire.decode_frame(header + payload)
+                if reply_op == wire.OP_ERROR:
+                    raise wire.decode_error(body)
+                if reply_op == wire.OP_DONE:
+                    return
+                yield body[0]
+        except (OSError, ProtocolError):
+            self.close()
+            raise
+
     def close(self) -> None:
         if not self.closed:
             self.closed = True
@@ -356,14 +383,18 @@ class RemoteSession:
 
     # -- driving ------------------------------------------------------------
 
-    def run(self, call: PendingCall, *, with_cost: bool = False) -> Any:
+    def run(self, call: PendingCall, *, with_cost: bool = False,
+            trace: Optional[str] = None) -> Any:
         """Ship one pending operation; returns its value.
 
         With ``with_cost=True`` returns ``(value, cost_ms)`` where
         ``cost_ms`` is the server-measured service time from the RESULT
-        frame (the same contract as ``Database.run``).  A typed abort
-        from the server (deadlock victim, lock timeout) finishes this
-        session -- the server has already rolled the transaction back.
+        frame (the same contract as ``Database.run``).  ``trace``
+        attaches a client request id to the frame; the server propagates
+        it into its ``rpc`` span and slow-request log, linking client
+        and server observability.  A typed abort from the server
+        (deadlock victim, lock timeout) finishes this session -- the
+        server has already rolled the transaction back.
         """
         self._require_active()
         if not isinstance(call, PendingCall):
@@ -375,6 +406,8 @@ class RemoteSession:
             frame = (wire.OP_QUERY, self.txn_id, call.args[0])
         else:
             frame = (wire.OP_CALL, self.txn_id, call.name, call.args)
+        if trace is not None:
+            frame = frame + (str(trace),)
         try:
             _op, body = self._conn.request(*frame)
         except (TransactionAborted, ProtocolError):
@@ -473,6 +506,35 @@ class RemoteDatabase:
             _op, body = conn.request(wire.OP_STATS)
             return body[0]
         finally:
+            self._pool.release(conn)
+
+    def telemetry(self) -> Dict[str, Any]:
+        """The server's windowed telemetry series (TELEMETRY request).
+
+        Raises the decoded server error when telemetry is disabled.
+        """
+        conn = self._pool.acquire()
+        try:
+            _op, body = conn.request(wire.OP_TELEMETRY)
+            return body[0]
+        finally:
+            self._pool.release(conn)
+
+    def subscribe(self, max_windows: int):
+        """Stream ``max_windows`` closed telemetry windows, one dict each.
+
+        Dedicates a pooled connection to the stream for its duration.
+        Abandoning the generator early closes that connection (frames
+        may still be in flight on it), so the pool redials later.
+        """
+        conn = self._pool.acquire()
+        complete = False
+        try:
+            yield from conn.stream(wire.OP_SUBSCRIBE, int(max_windows))
+            complete = True
+        finally:
+            if not complete:
+                conn.close()
             self._pool.release(conn)
 
     def ping(self) -> bool:

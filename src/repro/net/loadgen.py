@@ -145,6 +145,10 @@ class LoadGenConfig:
     #: Simulated-ms lock-wait timeout for the in-process database.
     wait_timeout_ms: Optional[float] = 5_000.0
     admission: Optional[AdmissionPolicy] = None
+    #: Sim-mode telemetry sampling window (simulated ms; 0 disables the
+    #: windowed series in the report).  Live runs scrape the *server's*
+    #: series instead.
+    telemetry_window_ms: float = 1_000.0
 
     def resolved_pool_size(self) -> int:
         return self.pool_size if self.pool_size > 0 else min(self.clients, 64)
@@ -623,6 +627,25 @@ def run_sim(cfg: LoadGenConfig) -> Dict[str, Any]:
     stats = LoadStats()
     ctx = _make_context(cfg, info.book_ids, info.topic_ids, info.person_ids)
     picker = _MixPicker(cfg.mix)
+    series = None
+    if cfg.telemetry_window_ms > 0.0:
+        # The sim-clock twin of the live server's sampler task: one
+        # deterministic process ticking the windowed series, so a fixed
+        # seed renders a byte-identical telemetry payload.
+        from repro.obs import WindowedSeries
+
+        series = WindowedSeries(
+            database.obs.metrics,
+            window_ms=cfg.telemetry_window_ms,
+            clock=lambda: sim.now,
+        )
+
+        def _sampler(s=series, window_ms=cfg.telemetry_window_ms):
+            while True:
+                yield Delay(window_ms)
+                s.tick()
+
+        sim.spawn(_sampler(), name="telemetry-sampler")
     master = random.Random(cfg.seed)
     for index in range(cfg.clients):
         rng = random.Random(master.randrange(2 ** 62))
@@ -632,7 +655,8 @@ def run_sim(cfg: LoadGenConfig) -> Dict[str, Any]:
             name=f"client-{index}",
         )
     sim.run(until=cfg.duration_ms)
-    return build_report(cfg, stats, cfg.duration_ms)
+    telemetry = series.to_dict() if series is not None else None
+    return build_report(cfg, stats, cfg.duration_ms, telemetry=telemetry)
 
 
 # -- live executor ------------------------------------------------------------
@@ -840,15 +864,24 @@ async def _run_live_async(cfg: LoadGenConfig) -> Dict[str, Any]:
     await asyncio.gather(*tasks)
     duration_ms = (time.monotonic() - t0) * 1000.0
     server_stats = None
+    server_telemetry = None
     try:
         probe = await pool.acquire()
         _op, body = await probe.request(wire.OP_STATS)
         server_stats = body[0]
+        try:
+            _op, body = await probe.request(wire.OP_TELEMETRY)
+            server_telemetry = body[0]
+        except ReproError:
+            pass  # telemetry disabled server-side: report without it
         pool.release(probe)
     except ReproError:
         pass
     pool.close_all()
-    return build_report(cfg, stats, duration_ms, server=server_stats)
+    return build_report(
+        cfg, stats, duration_ms,
+        server=server_stats, telemetry=server_telemetry,
+    )
 
 
 def run_live(cfg: LoadGenConfig) -> Dict[str, Any]:
@@ -888,7 +921,8 @@ def _make_context(cfg: LoadGenConfig, book_ids, topic_ids,
 
 
 def build_report(cfg: LoadGenConfig, stats: LoadStats, duration_ms: float,
-                 *, server: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+                 *, server: Optional[Dict[str, Any]] = None,
+                 telemetry: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
     """The loadgen report: config echo, per-type SLOs, overload counts."""
     by_type: Dict[str, Any] = {}
     pooled: List[float] = []
@@ -941,6 +975,8 @@ def build_report(cfg: LoadGenConfig, stats: LoadStats, duration_ms: float,
         report["config"]["scale"] = cfg.scale
     if server is not None:
         report["server"] = server
+    if telemetry is not None:
+        report["telemetry"] = telemetry
     return report
 
 

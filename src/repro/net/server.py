@@ -31,6 +31,8 @@ spans exactly like embedded runs.
 from __future__ import annotations
 
 import asyncio
+import heapq
+import random
 import signal
 import time
 from dataclasses import dataclass, field
@@ -49,7 +51,13 @@ from repro.errors import (
 )
 from repro.locking.lock_table import WaitTicket
 from repro.net import wire
-from repro.obs import SPAN_BEGIN, SPAN_END, txn_label
+from repro.obs import (
+    SPAN_BEGIN,
+    SPAN_END,
+    MetricsRegistry,
+    WindowedSeries,
+    txn_label,
+)
 from repro.query import QueryProcessor
 from repro.sched.simulator import Delay, SimulationError
 from repro.tamix.bibgen import BibInfo, generate_bib
@@ -98,17 +106,38 @@ def dispatch_call(nodes, txn: Transaction, name: str, args: Tuple[Any, ...]):
 
 
 class SloTracker:
-    """Per-transaction-type latency samples with SLO percentiles."""
+    """Per-transaction-type latency samples with SLO percentiles.
 
-    def __init__(self):
+    Samples are kept in a bounded per-type reservoir (Algorithm R, seeded
+    RNG) so a long-lived server holds O(types * reservoir) floats instead
+    of one float per committed transaction ever.  ``slo()`` keeps its
+    output shape -- per-type summaries plus ``_overall`` -- and reports
+    the *true* observation count per type, with percentiles estimated
+    from the reservoir once it saturates.
+    """
+
+    def __init__(self, *, reservoir: int = 512, seed: int = 2006):
+        if reservoir < 1:
+            raise ValueError("reservoir must be >= 1")
+        self.reservoir = int(reservoir)
+        self._rng = random.Random(seed)
         self._samples: Dict[str, List[float]] = {}
+        self._observed: Dict[str, int] = {}
         self.committed = 0
         self.aborted = 0
         self.aborted_by_reason: Dict[str, int] = {}
 
     def record_commit(self, txn_type: str, latency_ms: float) -> None:
         self.committed += 1
-        self._samples.setdefault(txn_type, []).append(latency_ms)
+        seen = self._observed.get(txn_type, 0)
+        self._observed[txn_type] = seen + 1
+        samples = self._samples.setdefault(txn_type, [])
+        if seen < self.reservoir:
+            samples.append(latency_ms)
+        else:
+            slot = self._rng.randrange(seen + 1)
+            if slot < self.reservoir:
+                samples[slot] = latency_ms
 
     def record_abort(self, reason: str) -> None:
         self.aborted += 1
@@ -118,14 +147,18 @@ class SloTracker:
 
     def slo(self) -> Dict[str, Dict[str, float]]:
         """{txn_type: {count, p50_ms, p99_ms, p999_ms}} plus ``_overall``."""
-        report = {
-            name: latency_slo(samples)
-            for name, samples in sorted(self._samples.items())
-        }
+        report: Dict[str, Dict[str, float]] = {}
         pooled: List[float] = []
-        for samples in self._samples.values():
+        for name, samples in sorted(self._samples.items()):
+            row = latency_slo(samples)
+            row["count"] = self._observed[name]
+            report[name] = row
             pooled.extend(samples)
-        report["_overall"] = latency_slo(pooled)
+        overall = latency_slo(pooled)
+        total = sum(self._observed.values())
+        if total:
+            overall["count"] = total
+        report["_overall"] = overall
         return report
 
 
@@ -153,6 +186,177 @@ class ServerConfig:
     #: Admission control for BEGIN frames; ``None`` admits everything.
     admission: Optional[AdmissionPolicy] = None
     escalation_threshold: Optional[int] = None
+    #: Live telemetry plane: windowed series, slow-request log, loop-lag
+    #: probe, TELEMETRY/SUBSCRIBE frames.  Disabled, the request path
+    #: pays one ``is not None`` check (gated by the perf harness).
+    telemetry: bool = True
+    telemetry_window_ms: float = 1_000.0
+    telemetry_capacity: int = 120
+    slow_log_size: int = 16
+
+
+#: Event-loop lag buckets (wall ms).  A healthy loop oversleeps its
+#: sampler window by well under a millisecond; the tail buckets catch
+#: long synchronous stretches (big QUERY subtree reads, GC pauses).
+LOOP_LAG_BUCKETS_MS: Tuple[float, ...] = (
+    0.1, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1_000.0,
+)
+
+
+class SlowRequestLog:
+    """Top-K requests by service time, with wait/cost attribution.
+
+    A min-heap keyed on service time: a new request enters only by
+    beating the current K-th slowest, so steady-state cost per request
+    is one comparison.
+    """
+
+    def __init__(self, size: int = 16):
+        self.size = int(size)
+        self._heap: List[Tuple[float, int, Dict[str, Any]]] = []
+        self._seq = 0
+
+    def note(self, record: Dict[str, Any]) -> None:
+        if self.size <= 0:
+            return
+        key = (record["service_ms"], self._seq, record)
+        self._seq += 1
+        if len(self._heap) < self.size:
+            heapq.heappush(self._heap, key)
+        elif key[0] > self._heap[0][0]:
+            heapq.heapreplace(self._heap, key)
+
+    def as_list(self) -> List[Dict[str, Any]]:
+        """Records, slowest first."""
+        return [
+            dict(record)
+            for _ms, _seq, record in sorted(
+                self._heap, key=lambda item: (-item[0], item[1])
+            )
+        ]
+
+
+class TelemetryPlane:
+    """The server-side live-telemetry bundle.
+
+    Owns a private registry for server-plane instruments (request
+    latency and loop-lag histograms, mirrored overload counters), merges
+    it with the database's registry into one typed snapshot, and feeds a
+    :class:`~repro.obs.timeseries.WindowedSeries` that the sampler task
+    ticks once per window.  Everything here runs off the request path:
+    the only per-request work is :meth:`note_request`.
+    """
+
+    def __init__(self, server: "LockServer"):
+        config = server.config
+        self.server = server
+        self.registry = MetricsRegistry()
+        self.request_ms = self.registry.histogram("server.request_ms")
+        self.loop_lag_ms = self.registry.histogram(
+            "server.loop_lag_ms", LOOP_LAG_BUCKETS_MS
+        )
+        self.registry.register_collector(self._collect)
+        self.slow = SlowRequestLog(config.slow_log_size)
+        self.series = WindowedSeries(
+            self.snapshot,
+            window_ms=config.telemetry_window_ms,
+            capacity=config.telemetry_capacity,
+            clock=server._now_ms,
+        )
+        self._window_samples: List[float] = []
+        self.series.add_sampler("request_ms", self._drain_samples)
+        #: SUBSCRIBE fan-out: one bounded queue per streaming client.
+        self.subscribers: List[asyncio.Queue] = []
+
+    # -- collection ----------------------------------------------------------
+
+    def _collect(self, registry: MetricsRegistry) -> None:
+        """Mirror the server's native counters into the registry.
+
+        Counters use the monotone-total idiom (``inc(total - value)``)
+        so the windowed series can diff them; point-in-time facts export
+        as gauges.
+        """
+        server = self.server
+
+        def mirror(name: str, total: int) -> None:
+            instrument = registry.counter(name)
+            instrument.inc(total - instrument.value)
+
+        mirror("server.requests", server.requests)
+        mirror("server.connections", server.connections)
+        mirror("server.committed", server.slo.committed)
+        mirror("server.aborted", server.slo.aborted)
+        mirror("server.sheds", server.sheds)
+        mirror("server.protocol_errors", server.protocol_errors)
+        for reason, total in server.slo.aborted_by_reason.items():
+            mirror(f"server.aborted.{reason}", total)
+        for name, total in server.requests_by_opcode.items():
+            mirror(f"server.requests.{name}", total)
+        registry.gauge("server.active_txns").set(
+            server.database.transactions.active_count
+        )
+        registry.gauge("server.uptime_ms").set(round(server._now_ms(), 3))
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """One merged typed snapshot: database plane + server plane."""
+        merged = self.server.database.obs.metrics.typed_snapshot()
+        for kind, instruments in self.registry.typed_snapshot().items():
+            merged[kind].update(instruments)
+        return merged
+
+    def _drain_samples(self) -> List[float]:
+        samples, self._window_samples = self._window_samples, []
+        return samples
+
+    # -- the one request-path hook -------------------------------------------
+
+    def note_request(
+        self,
+        op: str,
+        service_ms: float,
+        *,
+        lock_wait_ms: float = 0.0,
+        sim_cost_ms: float = 0.0,
+        txn: Optional[str] = None,
+        trace: Optional[str] = None,
+        error: Optional[str] = None,
+    ) -> None:
+        self.request_ms.observe(service_ms)
+        self._window_samples.append(service_ms)
+        record: Dict[str, Any] = {
+            "op": op,
+            "service_ms": round(service_ms, 3),
+            "lock_wait_ms": round(lock_wait_ms, 3),
+            "sim_cost_ms": round(sim_cost_ms, 3),
+            "t_ms": round(self.server._now_ms(), 3),
+            "txn": txn,
+        }
+        if trace is not None:
+            record["trace"] = trace
+        if error is not None:
+            record["error"] = error
+        self.slow.note(record)
+
+    # -- fan-out -------------------------------------------------------------
+
+    def publish(self, window_dict: Dict[str, Any]) -> None:
+        """Hand a closed window to every subscriber (drop when full)."""
+        for queue in self.subscribers:
+            try:
+                queue.put_nowait(window_dict)
+            except asyncio.QueueFull:
+                pass  # slow consumer: skipping windows beats backpressure
+
+
+class _DriveStats:
+    """Per-request attribution accumulated while driving a generator."""
+
+    __slots__ = ("lock_wait_ms", "sim_cost_ms")
+
+    def __init__(self):
+        self.lock_wait_ms = 0.0
+        self.sim_cost_ms = 0.0
 
 
 class _Connection:
@@ -191,10 +395,17 @@ class LockServer:
         self.protocol_errors = 0
         self.sheds = 0
         self.requests = 0
+        self.requests_by_opcode: Dict[str, int] = {}
         self.connections = 0
         self._server: Optional[asyncio.base_events.Server] = None
         self._t0 = time.monotonic()
         database.set_clock(self._now_ms)
+        # Built synchronously (no running loop needed) so from_config
+        # works off-loop; the sampler task starts with the server.
+        self._plane: Optional[TelemetryPlane] = (
+            TelemetryPlane(self) if self.config.telemetry else None
+        )
+        self._sampler_task: Optional[asyncio.Task] = None
 
     @classmethod
     def from_config(cls, config: ServerConfig) -> "LockServer":
@@ -222,6 +433,8 @@ class LockServer:
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port
         )
+        if self._plane is not None and self._sampler_task is None:
+            self._sampler_task = asyncio.ensure_future(self._sampler_loop())
         sockname = self._server.sockets[0].getsockname()
         return sockname[0], sockname[1]
 
@@ -232,10 +445,38 @@ class LockServer:
             await self._server.serve_forever()
 
     async def stop(self) -> None:
+        if self._sampler_task is not None:
+            self._sampler_task.cancel()
+            try:
+                await self._sampler_task
+            except asyncio.CancelledError:
+                pass
+            self._sampler_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+
+    async def _sampler_loop(self) -> None:
+        """Close one telemetry window per ``telemetry_window_ms``.
+
+        Doubles as the event-loop lag probe: the sleep's oversleep --
+        how late the loop woke us relative to the deadline we asked
+        for -- is exactly the scheduling delay every other task saw,
+        observed into ``server.loop_lag_ms`` once per window.
+        """
+        plane = self._plane
+        assert plane is not None
+        window_s = self.config.telemetry_window_ms / 1000.0
+        loop = asyncio.get_running_loop()
+        while True:
+            target = loop.time() + window_s
+            await asyncio.sleep(window_s)
+            lag_ms = max(0.0, (loop.time() - target) * 1000.0)
+            plane.loop_lag_ms.observe(lag_ms)
+            window = plane.series.tick()
+            if plane.subscribers:
+                plane.publish(window.as_dict())
 
     @property
     def port(self) -> int:
@@ -273,9 +514,30 @@ class LockServer:
             "sheds": self.sheds,
             "protocol_errors": self.protocol_errors,
             "requests": self.requests,
+            "requests_by_opcode": dict(sorted(
+                self.requests_by_opcode.items()
+            )),
             "connections": self.connections,
             "active_txns": self.database.transactions.active_count,
+            "uptime_ms": round(self._now_ms(), 3),
         }
+
+    def telemetry(self) -> Dict[str, Any]:
+        """The TELEMETRY payload: windowed series + live snapshot.
+
+        The series' own ``snapshot`` field is the image at the last
+        sampler tick (deterministic under a simulated clock); the
+        payload overrides it with a fresh merged snapshot so a one-shot
+        scrape sees the current totals, and adds the slow-request log.
+        """
+        plane = self._plane
+        if plane is None:
+            raise ReproError("telemetry is disabled on this server")
+        payload = plane.series.to_dict()
+        payload["snapshot"] = plane.snapshot()
+        payload["uptime_ms"] = round(self._now_ms(), 3)
+        payload["slow_requests"] = plane.slow.as_list()
+        return payload
 
     # -- connection handling -------------------------------------------------
 
@@ -346,11 +608,54 @@ class LockServer:
             except asyncio.IncompleteReadError:
                 return  # clean EOF between frames
             self.requests += 1
+            name = wire.OPCODE_NAMES.get(opcode, f"0x{opcode:02x}")
+            self.requests_by_opcode[name] = (
+                self.requests_by_opcode.get(name, 0) + 1
+            )
+            if opcode == wire.OP_SUBSCRIBE:
+                # The one request answered by a frame *stream*, so it
+                # cannot go through the one-reply _handle_frame path.
+                await self._handle_subscribe(writer, body)
+                continue
             reply = await self._handle_frame(conn, opcode, body)
             if reply is None:
                 return
             writer.write(reply)
             await writer.drain()
+
+    async def _handle_subscribe(self, writer, body) -> None:
+        """Stream ``max_windows`` WINDOW frames, then DONE.
+
+        Each frame carries one closed window as the sampler ticks it;
+        the subscriber queue is bounded, and a consumer too slow to
+        drain it skips windows rather than stalling the sampler.
+        """
+        if len(body) != 1 or not isinstance(body[0], int) \
+                or isinstance(body[0], bool):
+            raise ProtocolError("SUBSCRIBE needs (max_windows:int)")
+        count = body[0]
+        if not 1 <= count <= 10_000:
+            raise ProtocolError(
+                f"SUBSCRIBE max_windows must be in 1..10000, got {count}"
+            )
+        plane = self._plane
+        if plane is None:
+            await self._try_send(writer, wire.encode_error(
+                ReproError("telemetry is disabled on this server")
+            ))
+            return
+        queue: asyncio.Queue = asyncio.Queue(maxsize=32)
+        plane.subscribers.append(queue)
+        t0 = self._now_ms()
+        try:
+            for _ in range(count):
+                window_dict = await queue.get()
+                writer.write(wire.encode_frame(wire.OP_WINDOW, window_dict))
+                await writer.drain()
+        finally:
+            plane.subscribers.remove(queue)
+        writer.write(wire.encode_frame(wire.OP_DONE, self._now_ms() - t0))
+        await writer.drain()
 
     async def _handle_frame(self, conn, opcode: int, body) -> Optional[bytes]:
         """One request frame -> one reply frame (None closes the link)."""
@@ -362,6 +667,12 @@ class LockServer:
             )
         if opcode == wire.OP_STATS:
             return wire.encode_frame(wire.OP_RESULT, self.stats(), 0.0)
+        if opcode == wire.OP_TELEMETRY:
+            if self._plane is None:
+                return wire.encode_error(
+                    ReproError("telemetry is disabled on this server")
+                )
+            return wire.encode_frame(wire.OP_RESULT, self.telemetry(), 0.0)
         if opcode == wire.OP_BEGIN:
             return await self._handle_begin(conn, body)
         if opcode == wire.OP_COMMIT:
@@ -442,16 +753,23 @@ class LockServer:
         return wire.encode_frame(wire.OP_DONE, self._now_ms() - started)
 
     async def _handle_work(self, conn, opcode: int, body) -> bytes:
+        trace: Optional[str] = None
         if opcode == wire.OP_CALL:
-            if len(body) != 3:
-                raise ProtocolError("CALL needs (txn_id, op, args)")
-            txn_id, name, args = body
+            if len(body) not in (3, 4):
+                raise ProtocolError("CALL needs (txn_id, op, args[, trace])")
+            txn_id, name, args = body[0], body[1], body[2]
             if not isinstance(args, tuple):
                 raise ProtocolError("CALL args must be a tuple")
+            if len(body) == 4:
+                trace = body[3]
         else:
-            if len(body) != 2:
-                raise ProtocolError("QUERY needs (txn_id, path)")
+            if len(body) not in (2, 3):
+                raise ProtocolError("QUERY needs (txn_id, path[, trace])")
             txn_id, name, args = body[0], "query", (str(body[1]),)
+            if len(body) == 3:
+                trace = body[2]
+        if trace is not None and not isinstance(trace, str):
+            raise ProtocolError("trace context must be a string or None")
         txn, txn_name, _started = self._conn_txn(conn, txn_id)
         if opcode == wire.OP_CALL:
             generator = dispatch_call(self.nodes, txn, str(name), args)
@@ -460,25 +778,49 @@ class LockServer:
         tracer = self.database.tracer
         traced = tracer.enabled
         if traced:
-            tracer.emit(SPAN_BEGIN, txn=txn_label(txn), cat="rpc", name=name)
+            begin_extra = {"trace": trace} if trace is not None else {}
+            tracer.emit(
+                SPAN_BEGIN, txn=txn_label(txn), cat="rpc", name=name,
+                **begin_extra,
+            )
+        plane = self._plane
+        stats = _DriveStats() if plane is not None else None
         request_t0 = self._now_ms()
         try:
-            value = await self._drive(generator)
+            value = await self._drive(generator, stats)
         except (ReproError, ValueError, TypeError, AttributeError) as exc:
             # Non-Repro failures are bad arguments reaching the kernel
             # (a string where a Splid belongs, ...): the server must
             # report them typed and keep serving, not drop the link.
+            cost_ms = self._now_ms() - request_t0
             if traced:
+                extra = {"trace": trace} if trace is not None else {}
                 tracer.emit(
                     SPAN_END, txn=txn_label(txn), cat="rpc", name=name,
+                    error=type(exc).__name__, **extra,
+                )
+            if plane is not None:
+                plane.note_request(
+                    str(name), cost_ms,
+                    lock_wait_ms=stats.lock_wait_ms,
+                    sim_cost_ms=stats.sim_cost_ms,
+                    txn=txn_label(txn), trace=trace,
                     error=type(exc).__name__,
                 )
             return self._work_failed(conn, txn, txn_name, exc)
         cost_ms = self._now_ms() - request_t0
         if traced:
+            extra = {"trace": trace} if trace is not None else {}
             tracer.emit(
                 SPAN_END, txn=txn_label(txn), cat="rpc", name=name,
-                service_ms=cost_ms,
+                service_ms=cost_ms, **extra,
+            )
+        if plane is not None:
+            plane.note_request(
+                str(name), cost_ms,
+                lock_wait_ms=stats.lock_wait_ms,
+                sim_cost_ms=stats.sim_cost_ms,
+                txn=txn_label(txn), trace=trace,
             )
         return wire.encode_frame(wire.OP_RESULT, value, cost_ms)
 
@@ -508,13 +850,17 @@ class LockServer:
 
     # -- effect driving ------------------------------------------------------
 
-    async def _drive(self, generator) -> Any:
+    async def _drive(self, generator,
+                     stats: Optional[_DriveStats] = None) -> Any:
         """Drive one operation generator on the event loop.
 
         Mirrors :class:`~repro.sched.threaded.ThreadedRuntime._loop`:
         ``Delay`` sleeps scaled wall time (or just yields the loop),
         ``WaitTicket`` parks on an :class:`asyncio.Event` that the lock
         table's grant callback sets, honouring the wait timeout.
+
+        ``stats`` (telemetry only) attributes the request's time: cost-
+        model ``Delay`` milliseconds vs. wall time parked on lock waits.
         """
         time_scale = self.config.time_scale
         send_value: Any = None
@@ -530,10 +876,17 @@ class LockServer:
                 return stop.value
             send_value = None
             if isinstance(effect, Delay):
+                if stats is not None:
+                    stats.sim_cost_ms += effect.ms
                 if time_scale > 0.0 and effect.ms > 0.0:
                     await asyncio.sleep(effect.ms * time_scale)
             elif isinstance(effect, WaitTicket):
-                throw_value = await self._await_ticket(effect)
+                if stats is None:
+                    throw_value = await self._await_ticket(effect)
+                else:
+                    wait_t0 = self._now_ms()
+                    throw_value = await self._await_ticket(effect)
+                    stats.lock_wait_ms += self._now_ms() - wait_t0
             else:
                 raise SimulationError(f"unexpected effect {effect!r}")
 

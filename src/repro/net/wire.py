@@ -98,6 +98,14 @@ OP_RESULT = 0x22     # (value, cost_ms:float)
 OP_INFO = 0x30       # ()
 OP_STATS = 0x31      # ()
 
+#: Telemetry (PR 8).  TELEMETRY answers with a RESULT carrying the
+#: windowed series payload; SUBSCRIBE asks the server to *stream*
+#: ``max_windows`` WINDOW frames (one per sampler tick) followed by a
+#: DONE -- the one request that is answered by more than one frame.
+OP_TELEMETRY = 0x32  # ()
+OP_SUBSCRIBE = 0x33  # (max_windows:int)
+OP_WINDOW = 0x34     # (window:dict)  server -> client, streamed
+
 #: Failure.
 OP_ERROR = 0x60      # (code:str, taxonomy:str, reason:str, message:str)
 
@@ -106,7 +114,8 @@ OPCODE_NAMES = {
     OP_PONG: "PONG", OP_BEGIN: "BEGIN", OP_BEGUN: "BEGUN",
     OP_COMMIT: "COMMIT", OP_ABORT: "ABORT", OP_DONE: "DONE",
     OP_CALL: "CALL", OP_QUERY: "QUERY", OP_RESULT: "RESULT",
-    OP_INFO: "INFO", OP_STATS: "STATS", OP_ERROR: "ERROR",
+    OP_INFO: "INFO", OP_STATS: "STATS", OP_TELEMETRY: "TELEMETRY",
+    OP_SUBSCRIBE: "SUBSCRIBE", OP_WINDOW: "WINDOW", OP_ERROR: "ERROR",
 }
 
 

@@ -60,7 +60,17 @@ from repro.obs.metrics import (
     MetricsRegistry,
     WAIT_TIME_BUCKETS_MS,
 )
+from repro.obs.prom import (
+    render_prometheus,
+    render_registry,
+    sanitize_metric_name,
+)
 from repro.obs.spans import Span, TxnTimeline, build_timelines
+from repro.obs.timeseries import (
+    SERIES_VERSION,
+    WindowSnapshot,
+    WindowedSeries,
+)
 from repro.obs.tracer import (
     NULL_TRACER,
     NullTracer,
@@ -90,6 +100,12 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "WAIT_TIME_BUCKETS_MS",
+    "SERIES_VERSION",
+    "WindowSnapshot",
+    "WindowedSeries",
+    "render_prometheus",
+    "render_registry",
+    "sanitize_metric_name",
     "Observability",
     "Span",
     "TxnTimeline",

@@ -175,6 +175,32 @@ class MetricsRegistry:
             snapshot[name] = self._histograms[name].as_dict()
         return snapshot
 
+    def typed_snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Snapshot keeping the instrument kinds apart.
+
+        ``{"counters": {...}, "gauges": {...}, "histograms": {...}}`` --
+        the shape the windowed time-series and the Prometheus renderer
+        consume, where counter/gauge/histogram semantics diverge
+        (deltas vs. last-value vs. bucket merges).  Runs collectors,
+        like :meth:`as_dict`.
+        """
+        for collect in self._collectors:
+            collect(self)
+        return {
+            "counters": {
+                name: self._counters[name].value
+                for name in sorted(self._counters)
+            },
+            "gauges": {
+                name: self._gauges[name].value
+                for name in sorted(self._gauges)
+            },
+            "histograms": {
+                name: self._histograms[name].as_dict()
+                for name in sorted(self._histograms)
+            },
+        }
+
     def to_json(self) -> str:
         return json.dumps(self.as_dict(), indent=2, sort_keys=True)
 

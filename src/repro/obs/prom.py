@@ -1,0 +1,101 @@
+"""Prometheus text-format exposition for the metrics layer.
+
+Renders a typed snapshot (:meth:`~repro.obs.metrics.MetricsRegistry
+.typed_snapshot`, or the ``snapshot`` field of a TELEMETRY payload)
+in the Prometheus text exposition format, version 0.0.4:
+
+* counters become ``<prefix>_<name>_total``;
+* gauges become ``<prefix>_<name>``;
+* histograms become cumulative ``_bucket{le="..."}`` series plus
+  ``_sum`` and ``_count`` (the registry stores per-bucket counts, so
+  the renderer accumulates them into Prometheus' cumulative form).
+
+Metric names are sanitized to ``[a-zA-Z_][a-zA-Z0-9_]*`` (dots become
+underscores: ``lock.requests`` -> ``repro_lock_requests_total``).
+Output is sorted and fully deterministic for a given snapshot -- the CI
+smoke job byte-compares nothing here, but ``repro telemetry --prom``
+over a seeded sim must stay reproducible like every other exposition.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Optional
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def sanitize_metric_name(name: str, prefix: str = "repro") -> str:
+    """A Prometheus-legal metric name: prefixed, non-alnum -> ``_``."""
+    cleaned = _NAME_OK.sub("_", name.strip())
+    if prefix:
+        cleaned = f"{prefix}_{cleaned}"
+    if not cleaned or not (cleaned[0].isalpha() or cleaned[0] == "_"):
+        cleaned = f"_{cleaned}"
+    return cleaned
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def _bucket_bound(key: str) -> str:
+    """``le_5`` -> ``5``; ``le_inf`` -> ``+Inf`` (registry bucket keys)."""
+    bound = key[3:] if key.startswith("le_") else key
+    return "+Inf" if bound == "inf" else bound
+
+
+def render_prometheus(snapshot: Dict[str, Dict[str, Any]], *,
+                      prefix: str = "repro",
+                      help_text: Optional[Dict[str, str]] = None) -> str:
+    """Render a typed snapshot as Prometheus exposition text.
+
+    ``snapshot`` must carry ``counters`` / ``gauges`` / ``histograms``
+    maps (missing keys are treated as empty).  ``help_text`` optionally
+    maps *raw* metric names to ``# HELP`` strings.
+    """
+    help_text = help_text or {}
+    lines: List[str] = []
+
+    def emit_header(raw: str, exposed: str, kind: str) -> None:
+        doc = help_text.get(raw)
+        if doc:
+            lines.append(f"# HELP {exposed} {doc}")
+        lines.append(f"# TYPE {exposed} {kind}")
+
+    for raw in sorted(snapshot.get("counters") or {}):
+        value = snapshot["counters"][raw]
+        exposed = sanitize_metric_name(raw, prefix) + "_total"
+        emit_header(raw, exposed, "counter")
+        lines.append(f"{exposed} {_format_value(value)}")
+    for raw in sorted(snapshot.get("gauges") or {}):
+        value = snapshot["gauges"][raw]
+        exposed = sanitize_metric_name(raw, prefix)
+        emit_header(raw, exposed, "gauge")
+        lines.append(f"{exposed} {_format_value(value)}")
+    for raw in sorted(snapshot.get("histograms") or {}):
+        hist = snapshot["histograms"][raw]
+        exposed = sanitize_metric_name(raw, prefix)
+        emit_header(raw, exposed, "histogram")
+        cumulative = 0
+        for key, count in hist.get("buckets", {}).items():
+            cumulative += count
+            bound = _bucket_bound(key)
+            lines.append(f'{exposed}_bucket{{le="{bound}"}} {cumulative}')
+        lines.append(f"{exposed}_sum {_format_value(hist.get('total', 0.0))}")
+        lines.append(f"{exposed}_count {_format_value(hist.get('count', 0))}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def render_registry(registry, *, prefix: str = "repro",
+                    help_text: Optional[Dict[str, str]] = None) -> str:
+    """Convenience wrapper: snapshot a registry and render it."""
+    return render_prometheus(
+        registry.typed_snapshot(), prefix=prefix, help_text=help_text
+    )

@@ -1,0 +1,239 @@
+"""Windowed metric time-series: the live-telemetry data model.
+
+A :class:`WindowedSeries` turns the cumulative instruments of a
+:class:`~repro.obs.metrics.MetricsRegistry` into a fixed-capacity ring
+of per-window snapshots:
+
+* **counters** export the per-window *delta* (requests served in this
+  second, not since boot);
+* **gauges** export their *last value* at the window edge (pool sizes,
+  hit ratios);
+* **histograms** export the per-window delta of count/total and each
+  bucket -- the merge of every observation that landed in the window;
+* **samplers** drain raw latency samples accumulated during the window
+  into a nearest-rank SLO summary (p50/p99/p999), so percentile series
+  are exact over the window, not estimated from buckets.
+
+The series never touches the instruments' hot paths: a sampler task (the
+server's loop-lag probe, the simulator's tick process) calls
+:meth:`WindowedSeries.tick` once per window, which takes one typed
+snapshot and diffs it against the previous one.
+
+Determinism: the clock is injected.  On a live server it is the server's
+monotonic millisecond clock; under the discrete-event simulator it is
+``lambda: sim.now``, so a seeded sim run renders byte-identical series
+(the acceptance bar for ``repro telemetry --json``).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+from repro.obs.metrics import MetricsRegistry
+
+#: Payload schema version for TELEMETRY frames and ``to_dict`` images.
+SERIES_VERSION = 1
+
+
+def _wall_clock_ms() -> float:
+    return time.monotonic() * 1000.0
+
+
+class WindowSnapshot:
+    """One closed window: deltas, last-values, and drained SLO samples."""
+
+    __slots__ = (
+        "index", "t_start_ms", "t_end_ms",
+        "counters", "gauges", "histograms", "slo",
+    )
+
+    def __init__(self, index: int, t_start_ms: float, t_end_ms: float,
+                 counters: Dict[str, int], gauges: Dict[str, Any],
+                 histograms: Dict[str, Dict[str, Any]],
+                 slo: Dict[str, Dict[str, float]]):
+        self.index = index
+        self.t_start_ms = t_start_ms
+        self.t_end_ms = t_end_ms
+        self.counters = counters
+        self.gauges = gauges
+        self.histograms = histograms
+        self.slo = slo
+
+    @property
+    def duration_ms(self) -> float:
+        return self.t_end_ms - self.t_start_ms
+
+    def as_dict(self) -> Dict[str, Any]:
+        """A JSON/wire-safe image (plain dicts, rounded floats)."""
+        return {
+            "index": self.index,
+            "t_start_ms": round(self.t_start_ms, 6),
+            "t_end_ms": round(self.t_end_ms, 6),
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {
+                name: dict(hist) for name, hist in self.histograms.items()
+            },
+            "slo": {name: dict(summary) for name, summary in self.slo.items()},
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<WindowSnapshot #{self.index} "
+            f"[{self.t_start_ms:.0f}..{self.t_end_ms:.0f}ms] "
+            f"{len(self.counters)}c/{len(self.gauges)}g/"
+            f"{len(self.histograms)}h>"
+        )
+
+
+def _round_value(value: Any) -> Any:
+    return round(value, 6) if isinstance(value, float) else value
+
+
+def _histogram_delta(current: Dict[str, Any],
+                     previous: Optional[Dict[str, Any]]) -> Dict[str, Any]:
+    """Per-window histogram merge: count/total/bucket deltas.
+
+    ``max`` is cumulative-only (a non-monotonic statistic cannot be
+    diffed), so windows carry count/total/mean/buckets.
+    """
+    prev_count = previous["count"] if previous else 0
+    prev_total = previous["total"] if previous else 0.0
+    prev_buckets = previous["buckets"] if previous else {}
+    count = current["count"] - prev_count
+    total = current["total"] - prev_total
+    buckets = {
+        key: value - prev_buckets.get(key, 0)
+        for key, value in current["buckets"].items()
+    }
+    return {
+        "count": count,
+        "total": round(total, 6),
+        "mean": round(total / count, 6) if count else 0.0,
+        "buckets": buckets,
+    }
+
+
+class WindowedSeries:
+    """A fixed-capacity ring of :class:`WindowSnapshot`.
+
+    ``source`` is a :class:`~repro.obs.metrics.MetricsRegistry` or a
+    zero-argument callable returning a typed snapshot (the server merges
+    its own registry with the database's through such a callable).
+    ``clock`` returns milliseconds; inject the simulator's clock for
+    deterministic series.  The caller owns the cadence: call
+    :meth:`tick` once per window.
+    """
+
+    def __init__(
+        self,
+        source: Union[MetricsRegistry,
+                      Callable[[], Dict[str, Dict[str, Any]]]],
+        *,
+        window_ms: float = 1_000.0,
+        capacity: int = 120,
+        clock: Optional[Callable[[], float]] = None,
+    ):
+        if window_ms <= 0.0:
+            raise ValueError("window_ms must be positive")
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if isinstance(source, MetricsRegistry):
+            self._snapshot = source.typed_snapshot
+        else:
+            self._snapshot = source
+        self.window_ms = float(window_ms)
+        self.capacity = int(capacity)
+        self._clock = clock if clock is not None else _wall_clock_ms
+        self._windows: deque = deque(maxlen=self.capacity)
+        self._samplers: List[Tuple[str, Callable[[], List[float]]]] = []
+        self._previous: Optional[Dict[str, Dict[str, Any]]] = None
+        self._window_t0 = self._clock()
+        #: Windows ever ticked (>= len(windows()) once the ring wraps).
+        self.total_windows = 0
+
+    def add_sampler(self, name: str,
+                    drain: Callable[[], List[float]]) -> None:
+        """Register a per-window sample stream.
+
+        ``drain()`` must return (and forget) the samples accumulated
+        since the last tick; each window summarizes them with
+        :func:`~repro.tamix.metrics.latency_slo` under ``slo[name]``.
+        """
+        self._samplers.append((str(name), drain))
+
+    def tick(self) -> WindowSnapshot:
+        """Close the current window: snapshot, diff, append, return."""
+        now = self._clock()
+        snapshot = self._snapshot()
+        previous = self._previous or {}
+        prev_counters = previous.get("counters", {})
+        prev_histograms = previous.get("histograms", {})
+        counters = {
+            name: value - prev_counters.get(name, 0)
+            for name, value in snapshot["counters"].items()
+        }
+        gauges = {
+            name: _round_value(value)
+            for name, value in snapshot["gauges"].items()
+        }
+        histograms = {
+            name: _histogram_delta(hist, prev_histograms.get(name))
+            for name, hist in snapshot["histograms"].items()
+        }
+        # Imported lazily: repro.tamix pulls in the storage layer, which
+        # imports repro.obs -- a module-level import would be circular.
+        from repro.tamix.metrics import latency_slo
+
+        slo = {
+            name: latency_slo([round(s, 6) for s in drain()])
+            for name, drain in self._samplers
+        }
+        window = WindowSnapshot(
+            self.total_windows, self._window_t0, now,
+            counters, gauges, histograms, slo,
+        )
+        self._windows.append(window)
+        self._previous = snapshot
+        self._window_t0 = now
+        self.total_windows += 1
+        return window
+
+    def windows(self) -> List[WindowSnapshot]:
+        """Retained windows, oldest first (at most ``capacity``)."""
+        return list(self._windows)
+
+    def latest(self) -> Optional[WindowSnapshot]:
+        return self._windows[-1] if self._windows else None
+
+    def snapshot_at_last_tick(self) -> Optional[Dict[str, Dict[str, Any]]]:
+        """The cumulative typed snapshot taken by the most recent tick.
+
+        Deterministic under a simulated clock (unlike a fresh snapshot,
+        which would observe whatever happened since); ``None`` before
+        the first tick.
+        """
+        return self._previous
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The TELEMETRY payload: ring + cumulative snapshot."""
+        return {
+            "version": SERIES_VERSION,
+            "window_ms": self.window_ms,
+            "capacity": self.capacity,
+            "total_windows": self.total_windows,
+            "windows": [window.as_dict() for window in self._windows],
+            "snapshot": self.snapshot_at_last_tick(),
+        }
+
+    def __len__(self) -> int:
+        return len(self._windows)
+
+    def __repr__(self) -> str:
+        return (
+            f"<WindowedSeries window={self.window_ms:g}ms "
+            f"{len(self._windows)}/{self.capacity} windows "
+            f"(total {self.total_windows})>"
+        )

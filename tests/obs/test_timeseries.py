@@ -1,0 +1,217 @@
+"""Tests for the windowed telemetry series and Prometheus rendering."""
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    WindowedSeries,
+    render_prometheus,
+    render_registry,
+    sanitize_metric_name,
+)
+
+
+class FakeClock:
+    """An injectable millisecond clock (the sim-determinism contract)."""
+
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def advance(self, ms):
+        self.now += ms
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+def make_series(registry, clock, **kwargs):
+    kwargs.setdefault("window_ms", 1000.0)
+    return WindowedSeries(registry, clock=clock, **kwargs)
+
+
+class TestTypedSnapshot:
+    def test_kinds_kept_apart(self, registry):
+        registry.counter("c").inc(3)
+        registry.gauge("g").set(0.5)
+        registry.histogram("h").observe(2.0)
+        snap = registry.typed_snapshot()
+        assert snap["counters"] == {"c": 3}
+        assert snap["gauges"] == {"g": 0.5}
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_collectors_run(self, registry):
+        registry.register_collector(
+            lambda r: r.gauge("collected").set(7)
+        )
+        assert registry.typed_snapshot()["gauges"]["collected"] == 7
+
+
+class TestWindowDeltas:
+    def test_counter_deltas_per_window(self, registry, clock):
+        series = make_series(registry, clock)
+        counter = registry.counter("server.committed")
+        counter.inc(5)
+        clock.advance(1000.0)
+        first = series.tick()
+        assert first.counters == {"server.committed": 5}
+        counter.inc(2)
+        clock.advance(1000.0)
+        second = series.tick()
+        assert second.counters == {"server.committed": 2}
+
+    def test_gauge_last_value(self, registry, clock):
+        series = make_series(registry, clock)
+        gauge = registry.gauge("buffer.hit_ratio")
+        gauge.set(0.25)
+        series.tick()
+        gauge.set(0.75)
+        window = series.tick()
+        assert window.gauges == {"buffer.hit_ratio": 0.75}
+
+    def test_histogram_window_merge(self, registry, clock):
+        series = make_series(registry, clock)
+        hist = registry.histogram("wait", (10.0, 100.0))
+        hist.observe(5.0)
+        hist.observe(50.0)
+        series.tick()
+        hist.observe(5.0)
+        window = series.tick()
+        delta = window.histograms["wait"]
+        assert delta["count"] == 1
+        assert delta["total"] == 5.0
+        assert delta["mean"] == 5.0
+        assert delta["buckets"] == {"le_10": 1, "le_100": 0, "le_inf": 0}
+
+    def test_empty_window_histogram_mean_is_zero(self, registry, clock):
+        series = make_series(registry, clock)
+        registry.histogram("wait", (10.0,)).observe(3.0)
+        series.tick()
+        window = series.tick()
+        assert window.histograms["wait"]["count"] == 0
+        assert window.histograms["wait"]["mean"] == 0.0
+
+    def test_window_timestamps_from_clock(self, registry, clock):
+        series = make_series(registry, clock)
+        clock.advance(1000.0)
+        first = series.tick()
+        clock.advance(500.0)
+        second = series.tick()
+        assert (first.t_start_ms, first.t_end_ms) == (0.0, 1000.0)
+        assert (second.t_start_ms, second.t_end_ms) == (1000.0, 1500.0)
+        assert second.duration_ms == 500.0
+
+
+class TestRingEviction:
+    def test_capacity_bounds_retained_windows(self, registry, clock):
+        series = make_series(registry, clock, capacity=3)
+        for _ in range(5):
+            series.tick()
+        assert len(series) == 3
+        assert series.total_windows == 5
+        assert [w.index for w in series.windows()] == [2, 3, 4]
+        assert series.latest().index == 4
+
+    def test_bad_parameters_rejected(self, registry, clock):
+        with pytest.raises(ValueError):
+            WindowedSeries(registry, window_ms=0.0, clock=clock)
+        with pytest.raises(ValueError):
+            WindowedSeries(registry, capacity=0, clock=clock)
+
+
+class TestSamplers:
+    def test_sampler_slo_per_window(self, registry, clock):
+        series = make_series(registry, clock)
+        pending = []
+
+        def drain():
+            out = list(pending)
+            pending.clear()
+            return out
+
+        series.add_sampler("request_ms", drain)
+        pending.extend([1.0, 2.0, 3.0])
+        window = series.tick()
+        slo = window.slo["request_ms"]
+        assert slo["count"] == 3
+        assert slo["p50_ms"] == 2.0
+        assert slo["p99_ms"] == 3.0
+        # Drained: the next window summarizes only its own samples.
+        assert series.tick().slo["request_ms"] == {"count": 0}
+
+
+class TestDeterminism:
+    def run_script(self):
+        clock = FakeClock()
+        registry = MetricsRegistry()
+        series = make_series(registry, clock)
+        counter = registry.counter("c")
+        hist = registry.histogram("h", (1.0, 10.0))
+        for i in range(5):
+            counter.inc(i)
+            hist.observe(float(i))
+            clock.advance(1000.0)
+            series.tick()
+        return series.to_dict()
+
+    def test_identical_runs_identical_payloads(self):
+        assert self.run_script() == self.run_script()
+
+    def test_to_dict_shape(self, registry, clock):
+        series = make_series(registry, clock)
+        payload = series.to_dict()
+        assert payload["version"] == 1
+        assert payload["windows"] == []
+        assert payload["snapshot"] is None  # no tick yet
+        series.tick()
+        payload = series.to_dict()
+        assert payload["total_windows"] == 1
+        assert payload["snapshot"] is not None
+
+
+class TestPrometheus:
+    def test_sanitize(self):
+        assert sanitize_metric_name("lock.requests") == "repro_lock_requests"
+        assert sanitize_metric_name("a-b c", prefix="") == "a_b_c"
+        assert sanitize_metric_name("9lives", prefix="").startswith("_")
+
+    def test_counter_and_gauge_lines(self, registry):
+        registry.counter("lock.requests").inc(4)
+        registry.gauge("buffer.hit_ratio").set(0.5)
+        text = render_registry(registry)
+        assert "# TYPE repro_lock_requests_total counter" in text
+        assert "repro_lock_requests_total 4" in text
+        assert "repro_buffer_hit_ratio 0.5" in text
+
+    def test_histogram_buckets_are_cumulative(self, registry):
+        hist = registry.histogram("wait", (1.0, 10.0))
+        hist.observe(0.5)
+        hist.observe(5.0)
+        hist.observe(500.0)
+        text = render_registry(registry)
+        assert 'repro_wait_bucket{le="1"} 1' in text
+        assert 'repro_wait_bucket{le="10"} 2' in text
+        assert 'repro_wait_bucket{le="+Inf"} 3' in text
+        assert "repro_wait_count 3" in text
+
+    def test_help_text_emitted(self, registry):
+        registry.counter("c").inc()
+        text = render_registry(registry, help_text={"c": "a counter"})
+        assert "# HELP repro_c_total a counter" in text
+
+    def test_renders_window_snapshot_dicts(self, registry):
+        registry.counter("c").inc(2)
+        snap = registry.typed_snapshot()
+        assert render_prometheus(snap) == render_registry(registry)
+
+    def test_empty_snapshot_renders_empty(self):
+        assert render_prometheus({}) == ""

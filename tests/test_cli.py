@@ -274,3 +274,43 @@ class TestVerifyCommand:
     def test_verify_without_target_or_crash(self, capsys):
         assert main(["verify"]) == 2
         assert "nothing to do" in capsys.readouterr().err
+
+
+class TestTelemetryCommand:
+    SIM_ARGS = [
+        "telemetry", "--scale", "0.02", "--clients", "5",
+        "--duration-ms", "1500", "--rate", "100", "--window-ms", "500",
+    ]
+
+    def test_sim_json_is_byte_identical(self, tmp_path, capsys):
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        assert main(self.SIM_ARGS + ["--output", str(first)]) == 0
+        assert main(self.SIM_ARGS + ["--output", str(second)]) == 0
+        capsys.readouterr()
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_sim_json_payload_shape(self, capsys):
+        assert main(self.SIM_ARGS) == 0
+        out = capsys.readouterr().out
+        import json
+
+        payload = json.loads(out)
+        assert payload["version"] == 1
+        assert payload["window_ms"] == 500.0
+        assert payload["windows"], "sim run should close windows"
+        assert "txn.committed" in payload["snapshot"]["counters"]
+
+    def test_prom_rendering(self, capsys):
+        assert main(self.SIM_ARGS + ["--prom"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_txn_committed_total counter" in out
+        assert 'repro_lock_wait_ms_bucket{le="+Inf"}' in out
+
+    def test_bad_connect_rejected(self, capsys):
+        assert main(["telemetry", "--connect", "nonsense"]) == 2
+        assert "bad --connect" in capsys.readouterr().err
+
+    def test_top_bad_connect_rejected(self, capsys):
+        assert main(["top", "--connect", "nonsense"]) == 2
+        assert "bad --connect" in capsys.readouterr().err
