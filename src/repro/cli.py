@@ -62,6 +62,15 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--runs", type=int, default=1,
                        help="repetitions per cell (averaged)")
     sweep.add_argument("--seed", type=int, default=42)
+    sweep.add_argument("--shards", nargs="+", type=int, default=[1],
+                       help="shard counts to sweep (1 = single node; "
+                            ">1 partitions the document by SPLID range "
+                            "and runs one replica stack per shard)")
+    sweep.add_argument("--shard-transport", default="sim",
+                       choices=["sim", "process"],
+                       help="how sharded cells host their shards: the "
+                            "deterministic simulated network or real "
+                            "OS processes (results are identical)")
     sweep.add_argument("--workers", type=int, default=1,
                        help="worker processes for the sweep cells "
                             "(1 = serial; results are identical)")
@@ -430,6 +439,8 @@ def _cmd_sweep(args) -> int:
         scale=args.scale,
         run_duration_ms=args.seconds * 1000.0,
         base_seed=args.seed,
+        shards=tuple(args.shards),
+        shard_transport=args.shard_transport,
     )
     trace_dir = args.trace_dir
     scratch = None
@@ -452,9 +463,11 @@ def _cmd_sweep(args) -> int:
 
         def progress(cell, outcome):
             state["done"] += 1
+            shard_tag = f" s{cell.shards}" if cell.shards > 1 else ""
             print(
                 f"[{state['done']}/{total}] {cell.protocol} "
-                f"d{cell.lock_depth} {cell.isolation} r{cell.run}: "
+                f"d{cell.lock_depth} {cell.isolation}{shard_tag} "
+                f"r{cell.run}: "
                 f"committed={outcome.committed} aborted={outcome.aborted}",
                 file=sys.stderr, flush=True,
             )
@@ -463,12 +476,16 @@ def _cmd_sweep(args) -> int:
     if args.resume and runner.resumed_cells:
         print(f"resumed {runner.resumed_cells} cell(s) from {args.journal}",
               file=sys.stderr)
-    series = runner.series(metric="committed", isolation=args.isolation)
     depths = sorted(set(args.depths))  # series values come back depth-sorted
-    print("protocol   " + "".join(f"d{d:<7}" for d in depths))
-    for name in protocols:
-        cells = "".join(f"{value:<8g}" for value in series.get(name, []))
-        print(f"{name:<11}" + cells)
+    for count in args.shards:
+        series = runner.series(metric="committed", isolation=args.isolation,
+                               shards=count)
+        if len(args.shards) > 1 or count > 1:
+            print(f"-- shards={count}")
+        print("protocol   " + "".join(f"d{d:<7}" for d in depths))
+        for name in protocols:
+            cells = "".join(f"{value:<8g}" for value in series.get(name, []))
+            print(f"{name:<11}" + cells)
     if args.csv:
         Path(args.csv).write_text(runner.to_csv(include_histogram=True))
         print(f"wrote {args.csv}")
@@ -984,6 +1001,15 @@ def _cmd_top(args) -> int:
                         print(frame, flush=True)
                     else:
                         print(f"\x1b[2J\x1b[H{frame}", flush=True)
+                if db.last_dropped_windows:
+                    # The server skipped windows because this consumer
+                    # fell behind -- say so instead of silently showing
+                    # a gap-free picture.
+                    print(
+                        f"  (dropped {db.last_dropped_windows} window(s): "
+                        f"consumer slower than the sampler)",
+                        file=sys.stderr, flush=True,
+                    )
                 if remaining is not None:
                     remaining -= streamed
                 if streamed == 0:

@@ -84,29 +84,56 @@ class WireConnection:
         self.host = host
         self.port = port
         self._sock = socket.create_connection((host, port), timeout=timeout_s)
-        self._recv_buffer = b""
+        self._recv_buffer = bytearray()
+        self._recv_offset = 0
         self.closed = False
-        opcode, body = self.request(
-            wire.OP_HELLO, wire.WIRE_VERSION, client_name
-        )
-        if opcode != wire.OP_WELCOME or len(body) != 2:
-            raise ProtocolError(f"expected WELCOME, got {hex(opcode)}")
+        # Any handshake failure -- a typed ERROR reply (version mismatch),
+        # an unexpected opcode, a torn frame -- must not leak the dialed
+        # socket: this connection is never handed to a caller who could
+        # close it.
+        try:
+            opcode, body = self.request(
+                wire.OP_HELLO, wire.WIRE_VERSION, client_name
+            )
+            if opcode != wire.OP_WELCOME or len(body) != 2:
+                raise ProtocolError(f"expected WELCOME, got {hex(opcode)}")
+        except BaseException:
+            self.close()
+            raise
         self.server_version, self.server_info = int(body[0]), body[1]
 
     # -- framing -------------------------------------------------------------
 
     def _read_exactly(self, n: int) -> bytes:
-        while len(self._recv_buffer) < n:
+        """The next ``n`` received bytes.
+
+        The receive buffer is a bytearray consumed through an offset
+        cursor: appends are amortized O(chunk) and consuming a frame
+        just advances the cursor, so assembling a large frame from many
+        TCP segments stays linear (the old ``bytes`` re-slicing was
+        quadratic in segment count).  The consumed prefix is trimmed
+        once it dominates the buffer, keeping memory bounded.
+        """
+        buffer = self._recv_buffer
+        while len(buffer) - self._recv_offset < n:
             chunk = self._sock.recv(65536)
             if not chunk:
                 raise ProtocolError(
                     "connection closed mid-frame "
-                    f"({len(self._recv_buffer)}/{n} bytes)"
+                    f"({len(buffer) - self._recv_offset}/{n} bytes)"
                 )
-            self._recv_buffer += chunk
-        data, self._recv_buffer = (
-            self._recv_buffer[:n], self._recv_buffer[n:]
-        )
+            buffer += chunk
+        start = self._recv_offset
+        end = start + n
+        data = bytes(buffer[start:end])
+        if end == len(buffer):
+            del buffer[:]
+            self._recv_offset = 0
+        elif end >= 65536 and end * 2 >= len(buffer):
+            del buffer[:end]
+            self._recv_offset = 0
+        else:
+            self._recv_offset = end
         return data
 
     def request(self, opcode: int, *fields: Any) -> Tuple[int, Tuple]:
@@ -142,11 +169,15 @@ class WireConnection:
     def stream(self, opcode: int, *fields: Any):
         """One request frame -> a *stream* of reply bodies (SUBSCRIBE).
 
-        Yields each frame body until the server sends DONE; an ERROR
-        frame is raised typed, and framing failures close the
-        connection just like :meth:`request`.  Abandoning the generator
-        mid-stream leaves server frames in flight, so the caller must
-        close (not reuse) the connection in that case.
+        Yields each frame body until the server sends DONE; the DONE
+        body becomes the generator's *return value* (reachable as
+        ``StopIteration.value`` or via ``yield from``), carrying the
+        stream trailer -- elapsed ms and, from servers that report it,
+        the dropped-window count.  An ERROR frame is raised typed, and
+        framing failures close the connection just like
+        :meth:`request`.  Abandoning the generator mid-stream leaves
+        server frames in flight, so the caller must close (not reuse)
+        the connection in that case.
         """
         if self.closed:
             raise ProtocolError("connection is closed")
@@ -160,7 +191,7 @@ class WireConnection:
                 if reply_op == wire.OP_ERROR:
                     raise wire.decode_error(body)
                 if reply_op == wire.OP_DONE:
-                    return
+                    return body
                 yield body[0]
         except (OSError, ProtocolError):
             self.close()
@@ -205,6 +236,14 @@ class ClientPool:
         self.closed = False
         #: Connections dialed over the pool's lifetime.
         self.dials = 0
+
+    @property
+    def live(self) -> int:
+        """Connections currently counted against the pool cap (leased or
+        idle).  A dial that fails mid-handshake must leave this at its
+        prior value, or the pool permanently loses a slot."""
+        with self._lock:
+            return self._live
 
     def acquire(self) -> WireConnection:
         with self._available:
@@ -460,6 +499,9 @@ class RemoteDatabase:
         self.retry = retry
         self._retry_rng = random.Random(retry_seed)
         self.rejected_begins = 0
+        #: Windows the server dropped (full subscriber queue) during the
+        #: most recent completed :meth:`subscribe` stream.
+        self.last_dropped_windows = 0
 
     # -- internal plumbing for RemoteSession ---------------------------------
 
@@ -525,13 +567,19 @@ class RemoteDatabase:
 
         Dedicates a pooled connection to the stream for its duration.
         Abandoning the generator early closes that connection (frames
-        may still be in flight on it), so the pool redials later.
+        may still be in flight on it), so the pool redials later.  When
+        the stream completes, :attr:`last_dropped_windows` holds the
+        server-reported count of windows this stream lost to a full
+        subscriber queue (0 for servers predating the trailer field).
         """
         conn = self._pool.acquire()
         complete = False
         try:
-            yield from conn.stream(wire.OP_SUBSCRIBE, int(max_windows))
+            done = yield from conn.stream(wire.OP_SUBSCRIBE, int(max_windows))
             complete = True
+            self.last_dropped_windows = (
+                int(done[1]) if done is not None and len(done) > 1 else 0
+            )
         finally:
             if not complete:
                 conn.close()

@@ -266,7 +266,9 @@ class TelemetryPlane:
         self._window_samples: List[float] = []
         self.series.add_sampler("request_ms", self._drain_samples)
         #: SUBSCRIBE fan-out: one bounded queue per streaming client.
-        self.subscribers: List[asyncio.Queue] = []
+        self.subscribers: List[_Subscriber] = []
+        #: Windows dropped across all subscribers (slow consumers).
+        self.dropped_windows = 0
 
     # -- collection ----------------------------------------------------------
 
@@ -341,12 +343,26 @@ class TelemetryPlane:
     # -- fan-out -------------------------------------------------------------
 
     def publish(self, window_dict: Dict[str, Any]) -> None:
-        """Hand a closed window to every subscriber (drop when full)."""
-        for queue in self.subscribers:
+        """Hand a closed window to every subscriber (count the drops)."""
+        for subscriber in self.subscribers:
             try:
-                queue.put_nowait(window_dict)
+                subscriber.queue.put_nowait(window_dict)
             except asyncio.QueueFull:
-                pass  # slow consumer: skipping windows beats backpressure
+                # A slow consumer skips windows rather than stalling the
+                # sampler -- but the skip is *counted* and reported in
+                # the stream's DONE frame, never silently swallowed.
+                subscriber.dropped += 1
+                self.dropped_windows += 1
+
+
+class _Subscriber:
+    """One SUBSCRIBE stream: its window queue and its drop count."""
+
+    __slots__ = ("queue", "dropped")
+
+    def __init__(self, queue: asyncio.Queue):
+        self.queue = queue
+        self.dropped = 0
 
 
 class _DriveStats:
@@ -644,17 +660,22 @@ class LockServer:
                 ReproError("telemetry is disabled on this server")
             ))
             return
-        queue: asyncio.Queue = asyncio.Queue(maxsize=32)
-        plane.subscribers.append(queue)
+        subscriber = _Subscriber(asyncio.Queue(maxsize=32))
+        plane.subscribers.append(subscriber)
         t0 = self._now_ms()
         try:
             for _ in range(count):
-                window_dict = await queue.get()
+                window_dict = await subscriber.queue.get()
                 writer.write(wire.encode_frame(wire.OP_WINDOW, window_dict))
                 await writer.drain()
         finally:
-            plane.subscribers.remove(queue)
-        writer.write(wire.encode_frame(wire.OP_DONE, self._now_ms() - t0))
+            plane.subscribers.remove(subscriber)
+        # The DONE frame reports how many windows this stream *lost* to
+        # a full queue, so consumers can tell a complete picture from a
+        # sampled one.
+        writer.write(wire.encode_frame(
+            wire.OP_DONE, self._now_ms() - t0, subscriber.dropped
+        ))
         await writer.drain()
 
     async def _handle_frame(self, conn, opcode: int, body) -> Optional[bytes]:

@@ -89,7 +89,9 @@ OP_BEGIN = 0x10      # (name:str, isolation:str)
 OP_BEGUN = 0x11      # (txn_id:int)
 OP_COMMIT = 0x12     # (txn_id:int)
 OP_ABORT = 0x13      # (txn_id:int, reason:str)
-OP_DONE = 0x14       # (cost_ms:float)
+OP_DONE = 0x14       # (cost_ms:float[, dropped_windows:int])
+                     # the optional second field ends a SUBSCRIBE
+                     # stream with its queue-overflow drop count
 
 #: Work.
 OP_CALL = 0x20       # (txn_id:int, op_name:str, args:tuple)

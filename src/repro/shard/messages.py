@@ -1,0 +1,164 @@
+"""The shard message protocol: opcodes and framing helpers.
+
+The router and its shards speak request/response pairs framed by the
+binary wire codec (:mod:`repro.net.wire`) -- the same tagged-tuple
+encoding the lock server uses, in a reserved opcode block (``0x40``).
+Every request carries the coordinator's simulated clock so the shard can
+stamp its trace events and lock-wait durations on the shared timeline;
+every reply carries the operation's accumulated cost, the labels of
+transactions the message woke up, and the shard's drained trace events.
+
+Requests
+    ``EXEC``      run one node-manager operation (lazily begins the txn)
+    ``RESUME``    continue an operation whose lock wait was granted
+    ``CANCEL``    withdraw a parked lock wait (timeout or deadlock victim)
+    ``COMMIT``    commit the shard-local leg of a transaction
+    ``ABORT``     roll back the shard-local leg of a transaction
+    ``BLOCKERS``  deadlock probe: who currently blocks this transaction?
+    ``STATS``     lock/wait statistics snapshot
+    ``SHUTDOWN``  drain and stop
+
+Replies
+    ``DONE``      operation finished (or commit/abort applied)
+    ``BLOCKED``   operation parked on a lock wait
+    ``EXC``       operation raised (exception shipped by class name)
+    ``INFO``      payload dictionary (``BLOCKERS``/``STATS``/``SHUTDOWN``)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import DeadlockAbort, LockTimeout, ProtocolError
+from repro.net import wire
+
+# -- opcodes (reserved block, disjoint from repro.net.wire) ----------------
+
+OP_SHARD_EXEC = 0x40
+OP_SHARD_RESUME = 0x41
+OP_SHARD_CANCEL = 0x42
+OP_SHARD_COMMIT = 0x43
+OP_SHARD_ABORT = 0x44
+OP_SHARD_BLOCKERS = 0x45
+OP_SHARD_STATS = 0x46
+OP_SHARD_SHUTDOWN = 0x47
+
+OP_SHARD_DONE = 0x48
+OP_SHARD_BLOCKED = 0x49
+OP_SHARD_EXC = 0x4A
+OP_SHARD_INFO = 0x4B
+
+SHARD_OPCODE_NAMES = {
+    OP_SHARD_EXEC: "EXEC",
+    OP_SHARD_RESUME: "RESUME",
+    OP_SHARD_CANCEL: "CANCEL",
+    OP_SHARD_COMMIT: "COMMIT",
+    OP_SHARD_ABORT: "ABORT",
+    OP_SHARD_BLOCKERS: "BLOCKERS",
+    OP_SHARD_STATS: "STATS",
+    OP_SHARD_SHUTDOWN: "SHUTDOWN",
+    OP_SHARD_DONE: "DONE",
+    OP_SHARD_BLOCKED: "BLOCKED",
+    OP_SHARD_EXC: "EXC",
+    OP_SHARD_INFO: "INFO",
+}
+
+# -- requests ---------------------------------------------------------------
+
+
+def encode_exec(
+    now: float, label: str, name: str, isolation: str,
+    op: str, args: Tuple,
+) -> bytes:
+    return wire.encode_frame(
+        OP_SHARD_EXEC, float(now), label, name, isolation, op, tuple(args)
+    )
+
+
+def encode_resume(now: float, label: str) -> bytes:
+    return wire.encode_frame(OP_SHARD_RESUME, float(now), label)
+
+
+def encode_cancel(
+    now: float, label: str, reason: str, message: str,
+    cycle: Sequence[str] = (),
+) -> bytes:
+    return wire.encode_frame(
+        OP_SHARD_CANCEL, float(now), label, reason, message, list(cycle)
+    )
+
+
+def encode_commit(now: float, label: str) -> bytes:
+    return wire.encode_frame(OP_SHARD_COMMIT, float(now), label)
+
+
+def encode_abort(now: float, label: str, reason: str) -> bytes:
+    return wire.encode_frame(OP_SHARD_ABORT, float(now), label, reason)
+
+
+def encode_blockers(now: float, label: str) -> bytes:
+    return wire.encode_frame(OP_SHARD_BLOCKERS, float(now), label)
+
+
+def encode_stats(now: float) -> bytes:
+    return wire.encode_frame(OP_SHARD_STATS, float(now))
+
+
+def encode_shutdown() -> bytes:
+    return wire.encode_frame(OP_SHARD_SHUTDOWN)
+
+
+# -- replies ----------------------------------------------------------------
+
+
+def encode_done(
+    value, cost_ms: float, woken: Sequence[str], events: Sequence[Dict],
+) -> bytes:
+    return wire.encode_frame(
+        OP_SHARD_DONE, value, float(cost_ms), list(woken), list(events)
+    )
+
+
+def encode_blocked(
+    blockers: Sequence[str], is_conversion: bool, space: str, key: str,
+    mode: str, cost_ms: float, woken: Sequence[str], events: Sequence[Dict],
+) -> bytes:
+    return wire.encode_frame(
+        OP_SHARD_BLOCKED, list(blockers), bool(is_conversion), space, key,
+        mode, float(cost_ms), list(woken), list(events)
+    )
+
+
+def encode_exc(
+    error: BaseException, cost_ms: float, woken: Sequence[str],
+    events: Sequence[Dict],
+) -> bytes:
+    cycle: List[str] = [str(t) for t in getattr(error, "cycle", ())]
+    return wire.encode_frame(
+        OP_SHARD_EXC, type(error).__name__, str(error), cycle,
+        float(cost_ms), list(woken), list(events)
+    )
+
+
+def encode_info(payload: Dict[str, object]) -> bytes:
+    return wire.encode_frame(OP_SHARD_INFO, dict(payload))
+
+
+def rebuild_exception(
+    code: str, message: str, cycle: Sequence[str]
+) -> BaseException:
+    """Rebuild a shard-side exception from its shipped image.
+
+    The two transient aborts the router must re-raise *typed* (the TaMix
+    retry loop dispatches on class and ``reason``) get their real
+    constructors; everything else goes through the wire error registry
+    and degrades to :class:`ProtocolError` for unknown classes.
+    """
+    if code == "DeadlockAbort":
+        return DeadlockAbort(message, cycle=tuple(cycle))
+    if code == "LockTimeout":
+        return LockTimeout(message)
+    factory = wire.ERROR_REGISTRY.get(code)
+    if factory is not None:
+        return factory(message)
+    return ProtocolError(f"{code}: {message}")

@@ -1,0 +1,124 @@
+"""SPLID-range document partitioning for the sharded contest.
+
+A :class:`PartitionPlan` splits the document into ``N`` contiguous
+SPLID ranges.  The partition units are the level-2 subtree roots (the
+children of the root's children -- for the bib document: the individual
+persons, authors, and topics), taken in document order and weighted by
+their subtree node count, so the cut points balance *data* rather than
+unit counts.
+
+Because SPLIDs compare in document order (a descendant sorts directly
+after its ancestor and before the ancestor's next sibling), a contiguous
+range of unit labels is automatically subtree-closed: every descendant
+of a unit maps to the unit's shard.  ``shard_of`` is therefore a single
+``bisect`` over the cut labels -- O(log N), no document access.
+
+The document root and the level-1 nodes sort before the first cut and
+land on shard 0.  Conflict completeness under this partitioning requires
+``lock_depth >= 2`` (so no *effective* -- non-intention -- lock sits
+above the partition level); :mod:`repro.shard.runner` enforces that.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import BenchmarkError
+from repro.splid import Splid
+
+#: Tree level of the partition units (children of the root's children).
+PARTITION_LEVEL = 2
+
+
+class PartitionPlan:
+    """An immutable assignment of SPLID ranges to shards.
+
+    ``boundaries`` holds ``shards - 1`` unit labels in document order;
+    ``boundaries[k]`` is the *first* label owned by shard ``k + 1``.
+    Everything before the first boundary -- including the document root
+    and all level-1 nodes -- belongs to shard 0.
+    """
+
+    __slots__ = ("shards", "boundaries", "_cuts")
+
+    def __init__(self, shards: int, boundaries: Sequence[Splid]):
+        boundaries = tuple(boundaries)
+        if shards < 1:
+            raise BenchmarkError(f"shard count must be >= 1, got {shards}")
+        if len(boundaries) != shards - 1:
+            raise BenchmarkError(
+                f"{shards} shards need {shards - 1} boundaries, "
+                f"got {len(boundaries)}"
+            )
+        cuts = tuple(b.divisions for b in boundaries)
+        if list(cuts) != sorted(cuts):
+            raise BenchmarkError("partition boundaries must be ascending")
+        self.shards = shards
+        self.boundaries = boundaries
+        self._cuts = cuts
+
+    def shard_of(self, splid: Splid) -> int:
+        """The shard owning ``splid`` (and, by construction, its whole
+        subtree)."""
+        return bisect_right(self._cuts, splid.divisions)
+
+    # -- wire/process shipping --------------------------------------------
+
+    def as_config(self) -> Dict[str, object]:
+        """A picklable/wire-safe image (for process-mode shard setup)."""
+        return {
+            "shards": self.shards,
+            "boundaries": [list(b.divisions) for b in self.boundaries],
+        }
+
+    @classmethod
+    def from_config(cls, config: Dict[str, object]) -> "PartitionPlan":
+        return cls(
+            int(config["shards"]),
+            [Splid(tuple(divs)) for divs in config["boundaries"]],
+        )
+
+    def __repr__(self) -> str:
+        cuts = ", ".join(str(b) for b in self.boundaries)
+        return f"PartitionPlan(shards={self.shards}, cuts=[{cuts}])"
+
+
+def plan_partitions(document, shards: int) -> PartitionPlan:
+    """Compute a weight-balanced partition plan for ``document``.
+
+    One :meth:`~repro.dom.document.Document.walk` buckets every node
+    under its level-``PARTITION_LEVEL`` ancestor; a greedy scan then
+    places the ``shards - 1`` cuts so each range carries roughly
+    ``total / shards`` nodes.  Deterministic: same document, same plan.
+    """
+    if shards < 1:
+        raise BenchmarkError(f"shard count must be >= 1, got {shards}")
+    if shards == 1:
+        return PartitionPlan(1, ())
+    weights: Dict[Splid, int] = {}
+    for splid, _record in document.walk():
+        if splid.level < PARTITION_LEVEL:
+            continue
+        unit = splid.ancestor_at_level(PARTITION_LEVEL)
+        weights[unit] = weights.get(unit, 0) + 1
+    units = sorted(weights)
+    if len(units) < shards:
+        raise BenchmarkError(
+            f"document has only {len(units)} level-{PARTITION_LEVEL} "
+            f"subtrees, cannot cut into {shards} shards"
+        )
+    total = sum(weights.values())
+    boundaries: List[Splid] = []
+    acc = 0
+    last_cut = 0  # a cut at index i needs i > last_cut: no empty shard
+    for index, unit in enumerate(units):
+        cuts_left = (shards - 1) - len(boundaries)
+        if cuts_left and index > last_cut:
+            must_cut = (len(units) - index) == cuts_left
+            target = total * (len(boundaries) + 1) / shards
+            if must_cut or acc >= target:
+                boundaries.append(unit)
+                last_cut = index
+        acc += weights[unit]
+    return PartitionPlan(shards, boundaries)

@@ -1,0 +1,174 @@
+"""Sharded CLUSTER1: run the TaMix contest against N shards.
+
+``run_sharded_cluster1`` mirrors :func:`repro.tamix.cluster.run_cluster1`
+with a ``shards`` axis: the document is partitioned by SPLID range
+(:mod:`repro.shard.partition`), each shard hosts a full replica stack
+(:mod:`repro.shard.shard`) behind either the simulated network or real
+processes (:mod:`repro.shard.transport`), and the shard router
+(:mod:`repro.shard.router`) presents the whole federation to the
+unchanged TaMix coordinator.
+
+Validity gate: partitioning is conflict-complete only when every
+effective (non-intention) lock sits at or below the partition level, so
+sharded runs require ``lock_depth >= 2`` and a protocol that does not
+navigate from the document root (the taDOM family; the Node2PL group
+reads cross-boundary sibling chains from the root down and is
+rejected).  ``shards=1`` simply delegates to the single-node path, so
+sweep grids can carry the shard axis uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.chaos.retry import RetryPolicy
+from repro.core.registry import get_protocol
+from repro.errors import BenchmarkError
+from repro.shard.partition import PARTITION_LEVEL, plan_partitions
+from repro.shard.router import AdaptiveRetryPolicy, ShardedDatabase
+from repro.shard.transport import ProcessTransport, SimTransport
+from repro.tamix.bibgen import generate_bib
+from repro.tamix.cluster import CLUSTER1_MIX, run_cluster1
+from repro.tamix.coordinator import TaMixConfig, TaMixCoordinator
+from repro.tamix.metrics import RunResult
+
+#: Transport registry (CLI/test entry points pass the name).
+TRANSPORTS = {"sim": SimTransport, "process": ProcessTransport}
+
+
+def validate_sharding(protocol: str, lock_depth: int, shards: int) -> None:
+    """Reject configurations whose lock conflicts could cross shards."""
+    if shards < 1:
+        raise BenchmarkError(f"shard count must be >= 1, got {shards}")
+    if shards == 1:
+        return
+    proto = get_protocol(protocol)
+    if proto.requires_root_navigation:
+        raise BenchmarkError(
+            f"protocol {proto.name} navigates from the document root and "
+            f"cannot be sharded by SPLID range"
+        )
+    if lock_depth < PARTITION_LEVEL:
+        raise BenchmarkError(
+            f"sharded runs need lock_depth >= {PARTITION_LEVEL} so no "
+            f"effective lock sits above the partition level "
+            f"(got {lock_depth})"
+        )
+
+
+def shard_config(
+    protocol: str,
+    lock_depth: int,
+    isolation: str,
+    *,
+    scale: float = 0.1,
+    doc_seed: int = 2006,
+    wait_timeout_ms: Optional[float] = 10_000.0,
+    escalation_threshold: Optional[int] = None,
+    tracing: bool = False,
+    access_events: bool = False,
+) -> Dict[str, object]:
+    """The primitive-only per-shard stack config (pickles, wire-ships)."""
+    return {
+        "protocol": protocol,
+        "lock_depth": int(lock_depth),
+        "isolation": isolation,
+        "scale": float(scale),
+        "doc_seed": int(doc_seed),
+        "wait_timeout_ms": wait_timeout_ms,
+        "escalation_threshold": escalation_threshold,
+        "tracing": bool(tracing),
+        "access_events": bool(access_events),
+    }
+
+
+def run_sharded_cluster1(
+    protocol: str,
+    *,
+    shards: int = 2,
+    lock_depth: int = 4,
+    isolation: str = "repeatable",
+    scale: float = 0.1,
+    run_duration_ms: float = 60_000.0,
+    seed: int = 42,
+    observability=None,
+    transport: str = "sim",
+    rtt_ms: float = 0.1,
+    grant_cache: bool = False,
+    adaptive_backoff: bool = False,
+    retry: Optional[RetryPolicy] = None,
+    wait_timeout_ms: Optional[float] = 10_000.0,
+    escalation_threshold: Optional[int] = None,
+) -> RunResult:
+    """One sharded CLUSTER1 run; returns the paper's metrics.
+
+    ``transport="sim"`` keeps shards in-process behind the wire codec,
+    fully driven by the deterministic scheduler (seeded runs are
+    byte-identical); ``transport="process"`` runs each shard as a real
+    OS process.  Both speak the identical message protocol, and because
+    shards take all timing from message-carried clocks, both produce
+    the same results for the same seed.
+
+    ``grant_cache`` and ``adaptive_backoff`` enable the router-side
+    optimizations of arXiv 2504.03073 (off by default so the baseline
+    stays byte-identical).
+    """
+    validate_sharding(protocol, lock_depth, shards)
+    if shards == 1:
+        return run_cluster1(
+            protocol, lock_depth=lock_depth, isolation=isolation,
+            scale=scale, run_duration_ms=run_duration_ms, seed=seed,
+            observability=observability,
+            escalation_threshold=escalation_threshold,
+        )
+    if transport not in TRANSPORTS:
+        raise BenchmarkError(
+            f"unknown shard transport {transport!r} "
+            f"(expected one of {sorted(TRANSPORTS)})"
+        )
+    info = generate_bib(scale=scale, seed=2006)
+    plan = plan_partitions(info.document, shards)
+
+    # Resolve observability up front so the shard stacks know whether to
+    # trace (their events ship home inside every reply).
+    from repro.obs import Observability
+
+    if observability is None or observability is False:
+        obs = Observability.disabled()
+    elif observability is True:
+        obs = Observability.enabled()
+    else:
+        obs = observability
+    config = shard_config(
+        protocol, lock_depth, isolation, scale=scale,
+        wait_timeout_ms=wait_timeout_ms,
+        escalation_threshold=escalation_threshold,
+        tracing=obs.tracer.enabled,
+        access_events=obs.access_events,
+    )
+    transport_obj = TRANSPORTS[transport]([config] * shards)
+    try:
+        database = ShardedDatabase(
+            plan, transport_obj, info,
+            protocol=protocol, isolation=isolation, observability=obs,
+            rtt_ms=rtt_ms, wait_timeout_ms=wait_timeout_ms,
+            grant_cache=grant_cache,
+        )
+        retry_policy = retry
+        if adaptive_backoff:
+            base = retry if retry is not None else RetryPolicy()
+            retry_policy = AdaptiveRetryPolicy(base).bind(
+                lambda: database.router.contention
+            )
+        tamix = TaMixConfig(
+            protocol=protocol,
+            lock_depth=lock_depth,
+            isolation=isolation,
+            run_duration_ms=run_duration_ms,
+            mix=dict(CLUSTER1_MIX),
+            seed=seed,
+            retry=retry_policy,
+        )
+        return TaMixCoordinator(database, info, tamix).run()
+    finally:
+        transport_obj.close()

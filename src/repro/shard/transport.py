@@ -1,0 +1,123 @@
+"""Shard transports: simulated-network and real multiprocessing.
+
+Both transports move *encoded wire frames* (the exact bytes of
+:mod:`repro.shard.messages`) and expose the same blocking
+``request(shard_id, frame) -> frame`` call, so the router is transport-
+agnostic and the message protocol is exercised end-to-end either way.
+
+:class:`SimTransport` keeps the shard servers in-process.  Every request
+still round-trips through the codec -- encode, "deliver", decode,
+handle, encode, "deliver", decode -- so a seeded simulated run covers
+the same protocol surface as a process run, byte-identically across
+repeats.
+
+:class:`ProcessTransport` runs each shard as a real
+:mod:`multiprocessing` process connected by a duplex pipe.  The child
+rebuilds its replica stack from the primitive-only config, then serves
+a strict one-request/one-reply loop until ``SHUTDOWN``.  Because the
+router is synchronous and shards derive all timing from message-carried
+clocks, process-mode results are deterministic too -- identical to the
+simulated-network mode for the same seed.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Dict, List, Sequence
+
+from repro.errors import ProtocolError
+from repro.shard import messages
+from repro.shard.shard import ShardServer
+
+
+class SimTransport:
+    """In-process shards behind the wire codec (deterministic default)."""
+
+    def __init__(self, configs: Sequence[Dict[str, object]]):
+        self.servers = [
+            ShardServer(shard_id, config)
+            for shard_id, config in enumerate(configs)
+        ]
+
+    @property
+    def shards(self) -> int:
+        return len(self.servers)
+
+    def request(self, shard_id: int, frame: bytes) -> bytes:
+        return self.servers[shard_id].handle(bytes(frame))
+
+    def close(self) -> None:
+        for server in self.servers:
+            if not server.stopped:
+                server.handle(messages.encode_shutdown())
+
+
+def shard_main(conn, shard_id: int, config: Dict[str, object]) -> None:
+    """Child-process entry point: serve one shard over a pipe."""
+    server = ShardServer(shard_id, config)
+    try:
+        while not server.stopped:
+            try:
+                data = conn.recv_bytes()
+            except EOFError:
+                break
+            conn.send_bytes(server.handle(data))
+    finally:
+        conn.close()
+
+
+class ProcessTransport:
+    """One real OS process per shard, speaking frames over pipes."""
+
+    def __init__(self, configs: Sequence[Dict[str, object]]):
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn"
+        )
+        self._pipes = []
+        self._procs = []
+        try:
+            for shard_id, config in enumerate(configs):
+                parent, child = ctx.Pipe()
+                proc = ctx.Process(
+                    target=shard_main,
+                    args=(child, shard_id, dict(config)),
+                    name=f"repro-shard-{shard_id}",
+                    daemon=True,
+                )
+                proc.start()
+                child.close()
+                self._pipes.append(parent)
+                self._procs.append(proc)
+        except BaseException:
+            self.close()
+            raise
+
+    @property
+    def shards(self) -> int:
+        return len(self._procs)
+
+    def request(self, shard_id: int, frame: bytes) -> bytes:
+        pipe = self._pipes[shard_id]
+        try:
+            pipe.send_bytes(frame)
+            return pipe.recv_bytes()
+        except (EOFError, OSError) as exc:
+            raise ProtocolError(
+                f"shard {shard_id} process died mid-request: {exc}"
+            ) from exc
+
+    def close(self) -> None:
+        for shard_id, pipe in enumerate(self._pipes):
+            try:
+                pipe.send_bytes(messages.encode_shutdown())
+                pipe.recv_bytes()
+            except (EOFError, OSError):
+                pass
+            finally:
+                pipe.close()
+        for proc in self._procs:
+            proc.join(timeout=10.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)

@@ -30,8 +30,15 @@ JOURNAL_VERSION = 1
 
 
 def spec_fingerprint(spec) -> Dict[str, object]:
-    """The spec fields that determine every cell's inputs and seed."""
-    return {
+    """The spec fields that determine every cell's inputs and seed.
+
+    The shard axis joins the fingerprint only when it is actually swept
+    (anything but the default ``(1,)``), so journals recorded before the
+    axis existed keep resuming unchanged.  The shard *transport* stays
+    out: simulated and process transports produce identical results for
+    the same seed, so it never alters a cell's outcome.
+    """
+    fingerprint = {
         "protocols": list(spec.protocols),
         "lock_depths": list(spec.lock_depths),
         "isolations": list(spec.isolations),
@@ -40,6 +47,10 @@ def spec_fingerprint(spec) -> Dict[str, object]:
         "run_duration_ms": spec.run_duration_ms,
         "base_seed": spec.base_seed,
     }
+    shards = tuple(getattr(spec, "shards", (1,)) or (1,))
+    if shards != (1,):
+        fingerprint["shards"] = list(shards)
+    return fingerprint
 
 
 class SweepJournal:
@@ -113,15 +124,23 @@ class SweepJournal:
             self._handle = open(self.path, "a", encoding="utf-8")
 
     def record(self, cell, result: RunResult) -> None:
-        """Durably append one completed cell."""
+        """Durably append one completed cell.
+
+        ``shards`` is written only for sharded cells, so unsharded
+        journals stay byte-identical to the pre-shard format (and load
+        back with the :class:`SweepCell` default of 1).
+        """
+        image = {
+            "protocol": cell.protocol,
+            "lock_depth": cell.lock_depth,
+            "isolation": cell.isolation,
+            "run": cell.run,
+        }
+        if getattr(cell, "shards", 1) != 1:
+            image["shards"] = cell.shards
         self._write({
             "kind": "cell",
-            "cell": {
-                "protocol": cell.protocol,
-                "lock_depth": cell.lock_depth,
-                "isolation": cell.isolation,
-                "run": cell.run,
-            },
+            "cell": image,
             "result": result.as_journal(),
         })
 

@@ -50,6 +50,9 @@ class SweepCell:
     lock_depth: int
     isolation: str
     run: int = 0
+    #: Shard count (1 = the classic single-node run; >1 routes the cell
+    #: through :func:`repro.shard.runner.run_sharded_cluster1`).
+    shards: int = 1
 
 
 @dataclass
@@ -83,6 +86,7 @@ class CellResult:
             "protocol": self.cell.protocol,
             "lock_depth": self.cell.lock_depth,
             "isolation": self.cell.isolation,
+            "shards": self.cell.shards,
             "runs": self.runs,
             "committed": round(self.committed, 2),
             "aborted": round(self.aborted, 2),
@@ -127,24 +131,52 @@ class SweepSpec:
     scale: float = 0.1
     run_duration_ms: float = 60_000.0
     base_seed: int = 42
+    #: Shard counts to sweep over (1 = single-node).  Combinations a
+    #: protocol cannot shard (root-navigating protocols, lock depths
+    #: above the partition level) are skipped, mirroring how depth-
+    #: unaware protocols collapse the depth axis.
+    shards: Sequence[int] = (1,)
+    #: Transport for sharded cells (``sim`` or ``process``); both are
+    #: deterministic and produce identical results for the same seed.
+    shard_transport: str = "sim"
 
     def cells(self) -> Iterable[SweepCell]:
         if self.runs_per_cell < 1:
             raise BenchmarkError("runs_per_cell must be >= 1")
         for protocol in self.protocols:
-            depth_aware = get_protocol(protocol).supports_lock_depth
-            depths = self.lock_depths if depth_aware else (self.lock_depths[0],)
+            proto = get_protocol(protocol)
+            depths = (
+                self.lock_depths if proto.supports_lock_depth
+                else (self.lock_depths[0],)
+            )
             for depth in depths:
                 for isolation in self.isolations:
-                    for run in range(self.runs_per_cell):
-                        yield SweepCell(protocol, depth, isolation, run)
+                    for count in self.shards:
+                        if count > 1 and not shardable(protocol, depth):
+                            continue
+                        for run in range(self.runs_per_cell):
+                            yield SweepCell(
+                                protocol, depth, isolation, run, count
+                            )
+
+
+def shardable(protocol: str, lock_depth: int) -> bool:
+    """Whether a (protocol, depth) cell admits a sharded (>1) run."""
+    from repro.shard.runner import validate_sharding
+
+    try:
+        validate_sharding(protocol, lock_depth, 2)
+    except BenchmarkError:
+        return False
+    return True
 
 
 def trace_filename(cell: SweepCell) -> str:
     """The JSONL trace filename for one cell run (stable, per-run)."""
+    shard_tag = f"_s{cell.shards}" if cell.shards > 1 else ""
     return (
         f"{cell.protocol}_d{cell.lock_depth}_{cell.isolation}"
-        f"_r{cell.run}.jsonl"
+        f"{shard_tag}_r{cell.run}.jsonl"
     )
 
 
@@ -173,6 +205,20 @@ def _execute_cell(
             capacity=1, sink=sink, access_events=access_events
         )
     try:
+        if cell.shards > 1:
+            from repro.shard.runner import run_sharded_cluster1
+
+            return run_sharded_cluster1(
+                cell.protocol,
+                shards=cell.shards,
+                lock_depth=cell.lock_depth,
+                isolation=cell.isolation,
+                scale=spec.scale,
+                run_duration_ms=spec.run_duration_ms,
+                seed=spec.base_seed + cell.run,
+                observability=observability,
+                transport=spec.shard_transport,
+            )
         return run_cluster1(
             cell.protocol,
             lock_depth=cell.lock_depth,
@@ -229,7 +275,9 @@ class SweepRunner:
             raise BenchmarkError("resume requires a journal path")
         self.cell_timeout_s = cell_timeout_s
         self.cell_retries = max(0, int(cell_retries))
-        self.results: Dict[Tuple[str, int, str], CellResult] = {}
+        #: Aggregated results keyed ``(protocol, depth, isolation, shards)``
+        #: (legacy three-part keys are still accepted and sort as shards=1).
+        self.results: Dict[Tuple, CellResult] = {}
         #: Cells taken from the journal on the last ``run`` (resume).
         self.resumed_cells = 0
 
@@ -358,7 +406,10 @@ class SweepRunner:
     def sorted_results(self) -> List[CellResult]:
         return [
             self.results[key]
-            for key in sorted(self.results, key=lambda k: (k[0], k[2], k[1]))
+            for key in sorted(
+                self.results,
+                key=lambda k: (k[0], k[2], k[1], k[3] if len(k) > 3 else 1),
+            )
         ]
 
     # -- persistence ---------------------------------------------------------
@@ -399,12 +450,17 @@ class SweepRunner:
         )
 
     def series(self, metric: str = "committed",
-               isolation: Optional[str] = None) -> Dict[str, List[float]]:
+               isolation: Optional[str] = None,
+               shards: Optional[int] = None) -> Dict[str, List[float]]:
         """Per-protocol series over lock depth (line-chart ready)."""
         isolation = isolation or self.spec.isolations[0]
+        if shards is None:
+            shards = self.spec.shards[0] if self.spec.shards else 1
         series: Dict[str, List[float]] = {}
         for result in self.sorted_results():
             if result.cell.isolation != isolation:
+                continue
+            if result.cell.shards != shards:
                 continue
             value = getattr(result, metric)
             series.setdefault(result.cell.protocol, []).append(value)
@@ -413,10 +469,13 @@ class SweepRunner:
     # -- internals -----------------------------------------------------------------
 
     def _aggregate(self, cell: SweepCell, outcome: RunResult) -> None:
-        key = (cell.protocol, cell.lock_depth, cell.isolation)
+        key = (cell.protocol, cell.lock_depth, cell.isolation, cell.shards)
         slot = self.results.get(key)
         if slot is None:
-            slot = CellResult(SweepCell(*key))
+            slot = CellResult(
+                SweepCell(cell.protocol, cell.lock_depth, cell.isolation,
+                          shards=cell.shards)
+            )
             self.results[key] = slot
         n = slot.runs
         slot.committed = (slot.committed * n + outcome.committed) / (n + 1)

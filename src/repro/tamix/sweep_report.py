@@ -43,19 +43,33 @@ class _ReportData:
         self.protocols: List[str] = []
         self.depths: List[int] = []
         self.isolations: List[str] = []
+        self.shard_counts: List[int] = []
         self.by_cell: Dict[Tuple[str, int, str], Row] = {}
+        self.by_shard_cell: Dict[Tuple[str, int, str, int], Row] = {}
         for row in self.rows:
             protocol = str(row["protocol"])
             depth = int(row["lock_depth"])
             isolation = str(row["isolation"])
+            # Rows persisted before the shard axis carry no key: shards=1.
+            shards = int(row.get("shards", 1))
             if protocol not in self.protocols:
                 self.protocols.append(protocol)
             if depth not in self.depths:
                 self.depths.append(depth)
             if isolation not in self.isolations:
                 self.isolations.append(isolation)
-            self.by_cell[(protocol, depth, isolation)] = row
+            if shards not in self.shard_counts:
+                self.shard_counts.append(shards)
+            self.by_shard_cell[(protocol, depth, isolation, shards)] = row
         self.depths.sort()
+        self.shard_counts.sort()
+        # The depth-axis sections read the baseline (lowest shard count)
+        # slice, so reports of pure single-node sweeps are unchanged.
+        baseline = self.shard_counts[0] if self.shard_counts else 1
+        for (protocol, depth, isolation, shards), row in \
+                self.by_shard_cell.items():
+            if shards == baseline:
+                self.by_cell[(protocol, depth, isolation)] = row
 
     def value(self, protocol: str, depth: int, isolation: str,
               metric: str) -> object:
@@ -213,6 +227,33 @@ def _sections(data: _ReportData) -> List[Tuple[str, str, str]]:
                     ],
                 ),
             ))
+    if len(data.shard_counts) > 1 or (
+        data.shard_counts and data.shard_counts[0] > 1
+    ):
+        header = ["protocol", "depth", "isolation"] + [
+            f"s={count}" for count in data.shard_counts
+        ]
+        body = []
+        for isolation in data.isolations:
+            for protocol in data.protocols:
+                for depth in data.depths:
+                    values = [
+                        data.by_shard_cell.get(
+                            (protocol, depth, isolation, count)
+                        )
+                        for count in data.shard_counts
+                    ]
+                    if all(row is None for row in values):
+                        continue
+                    body.append([protocol, depth, isolation] + [
+                        _fmt(None if row is None else row.get("committed"))
+                        for row in values
+                    ])
+        sections.append((
+            "Shard scale-up (committed transactions per shard count)",
+            "table",
+            _md_table(header, body),
+        ))
     histogram_rows = [
         row for row in data.rows if row.get("wait_histogram")
     ]

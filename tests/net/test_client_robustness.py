@@ -1,0 +1,190 @@
+"""Client-side robustness: linear frame reassembly, no leaked sockets
+on a failed handshake, and surfaced (never silent) dropped windows."""
+
+import asyncio
+import socket
+import threading
+
+import pytest
+
+from repro.errors import ProtocolError, UnsupportedWireVersion
+from repro.net import wire
+from repro.net.client import ClientPool, RemoteDatabase, WireConnection
+from repro.net.server import TelemetryPlane, _Subscriber
+
+from tests.net.conftest import make_server
+
+
+def _bare_connection(sock) -> WireConnection:
+    """A WireConnection wrapped around an existing socket, skipping the
+    constructor's handshake (the framing layer under test is below it)."""
+    conn = WireConnection.__new__(WireConnection)
+    conn.host, conn.port = "test", 0
+    conn._sock = sock
+    conn._recv_buffer = bytearray()
+    conn._recv_offset = 0
+    conn.closed = False
+    return conn
+
+
+class TestReadExactly:
+    def test_large_frame_reassembles_from_many_segments(self):
+        """A multi-megabyte frame delivered in small TCP segments must
+        come back intact (regression: the old ``bytes`` buffer re-sliced
+        itself per segment, quadratic in segment count)."""
+        ours, theirs = socket.socketpair()
+        try:
+            payload = bytes(range(256)) * (4 * 1024 * 16)  # 4 MiB
+            def feed():
+                for start in range(0, len(payload), 8192):
+                    theirs.sendall(payload[start:start + 8192])
+            sender = threading.Thread(target=feed)
+            sender.start()
+            conn = _bare_connection(ours)
+            data = conn._read_exactly(len(payload))
+            sender.join(30)
+            assert data == payload
+            # Fully drained: the buffer resets instead of accumulating.
+            assert len(conn._recv_buffer) == 0
+            assert conn._recv_offset == 0
+        finally:
+            ours.close()
+            theirs.close()
+
+    def test_cursor_spans_frame_boundaries(self):
+        """Reads that straddle what one recv delivered must honor the
+        offset cursor (consumed bytes stay in the buffer until trimmed)."""
+        ours, theirs = socket.socketpair()
+        try:
+            theirs.sendall(b"aaaa" + b"bbbbbb" + b"cc")
+            conn = _bare_connection(ours)
+            assert conn._read_exactly(4) == b"aaaa"
+            assert conn._read_exactly(6) == b"bbbbbb"
+            assert conn._read_exactly(2) == b"cc"
+            assert conn._recv_offset == 0  # drained -> reset
+        finally:
+            ours.close()
+            theirs.close()
+
+    def test_eof_mid_frame_is_protocol_error(self):
+        ours, theirs = socket.socketpair()
+        try:
+            theirs.sendall(b"abc")
+            theirs.close()
+            conn = _bare_connection(ours)
+            with pytest.raises(ProtocolError, match="3/8"):
+                conn._read_exactly(8)
+        finally:
+            ours.close()
+
+
+class _OneShotServer:
+    """Accepts one client, replies to its first frame with a canned
+    frame, then reports whether the client closed its end."""
+
+    def __init__(self, reply: bytes):
+        self._reply = reply
+        self._sock = socket.socket()
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(1)
+        self.port = self._sock.getsockname()[1]
+        self.client_closed = threading.Event()
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        client, _addr = self._sock.accept()
+        with client:
+            client.settimeout(10)
+            buffer = b""
+            while True:
+                _length, total = wire.split_frame(buffer)
+                if total > 0 and len(buffer) >= total:
+                    break
+                buffer += client.recv(65536)
+            client.sendall(self._reply)
+            # A closed peer reads as EOF; a leaked socket blocks.
+            try:
+                if client.recv(1) == b"":
+                    self.client_closed.set()
+            except OSError:
+                self.client_closed.set()
+
+    def join(self):
+        self._thread.join(10)
+        self._sock.close()
+
+
+class TestHandshakeLeak:
+    def test_refused_dial_leaves_no_live_slot(self):
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        refused_port = probe.getsockname()[1]
+        probe.close()  # nothing listens here any more
+        pool = ClientPool("127.0.0.1", refused_port, size=2)
+        with pytest.raises(OSError):
+            pool.acquire()
+        assert pool.live == 0
+
+    def test_error_reply_to_hello_closes_socket_and_slot(self):
+        """A server that rejects the HELLO (version mismatch) must leave
+        the pool empty *and* the dialed socket closed."""
+        server = _OneShotServer(
+            wire.encode_error(UnsupportedWireVersion("speak version 1"))
+        )
+        pool = ClientPool("127.0.0.1", server.port, size=2)
+        with pytest.raises(UnsupportedWireVersion):
+            pool.acquire()
+        assert pool.live == 0
+        assert server.client_closed.wait(10), "handshake failure leaked fd"
+        server.join()
+
+    def test_non_welcome_reply_closes_socket_and_slot(self):
+        server = _OneShotServer(wire.encode_frame(wire.OP_PONG))
+        pool = ClientPool("127.0.0.1", server.port, size=2)
+        with pytest.raises(ProtocolError, match="expected WELCOME"):
+            pool.acquire()
+        assert pool.live == 0
+        assert server.client_closed.wait(10), "handshake failure leaked fd"
+        server.join()
+
+
+class TestDroppedWindows:
+    def test_publish_counts_overflow_instead_of_swallowing(self):
+        """Queue-full skips increment the subscriber's drop counter (the
+        value the DONE trailer reports) and the plane-wide total."""
+        class PlaneStub:
+            subscribers = [_Subscriber(asyncio.Queue(maxsize=1))]
+            dropped_windows = 0
+
+        plane = PlaneStub()
+        for index in range(3):
+            TelemetryPlane.publish(plane, {"index": index})
+        subscriber = plane.subscribers[0]
+        assert subscriber.queue.qsize() == 1
+        assert subscriber.dropped == 2
+        assert plane.dropped_windows == 2
+
+    def test_done_trailer_reports_drop_count_over_the_wire(self):
+        handle = make_server(telemetry_window_ms=25.0)
+        try:
+            conn = WireConnection("127.0.0.1", handle.port)
+            try:
+                stream = conn.stream(wire.OP_SUBSCRIBE, 2)
+                windows = []
+                while True:
+                    try:
+                        windows.append(next(stream))
+                    except StopIteration as stop:
+                        done = stop.value
+                        break
+                assert len(windows) == 2
+                assert len(done) == 2  # (elapsed_ms, dropped_windows)
+                assert done[1] == 0  # this consumer kept up
+            finally:
+                conn.close()
+            with RemoteDatabase("127.0.0.1", handle.port) as db:
+                assert len(list(db.subscribe(1))) == 1
+                assert db.last_dropped_windows == 0
+        finally:
+            handle.shutdown()

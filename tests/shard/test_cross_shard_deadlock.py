@@ -1,0 +1,106 @@
+"""Cross-shard deadlock detection: a seeded two-shard cycle must abort a
+deterministic victim, and the history oracle must clear what survives."""
+
+import pytest
+
+from repro.errors import DeadlockAbort
+from repro.obs import DEADLOCK_DETECTED, Observability
+from repro.sched.simulator import Delay, Simulator
+from repro.shard.partition import plan_partitions
+from repro.shard.router import ShardedDatabase
+from repro.shard.runner import shard_config
+from repro.shard.transport import SimTransport
+from repro.tamix.bibgen import generate_bib
+from repro.verify import verify_trace
+
+
+def _run_cycle():
+    """Two transactions renaming two books in opposite orders across a
+    shard boundary: a wait-for cycle no single shard can see."""
+    obs = Observability.enabled(capacity=None, access_events=True)
+    info = generate_bib(scale=0.1, seed=2006)
+    plan = plan_partitions(info.document, 2)
+    config = shard_config("taDOM3+", 4, "repeatable",
+                          tracing=True, access_events=True)
+    transport = SimTransport([config, config])
+    db = ShardedDatabase(plan, transport, info,
+                         protocol="taDOM3+", observability=obs)
+    try:
+        by_shard = {}
+        for book_id in info.book_ids:
+            home = plan.shard_of(info.document.element_by_id(book_id))
+            by_shard.setdefault(home, book_id)
+        assert set(by_shard) == {0, 1}, "need a book on each shard"
+        b0, b1 = by_shard[0], by_shard[1]
+
+        sim = Simulator()
+        db.set_clock(lambda: sim.now)
+        outcome = {}
+
+        def prog(name, first, second, start):
+            txn = db.begin(name, "repeatable")
+            yield Delay(start)
+            try:
+                s1 = yield from db.nodes.get_element_by_id(txn, first)
+                yield from db.nodes.rename_element(txn, s1, name + "-1")
+                yield Delay(50)
+                s2 = yield from db.nodes.get_element_by_id(txn, second)
+                yield from db.nodes.rename_element(txn, s2, name + "-2")
+            except DeadlockAbort as exc:
+                db.abort(txn, reason="deadlock")
+                outcome[name] = ("abort", txn.label, tuple(exc.cycle))
+                return
+            db.commit(txn)
+            outcome[name] = ("commit", txn.label)
+
+        sim.spawn(prog("A", b0, b1, 0.0))
+        sim.spawn(prog("B", b1, b0, 10.0))
+        sim.run()
+        detector = db.router.detector
+        return outcome, detector, list(obs.tracer.events())
+    finally:
+        transport.close()
+
+
+@pytest.fixture(scope="module")
+def cycle_run():
+    return _run_cycle()
+
+
+class TestCrossShardDeadlock:
+    def test_deterministic_victim_aborts_and_survivor_commits(self, cycle_run):
+        outcome, _detector, _events = cycle_run
+        assert outcome["B"] == ("abort", "T2:B", ("T2:B", "T1:A"))
+        assert outcome["A"] == ("commit", "T1:A")
+
+    def test_detector_records_the_cross_shard_cycle(self, cycle_run):
+        _outcome, detector, _events = cycle_run
+        assert detector.cross_events == [(("T2:B", "T1:A"), "distinct-subtree")]
+        assert detector.probes_sent > 0
+        assert detector.cross_count() == 1
+        assert detector.counts_by_kind().get("distinct-subtree", 0) >= 1
+
+    def test_deadlock_event_carries_probe_provenance(self, cycle_run):
+        _outcome, _detector, events = cycle_run
+        detected = [e for e in events if e.kind == DEADLOCK_DETECTED]
+        assert len(detected) == 1
+        event = detected[0]
+        assert event.txn == "T2:B"
+        assert event.data["scope"] == "cross-shard"
+        assert event.data["cycle"] == ["T2:B", "T1:A"]
+        assert event.data["deadlock_kind"] == "distinct-subtree"
+        assert event.data["probes"] >= 1
+
+    def test_history_oracle_clears_the_surviving_schedule(self, cycle_run):
+        _outcome, _detector, events = cycle_run
+        report = verify_trace(events, protocol="taDOM3+", lock_depth=4)
+        assert report.ok, report.summary()
+        assert report.committed == 1
+        assert report.accesses_checked > 0
+
+    def test_rerun_is_identical(self, cycle_run):
+        outcome, detector, _events = cycle_run
+        again, detector2, _events2 = _run_cycle()
+        assert again == outcome
+        assert detector2.cross_events == detector.cross_events
+        assert detector2.probes_sent == detector.probes_sent

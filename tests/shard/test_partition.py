@@ -1,0 +1,77 @@
+"""SPLID-range partitioning: deterministic, subtree-atomic, round-trippable."""
+
+import pytest
+
+from repro.errors import BenchmarkError
+from repro.shard.partition import PARTITION_LEVEL, PartitionPlan, plan_partitions
+from repro.tamix.bibgen import generate_bib
+
+
+@pytest.fixture(scope="module")
+def document():
+    return generate_bib(scale=0.05, seed=2006).document
+
+
+class TestPlanPartitions:
+    def test_same_document_same_plan(self, document):
+        first = plan_partitions(document, 3)
+        second = plan_partitions(document, 3)
+        assert first.boundaries == second.boundaries
+        assert first.shards == second.shards == 3
+
+    def test_partition_units_stay_whole(self, document):
+        """No subtree rooted at the partition level may straddle a
+        boundary: every node at or below that level must land on the
+        same shard as its level-``PARTITION_LEVEL`` ancestor."""
+        plan = plan_partitions(document, 4)
+        for splid, _record in document.walk():
+            if splid.level < PARTITION_LEVEL:
+                continue
+            unit = splid.ancestor_at_level(PARTITION_LEVEL)
+            assert plan.shard_of(splid) == plan.shard_of(unit), (
+                f"{splid} split from its unit {unit}"
+            )
+
+    def test_every_shard_owns_work(self, document):
+        plan = plan_partitions(document, 4)
+        owners = {
+            plan.shard_of(splid)
+            for splid, _record in document.walk()
+            if splid.level >= PARTITION_LEVEL
+        }
+        assert owners == set(range(4))
+
+    def test_shard_ids_are_in_document_order(self, document):
+        plan = plan_partitions(document, 3)
+        units = sorted(
+            {
+                splid.ancestor_at_level(PARTITION_LEVEL)
+                for splid, _record in document.walk()
+                if splid.level >= PARTITION_LEVEL
+            }
+        )
+        shard_ids = [plan.shard_of(unit) for unit in units]
+        assert shard_ids == sorted(shard_ids)
+
+    def test_config_round_trip(self, document):
+        plan = plan_partitions(document, 3)
+        clone = PartitionPlan.from_config(plan.as_config())
+        assert clone.shards == plan.shards
+        assert clone.boundaries == plan.boundaries
+        sample = [s for s, _r in document.walk()][:200]
+        assert [clone.shard_of(s) for s in sample] == \
+            [plan.shard_of(s) for s in sample]
+
+    def test_invalid_shard_counts_rejected(self, document):
+        for bad in (0, -1):
+            with pytest.raises(BenchmarkError):
+                plan_partitions(document, bad)
+
+    def test_more_shards_than_units_rejected(self, document):
+        units = {
+            splid.ancestor_at_level(PARTITION_LEVEL)
+            for splid, _record in document.walk()
+            if splid.level >= PARTITION_LEVEL
+        }
+        with pytest.raises(BenchmarkError):
+            plan_partitions(document, len(units) + 1)

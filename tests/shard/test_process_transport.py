@@ -1,0 +1,40 @@
+"""Real multiprocessing shards: identical to the simulated network for
+the same seed, and oracle-clean under tracing."""
+
+import json
+
+from repro.obs import Observability
+from repro.shard.runner import run_sharded_cluster1
+from repro.verify import verify_trace
+
+
+class TestProcessTransport:
+    def test_process_mode_equals_sim_mode(self):
+        """Shards take all timing from message-carried clocks and the
+        router is synchronous, so real processes reproduce the simulated
+        network byte for byte."""
+        sim = run_sharded_cluster1(
+            "taDOM3+", shards=2, lock_depth=4, scale=0.05,
+            run_duration_ms=4_000.0, seed=7, transport="sim",
+        )
+        process = run_sharded_cluster1(
+            "taDOM3+", shards=2, lock_depth=4, scale=0.05,
+            run_duration_ms=4_000.0, seed=7, transport="process",
+        )
+        assert json.dumps(process.as_journal(), sort_keys=True) == \
+            json.dumps(sim.as_journal(), sort_keys=True)
+
+    def test_four_shard_multiprocessing_run_is_oracle_clean(self):
+        """The acceptance cell: a seeded 4-shard process-mode contest
+        completes and its merged event history passes the oracle."""
+        obs = Observability.enabled(capacity=None, access_events=True)
+        result = run_sharded_cluster1(
+            "taDOM3+", shards=4, lock_depth=4, scale=0.05,
+            run_duration_ms=4_000.0, seed=42, transport="process",
+            observability=obs,
+        )
+        assert result.committed > 0
+        report = verify_trace(list(obs.tracer.events()),
+                              protocol="taDOM3+", lock_depth=4)
+        assert report.ok, report.summary()
+        assert report.committed == result.committed
