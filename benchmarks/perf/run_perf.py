@@ -455,6 +455,51 @@ def bench_chaos(scale: int) -> Dict[str, object]:
     }
 
 
+def bench_shard_chaos(scale: int) -> Dict[str, object]:
+    """ChaosTransport overhead on the shard request path.
+
+    Reports PING round-trip throughput against a bare ``SimTransport``
+    vs. the same transport wrapped in a ``ChaosTransport`` whose
+    schedule has no network or crash rules.  A rule-less decorator is a
+    single ``self.enabled and self._active`` check per request before
+    delegating, so the ratio's target is 1.0 (the zero-cost-when-
+    disabled contract for the shard plane, gated in CI alongside the
+    storage-layer chaos hook).
+    """
+    from repro.chaos import ChaosEngine, FaultSchedule
+    from repro.shard import ChaosTransport, SimTransport, messages, shard_config
+
+    loops = max(400, scale * 100)
+
+    # One shard, one shared transport: both sides exercise the same
+    # in-process server so the only difference is the decorator hop.
+    config = shard_config("taDOM3+", 4, "repeatable", scale=0.02)
+    transport = SimTransport([config])
+    wrapped = ChaosTransport(transport, ChaosEngine(FaultSchedule(), seed=1))
+    frame = messages.encode_ping(0.0)
+
+    def pings(target) -> Callable[[], int]:
+        def run() -> int:
+            n = 0
+            for _ in range(loops):
+                target.request(0, frame)
+                n += 1
+            return n
+        return run
+
+    try:
+        plain, decorated, ratio = interleaved_ops(
+            pings(transport), pings(wrapped),
+        )
+    finally:
+        transport.close()
+    return {
+        "ping_plain": plain,
+        "ping_chaos_transport": decorated,
+        "transport_overhead_ratio": ratio,
+    }
+
+
 def bench_telemetry(scale: int) -> Dict[str, object]:
     """Telemetry-plane cost: sampler ticks and the request-path guard.
 
@@ -596,6 +641,7 @@ def run_all(*, quick: bool = False, workers: int = 2) -> Dict[str, object]:
         "storage": bench_storage(scale),
         "obs": bench_obs(scale),
         "chaos": bench_chaos(scale),
+        "shard_chaos": bench_shard_chaos(scale),
         "telemetry": bench_telemetry(scale),
         "cluster1_cell": bench_cluster1(quick),
         "sweep": bench_sweep(quick, workers),
@@ -648,9 +694,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "baseline before failing (default 0.5)")
     parser.add_argument("--max-overhead-ratio", type=float, default=None,
                         metavar="RATIO",
-                        help="fail if obs.tracing_overhead_ratio or "
-                             "chaos.hook_overhead_ratio exceeds RATIO "
-                             "(the zero-cost-when-disabled contract)")
+                        help="fail if any zero-cost-when-disabled ratio "
+                             "(obs.tracing, chaos.hook, shard chaos "
+                             "transport, telemetry.note) exceeds RATIO")
     args = parser.parse_args(argv)
 
     report = run_all(quick=args.quick, workers=args.workers)
@@ -676,6 +722,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(f"  tracing enabled ratio     {enabled_ratio:>10} x (plain / ring)")
     chaos_ratio = report["chaos"]["hook_overhead_ratio"]  # type: ignore[index]
     print(f"  chaos hook overhead       {chaos_ratio:>10} x (no hook / idle engine)")
+    shard_ratio = report["shard_chaos"]["transport_overhead_ratio"]  # type: ignore[index]
+    print(f"  chaos transport overhead  {shard_ratio:>10} x (plain / idle decorator)")
     tick = report["telemetry"]["window_tick"]  # type: ignore[index]
     print(f"  telemetry.window_tick     {tick['ops_per_sec']:>14,.0f} ops/s")
     note_ratio = report["telemetry"]["note_overhead_ratio"]  # type: ignore[index]
@@ -698,6 +746,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             for name, value in (
                 ("obs.tracing_overhead_ratio", ratio),
                 ("chaos.hook_overhead_ratio", chaos_ratio),
+                ("shard_chaos.transport_overhead_ratio", shard_ratio),
                 ("telemetry.note_overhead_ratio", note_ratio),
             )
             if value is None or value > args.max_overhead_ratio

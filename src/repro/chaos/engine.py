@@ -185,6 +185,50 @@ class ChaosEngine:
             f"past {self.retry.max_attempts} attempts"
         )
 
+    # -- network/process hooks ------------------------------------------------
+
+    def net_request(self, shard_id: int):
+        """One shard-bound request frame; returns the fired rule (or None).
+
+        Called by :class:`repro.shard.chaos.ChaosTransport` once per
+        delivery attempt.  The *transport* applies the fault semantics
+        (drop/torn retry with dedup, duplicate delivery, delay-as-cost);
+        the engine only decides and records, so sim and process
+        transports make byte-identical decisions.
+        """
+        return self._net("net.request", shard_id)
+
+    def net_reply(self, shard_id: int):
+        """One shard reply frame; returns the fired rule (or None)."""
+        return self._net("net.reply", shard_id)
+
+    def _net(self, site: str, shard_id: int):
+        rule, op = self._decide(site)
+        if rule is None:
+            return None
+        self._record(site, op, rule.kind, shard=int(shard_id))
+        return rule
+
+    def net_backoff_ms(self, site: str, attempt: int) -> float:
+        """Backoff (as simulated latency) for a retried dropped frame.
+
+        Drawn from the site's own RNG so retry jitter never perturbs
+        another site's fault stream.
+        """
+        return self.retry.backoff_ms(attempt, self._rngs[site])
+
+    def shard_kill(self, shard_id: int) -> bool:
+        """One ``shard.crash`` decision point (per delivered EXEC frame).
+
+        Returns True when the schedule kills the target shard; the
+        transport's supervisor performs the actual kill + WAL restart.
+        """
+        rule, op = self._decide("shard.crash")
+        if rule is None:
+            return False
+        self._record("shard.crash", op, rule.kind, shard=int(shard_id))
+        return True
+
     # -- lock hook ------------------------------------------------------------
 
     def lock_request(self, txn: object, step) -> None:

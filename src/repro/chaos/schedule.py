@@ -24,6 +24,22 @@ Sites
     :class:`~repro.errors.LockTimeout`) and ``deadlock`` (the requesting
     transaction is declared a spurious deadlock victim via
     :class:`~repro.errors.DeadlockAbort`).
+``net.request`` / ``net.reply``
+    One shard-bound request frame / one shard reply frame on the shard
+    transport (see :class:`repro.shard.chaos.ChaosTransport`).  Kinds:
+    ``drop`` (the frame is lost; the transport retries with backoff-as-
+    latency, deduplicated shard-side so retried ops stay at-most-once),
+    ``torn`` (the frame is truncated and rejected by the receiver's
+    codec; treated like a drop), ``duplicate`` (the frame is delivered
+    twice; the duplicate's effect is absorbed by request-id dedup), and
+    ``delay`` (``latency_ms`` extra simulated milliseconds on the
+    round trip).
+``shard.crash``
+    A shard process boundary, consulted once per delivered ``EXEC``
+    frame.  Kind: ``kill`` -- the target shard dies mid-transaction
+    (real ``SIGKILL`` under the process transport, instance discard
+    under the simulated one), losing all in-memory state; the
+    supervisor restarts it from its persisted WAL.
 
 Schedules serialize to/from plain dicts (and JSON) so they can live in
 files next to sweep configs; a few named schedules ship built in
@@ -39,14 +55,23 @@ from typing import Iterable, Mapping, Sequence
 from ..errors import ChaosError
 
 #: Valid injection sites.
-SITES = ("page.read", "page.write", "lock.acquire")
+SITES = (
+    "page.read", "page.write", "lock.acquire",
+    "net.request", "net.reply", "shard.crash",
+)
 
 #: Valid fault kinds per site.
 KINDS_BY_SITE = {
     "page.read": ("transient", "permanent", "latency"),
     "page.write": ("transient", "permanent", "latency", "torn"),
     "lock.acquire": ("timeout", "deadlock"),
+    "net.request": ("drop", "delay", "duplicate", "torn"),
+    "net.reply": ("drop", "delay", "duplicate", "torn"),
+    "shard.crash": ("kill",),
 }
+
+#: Kinds whose rules must carry ``latency_ms > 0``.
+_LATENCY_KINDS = ("latency", "delay")
 
 
 @dataclass(frozen=True)
@@ -80,8 +105,8 @@ class FaultRule:
                              "give it a probability or at_ops")
         if any((not isinstance(op, int)) or op < 1 for op in self.at_ops):
             raise ChaosError("at_ops must be 1-based operation indices")
-        if self.kind == "latency" and self.latency_ms <= 0.0:
-            raise ChaosError("latency faults need latency_ms > 0")
+        if self.kind in _LATENCY_KINDS and self.latency_ms <= 0.0:
+            raise ChaosError(f"{self.kind} faults need latency_ms > 0")
         object.__setattr__(self, "at_ops", tuple(sorted(self.at_ops)))
 
     def to_dict(self) -> dict:
@@ -184,6 +209,22 @@ BUILTIN_SCHEDULES = {
     "lock-storm": _builtin("lock-storm", (
         FaultRule("lock.acquire", "timeout", probability=0.04),
         FaultRule("lock.acquire", "deadlock", probability=0.02),
+    )),
+    # The shard-plane acceptance schedule: one scripted mid-run shard
+    # kill (supervised WAL restart) on a lightly lossy network.
+    "shard-kill": _builtin("shard-kill", (
+        FaultRule("shard.crash", "kill", at_ops=(40,)),
+        FaultRule("net.request", "drop", probability=0.01),
+        FaultRule("net.reply", "delay", probability=0.01, latency_ms=2.0),
+    )),
+    # Network-only shard schedule (no kills): drops, duplicates, torn
+    # frames, and delays on both legs of every shard round trip.
+    "shard-lossy-net": _builtin("shard-lossy-net", (
+        FaultRule("net.request", "drop", probability=0.02),
+        FaultRule("net.request", "duplicate", probability=0.01),
+        FaultRule("net.request", "torn", probability=0.01),
+        FaultRule("net.reply", "drop", probability=0.02),
+        FaultRule("net.reply", "delay", probability=0.02, latency_ms=3.0),
     )),
 }
 

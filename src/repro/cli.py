@@ -71,6 +71,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="how sharded cells host their shards: the "
                             "deterministic simulated network or real "
                             "OS processes (results are identical)")
+    sweep.add_argument("--fault-schedule", default=None,
+                       help="fault schedule (built-in name or JSON path) "
+                            "applied to sharded cells; uses the "
+                            "net.request/net.reply/shard.crash sites")
+    sweep.add_argument("--chaos-seed", type=int, default=0,
+                       help="chaos engine base seed for faulted sharded "
+                            "cells (default: 0)")
     sweep.add_argument("--workers", type=int, default=1,
                        help="worker processes for the sweep cells "
                             "(1 = serial; results are identical)")
@@ -121,6 +128,17 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: ci-small)")
     chaos.add_argument("--scale", type=float, default=0.05)
     chaos.add_argument("--seconds", type=float, default=8.0)
+    chaos.add_argument("--shards", type=int, default=1,
+                       help="run the sharded chaos plane with this many "
+                            "shards (default 1: single-node chaos; >1 "
+                            "uses network/crash fault sites and the "
+                            "per-shard WAL recovery oracle)")
+    chaos.add_argument("--shard-transport", default="sim",
+                       choices=["sim", "process"],
+                       help="transport for sharded chaos runs "
+                            "(default: sim)")
+    chaos.add_argument("--chaos-seed", type=int, default=None,
+                       help="fault-stream seed (default: --seed)")
     chaos.add_argument("--trace", default=None,
                        help="keep the run's JSONL event trace at this path")
     chaos.add_argument("--json", default=None,
@@ -441,6 +459,8 @@ def _cmd_sweep(args) -> int:
         base_seed=args.seed,
         shards=tuple(args.shards),
         shard_transport=args.shard_transport,
+        fault_schedule=args.fault_schedule,
+        chaos_seed=args.chaos_seed,
     )
     trace_dir = args.trace_dir
     scratch = None
@@ -744,6 +764,22 @@ def _cmd_chaos(args) -> int:
     schedule = load_schedule(args.schedule)
 
     def one_run():
+        if args.shards > 1:
+            from repro.shard.chaosrun import run_shard_chaos
+
+            return run_shard_chaos(
+                schedule,
+                seed=args.seed,
+                protocol=args.protocol,
+                lock_depth=args.lock_depth,
+                isolation=args.isolation,
+                shards=args.shards,
+                scale=args.scale,
+                run_duration_ms=args.seconds * 1000.0,
+                transport=args.shard_transport,
+                trace_path=args.trace,
+                chaos_seed=args.chaos_seed,
+            )
         return run_chaos(
             schedule,
             seed=args.seed,

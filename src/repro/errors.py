@@ -182,6 +182,37 @@ class AdmissionRejected(TransactionError, TransientError):
     """
 
 
+class ShardUnavailableError(ReproError, TransientError):
+    """A shard did not answer: dead process, dropped frame, or DOWN mark.
+
+    Transient by definition: the shard plane's supervisor restarts dead
+    shards from their persisted WAL and the router re-admits them after
+    a heartbeat probe succeeds, so the same work can be resubmitted.
+    Transactions that had in-flight state on the lost shard are shed --
+    their locks and uncommitted effects died with the process -- and the
+    TaMix retry loop restarts them like any other transient abort.
+    ``reason`` is the abort token the metrics/report layers count under.
+    """
+
+    reason = "shard-unavailable"
+
+    def __init__(self, message: str = "shard unavailable",
+                 shard_id: "int | None" = None):
+        super().__init__(message)
+        self.shard_id = shard_id
+
+
+class ConnectionLostError(ReproError, TransientError):
+    """The peer hung up mid-call (connection reset or broken pipe).
+
+    Transient: the request may simply be retried on a *fresh*
+    connection -- the broken one is closed and evicted from its pool.
+    Distinct from :class:`ProtocolError` (torn frames make no
+    retryability promise) because a reset says nothing about the bytes
+    that were exchanged, only that the transport died.
+    """
+
+
 class ProtocolError(ReproError):
     """Corrupt, truncated, or out-of-contract wire-protocol traffic.
 

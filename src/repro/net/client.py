@@ -43,6 +43,7 @@ import random
 from repro.chaos.retry import RetryPolicy
 from repro.errors import (
     AdmissionRejected,
+    ConnectionLostError,
     ProtocolError,
     ReproError,
     TransactionAborted,
@@ -150,6 +151,15 @@ class WireConnection:
             header = self._read_exactly(4)
             length, _total = wire.split_frame(header)
             payload = self._read_exactly(length)
+        except (ConnectionResetError, BrokenPipeError) as exc:
+            # The peer hung up mid-call (server restart, dropped link):
+            # transient, unlike a protocol violation.  Closing here makes
+            # the pool evict the connection on release, so the next
+            # acquire dials a fresh one.
+            self.close()
+            raise ConnectionLostError(
+                f"connection to {self.host}:{self.port} lost mid-call: {exc}"
+            ) from exc
         except (OSError, ProtocolError):
             self.close()
             raise
@@ -193,6 +203,12 @@ class WireConnection:
                 if reply_op == wire.OP_DONE:
                     return body
                 yield body[0]
+        except (ConnectionResetError, BrokenPipeError) as exc:
+            self.close()
+            raise ConnectionLostError(
+                f"connection to {self.host}:{self.port} lost mid-stream: "
+                f"{exc}"
+            ) from exc
         except (OSError, ProtocolError):
             self.close()
             raise

@@ -52,6 +52,7 @@ from repro.errors import (
     ProtocolError,
     RemoteError,
     RollbackError,
+    ShardUnavailableError,
     StorageError,
     TransactionAborted,
     TransactionError,
@@ -418,6 +419,7 @@ ERROR_REGISTRY: Dict[str, Type[Exception]] = {
         ProtocolError,
         QueryError,
         RollbackError,
+        ShardUnavailableError,
         StorageError,
         TransactionAborted,
         TransactionError,

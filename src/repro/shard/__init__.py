@@ -8,6 +8,8 @@ See ``docs/architecture.md`` ("Sharding") for the protocol and the
 determinism contract.
 """
 
+from repro.shard.chaos import ChaosTransport
+from repro.shard.chaosrun import ShardChaosReport, run_shard_chaos
 from repro.shard.partition import PARTITION_LEVEL, PartitionPlan, plan_partitions
 from repro.shard.router import (
     AdaptiveRetryPolicy,
@@ -18,12 +20,15 @@ from repro.shard.router import (
     ShardRouter,
 )
 from repro.shard.runner import (
+    SHARD_CHAOS_SITES,
     TRANSPORTS,
+    build_sharded_cluster,
     run_sharded_cluster1,
     shard_config,
     validate_sharding,
 )
 from repro.shard.shard import OutboxTracer, ShardServer
+from repro.shard.supervisor import ShardSupervisor
 from repro.shard.transport import ProcessTransport, SimTransport
 
 __all__ = [
@@ -31,12 +36,18 @@ __all__ = [
     "PartitionPlan",
     "plan_partitions",
     "AdaptiveRetryPolicy",
+    "ChaosTransport",
     "CrossShardDetector",
     "LogicalTxn",
+    "ShardChaosReport",
     "ShardedDatabase",
     "ShardedNodeManager",
     "ShardRouter",
+    "ShardSupervisor",
+    "SHARD_CHAOS_SITES",
     "TRANSPORTS",
+    "build_sharded_cluster",
+    "run_shard_chaos",
     "run_sharded_cluster1",
     "shard_config",
     "validate_sharding",

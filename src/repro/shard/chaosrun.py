@@ -1,0 +1,283 @@
+"""Seeded crash/partition runs against the shard plane, verified.
+
+:func:`run_shard_chaos` is the sharded sibling of
+:func:`repro.chaos.runner.run_chaos`: it builds an N-shard cluster under
+a network/crash fault schedule (:class:`repro.shard.chaos.ChaosTransport`),
+drives a CLUSTER1-style workload with the retry/admission layer enabled,
+and then holds the survivors to the Jepsen-style acceptance bar:
+
+* **history oracle** -- the committed schedule in the merged event trace
+  passes :func:`repro.verify.verify_trace` (conflict serializability,
+  lock-protocol conformance, two-phase discipline) even though shards
+  crashed and frames were lost mid-run;
+* **recovery oracle** -- every shard's live document is bit-identical to
+  a fault-free redo of its own WAL over a pristine replica
+  (``SNAPSHOT`` frames; the digests are computed shard-side so the
+  check crosses the same process boundary the crash did);
+* **durability accounting** -- the shards' WALs hold exactly one COMMIT
+  record per committed transaction leg (no lost, phantom, or doubled
+  commits despite retries and restarts);
+* **no leaked processes** -- after teardown no shard child is still
+  alive (the process transport reaps crashed shards immediately).
+
+The report :meth:`~ShardChaosReport.fingerprint` digests the fault log,
+the supervisor's restart log, the per-shard images, and the headline
+counters, so two runs of the same seed -- or the same seed on the *sim*
+and *process* transports -- can be compared for exact determinism.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+from dataclasses import dataclass, field
+from pathlib import Path
+from tempfile import TemporaryDirectory
+from typing import Dict, List, Optional, Union
+
+from repro.chaos.retry import AdmissionPolicy, RetryPolicy
+from repro.chaos.schedule import FaultSchedule
+from repro.net import wire
+from repro.obs import Observability
+from repro.shard import messages
+from repro.shard.runner import build_sharded_cluster
+from repro.tamix.cluster import CLUSTER1_MIX
+from repro.tamix.coordinator import TaMixConfig, TaMixCoordinator
+from repro.tamix.metrics import RunResult
+from repro.verify import verify_trace
+
+
+@dataclass
+class ShardChaosReport:
+    """Outcome and verification verdicts of one sharded chaos run."""
+
+    seed: int
+    chaos_seed: int
+    schedule_name: str
+    shards: int
+    transport: str
+    result: RunResult
+    injection_rates: dict = field(default_factory=dict)
+    faults: dict = field(default_factory=dict)
+    restarts: int = 0
+    sheds: int = 0
+    #: Supervisor restarts, in kill order: ``[shard_id, epoch]`` pairs.
+    shard_restarts: List[List[int]] = field(default_factory=list)
+    #: Traffic shed locally to DOWN shards / stale-epoch transactions.
+    down_sheds: int = 0
+    stale_sheds: int = 0
+    partial_commits: int = 0
+    oracle_ok: bool = False
+    oracle_violations: List[str] = field(default_factory=list)
+    accesses_checked: int = 0
+    recovery_ok: bool = False
+    #: Per-shard SNAPSHOT payloads (digests + WAL accounting).
+    shard_snapshots: List[Dict[str, object]] = field(default_factory=list)
+    commits_in_wal: int = 0
+    leg_commits: int = 0
+    committed: int = 0
+    leaked_processes: int = 0
+    fingerprint: str = ""
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "chaos_seed": self.chaos_seed,
+            "schedule": self.schedule_name,
+            "shards": self.shards,
+            "transport": self.transport,
+            "ok": self.ok,
+            "committed": self.committed,
+            "aborted": self.result.aborted,
+            "aborted_by_kind": self.result.aborted_by_kind,
+            "restarts": self.restarts,
+            "sheds": self.sheds,
+            "shard_restarts": [list(pair) for pair in self.shard_restarts],
+            "down_sheds": self.down_sheds,
+            "stale_sheds": self.stale_sheds,
+            "partial_commits": self.partial_commits,
+            "faults": dict(sorted(self.faults.items())),
+            "injection_rates": {
+                site: round(rate, 6)
+                for site, rate in sorted(self.injection_rates.items())
+            },
+            "oracle_ok": self.oracle_ok,
+            "accesses_checked": self.accesses_checked,
+            "recovery_ok": self.recovery_ok,
+            "shard_snapshots": [dict(s) for s in self.shard_snapshots],
+            "commits_in_wal": self.commits_in_wal,
+            "leg_commits": self.leg_commits,
+            "leaked_processes": self.leaked_processes,
+            "violations": list(self.violations),
+            "fingerprint": self.fingerprint,
+        }
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else "FAILED"
+        faults = sum(self.faults.values())
+        return (
+            f"shard-chaos[{self.schedule_name} seed={self.seed} "
+            f"shards={self.shards} transport={self.transport}] {status}: "
+            f"committed={self.committed} aborted={self.result.aborted} "
+            f"restarts={self.restarts} shard_restarts={len(self.shard_restarts)} "
+            f"faults={faults} oracle={'ok' if self.oracle_ok else 'FAIL'} "
+            f"recovery={'ok' if self.recovery_ok else 'FAIL'} "
+            f"leaked={self.leaked_processes} "
+            f"fingerprint={self.fingerprint[:16]}"
+        )
+
+
+def run_shard_chaos(
+    schedule: FaultSchedule,
+    seed: int = 7,
+    *,
+    protocol: str = "taDOM3+",
+    lock_depth: int = 4,
+    isolation: str = "repeatable",
+    shards: int = 2,
+    scale: float = 0.05,
+    run_duration_ms: float = 8_000.0,
+    transport: str = "sim",
+    trace_path: Union[str, Path, None] = None,
+    retry: Optional[RetryPolicy] = None,
+    admission: Optional[AdmissionPolicy] = None,
+    chaos_seed: Optional[int] = None,
+    request_timeout_s: Optional[float] = 30.0,
+) -> ShardChaosReport:
+    """One seeded, verified crash/partition run.  See the module docstring."""
+    retry = retry if retry is not None else RetryPolicy()
+    admission = admission if admission is not None else AdmissionPolicy()
+    chaos_seed = seed if chaos_seed is None else chaos_seed
+    with TemporaryDirectory(prefix="repro-shard-chaos-") as tmp:
+        trace = Path(trace_path) if trace_path is not None else (
+            Path(tmp) / "shard_chaos_trace.jsonl"
+        )
+        obs = Observability.enabled(capacity=1, sink=trace, access_events=True)
+        cluster = build_sharded_cluster(
+            protocol, shards=shards, lock_depth=lock_depth,
+            isolation=isolation, scale=scale, observability=obs,
+            transport=transport, fault_schedule=schedule,
+            chaos_seed=chaos_seed, chaos_retry=retry,
+            request_timeout_s=request_timeout_s,
+        )
+        try:
+            database = cluster.database
+            config = TaMixConfig(
+                protocol=protocol,
+                lock_depth=lock_depth,
+                isolation=isolation,
+                run_duration_ms=run_duration_ms,
+                mix=dict(CLUSTER1_MIX),
+                seed=seed,
+                retry=retry,
+                admission=admission,
+            )
+            result = TaMixCoordinator(database, cluster.info, config).run()
+
+            # Verification is fault-free: quiesce the chaos decorator,
+            # then roll back every in-flight transaction so shard state
+            # holds exactly the committed effects.
+            cluster.transport.enabled = False
+            database.abort_in_flight(reason="rollback")
+            obs.close()
+
+            engine = cluster.engine
+            supervisor = cluster.supervisor
+            router = database.router
+            report = ShardChaosReport(
+                seed=seed,
+                chaos_seed=chaos_seed,
+                schedule_name=schedule.name or "<inline>",
+                shards=shards,
+                transport=transport,
+                result=result,
+                injection_rates=engine.injection_rates(),
+                faults=dict(engine.faults),
+                restarts=result.restarts,
+                sheds=result.sheds,
+                shard_restarts=[
+                    [shard_id, epoch]
+                    for shard_id, epoch in supervisor.restart_log
+                ],
+                down_sheds=router.down_sheds,
+                stale_sheds=router.stale_sheds,
+                partial_commits=router.partial_commits,
+                committed=database.committed,
+                leg_commits=database.leg_commits,
+            )
+
+            oracle = verify_trace(trace)
+            report.oracle_ok = oracle.ok
+            report.accesses_checked = oracle.accesses_checked
+            if not oracle.ok:
+                report.oracle_violations = [str(v) for v in oracle.violations]
+                report.violations.append(
+                    f"history oracle found {len(oracle.violations)} "
+                    f"violation(s)"
+                )
+
+            # Per-shard recovery oracle: the SNAPSHOT reply digests the
+            # live document and a fault-free replay of the shard's WAL
+            # over a pristine replica, shard-side.
+            report.recovery_ok = True
+            for shard_id in range(shards):
+                opcode, fields = wire.decode_frame(cluster.transport.request(
+                    shard_id, messages.encode_snapshot(router.clock())
+                ))
+                snapshot = (
+                    dict(fields[0])
+                    if opcode == messages.OP_SHARD_INFO else {}
+                )
+                report.shard_snapshots.append(snapshot)
+                if snapshot.get("live_image") != snapshot.get(
+                    "replayed_image"
+                ):
+                    report.recovery_ok = False
+                    report.violations.append(
+                        f"shard {shard_id}: recovered document differs "
+                        f"from live committed state"
+                    )
+                if snapshot.get("open_legs"):
+                    report.violations.append(
+                        f"shard {shard_id}: legs still open after the "
+                        f"run-horizon sweep: {snapshot['open_legs']}"
+                    )
+                report.commits_in_wal += int(
+                    snapshot.get("commits_in_wal", 0)
+                )
+            expected_legs = report.leg_commits + router.partial_commit_legs
+            if report.commits_in_wal != expected_legs:
+                report.violations.append(
+                    f"shard WALs hold {report.commits_in_wal} COMMIT "
+                    f"records but the coordinator committed "
+                    f"{expected_legs} legs"
+                )
+        finally:
+            cluster.close()
+
+        report.leaked_processes = len(multiprocessing.active_children())
+        if report.leaked_processes:
+            report.violations.append(
+                f"{report.leaked_processes} shard process(es) leaked "
+                f"past teardown"
+            )
+
+        digest = hashlib.sha256()
+        digest.update(engine.fingerprint().encode())
+        digest.update(repr(supervisor.restart_log).encode())
+        for snapshot in report.shard_snapshots:
+            digest.update(str(snapshot.get("live_image")).encode())
+            digest.update(str(snapshot.get("commits_in_wal")).encode())
+        digest.update(str(report.committed).encode())
+        digest.update(str(result.aborted).encode())
+        digest.update(str(result.restarts).encode())
+        digest.update(str(result.sheds).encode())
+        digest.update(str(report.down_sheds).encode())
+        digest.update(str(report.stale_sheds).encode())
+        report.fingerprint = digest.hexdigest()
+        return report

@@ -48,6 +48,13 @@ OP_SHARD_BLOCKED = 0x49
 OP_SHARD_EXC = 0x4A
 OP_SHARD_INFO = 0x4B
 
+# Crash-tolerance extensions: an idempotent-request envelope (the shard
+# caches the reply per request id, so a retried frame is at-most-once),
+# a heartbeat probe, and a recovery snapshot for the acceptance oracle.
+OP_SHARD_REQ = 0x4C
+OP_SHARD_PING = 0x4D
+OP_SHARD_SNAPSHOT = 0x4E
+
 SHARD_OPCODE_NAMES = {
     OP_SHARD_EXEC: "EXEC",
     OP_SHARD_RESUME: "RESUME",
@@ -61,7 +68,15 @@ SHARD_OPCODE_NAMES = {
     OP_SHARD_BLOCKED: "BLOCKED",
     OP_SHARD_EXC: "EXC",
     OP_SHARD_INFO: "INFO",
+    OP_SHARD_REQ: "REQ",
+    OP_SHARD_PING: "PING",
+    OP_SHARD_SNAPSHOT: "SNAPSHOT",
 }
+
+
+def opcode_of(frame: bytes) -> int:
+    """The opcode byte of an encoded frame (no body decode)."""
+    return frame[4]
 
 # -- requests ---------------------------------------------------------------
 
@@ -108,6 +123,27 @@ def encode_shutdown() -> bytes:
     return wire.encode_frame(OP_SHARD_SHUTDOWN)
 
 
+def encode_request(request_id: str, inner: bytes) -> bytes:
+    """Wrap a request frame in an idempotency envelope.
+
+    The shard dedups on ``request_id``: a re-delivered envelope returns
+    the cached reply bytes instead of re-executing, making transport
+    retries (dropped replies, duplicated frames) at-most-once.
+    """
+    return wire.encode_frame(OP_SHARD_REQ, request_id, bytes(inner))
+
+
+def encode_ping(now: float) -> bytes:
+    """Heartbeat probe; the reply is ``INFO {shard, ok}``."""
+    return wire.encode_frame(OP_SHARD_PING, float(now))
+
+
+def encode_snapshot(now: float) -> bytes:
+    """Recovery-oracle snapshot request; the reply is ``INFO`` carrying
+    digests of the live document and of a fault-free WAL replay."""
+    return wire.encode_frame(OP_SHARD_SNAPSHOT, float(now))
+
+
 # -- replies ----------------------------------------------------------------
 
 
@@ -142,6 +178,27 @@ def encode_exc(
 
 def encode_info(payload: Dict[str, object]) -> bytes:
     return wire.encode_frame(OP_SHARD_INFO, dict(payload))
+
+
+def add_cost(frame: bytes, extra_ms: float) -> bytes:
+    """Inflate a reply frame's cost field by ``extra_ms`` (chaos delays).
+
+    The cost sits at a fixed position per reply opcode; ``INFO`` replies
+    carry no cost and pass through unchanged.
+    """
+    if extra_ms <= 0.0:
+        return frame
+    opcode, fields = wire.decode_frame(frame)
+    fields = list(fields)
+    if opcode == OP_SHARD_DONE:
+        fields[1] = float(fields[1]) + float(extra_ms)
+    elif opcode == OP_SHARD_BLOCKED:
+        fields[5] = float(fields[5]) + float(extra_ms)
+    elif opcode == OP_SHARD_EXC:
+        fields[3] = float(fields[3]) + float(extra_ms)
+    else:
+        return frame
+    return wire.encode_frame(opcode, *fields)
 
 
 def rebuild_exception(

@@ -44,6 +44,7 @@ from repro.errors import (
     LockError,
     LockTimeout,
     ProtocolError,
+    ShardUnavailableError,
 )
 from repro.locking.lock_table import WaitTicket
 from repro.net import wire
@@ -64,7 +65,8 @@ class LogicalTxn:
     """Coordinator-side image of one distributed transaction."""
 
     __slots__ = (
-        "label", "name", "isolation", "started", "participants", "grant_cache",
+        "label", "name", "isolation", "started", "participants",
+        "grant_cache", "epochs",
     )
 
     def __init__(self, label: str, name: str, isolation: IsolationLevel,
@@ -75,6 +77,9 @@ class LogicalTxn:
         self.started = started
         self.participants: Set[int] = set()
         self.grant_cache: Dict[str, object] = {}
+        #: Shard incarnation at enlist time; a participant whose shard
+        #: has since restarted holds none of this txn's state any more.
+        self.epochs: Dict[int, int] = {}
 
     def __repr__(self) -> str:
         return f"LogicalTxn({self.label})"
@@ -89,6 +94,24 @@ class _WaitEntry:
         self.label = label
         self.shard = shard
         self.ticket = ticket
+
+
+class _ShardHealth:
+    """Router-side failure tracking for one shard (allocated lazily).
+
+    A shard accumulates consecutive request failures; at the router's
+    ``failure_threshold`` it is marked DOWN and traffic to it is shed
+    locally (no network) until a heartbeat probe -- paced by the retry
+    policy's backoff on the simulated clock -- finds it answering again.
+    """
+
+    __slots__ = ("failures", "down", "probe_attempts", "next_probe_at")
+
+    def __init__(self):
+        self.failures = 0
+        self.down = False
+        self.probe_attempts = 0
+        self.next_probe_at = 0.0
 
 
 class CrossShardDetector:
@@ -176,6 +199,8 @@ class ShardRouter:
         rtt_ms: float = 0.1,
         wait_timeout_ms: Optional[float] = 10_000.0,
         grant_cache: bool = False,
+        failure_threshold: int = 3,
+        probe_retry: Optional[RetryPolicy] = None,
     ):
         self.plan = plan
         self.transport = transport
@@ -188,6 +213,18 @@ class ShardRouter:
         self.clock: Callable[[], float] = lambda: 0.0
         self.detector = CrossShardDetector(self)
         self.messages_sent = 0
+        #: Partition awareness.  ``_health`` stays empty on fault-free
+        #: runs, so the healthy hot path pays one empty-dict check.
+        self.failure_threshold = int(failure_threshold)
+        self.probe_retry = probe_retry if probe_retry is not None else RetryPolicy()
+        self._probe_rng = random.Random("shard-probe")
+        self._health: Dict[int, _ShardHealth] = {}
+        self._epoch_of = getattr(transport, "epoch", lambda _sid: 0)
+        self.down_sheds = 0
+        self.stale_sheds = 0
+        self.partial_commits = 0
+        #: Shard legs committed by failed (partially committed) txns.
+        self.partial_commit_legs = 0
         #: EWMA block-rate over recent operations (adaptive backoff input).
         self.contention = 0.0
         self.contention_alpha = 0.1
@@ -237,7 +274,21 @@ class ShardRouter:
             self.grant_cache_hits += 1
             return txn.grant_cache[args[0]]
         shard_id = self.route(op, args)
+        self._check_available(shard_id)
+        epoch = self._epoch_of(shard_id)
+        known = txn.epochs.get(shard_id)
+        if known is not None and known != epoch:
+            # The shard restarted under this transaction: every effect
+            # of its earlier leg died with the old incarnation, so the
+            # only sound move is to shed the whole transaction.
+            self.stale_sheds += 1
+            raise ShardUnavailableError(
+                f"{txn.label} leg on shard {shard_id} lost to restart "
+                f"(epoch {known} -> {epoch})",
+                shard_id=shard_id,
+            )
         txn.participants.add(shard_id)
+        txn.epochs[shard_id] = epoch
         reply = self._request(shard_id, messages.encode_exec(
             self.clock(), txn.label, txn.name, txn.isolation.value,
             op, _wire_args(op, args),
@@ -324,10 +375,16 @@ class ShardRouter:
             else:
                 probes += 1
                 self.detector.probes_sent += 1
-                opcode, fields = wire.decode_frame(self._request(
-                    entry.shard,
-                    messages.encode_blockers(self.clock(), label),
-                ))
+                try:
+                    opcode, fields = wire.decode_frame(self._request(
+                        entry.shard,
+                        messages.encode_blockers(self.clock(), label),
+                    ))
+                except ShardUnavailableError:
+                    # A dead shard holds no locks: its waiters will be
+                    # cancelled by timeout, so the chase treats the edge
+                    # as gone rather than wedging the probe.
+                    opcode, fields = None, ()
                 payload = fields[0] if opcode == messages.OP_SHARD_INFO else {}
                 if payload.get("waiting"):
                     result = (
@@ -386,10 +443,17 @@ class ShardRouter:
         """Withdraw a parked wait shard-side; unwinds the remote operation."""
         entry = self._waiting.get(txn.label)
         cycle = ()
-        opcode, fields = wire.decode_frame(self._request(
-            shard_id,
-            messages.encode_cancel(self.clock(), txn.label, reason, message, cycle),
-        ))
+        try:
+            opcode, fields = wire.decode_frame(self._request(
+                shard_id,
+                messages.encode_cancel(
+                    self.clock(), txn.label, reason, message, cycle
+                ),
+            ))
+        except ShardUnavailableError:
+            # The wait (and the whole leg) died with the shard; the
+            # local mirror is all that is left to mark.
+            opcode, fields = None, ()
         if opcode in (messages.OP_SHARD_EXC, messages.OP_SHARD_DONE):
             # EXC: the unwound operation (expected); absorb its trail.
             *_, woken, events = fields
@@ -400,24 +464,101 @@ class ShardRouter:
     # -- transaction resolution --------------------------------------------
 
     def finish(self, txn: LogicalTxn, *, commit: bool, reason: str = "") -> None:
-        """Commit or roll back every shard-local leg, in shard order."""
-        encode = (
-            (lambda sid: messages.encode_commit(self.clock(), txn.label))
-            if commit else
-            (lambda sid: messages.encode_abort(self.clock(), txn.label, reason))
-        )
+        """Commit or roll back every shard-local leg, in shard order.
+
+        A commit is gated on every participant being up *and* still on
+        the epoch the leg enlisted under; otherwise the survivors are
+        rolled back and the transaction fails with the transient
+        :class:`~repro.errors.ShardUnavailableError` (the restart loop
+        re-runs it from scratch).  Aborts are best-effort: a dead or
+        restarted participant has already lost the leg.
+        """
+        if commit and txn.participants:
+            self._precommit_check(txn)
+        if not commit:
+            self._abort_legs(txn, reason)
+            self.forget(txn.label)
+            return
+        committed = 0
         for shard_id in sorted(txn.participants):
-            opcode, fields = wire.decode_frame(
-                self._request(shard_id, encode(shard_id))
-            )
+            try:
+                opcode, fields = wire.decode_frame(self._request(
+                    shard_id, messages.encode_commit(self.clock(), txn.label)
+                ))
+            except ShardUnavailableError:
+                opcode, fields = None, ()
+            error = None
             if opcode == messages.OP_SHARD_DONE:
                 _value, _cost, woken, events = fields
                 self._absorb(shard_id, woken, events)
-            elif opcode == messages.OP_SHARD_EXC:
+                committed += 1
+                continue
+            if opcode == messages.OP_SHARD_EXC:
                 code, message, cycle, _cost, woken, events = fields
                 self._absorb(shard_id, woken, events)
-                raise messages.rebuild_exception(code, message, cycle)
+                error = messages.rebuild_exception(code, message, cycle)
+            if error is None:
+                error = ShardUnavailableError(
+                    f"shard {shard_id} unreachable committing {txn.label}",
+                    shard_id=shard_id,
+                )
+            # Roll back the legs not yet committed.  Legs already
+            # committed stay committed (crashes never fire on COMMIT
+            # frames, so this needs an exhausted retry storm; it is
+            # counted so the acceptance oracle can account for it).
+            if committed:
+                self.partial_commits += 1
+                self.partial_commit_legs += committed
+            self._abort_legs(
+                txn, "shard-unavailable",
+                skip={s for s in sorted(txn.participants)[:committed]},
+            )
+            self.forget(txn.label)
+            raise error
         self.forget(txn.label)
+
+    def _precommit_check(self, txn: LogicalTxn) -> None:
+        """All participants up and on their enlisted epochs, or shed."""
+        stale = None
+        for shard_id in sorted(txn.participants):
+            try:
+                self._check_available(shard_id)
+            except ShardUnavailableError as exc:
+                stale = exc
+                break
+            epoch = self._epoch_of(shard_id)
+            if txn.epochs.get(shard_id, epoch) != epoch:
+                self.stale_sheds += 1
+                stale = ShardUnavailableError(
+                    f"{txn.label} leg on shard {shard_id} lost to restart",
+                    shard_id=shard_id,
+                )
+                break
+        if stale is None:
+            return
+        self._abort_legs(txn, "shard-unavailable")
+        self.forget(txn.label)
+        raise stale
+
+    def _abort_legs(
+        self, txn: LogicalTxn, reason: str, skip: Optional[Set[int]] = None
+    ) -> None:
+        """Best-effort ABORT to every (surviving, current-epoch) leg."""
+        for shard_id in sorted(txn.participants):
+            if skip and shard_id in skip:
+                continue
+            if txn.epochs.get(shard_id) != self._epoch_of(shard_id):
+                continue  # the leg died with the old incarnation
+            try:
+                opcode, fields = wire.decode_frame(self._request(
+                    shard_id,
+                    messages.encode_abort(self.clock(), txn.label, reason),
+                ))
+            except ShardUnavailableError:
+                continue
+            if opcode == messages.OP_SHARD_DONE:
+                _value, _cost, woken, events = fields
+                self._absorb(shard_id, woken, events)
 
     # -- shard statistics ---------------------------------------------------
 
@@ -432,11 +573,76 @@ class ShardRouter:
             stats.append(fields[0])
         return stats
 
+    # -- partition awareness -------------------------------------------------
+
+    def _check_available(self, shard_id: int) -> None:
+        """Shed traffic to a DOWN shard locally; heartbeat it on schedule.
+
+        Raises :class:`~repro.errors.ShardUnavailableError` while the
+        shard is marked DOWN.  Probes are paced by the retry policy's
+        backoff on the *simulated* clock, so probing is deterministic
+        and a down shard costs nothing between probe points.
+        """
+        if not self._health:
+            return
+        health = self._health.get(shard_id)
+        if health is None or not health.down:
+            return
+        now = self.clock()
+        if now >= health.next_probe_at and self._heartbeat(shard_id):
+            health.down = False
+            health.failures = 0
+            health.probe_attempts = 0
+            return
+        self.down_sheds += 1
+        raise ShardUnavailableError(
+            f"shard {shard_id} is marked down", shard_id=shard_id
+        )
+
+    def _heartbeat(self, shard_id: int) -> bool:
+        """One PING probe; reschedules the next probe on failure."""
+        health = self._health[shard_id]
+        self.messages_sent += 1
+        try:
+            opcode, _fields = wire.decode_frame(
+                self.transport.request(
+                    shard_id, messages.encode_ping(self.clock())
+                )
+            )
+            return opcode == messages.OP_SHARD_INFO
+        except ShardUnavailableError:
+            health.probe_attempts += 1
+            health.next_probe_at = self.clock() + self.probe_retry.backoff_ms(
+                health.probe_attempts, self._probe_rng
+            )
+            return False
+
+    def _note_shard_failure(self, shard_id: int) -> None:
+        health = self._health.get(shard_id)
+        if health is None:
+            health = self._health[shard_id] = _ShardHealth()
+        health.failures += 1
+        if not health.down and health.failures >= self.failure_threshold:
+            health.down = True
+            health.probe_attempts = 1
+            health.next_probe_at = self.clock() + self.probe_retry.backoff_ms(
+                1, self._probe_rng
+            )
+
     # -- internals ----------------------------------------------------------
 
     def _request(self, shard_id: int, frame: bytes) -> bytes:
         self.messages_sent += 1
-        return self.transport.request(shard_id, frame)
+        try:
+            reply = self.transport.request(shard_id, frame)
+        except ShardUnavailableError:
+            self._note_shard_failure(shard_id)
+            raise
+        if self._health:
+            health = self._health.get(shard_id)
+            if health is not None and not health.down:
+                health.failures = 0
+        return reply
 
     def _absorb(
         self, shard_id: int, woken: Sequence[str], events: Sequence[Dict]
@@ -587,6 +793,9 @@ class ShardedDatabase:
         self._clock: Callable[[], float] = lambda: 0.0
         self._begun = 0
         self.committed = 0
+        #: Shard legs committed by successful transactions (durability
+        #: accounting: one WAL COMMIT record per leg).
+        self.leg_commits = 0
         self.aborted = 0
         self.aborted_by_reason: Dict[str, int] = {}
 
@@ -633,8 +842,27 @@ class ShardedDatabase:
         return txn
 
     def commit(self, txn: LogicalTxn) -> None:
-        self.router.finish(txn, commit=True)
+        try:
+            self.router.finish(txn, commit=True)
+        except ShardUnavailableError:
+            # The router already rolled back the surviving legs; record
+            # the abort here so accounting matches the trace, then let
+            # the transient error reach the restart loop.
+            self.aborted += 1
+            reason = "shard-unavailable"
+            self.aborted_by_reason[reason] = (
+                self.aborted_by_reason.get(reason, 0) + 1
+            )
+            self.obs.metrics.counter("txn.aborted").inc()
+            self.obs.metrics.counter(f"txn.aborted.{reason}").inc()
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    TXN_ABORT, txn=txn.label, name=txn.name, reason=reason,
+                    duration_ms=round(self._clock() - txn.started, 6),
+                )
+            raise
         self.committed += 1
+        self.leg_commits += len(txn.participants)
         self.obs.metrics.counter("txn.committed").inc()
         if self.tracer.enabled:
             self.tracer.emit(
@@ -655,3 +883,17 @@ class ShardedDatabase:
                 TXN_ABORT, txn=txn.label, name=txn.name, reason=reason,
                 duration_ms=round(self._clock() - txn.started, 6),
             )
+
+    def abort_in_flight(self, *, reason: str = "rollback") -> int:
+        """Roll back every still-active transaction (run-horizon sweep).
+
+        Returns the number of transactions aborted.  Used by the chaos
+        acceptance runner so the recovery oracle compares *committed*
+        state only.
+        """
+        labels = list(self.router._active)
+        for label in labels:
+            txn = self.router._active.get(label)
+            if txn is not None:
+                self.abort(txn, reason=reason)
+        return len(labels)

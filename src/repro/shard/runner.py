@@ -19,11 +19,13 @@ sweep grids can carry the shard axis uniformly.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+import os
+import tempfile
+from typing import Dict, List, Optional
 
 from repro.chaos.retry import RetryPolicy
 from repro.core.registry import get_protocol
-from repro.errors import BenchmarkError
+from repro.errors import BenchmarkError, ChaosError
 from repro.shard.partition import PARTITION_LEVEL, plan_partitions
 from repro.shard.router import AdaptiveRetryPolicy, ShardedDatabase
 from repro.shard.transport import ProcessTransport, SimTransport
@@ -34,6 +36,11 @@ from repro.tamix.metrics import RunResult
 
 #: Transport registry (CLI/test entry points pass the name).
 TRANSPORTS = {"sim": SimTransport, "process": ProcessTransport}
+
+#: The injection sites a shard-plane schedule may target (the storage
+#: and lock sites hook *inside* a database and cannot reach across the
+#: process boundary to N shard stacks).
+SHARD_CHAOS_SITES = ("net.request", "net.reply", "shard.crash")
 
 
 def validate_sharding(protocol: str, lock_depth: int, shards: int) -> None:
@@ -82,6 +89,146 @@ def shard_config(
     }
 
 
+def _make_transport(
+    name: str,
+    configs: List[Dict[str, object]],
+    request_timeout_s: Optional[float],
+):
+    if name == "process":
+        return ProcessTransport(configs, request_timeout_s=request_timeout_s)
+    return SimTransport(configs)
+
+
+class ShardedCluster:
+    """A built (but not yet driven) sharded stack, with teardown.
+
+    Bundles everything :func:`run_sharded_cluster1` and the chaos
+    acceptance runner need: the database facade, the (possibly
+    chaos-wrapped) transport, the chaos engine and supervisor when a
+    fault schedule is active, and the owned temp directory for shard
+    WALs.  ``close()`` is idempotent.
+    """
+
+    def __init__(self, database, transport, info, plan, engine, tmp):
+        self.database = database
+        self.transport = transport
+        self.info = info
+        self.plan = plan
+        self.engine = engine
+        self.supervisor = getattr(transport, "supervisor", None)
+        self._tmp = tmp
+        self._closed = False
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self.transport.close()
+        finally:
+            if self._tmp is not None:
+                self._tmp.cleanup()
+
+
+def build_sharded_cluster(
+    protocol: str,
+    *,
+    shards: int = 2,
+    lock_depth: int = 4,
+    isolation: str = "repeatable",
+    scale: float = 0.1,
+    observability=None,
+    transport: str = "sim",
+    rtt_ms: float = 0.1,
+    grant_cache: bool = False,
+    wait_timeout_ms: Optional[float] = 10_000.0,
+    escalation_threshold: Optional[int] = None,
+    fault_schedule=None,
+    chaos_seed: int = 0,
+    chaos_retry: Optional[RetryPolicy] = None,
+    wal_dir: Optional[str] = None,
+    request_timeout_s: Optional[float] = None,
+) -> ShardedCluster:
+    """Build the sharded stack, optionally under a fault schedule.
+
+    A schedule targeting ``net.request``/``net.reply``/``shard.crash``
+    wraps the transport in :class:`repro.shard.chaos.ChaosTransport`
+    (storage and lock sites are rejected here -- they hook inside a
+    single database).  Schedules with ``shard.crash`` rules give every
+    shard a WAL file (under ``wal_dir``, or an owned temp directory) so
+    a killed shard restarts from its committed state.
+    """
+    validate_sharding(protocol, lock_depth, shards)
+    if transport not in TRANSPORTS:
+        raise BenchmarkError(
+            f"unknown shard transport {transport!r} "
+            f"(expected one of {sorted(TRANSPORTS)})"
+        )
+    engine = None
+    if fault_schedule is not None and fault_schedule:
+        bad = sorted(
+            {rule.site for rule in fault_schedule.rules}
+            - set(SHARD_CHAOS_SITES)
+        )
+        if bad:
+            raise ChaosError(
+                f"sharded chaos only supports sites {SHARD_CHAOS_SITES}; "
+                f"schedule also targets {bad}"
+            )
+    info = generate_bib(scale=scale, seed=2006)
+    plan = plan_partitions(info.document, shards)
+
+    from repro.obs import Observability
+
+    if observability is None or observability is False:
+        obs = Observability.disabled()
+    elif observability is True:
+        obs = Observability.enabled()
+    else:
+        obs = observability
+    config = shard_config(
+        protocol, lock_depth, isolation, scale=scale,
+        wait_timeout_ms=wait_timeout_ms,
+        escalation_threshold=escalation_threshold,
+        tracing=obs.tracer.enabled,
+        access_events=obs.access_events,
+    )
+    configs = [dict(config) for _ in range(shards)]
+    tmp = None
+    wants_crash = fault_schedule is not None and any(
+        rule.site == "shard.crash" for rule in fault_schedule.rules
+    )
+    if wants_crash:
+        if wal_dir is None:
+            tmp = tempfile.TemporaryDirectory(prefix="repro-shard-wal-")
+            wal_dir = tmp.name
+        for shard_id, shard_cfg in enumerate(configs):
+            shard_cfg["wal_path"] = os.path.join(
+                wal_dir, f"shard-{shard_id}.wal"
+            )
+    try:
+        transport_obj = _make_transport(transport, configs, request_timeout_s)
+    except BaseException:
+        if tmp is not None:
+            tmp.cleanup()
+        raise
+    if fault_schedule is not None and fault_schedule:
+        from repro.chaos.engine import ChaosEngine
+        from repro.shard.chaos import ChaosTransport
+
+        engine = ChaosEngine(
+            fault_schedule, chaos_seed, retry=chaos_retry, obs=obs
+        )
+        transport_obj = ChaosTransport(transport_obj, engine)
+    database = ShardedDatabase(
+        plan, transport_obj, info,
+        protocol=protocol, isolation=isolation, observability=obs,
+        rtt_ms=rtt_ms, wait_timeout_ms=wait_timeout_ms,
+        grant_cache=grant_cache,
+    )
+    return ShardedCluster(database, transport_obj, info, plan, engine, tmp)
+
+
 def run_sharded_cluster1(
     protocol: str,
     *,
@@ -99,6 +246,9 @@ def run_sharded_cluster1(
     retry: Optional[RetryPolicy] = None,
     wait_timeout_ms: Optional[float] = 10_000.0,
     escalation_threshold: Optional[int] = None,
+    fault_schedule=None,
+    chaos_seed: int = 0,
+    request_timeout_s: Optional[float] = None,
 ) -> RunResult:
     """One sharded CLUSTER1 run; returns the paper's metrics.
 
@@ -111,7 +261,9 @@ def run_sharded_cluster1(
 
     ``grant_cache`` and ``adaptive_backoff`` enable the router-side
     optimizations of arXiv 2504.03073 (off by default so the baseline
-    stays byte-identical).
+    stays byte-identical).  ``fault_schedule``/``chaos_seed`` put the
+    shard transport under seeded network/crash chaos (see
+    :func:`build_sharded_cluster`).
     """
     validate_sharding(protocol, lock_depth, shards)
     if shards == 1:
@@ -121,39 +273,17 @@ def run_sharded_cluster1(
             observability=observability,
             escalation_threshold=escalation_threshold,
         )
-    if transport not in TRANSPORTS:
-        raise BenchmarkError(
-            f"unknown shard transport {transport!r} "
-            f"(expected one of {sorted(TRANSPORTS)})"
-        )
-    info = generate_bib(scale=scale, seed=2006)
-    plan = plan_partitions(info.document, shards)
-
-    # Resolve observability up front so the shard stacks know whether to
-    # trace (their events ship home inside every reply).
-    from repro.obs import Observability
-
-    if observability is None or observability is False:
-        obs = Observability.disabled()
-    elif observability is True:
-        obs = Observability.enabled()
-    else:
-        obs = observability
-    config = shard_config(
-        protocol, lock_depth, isolation, scale=scale,
+    cluster = build_sharded_cluster(
+        protocol, shards=shards, lock_depth=lock_depth,
+        isolation=isolation, scale=scale, observability=observability,
+        transport=transport, rtt_ms=rtt_ms, grant_cache=grant_cache,
         wait_timeout_ms=wait_timeout_ms,
         escalation_threshold=escalation_threshold,
-        tracing=obs.tracer.enabled,
-        access_events=obs.access_events,
+        fault_schedule=fault_schedule, chaos_seed=chaos_seed,
+        request_timeout_s=request_timeout_s,
     )
-    transport_obj = TRANSPORTS[transport]([config] * shards)
     try:
-        database = ShardedDatabase(
-            plan, transport_obj, info,
-            protocol=protocol, isolation=isolation, observability=obs,
-            rtt_ms=rtt_ms, wait_timeout_ms=wait_timeout_ms,
-            grant_cache=grant_cache,
-        )
+        database = cluster.database
         retry_policy = retry
         if adaptive_backoff:
             base = retry if retry is not None else RetryPolicy()
@@ -169,6 +299,6 @@ def run_sharded_cluster1(
             seed=seed,
             retry=retry_policy,
         )
-        return TaMixCoordinator(database, info, tamix).run()
+        return TaMixCoordinator(database, cluster.info, tamix).run()
     finally:
-        transport_obj.close()
+        cluster.close()

@@ -30,10 +30,19 @@ merge into one coherent history.
 
 from __future__ import annotations
 
+import hashlib
+from collections import OrderedDict
+from pathlib import Path
 from typing import Dict, List, Optional
 
 from repro.database import Database
-from repro.errors import DeadlockAbort, LockTimeout, ProtocolError, ReproError
+from repro.errors import (
+    DeadlockAbort,
+    LockTimeout,
+    ProtocolError,
+    ReproError,
+    ShardUnavailableError,
+)
 from repro.locking.lock_table import WaitTicket
 from repro.net import wire
 from repro.net.server import dispatch_call
@@ -92,6 +101,9 @@ class ShardServer:
     process transports can pickle or wire-ship it.
     """
 
+    #: Bound on the idempotent-reply cache (see ``handle``).
+    REPLY_CACHE_SIZE = 512
+
     def __init__(self, shard_id: int, config: Dict[str, object]):
         self.shard_id = int(shard_id)
         self.now = 0.0
@@ -103,31 +115,88 @@ class ShardServer:
             tracer=self.tracer,
             access_events=bool(config.get("access_events")),
         )
-        info = generate_bib(
-            scale=float(config.get("scale", 0.1)),
-            seed=int(config.get("doc_seed", 2006)),
-        )
+        self._scale = float(config.get("scale", 0.1))
+        self._doc_seed = int(config.get("doc_seed", 2006))
+        info = generate_bib(scale=self._scale, seed=self._doc_seed)
         self.info = info
+        self._wal_path = (
+            str(config["wal_path"]) if config.get("wal_path") else None
+        )
+        self.recovered = False
+        document, adopted_wal = info.document, None
+        if self._wal_path:
+            document, adopted_wal = self._recover_document(info.document)
         self.db = Database(
             protocol=str(config["protocol"]),
             lock_depth=int(config["lock_depth"]),
             isolation=str(config.get("isolation", "repeatable")),
-            document=info.document,
+            document=document,
             wait_timeout_ms=config.get("wait_timeout_ms", 10_000.0),
             enable_wal=True,
             observability=obs,
             escalation_threshold=config.get("escalation_threshold"),
         )
+        if adopted_wal is not None:
+            # The recovered log must keep accumulating so a *second*
+            # crash replays the full committed history; rebind every
+            # reference the database wired to its fresh empty log.
+            self.db.wal = adopted_wal
+            self.db.transactions.wal = adopted_wal
+            self.db.nodes.wal = adopted_wal
         # The coordinator owns the transaction lifecycle events.
         self.db.transactions.tracer = NULL_TRACER
         self.db.set_clock(lambda: self.now)
         self._txns: Dict[str, _TxnState] = {}
         self._woken: List[str] = []
+        self._replies: "OrderedDict[str, bytes]" = OrderedDict()
+
+    def _recover_document(self, pristine):
+        """Rebuild state from the persisted WAL, if one survived a crash.
+
+        Returns ``(document, wal)``: the redo-recovered document plus the
+        log to adopt, or ``(pristine, None)`` on a cold (first) start.
+        Only committed transactions are replayed -- records past the last
+        commit-time flush are simply absent from the file, which is
+        exactly the crash contract.
+        """
+        from repro.txn.transaction import Transaction
+        from repro.txn.wal import WriteAheadLog, recover, take_checkpoint
+
+        try:
+            data = Path(self._wal_path).read_bytes()
+        except OSError:
+            data = b""
+        if not data:
+            return pristine, None
+        log = WriteAheadLog.from_bytes(data)
+        base = take_checkpoint(pristine)  # lsn 0: replay from the origin
+        document = recover(base, log)
+        # The txn-id counter is process-global and resets in a forked
+        # replacement process; push it past every recovered id so new
+        # transactions never collide with committed winners in the log.
+        max_id = max((record.txn_id for record in log.records()), default=0)
+        Transaction._counter = max(Transaction._counter, max_id)
+        self.recovered = True
+        return document, log
 
     # -- message entry point ------------------------------------------------
 
     def handle(self, data: bytes) -> bytes:
         opcode, fields = wire.decode_frame(data)
+        if opcode == messages.OP_SHARD_REQ:
+            request_id = str(fields[0])
+            cached = self._replies.get(request_id)
+            if cached is not None:
+                return cached
+            inner_op, inner_fields = wire.decode_frame(bytes(fields[1]))
+            reply = self._dispatch(inner_op, inner_fields)
+            self._replies[request_id] = reply
+            while len(self._replies) > self.REPLY_CACHE_SIZE:
+                self._replies.popitem(last=False)
+            return reply
+        return self._dispatch(opcode, fields)
+
+    def _dispatch(self, opcode: int, fields) -> bytes:
         handler = self._HANDLERS.get(opcode)
         if handler is None:
             return self._error(
@@ -162,7 +231,13 @@ class ShardServer:
         now, label = fields
         self.now = float(now)
         state = self._txns.get(str(label))
-        if state is None or state.gen is None or state.ticket is None:
+        if state is None:
+            # A restart between the grant and the RESUME lost the leg.
+            return self._error(ShardUnavailableError(
+                f"{label} lost in shard {self.shard_id} restart",
+                shard_id=self.shard_id,
+            ))
+        if state.gen is None or state.ticket is None:
             return self._error(ProtocolError(f"{label} has no parked wait"))
         if not state.ticket.granted:
             return self._error(ProtocolError(f"{label} resumed but not granted"))
@@ -173,7 +248,13 @@ class ShardServer:
         now, label, reason, message, cycle = fields
         self.now = float(now)
         state = self._txns.get(str(label))
-        if state is None or state.gen is None or state.ticket is None:
+        if state is None:
+            # Idempotent: the parked leg died with a restarted shard, so
+            # there is nothing left to withdraw.
+            return messages.encode_done(
+                None, 0.0, self._drain_woken(), self._drain_events()
+            )
+        if state.gen is None or state.ticket is None:
             return self._error(ProtocolError(f"{label} has no parked wait"))
         ticket = state.ticket
         state.ticket = None
@@ -197,13 +278,21 @@ class ShardServer:
         self.now = float(now)
         state = self._txns.pop(str(label), None)
         if state is None:
-            return self._error(ProtocolError(f"unknown transaction {label}"))
+            # The leg's effects were in memory only and died with the
+            # old process: committing would silently lose writes, so the
+            # coordinator must treat the transaction as aborted.
+            return self._error(ShardUnavailableError(
+                f"{label} lost in shard {self.shard_id} restart",
+                shard_id=self.shard_id,
+            ))
         if state.gen is not None:
             self._txns[str(label)] = state
             return self._error(
                 ProtocolError(f"{label} cannot commit mid-operation")
             )
         self.db.commit(state.txn)
+        if self._wal_path:
+            self._flush_wal()
         return messages.encode_done(
             None, 0.0, self._drain_woken(), self._drain_events()
         )
@@ -213,7 +302,11 @@ class ShardServer:
         self.now = float(now)
         state = self._txns.pop(str(label), None)
         if state is None:
-            return self._error(ProtocolError(f"unknown transaction {label}"))
+            # Idempotent: an unknown leg (lost in a restart, or already
+            # rolled back) is exactly the state an abort asks for.
+            return messages.encode_done(
+                None, 0.0, self._drain_woken(), self._drain_events()
+            )
         if state.gen is not None:
             # Aborted while an operation is still parked (run horizon or
             # a hard router-side failure): withdraw the wait and unwind.
@@ -265,6 +358,46 @@ class ShardServer:
         self.stopped = True
         return messages.encode_info({"shard": self.shard_id, "stopped": True})
 
+    def _handle_ping(self, fields) -> bytes:
+        (now,) = fields
+        self.now = float(now)
+        return messages.encode_info({
+            "shard": self.shard_id, "ok": True, "recovered": self.recovered,
+        })
+
+    def _handle_snapshot(self, fields) -> bytes:
+        """Recovery-oracle snapshot: digest the live document against a
+        fault-free redo of this shard's full WAL over a pristine replica.
+
+        The two digests agree exactly when redo recovery is sound for
+        the history this shard executed (the single-node chaos runner
+        makes the same check in-process); ``commits_in_wal`` lets the
+        coordinator cross-check its committed-transaction count.
+        """
+        from repro.txn.wal import LogKind, recover, take_checkpoint
+        from repro.verify import canonical_image
+
+        (now,) = fields
+        self.now = float(now)
+        pristine = generate_bib(scale=self._scale, seed=self._doc_seed)
+        base = take_checkpoint(pristine.document)
+        replayed = recover(base, self.db.wal)
+        commits = sum(
+            1 for record in self.db.wal.records()
+            if record.kind is LogKind.COMMIT
+        )
+        return messages.encode_info({
+            "shard": self.shard_id,
+            "live_image": hashlib.sha256(
+                canonical_image(self.db.document)).hexdigest(),
+            "replayed_image": hashlib.sha256(
+                canonical_image(replayed)).hexdigest(),
+            "commits_in_wal": commits,
+            "wal_records": len(self.db.wal),
+            "recovered": self.recovered,
+            "open_legs": sorted(self._txns),
+        })
+
     _HANDLERS = {
         messages.OP_SHARD_EXEC: _handle_exec,
         messages.OP_SHARD_RESUME: _handle_resume,
@@ -274,6 +407,8 @@ class ShardServer:
         messages.OP_SHARD_BLOCKERS: _handle_blockers,
         messages.OP_SHARD_STATS: _handle_stats,
         messages.OP_SHARD_SHUTDOWN: _handle_shutdown,
+        messages.OP_SHARD_PING: _handle_ping,
+        messages.OP_SHARD_SNAPSHOT: _handle_snapshot,
     }
 
     # -- the operation stepper ----------------------------------------------
@@ -325,6 +460,24 @@ class ShardServer:
             blockers, ticket.is_conversion, str(space), str(key), ticket.mode,
             self._take_cost(state), self._drain_woken(), self._drain_events(),
         )
+
+    # -- durability ---------------------------------------------------------
+
+    def _flush_wal(self) -> None:
+        """Persist the full WAL image atomically (commit-time barrier).
+
+        Rewriting the whole log keeps the on-disk format identical to
+        :meth:`WriteAheadLog.to_bytes`; at contest scales the log is a
+        few kilobytes, and shards without a ``wal_path`` never pay it.
+        A crash between commits loses only records since the last flush
+        -- all of them belonging to uncommitted transactions.
+        """
+        import os
+
+        path = Path(self._wal_path)
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        tmp.write_bytes(self.db.wal.to_bytes())
+        os.replace(tmp, path)
 
     # -- reply plumbing -----------------------------------------------------
 

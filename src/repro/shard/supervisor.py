@@ -1,0 +1,57 @@
+"""Shard supervision: crash a shard, restart it, and count the lives.
+
+:class:`ShardSupervisor` wraps a transport's ``kill``/``restart`` pair
+with the bookkeeping the rest of the crash-tolerant plane needs:
+
+* a per-shard **epoch** (incarnation number), bumped on every restart.
+  The router stamps the epoch of each shard onto every transaction leg
+  it opens there; a leg whose shard has since moved to a newer epoch is
+  *stale* -- its in-memory state died with the old incarnation -- and
+  must be shed rather than committed.
+* a chronological **restart log** (``(shard_id, epoch)`` in kill order),
+  hashed into the chaos fingerprint so two runs of the same seed can be
+  checked to have crashed the same shards at the same points.
+
+The supervisor performs kill and restart back to back: the replacement
+shard rebuilds itself from the persisted WAL (committed state only)
+before the call returns, so from the router's point of view a crash is
+a transient unavailability plus amnesia about uncommitted legs --
+exactly what :class:`~repro.errors.ShardUnavailableError` models.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+
+class ShardSupervisor:
+    """Kills and resurrects shards on a transport, tracking epochs."""
+
+    def __init__(self, transport):
+        self.transport = transport
+        #: Current incarnation per shard; 0 until the first restart.
+        self.epochs: Dict[int, int] = {}
+        #: Restarts in kill order: ``(shard_id, new_epoch)``.
+        self.restart_log: List[Tuple[int, int]] = []
+
+    def epoch(self, shard_id: int) -> int:
+        return self.epochs.get(int(shard_id), 0)
+
+    @property
+    def restarts(self) -> int:
+        return len(self.restart_log)
+
+    def kill_and_restart(self, shard_id: int) -> int:
+        """Crash ``shard_id`` and bring up a WAL-recovered replacement.
+
+        Returns the new epoch.  Every transaction leg opened on the old
+        epoch is now stale: its locks, parked waits, and uncommitted
+        effects died with the old incarnation.
+        """
+        shard_id = int(shard_id)
+        self.transport.kill(shard_id)
+        self.transport.restart(shard_id)
+        epoch = self.epochs.get(shard_id, 0) + 1
+        self.epochs[shard_id] = epoch
+        self.restart_log.append((shard_id, epoch))
+        return epoch

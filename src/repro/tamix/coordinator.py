@@ -163,17 +163,28 @@ class TaMixCoordinator:
                 queue_waits = 0
             txn = self.database.begin(txn_type, cfg.isolation)
             started = sim.now
+            failure = None
+            committing = False
             try:
                 yield from program(
                     self.database.nodes, txn, rng, self.info, cfg
                 )
-            except (TransactionAborted, TransientError) as failure:
-                # Deadlock victim, lock-wait timeout, or injected
-                # transient storage fault: roll back, count the abort,
-                # and restart a fresh transaction of the same type after
-                # a backoff (keeping the population active).
+                committing = True
+                self.database.commit(txn)
+            except (TransactionAborted, TransientError) as exc:
+                failure = exc
+            if failure is not None:
+                # Deadlock victim, lock-wait timeout, injected transient
+                # storage fault, or an unavailable shard at commit: roll
+                # back, count the abort, and restart a fresh transaction
+                # of the same type after a backoff (keeping the
+                # population active).  A commit-time failure arrives
+                # already rolled back (the router aborted the surviving
+                # legs before re-raising), so only program failures
+                # still need the abort here.
                 kind = getattr(failure, "reason", None) or "storage"
-                self.database.abort(txn, reason=kind)
+                if not committing:
+                    self.database.abort(txn, reason=kind)
                 self.result.by_type[txn_type].record_abort(kind)
                 if retry is None:
                     yield Delay(rng.uniform(0.0, cfg.restart_backoff_max_ms))
@@ -200,7 +211,6 @@ class TaMixCoordinator:
                     )
                 yield Delay(backoff)
                 continue
-            self.database.commit(txn)
             self.result.by_type[txn_type].record_commit(sim.now - started)
             if restarts > 0:
                 restarts = 0

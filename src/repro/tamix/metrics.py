@@ -83,6 +83,7 @@ class TypeMetrics:
     deadlock_aborts: int = 0
     timeout_aborts: int = 0
     storage_aborts: int = 0
+    shard_unavailable_aborts: int = 0
     durations: List[float] = field(default_factory=list)
 
     def record_commit(self, duration_ms: float) -> None:
@@ -95,11 +96,13 @@ class TypeMetrics:
             self.deadlock_aborts += 1
         elif kind == "storage":
             self.storage_aborts += 1
+        elif kind == "shard-unavailable":
+            self.shard_unavailable_aborts += 1
         else:
             self.timeout_aborts += 1
 
     def as_journal(self) -> Dict[str, object]:
-        return {
+        journal = {
             "committed": self.committed,
             "aborted": self.aborted,
             "deadlock_aborts": self.deadlock_aborts,
@@ -107,6 +110,11 @@ class TypeMetrics:
             "storage_aborts": self.storage_aborts,
             "durations": list(self.durations),
         }
+        # Only sharded runs can see this kind; journals of single-node
+        # runs stay byte-identical to the pre-shard golden files.
+        if self.shard_unavailable_aborts:
+            journal["shard_unavailable_aborts"] = self.shard_unavailable_aborts
+        return journal
 
     @classmethod
     def from_journal(cls, data: Dict[str, object]) -> "TypeMetrics":
@@ -116,6 +124,9 @@ class TypeMetrics:
             deadlock_aborts=int(data["deadlock_aborts"]),
             timeout_aborts=int(data["timeout_aborts"]),
             storage_aborts=int(data.get("storage_aborts", 0)),
+            shard_unavailable_aborts=int(
+                data.get("shard_unavailable_aborts", 0)
+            ),
             durations=[float(d) for d in data["durations"]],
         )
 
@@ -181,11 +192,15 @@ class RunResult:
 
     @property
     def aborted_by_kind(self) -> Dict[str, int]:
-        """Abort counts split by cause (deadlock/timeout/storage fault)."""
+        """Abort counts split by cause (deadlock/timeout/storage fault/
+        unavailable shard)."""
         return {
             "deadlock": sum(m.deadlock_aborts for m in self.by_type.values()),
             "timeout": sum(m.timeout_aborts for m in self.by_type.values()),
             "storage": sum(m.storage_aborts for m in self.by_type.values()),
+            "shard-unavailable": sum(
+                m.shard_unavailable_aborts for m in self.by_type.values()
+            ),
         }
 
     @property

@@ -94,6 +94,9 @@ class CellResult:
             "aborted_deadlock": round(self.aborted_by_kind.get("deadlock", 0.0), 2),
             "aborted_timeout": round(self.aborted_by_kind.get("timeout", 0.0), 2),
             "aborted_storage": round(self.aborted_by_kind.get("storage", 0.0), 2),
+            "aborted_shard_unavailable": round(
+                self.aborted_by_kind.get("shard-unavailable", 0.0), 2
+            ),
             "deadlocks_conversion": round(
                 self.deadlocks_by_kind.get("conversion", 0.0), 2
             ),
@@ -139,6 +142,14 @@ class SweepSpec:
     #: Transport for sharded cells (``sim`` or ``process``); both are
     #: deterministic and produce identical results for the same seed.
     shard_transport: str = "sim"
+    #: Fault schedule for sharded cells: a built-in name or a JSON file
+    #: path (kept as a string so worker processes can pickle the spec).
+    #: Only ``net.request``/``net.reply``/``shard.crash`` sites apply;
+    #: ``None`` runs fault-free.  Single-node cells ignore it.
+    fault_schedule: Optional[str] = None
+    #: Chaos engine seed for faulted sharded cells (independent of the
+    #: workload seed so fault placement can be varied separately).
+    chaos_seed: int = 0
 
     def cells(self) -> Iterable[SweepCell]:
         if self.runs_per_cell < 1:
@@ -208,6 +219,11 @@ def _execute_cell(
         if cell.shards > 1:
             from repro.shard.runner import run_sharded_cluster1
 
+            fault_schedule = None
+            if spec.fault_schedule:
+                from repro.chaos.schedule import load_schedule
+
+                fault_schedule = load_schedule(spec.fault_schedule)
             return run_sharded_cluster1(
                 cell.protocol,
                 shards=cell.shards,
@@ -218,6 +234,8 @@ def _execute_cell(
                 seed=spec.base_seed + cell.run,
                 observability=observability,
                 transport=spec.shard_transport,
+                fault_schedule=fault_schedule,
+                chaos_seed=spec.chaos_seed + cell.run,
             )
         return run_cluster1(
             cell.protocol,

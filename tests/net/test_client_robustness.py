@@ -7,7 +7,12 @@ import threading
 
 import pytest
 
-from repro.errors import ProtocolError, UnsupportedWireVersion
+from repro.errors import (
+    ConnectionLostError,
+    ProtocolError,
+    TransientError,
+    UnsupportedWireVersion,
+)
 from repro.net import wire
 from repro.net.client import ClientPool, RemoteDatabase, WireConnection
 from repro.net.server import TelemetryPlane, _Subscriber
@@ -147,6 +152,42 @@ class TestHandshakeLeak:
         assert pool.live == 0
         assert server.client_closed.wait(10), "handshake failure leaked fd"
         server.join()
+
+
+class TestConnectionLost:
+    """A peer hangup mid-call is *transient* (the server restarted, the
+    link dropped) -- unlike a protocol violation, the caller may retry
+    on a fresh connection.  The broken one must close itself so the
+    pool evicts it instead of handing it out again."""
+
+    def _lost_peer_connection(self) -> WireConnection:
+        ours, theirs = socket.socketpair()
+        theirs.close()  # writes now raise BrokenPipeError
+        return _bare_connection(ours)
+
+    def test_hangup_mid_request_is_typed_transient(self):
+        conn = self._lost_peer_connection()
+        with pytest.raises(ConnectionLostError, match="lost mid-call"):
+            conn.request(wire.OP_PING)
+        assert isinstance(ConnectionLostError("x"), TransientError)
+        assert conn.closed, "broken connection must mark itself dead"
+
+    def test_hangup_mid_stream_is_typed_transient(self):
+        conn = self._lost_peer_connection()
+        with pytest.raises(ConnectionLostError, match="lost mid-stream"):
+            next(conn.stream(wire.OP_SUBSCRIBE, 1))
+        assert conn.closed
+
+    def test_pool_evicts_broken_connection_on_release(self):
+        pool = ClientPool("127.0.0.1", 1, size=2)
+        conn = self._lost_peer_connection()
+        with pool._lock:
+            pool._live = 1  # stand in for a dialed lease
+        with pytest.raises(ConnectionLostError):
+            conn.request(wire.OP_PING)
+        pool.release(conn)
+        assert pool.live == 0, "dead connection held its pool slot"
+        assert not pool._idle, "dead connection re-entered the idle list"
 
 
 class TestDroppedWindows:
